@@ -1,0 +1,73 @@
+//! E2 / Figure 2 — Enrichment-module phases (Redefinition, candidate
+//! discovery, full enrichment incl. Triple Generation) as a function of the
+//! observation count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enrichment::EnrichmentSession;
+use qb2olap::demo;
+use rdf::vocab::eurostat_property;
+
+fn bench_enrichment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enrichment");
+    group.sample_size(10);
+
+    for observations in [1_000usize, 5_000, 20_000] {
+        let (endpoint, data) =
+            datagen::load_demo_endpoint(&datagen::EurostatConfig::small(observations));
+
+        group.bench_with_input(
+            BenchmarkId::new("redefinition", observations),
+            &observations,
+            |b, _| {
+                b.iter(|| {
+                    let mut session = EnrichmentSession::start(
+                        &endpoint,
+                        &data.dataset,
+                        demo::demo_enrichment_config(),
+                    )
+                    .unwrap();
+                    session.redefine().unwrap().clone()
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("citizen_candidate_discovery", observations),
+            &observations,
+            |b, _| {
+                b.iter(|| {
+                    let mut session = EnrichmentSession::start(
+                        &endpoint,
+                        &data.dataset,
+                        demo::demo_enrichment_config(),
+                    )
+                    .unwrap();
+                    session.redefine().unwrap();
+                    session
+                        .discover_candidates(&eurostat_property::citizen())
+                        .unwrap()
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("full_demo_enrichment", observations),
+            &observations,
+            |b, _| {
+                b.iter(|| {
+                    // Work on a copy of the endpoint contents so repeated
+                    // iterations do not accumulate triples.
+                    let fresh = sparql::LocalEndpoint::new();
+                    fresh
+                        .store()
+                        .insert_all(endpoint.store().default_graph_snapshot().iter());
+                    demo::enrich_demo_cube(&fresh, &data.dataset).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enrichment);
+criterion_main!(benches);

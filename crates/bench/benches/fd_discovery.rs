@@ -1,0 +1,79 @@
+//! E8 — (quasi-)functional-dependency discovery: the pure analysis kernel on
+//! synthetic member/property tables of growing size, and the end-to-end
+//! candidate discovery under link noise.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enrichment::{analyze_members, EnrichmentConfig, EnrichmentSession, MemberPropertyValues};
+use rdf::{Iri, Term};
+
+fn synthetic_members(members: usize, properties: usize) -> MemberPropertyValues {
+    let mut values: MemberPropertyValues = BTreeMap::new();
+    for m in 0..members {
+        let member = Term::iri(format!("http://example.org/member/{m}"));
+        let mut props: BTreeMap<Iri, BTreeSet<Term>> = BTreeMap::new();
+        for p in 0..properties {
+            // Property p maps members into m % (p + 2) buckets — functional,
+            // with varying compression ratios.
+            let bucket = m % (p + 2);
+            props.insert(
+                Iri::new(format!("http://example.org/property/{p}")),
+                BTreeSet::from([Term::iri(format!("http://example.org/value/{p}/{bucket}"))]),
+            );
+        }
+        values.insert(member, props);
+    }
+    values
+}
+
+fn bench_fd_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_discovery");
+    group.sample_size(10);
+
+    for members in [100usize, 1_000, 10_000] {
+        let values = synthetic_members(members, 8);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_members", members),
+            &values,
+            |b, values| {
+                b.iter(|| analyze_members(values, false));
+            },
+        );
+    }
+
+    // End-to-end candidate discovery with noisy links and a quasi-FD threshold.
+    let noisy = datagen::EurostatConfig {
+        observations: 2_000,
+        noise: datagen::NoiseConfig {
+            missing_link_fraction: 0.1,
+            conflicting_link_fraction: 0.1,
+        },
+        ..Default::default()
+    };
+    let (endpoint, data) = datagen::load_demo_endpoint(&noisy);
+    for threshold in [0.0f64, 0.15, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("noisy_citizen_discovery_threshold", format!("{threshold}")),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let config = EnrichmentConfig::default()
+                        .without_external_sources()
+                        .with_fd_error_threshold(threshold)
+                        .with_min_support(0.5);
+                    let mut session =
+                        EnrichmentSession::start(&endpoint, &data.dataset, config).unwrap();
+                    session.redefine().unwrap();
+                    session
+                        .discover_candidates(&rdf::vocab::eurostat_property::citizen())
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd_discovery);
+criterion_main!(benches);

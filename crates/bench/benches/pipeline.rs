@@ -1,0 +1,35 @@
+//! E1 / Figure 1 — the end-to-end pipeline: generate + load the QB data,
+//! enrich, and answer the first OLAP question of the use case (applications
+//! per continent of origin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb2olap::{demo, Qb2Olap};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    for observations in [1_000usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("generate_load_enrich_query", observations),
+            &observations,
+            |b, &observations| {
+                b.iter(|| {
+                    let cube =
+                        demo::setup_demo_cube(&datagen::EurostatConfig::small(observations))
+                            .unwrap();
+                    let tool = Qb2Olap::new(cube.endpoint.clone());
+                    tool.querying(&cube.dataset)
+                        .unwrap()
+                        .run(&datagen::workload::rollup_citizenship_to_continent())
+                        .unwrap()
+                        .1
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3 / Figure 3 and E10 — Querying-module phases: preparation
+//! (simplification + translation) and SPARQL execution of the direct vs the
+//! alternative variant, for every workload query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb2olap::{Qb2Olap, SparqlVariant};
+use qb2olap_bench::demo_cube;
+
+fn bench_querying(c: &mut Criterion) {
+    let cube = demo_cube(10_000);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+
+    let mut group = c.benchmark_group("querying");
+    group.sample_size(10);
+
+    for (name, text) in datagen::workload::bench_queries() {
+        group.bench_with_input(BenchmarkId::new("prepare", name), &text, |b, text| {
+            b.iter(|| querying.prepare(text).unwrap());
+        });
+
+        let prepared = querying.prepare(&text).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("execute_direct", name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| querying.execute(prepared, SparqlVariant::Direct).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("execute_alternative", name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    querying
+                        .execute(prepared, SparqlVariant::Alternative)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_querying);
+criterion_main!(benches);

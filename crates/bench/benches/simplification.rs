@@ -1,0 +1,52 @@
+//! E9 — the Query Simplification phase: cost of simplification itself and the
+//! end-to-end latency of the naively written vs the already-optimised Mary
+//! query (both produce the same SPARQL after simplification, which is the
+//! point of rules (a) and (b)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb2olap::{Qb2Olap, SparqlVariant};
+use qb2olap_bench::demo_cube;
+use ql::{parse_ql, simplify};
+
+fn bench_simplification(c: &mut Criterion) {
+    let cube = demo_cube(5_000);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let schema = querying.schema().clone();
+
+    let optimized = datagen::workload::mary_query();
+    let unoptimized = datagen::workload::mary_query_unoptimized();
+
+    let mut group = c.benchmark_group("simplification");
+    group.sample_size(10);
+
+    group.bench_function("parse_and_simplify_optimized", |b| {
+        b.iter(|| {
+            let program = parse_ql(&optimized).unwrap();
+            simplify(&program, &schema).unwrap()
+        });
+    });
+    group.bench_function("parse_and_simplify_unoptimized", |b| {
+        b.iter(|| {
+            let program = parse_ql(&unoptimized).unwrap();
+            simplify(&program, &schema).unwrap()
+        });
+    });
+
+    group.bench_function("end_to_end_optimized", |b| {
+        b.iter(|| {
+            let prepared = querying.prepare(&optimized).unwrap();
+            querying.execute(&prepared, SparqlVariant::Direct).unwrap()
+        });
+    });
+    group.bench_function("end_to_end_unoptimized", |b| {
+        b.iter(|| {
+            let prepared = querying.prepare(&unoptimized).unwrap();
+            querying.execute(&prepared, SparqlVariant::Direct).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplification);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! SPARQL-engine microbenchmarks: the observation star join and the grouped
+//! aggregation that every translated QL query relies on, at growing dataset
+//! sizes. (Substrate benchmark backing E3/E10.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparql::{evaluate_select, parse_select};
+
+fn bench_sparql_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparql_engine");
+    group.sample_size(10);
+
+    for observations in [1_000usize, 10_000, 40_000] {
+        let data = datagen::generate(&datagen::EurostatConfig::small(observations));
+        let graph = rdf::Graph::from_triples(data.triples.clone());
+
+        let star_join = parse_select(
+            "PREFIX qb: <http://purl.org/linked-data/cube#>
+             PREFIX property: <http://eurostat.linked-statistics.org/property#>
+             PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+             SELECT ?obs ?citizen ?geo ?v WHERE {
+               ?obs a qb:Observation ;
+                    property:citizen ?citizen ;
+                    property:geo ?geo ;
+                    sdmx-measure:obsValue ?v .
+             }",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("observation_star_join", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| evaluate_select(graph, &star_join).unwrap());
+            },
+        );
+
+        let grouped = parse_select(
+            "PREFIX qb: <http://purl.org/linked-data/cube#>
+             PREFIX property: <http://eurostat.linked-statistics.org/property#>
+             PREFIX dic: <http://eurostat.linked-statistics.org/dic/>
+             PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+             SELECT ?continent (SUM(?v) AS ?total) WHERE {
+               ?obs a qb:Observation ;
+                    property:citizen ?citizen ;
+                    sdmx-measure:obsValue ?v .
+               ?citizen dic:continent ?continent .
+             } GROUP BY ?continent ORDER BY DESC(?total)",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("grouped_rollup_aggregation", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| evaluate_select(graph, &grouped).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparql_engine);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Triple-store microbenchmarks: bulk loading the generated QB data and the
+//! index lookups the SPARQL evaluator issues (substrate benchmark backing
+//! every experiment that loads data into the endpoint).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf::vocab::{eurostat_property, qb};
+use rdf::{Graph, Term};
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    for observations in [1_000usize, 10_000] {
+        let data = datagen::generate(&datagen::EurostatConfig::small(observations));
+
+        group.bench_with_input(
+            BenchmarkId::new("bulk_insert", observations),
+            &data.triples,
+            |b, triples| {
+                b.iter(|| Graph::from_triples(triples.iter().cloned()));
+            },
+        );
+
+        let graph = Graph::from_triples(data.triples.clone());
+        group.bench_with_input(
+            BenchmarkId::new("predicate_scan", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| graph.triples_matching(None, Some(&eurostat_property::citizen()), None));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("type_lookup", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| graph.subjects_of_type(&qb::observation()));
+            },
+        );
+        let syria = datagen::eurostat::citizen_member("SY");
+        group.bench_with_input(
+            BenchmarkId::new("object_lookup", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| graph.triples_matching(None, None, Some(&syria)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("point_contains", observations),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    graph.triples_matching(
+                        Some(&Term::iri(
+                            "http://eurostat.linked-statistics.org/data/migr_asyappctzm/obs000000",
+                        )),
+                        Some(&eurostat_property::citizen()),
+                        None,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

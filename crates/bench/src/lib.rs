@@ -1,0 +1,111 @@
+//! Shared helpers for the QB2OLAP benchmark and experiment-reproduction
+//! harness (see `EXPERIMENTS.md` for the experiment index E1–E10).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use qb2olap::demo::{self, DemoCube};
+use serde::Serialize;
+
+/// Builds the demo cube (generate → load → enrich) at a given scale.
+pub fn demo_cube(observations: usize) -> DemoCube {
+    demo::setup_demo_cube(&datagen::EurostatConfig::small(observations))
+        .expect("demo setup succeeds")
+}
+
+/// Builds the demo cube with a custom generator configuration.
+pub fn demo_cube_with(config: &datagen::EurostatConfig) -> DemoCube {
+    demo::setup_demo_cube(config).expect("demo setup succeeds")
+}
+
+/// Times a closure once, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let started = Instant::now();
+    let value = f();
+    (value, started.elapsed())
+}
+
+/// One measured row of an experiment, recorded by the `repro` binary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Experiment identifier (e.g. `"E2"`).
+    pub experiment: String,
+    /// The independent variable (e.g. `"observations=10000"`).
+    pub parameters: String,
+    /// The measured quantity (e.g. `"enrichment_total_ms"`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Measurement {
+    /// Creates a measurement row.
+    pub fn new(
+        experiment: &str,
+        parameters: impl Into<String>,
+        metric: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        Measurement {
+            experiment: experiment.to_string(),
+            parameters: parameters.into(),
+            metric: metric.into(),
+            value,
+        }
+    }
+}
+
+/// Renders measurements as an aligned text table.
+pub fn render_measurements(rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<34} {:<34} {:>14}\n",
+        "exp", "parameters", "metric", "value"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<6} {:<34} {:<34} {:>14.3}\n",
+            row.experiment, row.parameters, row.metric, row.value
+        ));
+    }
+    out
+}
+
+/// Serialises measurements as JSON (one array), for machine-readable records.
+pub fn measurements_to_json(rows: &[Measurement]) -> String {
+    serde_json::to_string_pretty(rows).expect("measurements serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_rendering() {
+        let rows = vec![
+            Measurement::new("E2", "observations=1000", "enrichment_total_ms", 12.5),
+            Measurement::new("E3", "variant=direct", "execution_ms", 3.25),
+        ];
+        let table = render_measurements(&rows);
+        assert!(table.contains("E2"));
+        assert!(table.contains("enrichment_total_ms"));
+        let json = measurements_to_json(&rows);
+        assert!(json.contains("\"experiment\": \"E3\""));
+    }
+
+    #[test]
+    fn timed_reports_duration() {
+        let (value, duration) = timed(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(duration >= Duration::ZERO);
+    }
+
+    #[test]
+    fn demo_cube_helper_builds_a_queryable_cube() {
+        let cube = demo_cube(120);
+        assert_eq!(cube.generated.observation_count, 120);
+        let tool = qb2olap::Qb2Olap::new(cube.endpoint.clone());
+        assert!(tool.querying(&cube.dataset).is_ok());
+    }
+}

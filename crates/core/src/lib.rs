@@ -1,0 +1,153 @@
+//! # QB2OLAP — enabling OLAP on statistical linked open data
+//!
+//! A Rust reproduction of the QB2OLAP system (Varga et al., ICDE 2016): a
+//! tool that takes a statistical dataset published with the W3C RDF Data
+//! Cube (QB) vocabulary and, without requiring any RDF, QB(4OLAP) or SPARQL
+//! skills from the user,
+//!
+//! 1. **enriches** it into a QB4OLAP dataset (semi-automatic discovery of
+//!    dimension hierarchies via functional dependencies over level-instance
+//!    properties) — [`enrichment`];
+//! 2. lets the user **explore** the enriched multidimensional schema and its
+//!    instances — [`explorer`];
+//! 3. lets the user **query** it with the high-level OLAP language QL,
+//!    automatically translated into SPARQL and executed on an endpoint —
+//!    [`ql`].
+//!
+//! All three modules share one SPARQL endpoint ([`sparql::LocalEndpoint`]
+//! plays the role Virtuoso plays in the original deployment), exactly as in
+//! Figure 1 of the paper. The [`Qb2Olap`] facade wires them together, and
+//! [`demo`] scripts the paper's demonstration scenario over a synthetic
+//! Eurostat asylum-applications dataset ([`datagen`]).
+//!
+//! ```
+//! use qb2olap::demo;
+//!
+//! // Build the demo cube (generate data, load the endpoint, enrich).
+//! let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(200)).unwrap();
+//! let tool = qb2olap::Qb2Olap::new(cube.endpoint.clone());
+//!
+//! // Explore the enriched schema ...
+//! let explorer = tool.explorer(&cube.dataset).unwrap();
+//! assert!(explorer.schema_tree().unwrap().contains("citizenshipDim"));
+//!
+//! // ... and run Mary's query from Section IV of the paper.
+//! let querying = tool.querying(&cube.dataset).unwrap();
+//! let (prepared, result, _timings) = querying.run(&datagen::workload::mary_query()).unwrap();
+//! assert!(prepared.sparql(qb2olap::SparqlVariant::Direct).lines().count() > 30);
+//! assert!(!result.axes.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod demo;
+
+pub use datagen;
+pub use enrichment;
+pub use explorer;
+pub use qb;
+pub use qb4olap;
+pub use ql;
+pub use rdf;
+pub use sparql;
+
+pub use enrichment::{EnrichmentConfig, EnrichmentSession, EnrichmentStats};
+pub use explorer::{CubeExplorer, CubeSummary};
+pub use ql::{QueryingModule, ResultCube, SparqlVariant};
+pub use sparql::{Endpoint, LocalEndpoint};
+
+use rdf::Iri;
+
+/// The QB2OLAP tool: the three modules over one shared endpoint (Figure 1).
+#[derive(Debug, Clone)]
+pub struct Qb2Olap {
+    endpoint: LocalEndpoint,
+}
+
+impl Qb2Olap {
+    /// Creates the tool over an endpoint.
+    pub fn new(endpoint: LocalEndpoint) -> Self {
+        Qb2Olap { endpoint }
+    }
+
+    /// Creates the tool over a fresh, empty endpoint.
+    pub fn with_empty_endpoint() -> Self {
+        Qb2Olap {
+            endpoint: LocalEndpoint::new(),
+        }
+    }
+
+    /// The shared endpoint.
+    pub fn endpoint(&self) -> &LocalEndpoint {
+        &self.endpoint
+    }
+
+    /// Loads Turtle data into the endpoint (how the demo's input QB dataset
+    /// gets there in the first place).
+    pub fn load_turtle(&self, turtle: &str) -> Result<usize, rdf::StoreError> {
+        self.endpoint.store().load_turtle(turtle)
+    }
+
+    /// Starts an Enrichment-module session for a dataset.
+    pub fn enrichment<'t>(
+        &'t self,
+        dataset: &Iri,
+        config: EnrichmentConfig,
+    ) -> Result<EnrichmentSession<'t>, enrichment::EnrichmentError> {
+        EnrichmentSession::start(&self.endpoint, dataset, config)
+    }
+
+    /// Opens the Exploration module for an (enriched) dataset.
+    pub fn explorer<'t>(&'t self, dataset: &Iri) -> Result<CubeExplorer<'t>, explorer::ExplorerError> {
+        CubeExplorer::open(&self.endpoint, dataset)
+    }
+
+    /// Opens the Querying module for an (enriched) dataset.
+    pub fn querying<'t>(&'t self, dataset: &Iri) -> Result<QueryingModule<'t>, ql::QlError> {
+        QueryingModule::for_dataset(&self.endpoint, dataset)
+    }
+
+    /// Lists the cubes available on the endpoint.
+    pub fn list_cubes(&self) -> Result<Vec<CubeSummary>, explorer::ExplorerError> {
+        explorer::list_cubes(&self.endpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_wires_the_three_modules() {
+        let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(150)).unwrap();
+        let tool = Qb2Olap::new(cube.endpoint.clone());
+
+        let cubes = tool.list_cubes().unwrap();
+        assert_eq!(cubes.len(), 1);
+        assert!(cubes[0].enriched);
+
+        let explorer = tool.explorer(&cube.dataset).unwrap();
+        assert!(explorer.schema_tree().unwrap().contains("destinationDim"));
+
+        let querying = tool.querying(&cube.dataset).unwrap();
+        let (_, result, _) = querying
+            .run(&datagen::workload::rollup_citizenship_to_continent())
+            .unwrap();
+        assert!(!result.is_empty());
+
+        // A fresh enrichment session can still be started on the same data.
+        let session = tool
+            .enrichment(&cube.dataset, demo::demo_enrichment_config())
+            .unwrap();
+        assert_eq!(session.qb_dataset().structure.dimensions().len(), 6);
+    }
+
+    #[test]
+    fn empty_endpoint_has_no_cubes() {
+        let tool = Qb2Olap::with_empty_endpoint();
+        assert!(tool.list_cubes().unwrap().is_empty());
+        tool.load_turtle("@prefix ex: <http://e/> . ex:a ex:b ex:c .")
+            .unwrap();
+        assert_eq!(tool.endpoint().triple_count(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic data generation for the QB2OLAP reproduction.
+//!
+//! The paper's demo runs on the Linked Open Data publication of Eurostat's
+//! `migr_asyappctzm` dataset (~80,000 observations, 2013–2014) plus DBpedia
+//! as an external linked dataset. Neither can be bundled here, so this crate
+//! generates structurally faithful substitutes:
+//!
+//! * [`eurostat`] — the QB dataset (same DSD, same dictionary namespaces,
+//!   configurable size and link noise);
+//! * [`dbpedia`] — a DBpedia-like country graph for external enrichment;
+//! * [`codelists`] — the underlying code lists;
+//! * [`workload`] — the QL queries used by examples, tests and benchmarks
+//!   (including Mary's query from Section IV).
+
+#![warn(missing_docs)]
+
+pub mod codelists;
+pub mod dbpedia;
+pub mod eurostat;
+pub mod workload;
+
+pub use eurostat::{generate, EurostatConfig, GeneratedDataset, NoiseConfig};
+
+/// Generates the dataset and loads it (plus the external DBpedia-like graph)
+/// into a fresh local endpoint, returning the endpoint and the generated
+/// dataset description. This is the starting state of the demo: "the QB
+/// data set loaded into the endpoint".
+pub fn load_demo_endpoint(config: &EurostatConfig) -> (sparql::LocalEndpoint, GeneratedDataset) {
+    use sparql::Endpoint as _;
+    let data = generate(config);
+    let endpoint = sparql::LocalEndpoint::new();
+    endpoint
+        .insert_triples(&data.triples)
+        .expect("loading generated triples cannot fail");
+    if config.dbpedia_links {
+        endpoint
+            .insert_triples(&dbpedia::dbpedia_graph())
+            .expect("loading the external graph cannot fail");
+    }
+    (endpoint, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::Endpoint;
+
+    #[test]
+    fn demo_endpoint_contains_dataset_and_external_graph() {
+        let (endpoint, data) = load_demo_endpoint(&EurostatConfig::small(200));
+        assert_eq!(data.observation_count, 200);
+        // The dataset is discoverable through the QB layer.
+        let datasets = qb::list_datasets(&endpoint).unwrap();
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].observations, 200);
+        // The DBpedia-like resources are present too.
+        assert!(endpoint
+            .ask(
+                "PREFIX dbo: <http://dbpedia.org/ontology/>
+                 ASK { <http://dbpedia.org/resource/Syria> dbo:continent ?c }"
+            )
+            .unwrap());
+    }
+}

@@ -1,0 +1,159 @@
+//! Predefined QL workloads over the enriched Eurostat cube.
+//!
+//! These are the queries used by the examples, the integration tests and the
+//! benchmark harness. They assume the schema produced by the demo
+//! enrichment configuration (`qb2olap::demo`), which uses the same names as
+//! the paper: `schema:citizenshipDim`, `schema:destinationDim`,
+//! `schema:timeDim`, `schema:asylappDim`, the levels `schema:continent` and
+//! `schema:year`, and the attributes `schema:continentName` and
+//! `schema:countryName`.
+
+/// The QL prologue shared by all workload queries.
+pub const PROLOGUE: &str = "\
+PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+PREFIX property: <http://eurostat.linked-statistics.org/property#>;
+PREFIX sdmx-dimension: <http://purl.org/linked-data/sdmx/2009/dimension#>;
+";
+
+/// Mary's query from Section IV of the paper, already simplified: number of
+/// applications per year submitted by citizens of African countries whose
+/// destination is France.
+pub fn mary_query() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := ROLLUP ($C1, schema:citizenshipDim, schema:continent);
+$C3 := ROLLUP ($C2, schema:timeDim, schema:year);
+$C4 := DICE ($C3, (schema:citizenshipDim|schema:continent|schema:continentName = \"Africa\"));
+$C5 := DICE ($C4, schema:destinationDim|property:geo|schema:countryName = \"France\");
+"
+    )
+}
+
+/// The same analysis written the way a user might naively write it: the
+/// slice appears late and the citizenship dimension is rolled up, drilled
+/// back down and rolled up again. The Query Simplification phase must
+/// rewrite this into [`mary_query`]'s shape (rules (a) and (b) of
+/// Section III-B).
+pub fn mary_query_unoptimized() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenshipDim, schema:continent);
+$C2 := DRILLDOWN ($C1, schema:citizenshipDim, property:citizen);
+$C3 := ROLLUP ($C2, schema:citizenshipDim, schema:continent);
+$C4 := ROLLUP ($C3, schema:timeDim, schema:year);
+$C5 := SLICE ($C4, schema:asylappDim);
+$C6 := DICE ($C5, (schema:citizenshipDim|schema:continent|schema:continentName = \"Africa\"));
+$C7 := DICE ($C6, schema:destinationDim|property:geo|schema:countryName = \"France\");
+"
+    )
+}
+
+/// A single roll-up of citizenship to continent (the first OLAP need in the
+/// paper's use case: "aggregate the origin nationality of immigrants per
+/// continent").
+pub fn rollup_citizenship_to_continent() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenshipDim, schema:continent);
+"
+    )
+}
+
+/// Roll-up of time to year combined with a dice on the measure value.
+pub fn yearly_large_cells() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:timeDim, schema:year);
+$C2 := DICE ($C1, sdmx-measure:obsValue > 400);
+",
+    )
+    .replace(
+        "PREFIX sdmx-dimension:",
+        "PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>;\nPREFIX sdmx-dimension:",
+    )
+}
+
+/// Slice away everything except citizenship: total applications per country
+/// of origin.
+pub fn totals_by_citizenship() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:timeDim);
+$C2 := SLICE ($C1, schema:destinationDim);
+$C3 := SLICE ($C2, schema:ageDim);
+$C4 := SLICE ($C3, schema:sexDim);
+$C5 := SLICE ($C4, schema:asylappDim);
+"
+    )
+}
+
+/// The "wider analysis" the paper's use case motivates: analyse migration
+/// according to the political organisation of the host countries (EU vs
+/// EFTA), enabled by the enrichment of the destination dimension.
+pub fn by_political_organisation() -> String {
+    format!(
+        "{PROLOGUE}QUERY
+$C1 := SLICE (data:migr_asyappctzm, schema:asylappDim);
+$C2 := SLICE ($C1, schema:ageDim);
+$C3 := SLICE ($C2, schema:sexDim);
+$C4 := ROLLUP ($C3, schema:destinationDim, schema:politicalOrg);
+$C5 := ROLLUP ($C4, schema:timeDim, schema:year);
+"
+    )
+}
+
+/// The named workload used by the benchmark harness: `(name, QL program)`.
+pub fn bench_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("mary", mary_query()),
+        ("mary_unoptimized", mary_query_unoptimized()),
+        ("rollup_continent", rollup_citizenship_to_continent()),
+        ("yearly_large_cells", yearly_large_cells()),
+        ("totals_by_citizenship", totals_by_citizenship()),
+        ("by_political_organisation", by_political_organisation()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_share_the_prologue_and_query_keyword() {
+        for (name, text) in bench_queries() {
+            assert!(text.contains("QUERY"), "{name} is missing the QUERY keyword");
+            assert!(
+                text.contains("PREFIX schema:"),
+                "{name} is missing the schema prefix"
+            );
+            assert!(text.trim_end().ends_with(';'), "{name} must end with ';'");
+        }
+    }
+
+    #[test]
+    fn mary_query_matches_the_paper_shape() {
+        let q = mary_query();
+        assert_eq!(q.matches(":= SLICE").count(), 1);
+        assert_eq!(q.matches(":= ROLLUP").count(), 2);
+        assert_eq!(q.matches(":= DICE").count(), 2);
+        assert!(q.contains("schema:continentName = \"Africa\""));
+        assert!(q.contains("schema:countryName = \"France\""));
+    }
+
+    #[test]
+    fn unoptimized_variant_has_redundant_operations() {
+        let q = mary_query_unoptimized();
+        assert!(q.contains("DRILLDOWN"));
+        assert!(
+            q.matches(":= ROLLUP").count() > mary_query().matches(":= ROLLUP").count(),
+            "the unoptimised query must contain fusable roll-ups"
+        );
+    }
+
+    #[test]
+    fn measure_dice_query_declares_the_measure_prefix() {
+        assert!(yearly_large_cells().contains("PREFIX sdmx-measure:"));
+    }
+}

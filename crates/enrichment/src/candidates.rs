@@ -1,0 +1,177 @@
+//! Candidate roll-up levels and level attributes suggested to the user.
+//!
+//! After the functional-dependency analysis, the Enrichment module presents
+//! the discovered candidates so the user can "choose out of the
+//! automatically discovered candidate properties the roll-up relationships
+//! of her interest", drastically pruning the search space (Section III-A).
+
+use rdf::Iri;
+
+use crate::fd::PropertyProfile;
+
+/// A property suggested as a coarser-granularity level for some level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateLevel {
+    /// The analysed property (e.g. `dic:continent` or `dbo:governmentType`).
+    pub profile: PropertyProfile,
+    /// Suggested local name for the new level (derived from the property).
+    pub suggested_name: String,
+    /// Ranking score (higher is better).
+    pub score: f64,
+}
+
+/// A literal-valued property suggested as a descriptive level attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateAttribute {
+    /// The analysed property (e.g. `rdfs:label`).
+    pub profile: PropertyProfile,
+    /// Suggested local name for the attribute.
+    pub suggested_name: String,
+}
+
+/// The candidates discovered for one level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CandidateSet {
+    /// The level the candidates were computed for.
+    pub level: Option<Iri>,
+    /// Roll-up (new level) candidates, best first.
+    pub levels: Vec<CandidateLevel>,
+    /// Attribute candidates, best first.
+    pub attributes: Vec<CandidateAttribute>,
+}
+
+impl CandidateSet {
+    /// Finds a level candidate by its source property.
+    pub fn level_candidate(&self, property: &Iri) -> Option<&CandidateLevel> {
+        self.levels.iter().find(|c| &c.profile.property == property)
+    }
+
+    /// Finds an attribute candidate by its source property.
+    pub fn attribute_candidate(&self, property: &Iri) -> Option<&CandidateAttribute> {
+        self.attributes
+            .iter()
+            .find(|c| &c.profile.property == property)
+    }
+
+    /// A short textual report of the candidates (used by the examples to
+    /// mimic the Enrichment GUI of Figure 4).
+    pub fn to_report(&self) -> String {
+        let mut out = String::new();
+        if let Some(level) = &self.level {
+            out.push_str(&format!("Candidates for level <{}>\n", level.as_str()));
+        }
+        out.push_str(&format!("  roll-up candidates: {}\n", self.levels.len()));
+        for candidate in &self.levels {
+            out.push_str(&format!(
+                "    {} -> {} distinct parents (coverage {:.0}%, violations {:.1}%, score {:.3}){}\n",
+                candidate.profile.property.as_str(),
+                candidate.profile.distinct_values,
+                candidate.profile.coverage() * 100.0,
+                candidate.profile.violation_rate() * 100.0,
+                candidate.score,
+                if candidate.profile.via_same_as {
+                    " [external]"
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  attribute candidates: {}\n",
+            self.attributes.len()
+        ));
+        for candidate in &self.attributes {
+            out.push_str(&format!(
+                "    {} (coverage {:.0}%)\n",
+                candidate.profile.property.as_str(),
+                candidate.profile.coverage() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Derives a human-friendly local name for a schema element from a property
+/// IRI: the local name with the first character lower-cased
+/// (`.../continent` → `continent`, `.../governmentType` → `governmentType`).
+pub fn suggested_local_name(property: &Iri) -> String {
+    let local = property.local_name();
+    let mut chars = local.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => "level".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::Term;
+
+    fn profile(property: &str, via_same_as: bool) -> PropertyProfile {
+        PropertyProfile {
+            property: Iri::new(property),
+            via_same_as,
+            members_analyzed: 10,
+            members_with_value: 10,
+            violating_members: 0,
+            distinct_values: 3,
+            object_valued: true,
+            sample_values: vec![Term::iri("http://example.org/v")],
+        }
+    }
+
+    #[test]
+    fn lookup_by_property() {
+        let set = CandidateSet {
+            level: Some(Iri::new("http://example.org/level")),
+            levels: vec![CandidateLevel {
+                profile: profile("http://example.org/continent", false),
+                suggested_name: "continent".to_string(),
+                score: 0.7,
+            }],
+            attributes: vec![CandidateAttribute {
+                profile: profile("http://www.w3.org/2000/01/rdf-schema#label", false),
+                suggested_name: "name".to_string(),
+            }],
+        };
+        assert!(set
+            .level_candidate(&Iri::new("http://example.org/continent"))
+            .is_some());
+        assert!(set
+            .level_candidate(&Iri::new("http://example.org/other"))
+            .is_none());
+        assert!(set
+            .attribute_candidate(&Iri::new("http://www.w3.org/2000/01/rdf-schema#label"))
+            .is_some());
+        let report = set.to_report();
+        assert!(report.contains("roll-up candidates: 1"));
+        assert!(report.contains("attribute candidates: 1"));
+    }
+
+    #[test]
+    fn external_candidates_are_flagged_in_the_report() {
+        let set = CandidateSet {
+            level: None,
+            levels: vec![CandidateLevel {
+                profile: profile("http://dbpedia.org/ontology/governmentType", true),
+                suggested_name: "governmentType".to_string(),
+                score: 0.5,
+            }],
+            attributes: vec![],
+        };
+        assert!(set.to_report().contains("[external]"));
+    }
+
+    #[test]
+    fn suggested_names_are_lower_camel() {
+        assert_eq!(
+            suggested_local_name(&Iri::new("http://dbpedia.org/ontology/GovernmentType")),
+            "governmentType"
+        );
+        assert_eq!(
+            suggested_local_name(&Iri::new("http://x.org/dic/continent")),
+            "continent"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the Enrichment module.
+
+use std::fmt;
+
+/// Errors raised by the Enrichment module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnrichmentError {
+    /// The QB introspection layer failed.
+    Qb(String),
+    /// A SPARQL query failed.
+    Sparql(String),
+    /// The QB4OLAP layer failed.
+    Qb4olap(String),
+    /// The requested operation does not fit the current workflow state
+    /// (e.g. adding a level before running the Redefinition phase).
+    InvalidState(String),
+    /// The user referenced a level, property or candidate that is unknown.
+    UnknownElement(String),
+}
+
+impl fmt::Display for EnrichmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnrichmentError::Qb(m) => write!(f, "QB layer error: {m}"),
+            EnrichmentError::Sparql(m) => write!(f, "SPARQL error: {m}"),
+            EnrichmentError::Qb4olap(m) => write!(f, "QB4OLAP layer error: {m}"),
+            EnrichmentError::InvalidState(m) => write!(f, "invalid enrichment state: {m}"),
+            EnrichmentError::UnknownElement(m) => write!(f, "unknown element: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EnrichmentError {}
+
+impl From<qb::QbError> for EnrichmentError {
+    fn from(e: qb::QbError) -> Self {
+        EnrichmentError::Qb(e.to_string())
+    }
+}
+
+impl From<sparql::SparqlError> for EnrichmentError {
+    fn from(e: sparql::SparqlError) -> Self {
+        EnrichmentError::Sparql(e.to_string())
+    }
+}
+
+impl From<qb4olap::Qb4olapError> for EnrichmentError {
+    fn from(e: qb4olap::Qb4olapError) -> Self {
+        EnrichmentError::Qb4olap(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EnrichmentError = sparql::SparqlError::eval("x").into();
+        assert!(e.to_string().contains("x"));
+        let e: EnrichmentError = qb::QbError::NotFound("ds".into()).into();
+        assert!(e.to_string().contains("ds"));
+        let e: EnrichmentError = qb4olap::Qb4olapError::SchemaNotFound("s".into()).into();
+        assert!(e.to_string().contains("s"));
+        assert!(EnrichmentError::InvalidState("no schema".into())
+            .to_string()
+            .contains("no schema"));
+        assert!(EnrichmentError::UnknownElement("lvl".into())
+            .to_string()
+            .contains("lvl"));
+    }
+}

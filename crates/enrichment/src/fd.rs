@@ -1,0 +1,334 @@
+//! Functional-dependency analysis over level-instance properties.
+//!
+//! This is the analytical core of the Enrichment phase (Section III-A): for
+//! each property observed on the members of a level, decide whether the
+//! property behaves as a functional dependency member → value (or a quasi-FD
+//! within an error threshold), because such properties are sound candidates
+//! for coarser-granularity levels [Romero & Abelló, DKE 2010].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rdf::{Iri, Term};
+
+/// The observed values of every property over the members of a level:
+/// `member → property → set of values`.
+pub type MemberPropertyValues = BTreeMap<Term, BTreeMap<Iri, BTreeSet<Term>>>;
+
+/// Statistics of one property over the analysed members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyProfile {
+    /// The property.
+    pub property: Iri,
+    /// Whether the property was reached through an `owl:sameAs` hop into an
+    /// external dataset.
+    pub via_same_as: bool,
+    /// Number of members analysed.
+    pub members_analyzed: usize,
+    /// Members carrying at least one value for the property.
+    pub members_with_value: usize,
+    /// Members carrying more than one distinct value (FD violations).
+    pub violating_members: usize,
+    /// Number of distinct values across all members.
+    pub distinct_values: usize,
+    /// True if every observed value is an IRI (object-valued property —
+    /// a roll-up candidate); false if any value is a literal (an attribute
+    /// candidate).
+    pub object_valued: bool,
+    /// A few sample values, for display in the user interface.
+    pub sample_values: Vec<Term>,
+}
+
+impl PropertyProfile {
+    /// Fraction of members that carry the property at all.
+    pub fn coverage(&self) -> f64 {
+        if self.members_analyzed == 0 {
+            0.0
+        } else {
+            self.members_with_value as f64 / self.members_analyzed as f64
+        }
+    }
+
+    /// Fraction of value-carrying members that violate functionality.
+    pub fn violation_rate(&self) -> f64 {
+        if self.members_with_value == 0 {
+            0.0
+        } else {
+            self.violating_members as f64 / self.members_with_value as f64
+        }
+    }
+
+    /// `distinct values / members with value`: below 1.0 the property groups
+    /// members, i.e. rolling up to it reduces cardinality.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.members_with_value == 0 {
+            1.0
+        } else {
+            self.distinct_values as f64 / self.members_with_value as f64
+        }
+    }
+
+    /// True if the property is a strict functional dependency on the sample.
+    pub fn is_functional(&self) -> bool {
+        self.violating_members == 0
+    }
+
+    /// True if the property is a quasi-FD within the given error threshold.
+    pub fn is_quasi_functional(&self, error_threshold: f64) -> bool {
+        self.violation_rate() <= error_threshold + f64::EPSILON
+    }
+
+    /// A ranking score: high coverage and strong grouping first.
+    /// `coverage × (1 − compression) × (1 − violation rate)`.
+    pub fn score(&self) -> f64 {
+        self.coverage() * (1.0 - self.compression_ratio()).max(0.0) * (1.0 - self.violation_rate())
+    }
+}
+
+/// Computes a [`PropertyProfile`] for every property present on the members.
+pub fn analyze_members(values: &MemberPropertyValues, via_same_as: bool) -> Vec<PropertyProfile> {
+    let members_analyzed = values.len();
+    let mut per_property: BTreeMap<&Iri, (usize, usize, BTreeSet<&Term>, bool)> = BTreeMap::new();
+    for properties in values.values() {
+        for (property, member_values) in properties {
+            let entry = per_property
+                .entry(property)
+                .or_insert((0, 0, BTreeSet::new(), true));
+            if !member_values.is_empty() {
+                entry.0 += 1;
+                if member_values.len() > 1 {
+                    entry.1 += 1;
+                }
+                for value in member_values {
+                    entry.2.insert(value);
+                    if !value.is_iri() {
+                        entry.3 = false;
+                    }
+                }
+            }
+        }
+    }
+
+    per_property
+        .into_iter()
+        .map(
+            |(property, (members_with_value, violating_members, distinct, object_valued))| {
+                let sample_values = distinct.iter().take(5).map(|t| (*t).clone()).collect();
+                PropertyProfile {
+                    property: property.clone(),
+                    via_same_as,
+                    members_analyzed,
+                    members_with_value,
+                    violating_members,
+                    distinct_values: distinct.len(),
+                    object_valued,
+                    sample_values,
+                }
+            },
+        )
+        .collect()
+}
+
+/// For a (quasi-)functional property, the chosen parent value per member.
+/// When a member has several values (quasi-FD violations) the
+/// lexicographically smallest value is chosen deterministically; members
+/// without a value are omitted.
+pub fn rollup_assignment(
+    values: &MemberPropertyValues,
+    property: &Iri,
+) -> BTreeMap<Term, Term> {
+    let mut assignment = BTreeMap::new();
+    for (member, properties) in values {
+        if let Some(parent_values) = properties.get(property) {
+            if let Some(parent) = parent_values.iter().next() {
+                assignment.insert(member.clone(), parent.clone());
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(name: &str) -> Term {
+        Term::iri(format!("http://example.org/m/{name}"))
+    }
+
+    fn value(name: &str) -> Term {
+        Term::iri(format!("http://example.org/v/{name}"))
+    }
+
+    fn property(name: &str) -> Iri {
+        Iri::new(format!("http://example.org/p/{name}"))
+    }
+
+    fn dataset() -> MemberPropertyValues {
+        // 4 members; `continent` is a perfect FD with 2 distinct values,
+        // `contested` gives one member two values, `rare` appears on one
+        // member only, `label` is literal-valued.
+        let mut values: MemberPropertyValues = BTreeMap::new();
+        for (m, continent) in [("SY", "Asia"), ("AF", "Asia"), ("NG", "Africa"), ("ML", "Africa")] {
+            let mut properties: BTreeMap<Iri, BTreeSet<Term>> = BTreeMap::new();
+            properties.insert(property("continent"), BTreeSet::from([value(continent)]));
+            properties.insert(
+                property("label"),
+                BTreeSet::from([Term::string(m.to_string())]),
+            );
+            values.insert(member(m), properties);
+        }
+        values
+            .get_mut(&member("SY"))
+            .unwrap()
+            .insert(property("contested"), BTreeSet::from([value("A"), value("B")]));
+        values
+            .get_mut(&member("AF"))
+            .unwrap()
+            .insert(property("contested"), BTreeSet::from([value("A")]));
+        values
+            .get_mut(&member("NG"))
+            .unwrap()
+            .insert(property("rare"), BTreeSet::from([value("X")]));
+        values
+    }
+
+    fn profile<'a>(profiles: &'a [PropertyProfile], name: &str) -> &'a PropertyProfile {
+        profiles
+            .iter()
+            .find(|p| p.property == property(name))
+            .expect("profile exists")
+    }
+
+    #[test]
+    fn perfect_fd_is_detected() {
+        let profiles = analyze_members(&dataset(), false);
+        let continent = profile(&profiles, "continent");
+        assert!(continent.is_functional());
+        assert_eq!(continent.coverage(), 1.0);
+        assert_eq!(continent.distinct_values, 2);
+        assert_eq!(continent.compression_ratio(), 0.5);
+        assert!(continent.object_valued);
+        assert!(continent.score() > 0.0);
+    }
+
+    #[test]
+    fn violations_and_quasi_fd_threshold() {
+        let profiles = analyze_members(&dataset(), false);
+        let contested = profile(&profiles, "contested");
+        assert!(!contested.is_functional());
+        assert_eq!(contested.members_with_value, 2);
+        assert_eq!(contested.violating_members, 1);
+        assert!((contested.violation_rate() - 0.5).abs() < 1e-12);
+        assert!(!contested.is_quasi_functional(0.1));
+        assert!(contested.is_quasi_functional(0.5));
+    }
+
+    #[test]
+    fn coverage_reflects_missing_members() {
+        let profiles = analyze_members(&dataset(), false);
+        let rare = profile(&profiles, "rare");
+        assert_eq!(rare.members_with_value, 1);
+        assert!((rare.coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literal_valued_properties_are_not_object_valued() {
+        let profiles = analyze_members(&dataset(), false);
+        let label = profile(&profiles, "label");
+        assert!(!label.object_valued);
+        assert!(label.is_functional());
+    }
+
+    #[test]
+    fn rollup_assignment_picks_a_single_parent() {
+        let data = dataset();
+        let assignment = rollup_assignment(&data, &property("continent"));
+        assert_eq!(assignment.len(), 4);
+        assert_eq!(assignment.get(&member("SY")), Some(&value("Asia")));
+        // For the contested property the smallest value is chosen.
+        let contested = rollup_assignment(&data, &property("contested"));
+        assert_eq!(contested.get(&member("SY")), Some(&value("A")));
+        assert_eq!(contested.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let profiles = analyze_members(&BTreeMap::new(), false);
+        assert!(profiles.is_empty());
+        let profile = PropertyProfile {
+            property: property("x"),
+            via_same_as: false,
+            members_analyzed: 0,
+            members_with_value: 0,
+            violating_members: 0,
+            distinct_values: 0,
+            object_valued: true,
+            sample_values: Vec::new(),
+        };
+        assert_eq!(profile.coverage(), 0.0);
+        assert_eq!(profile.violation_rate(), 0.0);
+        assert_eq!(profile.compression_ratio(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_values() -> impl Strategy<Value = MemberPropertyValues> {
+        // members 0..20, properties 0..4, each member/property gets 0..3 values from a pool of 6
+        proptest::collection::btree_map(
+            (0u8..20).prop_map(|i| Term::iri(format!("http://m/{i}"))),
+            proptest::collection::btree_map(
+                (0u8..4).prop_map(|i| Iri::new(format!("http://p/{i}"))),
+                proptest::collection::btree_set(
+                    (0u8..6).prop_map(|i| Term::iri(format!("http://v/{i}"))),
+                    0..3,
+                ),
+                0..4,
+            ),
+            0..20,
+        )
+    }
+
+    proptest! {
+        /// Profile counters are internally consistent and the derived ratios
+        /// stay inside [0, 1].
+        #[test]
+        fn profile_invariants(values in arb_values()) {
+            let profiles = analyze_members(&values, false);
+            for p in &profiles {
+                prop_assert!(p.members_with_value <= p.members_analyzed);
+                prop_assert!(p.violating_members <= p.members_with_value);
+                prop_assert!((0.0..=1.0).contains(&p.coverage()));
+                prop_assert!((0.0..=1.0).contains(&p.violation_rate()));
+                prop_assert!(p.compression_ratio() >= 0.0);
+                prop_assert!(p.score() >= 0.0 && p.score() <= 1.0);
+                // A strict FD is always a quasi-FD for any threshold.
+                if p.is_functional() {
+                    prop_assert!(p.is_quasi_functional(0.0));
+                }
+                // Quasi-FD acceptance is monotone in the threshold.
+                if p.is_quasi_functional(0.1) {
+                    prop_assert!(p.is_quasi_functional(0.5));
+                }
+            }
+        }
+
+        /// The roll-up assignment never invents members and only maps members
+        /// that actually carry the property.
+        #[test]
+        fn rollup_assignment_is_subset(values in arb_values()) {
+            let profiles = analyze_members(&values, false);
+            for p in &profiles {
+                let assignment = rollup_assignment(&values, &p.property);
+                prop_assert_eq!(assignment.len(), p.members_with_value);
+                for (member, parent) in assignment {
+                    let member_values = values.get(&member).and_then(|props| props.get(&p.property));
+                    prop_assert!(member_values.map(|vs| vs.contains(&parent)).unwrap_or(false));
+                }
+            }
+        }
+    }
+}

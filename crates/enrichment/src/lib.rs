@@ -1,0 +1,44 @@
+//! The Enrichment module of QB2OLAP (Section III-A of the paper).
+//!
+//! Enrichment semi-automatically transforms a QB dataset into a QB4OLAP one:
+//! the user never writes SPARQL; the module "triggers the queries, performs
+//! the necessary processing, makes suggestions for the user, and based on
+//! her choices enriches the schema".
+//!
+//! * [`config`] — the fine-tuning parameters (default aggregate, quasi-FD
+//!   error threshold, support, sampling, external-source following, naming);
+//! * [`fd`] — the (quasi-)functional-dependency analysis over level-instance
+//!   properties;
+//! * [`candidates`] — the candidate levels / attributes presented to the user;
+//! * [`session`] — the three-phase workflow (Redefinition, Enrichment,
+//!   Triple Generation) over a SPARQL endpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use enrichment::{EnrichmentConfig, EnrichmentSession};
+//! use rdf::vocab::eurostat_property;
+//!
+//! let (endpoint, data) = datagen::load_demo_endpoint(&datagen::EurostatConfig::small(100));
+//! let mut session =
+//!     EnrichmentSession::start(&endpoint, &data.dataset, EnrichmentConfig::default()).unwrap();
+//! session.redefine().unwrap();
+//! let candidates = session
+//!     .discover_candidates(&eurostat_property::citizen())
+//!     .unwrap();
+//! assert!(!candidates.levels.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod config;
+pub mod error;
+pub mod fd;
+pub mod session;
+
+pub use candidates::{CandidateAttribute, CandidateLevel, CandidateSet};
+pub use config::{DimensionNaming, EnrichmentConfig};
+pub use error::EnrichmentError;
+pub use fd::{analyze_members, rollup_assignment, MemberPropertyValues, PropertyProfile};
+pub use session::{EnrichmentOutput, EnrichmentSession, EnrichmentStats};

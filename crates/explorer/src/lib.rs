@@ -1,0 +1,405 @@
+//! The Exploration module of QB2OLAP (Section III-B, Figure 5).
+//!
+//! The Exploration module "allows to choose a data cube (represented in
+//! QB4OLAP) among a collection of cubes stored in an endpoint and, in a
+//! user-friendly fashion, navigate its dimension structures and instances".
+//! The original demo renders this with D3.js; here the same information is
+//! exposed as a library API plus text / DOT renderers used by the runnable
+//! examples.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use qb4olap::{member_count, members_of_level, rollup_pairs, CubeSchema, Qb4olapError};
+use rdf::vocab::rdfs;
+use rdf::{Iri, Term};
+use sparql::Endpoint;
+
+/// Errors raised by the Exploration module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplorerError {
+    /// The QB4OLAP layer failed.
+    Schema(String),
+    /// A SPARQL query failed.
+    Sparql(String),
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplorerError::Schema(m) => write!(f, "exploration schema error: {m}"),
+            ExplorerError::Sparql(m) => write!(f, "exploration SPARQL error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExplorerError {}
+
+impl From<Qb4olapError> for ExplorerError {
+    fn from(e: Qb4olapError) -> Self {
+        ExplorerError::Schema(e.to_string())
+    }
+}
+
+impl From<sparql::SparqlError> for ExplorerError {
+    fn from(e: sparql::SparqlError) -> Self {
+        ExplorerError::Sparql(e.to_string())
+    }
+}
+
+impl From<qb::QbError> for ExplorerError {
+    fn from(e: qb::QbError) -> Self {
+        ExplorerError::Sparql(e.to_string())
+    }
+}
+
+/// A cube available for exploration on the endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeSummary {
+    /// The dataset IRI.
+    pub dataset: Iri,
+    /// Its label, if any.
+    pub label: Option<String>,
+    /// Number of observations.
+    pub observations: usize,
+    /// Whether a QB4OLAP schema is available (i.e. the cube was enriched).
+    pub enriched: bool,
+}
+
+/// Lists the cubes stored on an endpoint, marking those that already carry
+/// QB4OLAP semantics.
+pub fn list_cubes(endpoint: &dyn Endpoint) -> Result<Vec<CubeSummary>, ExplorerError> {
+    let datasets = qb::list_datasets(endpoint)?;
+    let mut out: Vec<CubeSummary> = Vec::with_capacity(datasets.len());
+    for summary in datasets {
+        // After enrichment a dataset points at two structures (the original
+        // QB DSD and the generated QB4OLAP one); report each dataset once.
+        if out.iter().any(|c| c.dataset == summary.dataset) {
+            continue;
+        }
+        let enriched = qb4olap::schema_from_endpoint(endpoint, &summary.dataset).is_ok();
+        out.push(CubeSummary {
+            dataset: summary.dataset,
+            label: summary.label,
+            observations: summary.observations,
+            enriched,
+        });
+    }
+    Ok(out)
+}
+
+/// A member of a level, with its preferred display label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The member term.
+    pub member: Term,
+    /// Its `rdfs:label`, or the IRI local name when no label exists (the
+    /// descriptive-attribute gap the paper discusses).
+    pub label: String,
+}
+
+/// An interactive explorer over one enriched cube.
+pub struct CubeExplorer<'e> {
+    endpoint: &'e dyn Endpoint,
+    schema: CubeSchema,
+}
+
+impl<'e> CubeExplorer<'e> {
+    /// Opens a cube by reading its QB4OLAP schema from the endpoint.
+    pub fn open(endpoint: &'e dyn Endpoint, dataset: &Iri) -> Result<Self, ExplorerError> {
+        let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
+        Ok(CubeExplorer { endpoint, schema })
+    }
+
+    /// Opens a cube from an already materialised schema.
+    pub fn with_schema(endpoint: &'e dyn Endpoint, schema: CubeSchema) -> Self {
+        CubeExplorer { endpoint, schema }
+    }
+
+    /// The cube schema.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// The members of a level, with display labels.
+    pub fn members(&self, level: &Iri) -> Result<Vec<MemberInfo>, ExplorerError> {
+        let members = members_of_level(self.endpoint, level)?;
+        let mut out = Vec::with_capacity(members.len());
+        for member in members {
+            out.push(MemberInfo {
+                label: self.label_of(&member)?,
+                member,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Number of members of a level.
+    pub fn member_count(&self, level: &Iri) -> Result<usize, ExplorerError> {
+        Ok(member_count(self.endpoint, level)?)
+    }
+
+    /// The display label of a member (its `rdfs:label` or IRI local name).
+    pub fn label_of(&self, member: &Term) -> Result<String, ExplorerError> {
+        if let Term::Iri(iri) = member {
+            let solutions = self.endpoint.select(&format!(
+                "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+                 SELECT ?l WHERE {{ <{}> rdfs:label ?l }} LIMIT 1",
+                iri.as_str()
+            ))?;
+            if let Some(label) = solutions
+                .get(0, "l")
+                .and_then(|t| t.as_literal())
+                .map(|l| l.lexical().to_string())
+            {
+                return Ok(label);
+            }
+        }
+        let _ = rdfs::label();
+        Ok(member.display_label())
+    }
+
+    /// Clusters the members of every level of a dimension: the Figure 5
+    /// view, where "Mary explores the dimensional cube data by clustering
+    /// the instances according to their level value".
+    pub fn cluster_by_level(
+        &self,
+        dimension: &Iri,
+    ) -> Result<BTreeMap<Iri, Vec<MemberInfo>>, ExplorerError> {
+        let levels: Vec<Iri> = self
+            .schema
+            .dimension(dimension)
+            .map(|d| d.levels().into_iter().cloned().collect())
+            .unwrap_or_default();
+        let mut clusters = BTreeMap::new();
+        for level in levels {
+            clusters.insert(level.clone(), self.members(&level)?);
+        }
+        Ok(clusters)
+    }
+
+    /// The roll-up edges (child member → parent member) between two levels.
+    pub fn rollup_edges(
+        &self,
+        child_level: &Iri,
+        parent_level: &Iri,
+    ) -> Result<Vec<(MemberInfo, MemberInfo)>, ExplorerError> {
+        let pairs = rollup_pairs(self.endpoint, child_level, parent_level)?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for (child, parent) in pairs {
+            out.push((
+                MemberInfo {
+                    label: self.label_of(&child)?,
+                    member: child,
+                },
+                MemberInfo {
+                    label: self.label_of(&parent)?,
+                    member: parent,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Renders the cube structure as a tree (the Figure 4 view: dimensions,
+    /// hierarchies, levels, attributes, member counts).
+    pub fn schema_tree(&self) -> Result<String, ExplorerError> {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Cube <{}> (QB4OLAP DSD <{}>)\n",
+            self.schema.dataset.as_str(),
+            self.schema.dsd.as_str()
+        ));
+        for measure in &self.schema.measures {
+            out.push_str(&format!(
+                "├─ measure {} [{}]\n",
+                measure.property.local_name(),
+                measure.aggregate.sparql_name()
+            ));
+        }
+        for dimension in &self.schema.dimensions {
+            out.push_str(&format!("├─ dimension {}\n", dimension.iri.local_name()));
+            for hierarchy in &dimension.hierarchies {
+                out.push_str(&format!("│  └─ hierarchy {}\n", hierarchy.iri.local_name()));
+                for level in &hierarchy.levels {
+                    let members = self.member_count(level).unwrap_or(0);
+                    out.push_str(&format!(
+                        "│     ├─ level {} ({} members)\n",
+                        level.local_name(),
+                        members
+                    ));
+                    for attribute in self.schema.level_attributes(level) {
+                        out.push_str(&format!(
+                            "│     │  └─ attribute {}\n",
+                            attribute.iri.local_name()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders one dimension's instance graph (members as nodes, roll-up
+    /// relationships as edges) in Graphviz DOT format — the data behind the
+    /// Figure 5 visualisation.
+    pub fn instance_graph_dot(&self, dimension: &Iri) -> Result<String, ExplorerError> {
+        let mut out = String::new();
+        out.push_str("digraph rollups {\n  rankdir=BT;\n");
+        let Some(dim) = self.schema.dimension(dimension) else {
+            out.push_str("}\n");
+            return Ok(out);
+        };
+        for hierarchy in &dim.hierarchies {
+            for step in &hierarchy.steps {
+                for (child, parent) in self.rollup_edges(&step.child, &step.parent)? {
+                    out.push_str(&format!(
+                        "  \"{}\" -> \"{}\";\n",
+                        child.label, parent.label
+                    ));
+                }
+            }
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{load_demo_endpoint, EurostatConfig};
+    use enrichment::{EnrichmentConfig, EnrichmentSession};
+    use rdf::vocab::{demo_schema, eurostat_property, sdmx_dimension};
+    use sparql::LocalEndpoint;
+
+    fn enriched_endpoint(observations: usize) -> (LocalEndpoint, Iri) {
+        let (endpoint, data) = load_demo_endpoint(&EurostatConfig::small(observations));
+        let config = EnrichmentConfig::default().name_dimension(
+            eurostat_property::citizen(),
+            "citizenshipDim",
+            "citizenshipGeoHier",
+        );
+        let mut session = EnrichmentSession::start(&endpoint, &data.dataset, config).unwrap();
+        session.redefine().unwrap();
+        let candidates = session
+            .discover_candidates(&eurostat_property::citizen())
+            .unwrap();
+        let continent = candidates
+            .level_candidate(&datagen::eurostat::continent_property())
+            .unwrap()
+            .clone();
+        let level = session
+            .add_level(&eurostat_property::citizen(), &continent, "continent")
+            .unwrap();
+        session
+            .add_attribute(&level, &rdf::vocab::rdfs::label(), "continentName")
+            .unwrap();
+        session.load_into_endpoint().unwrap();
+        (endpoint, data.dataset)
+    }
+
+    #[test]
+    fn cube_listing_marks_enriched_cubes() {
+        let (endpoint, dataset) = enriched_endpoint(120);
+        let cubes = list_cubes(&endpoint).unwrap();
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].dataset, dataset);
+        assert!(cubes[0].enriched);
+        assert_eq!(cubes[0].observations, 120);
+
+        // A plain QB dataset (no enrichment) is listed but not marked enriched.
+        let plain = LocalEndpoint::new();
+        let (_, generated) = (
+            (),
+            datagen::generate(&datagen::EurostatConfig::small(10)),
+        );
+        plain.insert_triples(&generated.triples).unwrap();
+        let cubes = list_cubes(&plain).unwrap();
+        assert_eq!(cubes.len(), 1);
+        assert!(!cubes[0].enriched);
+    }
+
+    #[test]
+    fn members_and_labels() {
+        let (endpoint, dataset) = enriched_endpoint(150);
+        let explorer = CubeExplorer::open(&endpoint, &dataset).unwrap();
+        let members = explorer.members(&demo_schema::continent()).unwrap();
+        assert!(!members.is_empty());
+        assert!(members.iter().any(|m| m.label == "Africa" || m.label == "Asia"));
+        assert_eq!(
+            explorer.member_count(&demo_schema::continent()).unwrap(),
+            members.len()
+        );
+        // Labels fall back to the local name for unlabeled members.
+        assert_eq!(
+            explorer
+                .label_of(&Term::iri("http://example.org/thing/X99"))
+                .unwrap(),
+            "X99"
+        );
+    }
+
+    #[test]
+    fn clustering_and_rollup_edges() {
+        let (endpoint, dataset) = enriched_endpoint(150);
+        let explorer = CubeExplorer::open(&endpoint, &dataset).unwrap();
+        let clusters = explorer
+            .cluster_by_level(&demo_schema::citizenship_dim())
+            .unwrap();
+        assert_eq!(clusters.len(), 2, "citizen and continent levels");
+        assert!(clusters[&eurostat_property::citizen()].len() > clusters[&demo_schema::continent()].len());
+
+        let edges = explorer
+            .rollup_edges(&eurostat_property::citizen(), &demo_schema::continent())
+            .unwrap();
+        assert!(!edges.is_empty());
+        assert!(edges
+            .iter()
+            .all(|(child, parent)| !child.label.is_empty() && !parent.label.is_empty()));
+    }
+
+    #[test]
+    fn schema_tree_and_dot_rendering() {
+        let (endpoint, dataset) = enriched_endpoint(150);
+        let explorer = CubeExplorer::open(&endpoint, &dataset).unwrap();
+        let tree = explorer.schema_tree().unwrap();
+        assert!(tree.contains("dimension citizenshipDim"));
+        assert!(tree.contains("level continent"));
+        assert!(tree.contains("attribute continentName"));
+        assert!(tree.contains("measure obsValue [SUM]"));
+
+        let dot = explorer
+            .instance_graph_dot(&demo_schema::citizenship_dim())
+            .unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("->"));
+
+        // Unknown dimensions produce an empty graph rather than an error.
+        let empty = explorer
+            .instance_graph_dot(&Iri::new("http://example.org/unknownDim"))
+            .unwrap();
+        assert!(!empty.contains("->"));
+    }
+
+    #[test]
+    fn opening_a_non_enriched_cube_fails() {
+        let endpoint = LocalEndpoint::new();
+        let generated = datagen::generate(&datagen::EurostatConfig::small(10));
+        endpoint.insert_triples(&generated.triples).unwrap();
+        assert!(CubeExplorer::open(&endpoint, &generated.dataset).is_err());
+    }
+
+    #[test]
+    fn timedim_members_without_enrichment_are_absent() {
+        let (endpoint, dataset) = enriched_endpoint(80);
+        let explorer = CubeExplorer::open(&endpoint, &dataset).unwrap();
+        // The time dimension was not enriched in this fixture, so the year
+        // level does not exist and has no members.
+        assert_eq!(explorer.member_count(&demo_schema::year()).unwrap(), 0);
+        let members = explorer.members(&sdmx_dimension::ref_period()).unwrap();
+        assert!(!members.is_empty(), "bottom-level members exist after enrichment");
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the QB layer.
+
+use std::fmt;
+
+/// Errors raised while introspecting or validating QB data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbError {
+    /// A SPARQL query issued during introspection failed.
+    Sparql(String),
+    /// A requested dataset / DSD was not found in the endpoint.
+    NotFound(String),
+    /// The data is structurally malformed (missing required links).
+    Malformed(String),
+}
+
+impl fmt::Display for QbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbError::Sparql(m) => write!(f, "SPARQL error during QB introspection: {m}"),
+            QbError::NotFound(m) => write!(f, "QB resource not found: {m}"),
+            QbError::Malformed(m) => write!(f, "malformed QB data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QbError {}
+
+impl From<sparql::SparqlError> for QbError {
+    fn from(e: sparql::SparqlError) -> Self {
+        QbError::Sparql(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: QbError = sparql::SparqlError::eval("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(QbError::NotFound("x".into()).to_string().contains("x"));
+        assert!(QbError::Malformed("y".into()).to_string().contains("y"));
+    }
+}

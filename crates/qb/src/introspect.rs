@@ -1,0 +1,433 @@
+//! Introspection of QB data sets published on a SPARQL endpoint.
+//!
+//! Mirrors the first step of the Enrichment module workflow (Figure 2): the
+//! tool "triggers the queries" needed to retrieve the cube structure from
+//! the endpoint, so the user never writes SPARQL herself. All functions here
+//! work against the [`Endpoint`] trait, exactly as the original tool works
+//! against Virtuoso.
+
+use std::collections::BTreeMap;
+
+use rdf::{Iri, Term};
+use sparql::{Endpoint, Solutions};
+
+use crate::error::QbError;
+use crate::model::{Component, ComponentKind, DataStructureDefinition, Observation, QbDataset};
+
+/// A QB dataset discovered on an endpoint, with its DSD IRI and observation count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// The dataset IRI.
+    pub dataset: Iri,
+    /// The DSD it points to.
+    pub structure: Iri,
+    /// Its `rdfs:label`, if any.
+    pub label: Option<String>,
+    /// Number of observations linked to it.
+    pub observations: usize,
+}
+
+/// Lists all QB datasets available on the endpoint.
+pub fn list_datasets(endpoint: &dyn Endpoint) -> Result<Vec<DatasetSummary>, QbError> {
+    let solutions = endpoint.select(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+         SELECT ?ds ?dsd ?label (COUNT(?obs) AS ?n) WHERE {
+           ?ds a qb:DataSet ; qb:structure ?dsd .
+           OPTIONAL { ?ds rdfs:label ?label }
+           OPTIONAL { ?obs qb:dataSet ?ds }
+         } GROUP BY ?ds ?dsd ?label ORDER BY ?ds",
+    )?;
+    let mut out = Vec::with_capacity(solutions.len());
+    for i in 0..solutions.len() {
+        let dataset = expect_iri(&solutions, i, "ds")?;
+        let structure = expect_iri(&solutions, i, "dsd")?;
+        let label = solutions
+            .get(i, "label")
+            .and_then(|t| t.as_literal())
+            .map(|l| l.lexical().to_string());
+        let observations = solutions
+            .get(i, "n")
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_integer())
+            .unwrap_or(0) as usize;
+        out.push(DatasetSummary {
+            dataset,
+            structure,
+            label,
+            observations,
+        });
+    }
+    Ok(out)
+}
+
+/// Loads the DSD of a dataset: its dimension, measure and attribute components.
+pub fn load_dsd(endpoint: &dyn Endpoint, dsd: &Iri) -> Result<DataStructureDefinition, QbError> {
+    let query = format!(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         SELECT ?prop ?kind ?order ?required ?codeList WHERE {{
+           <{dsd}> qb:component ?spec .
+           {{ ?spec qb:dimension ?prop . BIND(\"dimension\" AS ?kind) }}
+           UNION {{ ?spec qb:measure ?prop . BIND(\"measure\" AS ?kind) }}
+           UNION {{ ?spec qb:attribute ?prop . BIND(\"attribute\" AS ?kind) }}
+           OPTIONAL {{ ?spec qb:order ?order }}
+           OPTIONAL {{ ?spec qb:componentRequired ?required }}
+           OPTIONAL {{ ?spec qb:codeList ?codeList }}
+         }} ORDER BY ?order ?prop",
+        dsd = dsd.as_str()
+    );
+    let solutions = endpoint.select(&query)?;
+    if solutions.is_empty() {
+        return Err(QbError::NotFound(format!(
+            "no qb:component found for DSD <{}>",
+            dsd.as_str()
+        )));
+    }
+    let mut structure = DataStructureDefinition::new(dsd.clone());
+    for i in 0..solutions.len() {
+        let property = expect_iri(&solutions, i, "prop")?;
+        let kind = match solutions
+            .get(i, "kind")
+            .and_then(|t| t.as_literal())
+            .map(|l| l.lexical().to_string())
+            .unwrap_or_default()
+            .as_str()
+        {
+            "dimension" => ComponentKind::Dimension,
+            "measure" => ComponentKind::Measure,
+            "attribute" => ComponentKind::Attribute,
+            other => {
+                return Err(QbError::Malformed(format!(
+                    "unknown component kind '{other}'"
+                )))
+            }
+        };
+        let order = solutions
+            .get(i, "order")
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_integer())
+            .map(|o| o as u32);
+        let required = solutions
+            .get(i, "required")
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_boolean())
+            .unwrap_or(kind != ComponentKind::Attribute);
+        let code_list = solutions
+            .get(i, "codeList")
+            .and_then(|t| t.as_iri())
+            .cloned();
+        structure.push(Component {
+            property,
+            kind,
+            order,
+            required,
+            code_list,
+        });
+    }
+    // Deduplicate (OPTIONAL rows can fan out if a spec repeats annotations).
+    structure.components.dedup_by(|a, b| a.property == b.property && a.kind == b.kind);
+    Ok(structure)
+}
+
+/// Loads a dataset description (label, comment, structure).
+pub fn load_dataset(endpoint: &dyn Endpoint, dataset: &Iri) -> Result<QbDataset, QbError> {
+    let query = format!(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+         SELECT ?dsd ?label ?comment WHERE {{
+           <{ds}> qb:structure ?dsd .
+           OPTIONAL {{ <{ds}> rdfs:label ?label }}
+           OPTIONAL {{ <{ds}> rdfs:comment ?comment }}
+         }}",
+        ds = dataset.as_str()
+    );
+    let solutions = endpoint.select(&query)?;
+    if solutions.is_empty() {
+        return Err(QbError::NotFound(format!(
+            "dataset <{}> has no qb:structure",
+            dataset.as_str()
+        )));
+    }
+    let dsd_iri = expect_iri(&solutions, 0, "dsd")?;
+    let structure = load_dsd(endpoint, &dsd_iri)?;
+    let mut ds = QbDataset::new(dataset.clone(), structure);
+    ds.label = solutions
+        .get(0, "label")
+        .and_then(|t| t.as_literal())
+        .map(|l| l.lexical().to_string());
+    ds.comment = solutions
+        .get(0, "comment")
+        .and_then(|t| t.as_literal())
+        .map(|l| l.lexical().to_string());
+    Ok(ds)
+}
+
+/// Counts the observations of a dataset.
+pub fn count_observations(endpoint: &dyn Endpoint, dataset: &Iri) -> Result<usize, QbError> {
+    let query = format!(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         SELECT (COUNT(?obs) AS ?n) WHERE {{ ?obs qb:dataSet <{}> }}",
+        dataset.as_str()
+    );
+    let solutions = endpoint.select(&query)?;
+    Ok(solutions
+        .get(0, "n")
+        .and_then(|t| t.as_literal())
+        .and_then(|l| l.as_integer())
+        .unwrap_or(0) as usize)
+}
+
+/// The distinct members bound to a dimension across a dataset's observations.
+pub fn dimension_members(
+    endpoint: &dyn Endpoint,
+    dataset: &Iri,
+    dimension: &Iri,
+) -> Result<Vec<Term>, QbError> {
+    let query = format!(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         SELECT DISTINCT ?member WHERE {{
+           ?obs qb:dataSet <{ds}> ; <{dim}> ?member .
+         }} ORDER BY ?member",
+        ds = dataset.as_str(),
+        dim = dimension.as_str()
+    );
+    let solutions = endpoint.select(&query)?;
+    Ok(solutions
+        .rows
+        .iter()
+        .filter_map(|row| row.first().cloned().flatten())
+        .collect())
+}
+
+/// Loads observations of a dataset, classifying each bound property according
+/// to the DSD. `limit` bounds the number of observations fetched (None = all).
+pub fn load_observations(
+    endpoint: &dyn Endpoint,
+    dataset: &Iri,
+    dsd: &DataStructureDefinition,
+    limit: Option<usize>,
+) -> Result<Vec<Observation>, QbError> {
+    let limit_clause = limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default();
+    let query = format!(
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         SELECT ?obs ?p ?v WHERE {{
+           {{ SELECT DISTINCT ?obs WHERE {{ ?obs qb:dataSet <{ds}> }} ORDER BY ?obs{limit_clause} }}
+           ?obs ?p ?v .
+         }}",
+        ds = dataset.as_str(),
+    );
+    let solutions = endpoint.select(&query)?;
+
+    let mut observations: BTreeMap<Term, Observation> = BTreeMap::new();
+    for i in 0..solutions.len() {
+        let (Some(obs), Some(p), Some(v)) = (
+            solutions.get(i, "obs"),
+            solutions.get(i, "p"),
+            solutions.get(i, "v"),
+        ) else {
+            continue;
+        };
+        let Some(property) = p.as_iri() else { continue };
+        let entry = observations
+            .entry(obs.clone())
+            .or_insert_with(|| Observation::new(obs.clone()));
+        match dsd.component(property).map(|c| c.kind) {
+            Some(ComponentKind::Dimension) => {
+                entry.dimensions.insert(property.clone(), v.clone());
+            }
+            Some(ComponentKind::Measure) => {
+                entry.measures.insert(property.clone(), v.clone());
+            }
+            Some(ComponentKind::Attribute) => {
+                entry.attributes.insert(property.clone(), v.clone());
+            }
+            None => {}
+        }
+    }
+    Ok(observations.into_values().collect())
+}
+
+/// The distinct properties observed on a set of resources, with usage counts.
+/// This is the query behind candidate-level discovery in the Enrichment phase.
+pub fn properties_of_members(
+    endpoint: &dyn Endpoint,
+    members: &[Term],
+) -> Result<BTreeMap<Iri, usize>, QbError> {
+    let mut counts: BTreeMap<Iri, usize> = BTreeMap::new();
+    if members.is_empty() {
+        return Ok(counts);
+    }
+    let values: Vec<String> = members
+        .iter()
+        .filter_map(|m| m.as_iri())
+        .map(|iri| format!("(<{}>)", iri.as_str()))
+        .collect();
+    if values.is_empty() {
+        return Ok(counts);
+    }
+    let query = format!(
+        "SELECT ?p (COUNT(?m) AS ?n) WHERE {{
+           VALUES (?m) {{ {values} }}
+           ?m ?p ?v .
+         }} GROUP BY ?p ORDER BY ?p",
+        values = values.join(" ")
+    );
+    let solutions = endpoint.select(&query)?;
+    for i in 0..solutions.len() {
+        if let (Some(Term::Iri(p)), Some(n)) = (
+            solutions.get(i, "p").cloned(),
+            solutions
+                .get(i, "n")
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer()),
+        ) {
+            counts.insert(p, n as usize);
+        }
+    }
+    Ok(counts)
+}
+
+fn expect_iri(solutions: &Solutions, row: usize, var: &str) -> Result<Iri, QbError> {
+    solutions
+        .get(row, var)
+        .and_then(|t| t.as_iri())
+        .cloned()
+        .ok_or_else(|| QbError::Malformed(format!("expected an IRI binding for ?{var}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QbDatasetBuilder;
+    use crate::model::Observation;
+    use rdf::vocab::{eurostat_property, sdmx_measure};
+    use rdf::Literal;
+    use sparql::LocalEndpoint;
+
+    fn endpoint_with_tiny_cube() -> (LocalEndpoint, Iri, Iri) {
+        let dataset_iri = Iri::new("http://example.org/dataset");
+        let dsd_iri = Iri::new("http://example.org/dsd");
+        let mut builder = QbDatasetBuilder::new(dataset_iri.clone(), dsd_iri.clone())
+            .label("Tiny cube")
+            .dimension(eurostat_property::citizen())
+            .dimension(eurostat_property::geo())
+            .measure(sdmx_measure::obs_value());
+        for (i, (cit, geo, v)) in [("SY", "DE", 10), ("SY", "FR", 4), ("NG", "FR", 7)]
+            .iter()
+            .enumerate()
+        {
+            let mut obs = Observation::new(Term::iri(format!("http://example.org/obs{i}")));
+            obs.dimensions.insert(
+                eurostat_property::citizen(),
+                Term::iri(format!("http://example.org/dic/citizen#{cit}")),
+            );
+            obs.dimensions.insert(
+                eurostat_property::geo(),
+                Term::iri(format!("http://example.org/dic/geo#{geo}")),
+            );
+            obs.measures.insert(
+                sdmx_measure::obs_value(),
+                Term::Literal(Literal::integer(*v)),
+            );
+            builder = builder.observation(obs);
+        }
+        let endpoint = LocalEndpoint::new();
+        endpoint.insert_triples(&builder.build_triples()).unwrap();
+        (endpoint, dataset_iri, dsd_iri)
+    }
+
+    #[test]
+    fn list_datasets_finds_the_cube() {
+        let (endpoint, dataset, dsd) = endpoint_with_tiny_cube();
+        let datasets = list_datasets(&endpoint).unwrap();
+        assert_eq!(datasets.len(), 1);
+        assert_eq!(datasets[0].dataset, dataset);
+        assert_eq!(datasets[0].structure, dsd);
+        assert_eq!(datasets[0].observations, 3);
+        assert_eq!(datasets[0].label.as_deref(), Some("Tiny cube"));
+    }
+
+    #[test]
+    fn load_dsd_classifies_components() {
+        let (endpoint, _dataset, dsd) = endpoint_with_tiny_cube();
+        let structure = load_dsd(&endpoint, &dsd).unwrap();
+        assert_eq!(structure.dimensions().len(), 2);
+        assert_eq!(structure.measures().len(), 1);
+        assert!(structure.attributes().is_empty());
+    }
+
+    #[test]
+    fn load_dataset_includes_label_and_structure() {
+        let (endpoint, dataset, _dsd) = endpoint_with_tiny_cube();
+        let ds = load_dataset(&endpoint, &dataset).unwrap();
+        assert_eq!(ds.label.as_deref(), Some("Tiny cube"));
+        assert_eq!(ds.structure.components.len(), 3);
+    }
+
+    #[test]
+    fn observation_count_and_members() {
+        let (endpoint, dataset, _dsd) = endpoint_with_tiny_cube();
+        assert_eq!(count_observations(&endpoint, &dataset).unwrap(), 3);
+        let members =
+            dimension_members(&endpoint, &dataset, &eurostat_property::citizen()).unwrap();
+        assert_eq!(members.len(), 2);
+        let geos = dimension_members(&endpoint, &dataset, &eurostat_property::geo()).unwrap();
+        assert_eq!(geos.len(), 2);
+    }
+
+    #[test]
+    fn load_observations_roundtrip() {
+        let (endpoint, dataset, dsd) = endpoint_with_tiny_cube();
+        let structure = load_dsd(&endpoint, &dsd).unwrap();
+        let observations = load_observations(&endpoint, &dataset, &structure, None).unwrap();
+        assert_eq!(observations.len(), 3);
+        for obs in &observations {
+            assert_eq!(obs.dimensions.len(), 2);
+            assert_eq!(obs.measures.len(), 1);
+        }
+        let limited = load_observations(&endpoint, &dataset, &structure, Some(2)).unwrap();
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn properties_of_members_counts_usage() {
+        let (endpoint, _dataset, _dsd) = endpoint_with_tiny_cube();
+        // Attach an extra property to the citizenship members.
+        endpoint
+            .insert_triples(&[
+                rdf::Triple::new(
+                    Term::iri("http://example.org/dic/citizen#SY"),
+                    Iri::new("http://example.org/continent"),
+                    Term::iri("http://example.org/Asia"),
+                ),
+                rdf::Triple::new(
+                    Term::iri("http://example.org/dic/citizen#NG"),
+                    Iri::new("http://example.org/continent"),
+                    Term::iri("http://example.org/Africa"),
+                ),
+            ])
+            .unwrap();
+        let members = vec![
+            Term::iri("http://example.org/dic/citizen#SY"),
+            Term::iri("http://example.org/dic/citizen#NG"),
+        ];
+        let counts = properties_of_members(&endpoint, &members).unwrap();
+        assert_eq!(
+            counts.get(&Iri::new("http://example.org/continent")),
+            Some(&2)
+        );
+    }
+
+    #[test]
+    fn missing_resources_are_reported() {
+        let (endpoint, _dataset, _dsd) = endpoint_with_tiny_cube();
+        assert!(matches!(
+            load_dsd(&endpoint, &Iri::new("http://example.org/nope")),
+            Err(QbError::NotFound(_))
+        ));
+        assert!(matches!(
+            load_dataset(&endpoint, &Iri::new("http://example.org/nope")),
+            Err(QbError::NotFound(_))
+        ));
+    }
+}

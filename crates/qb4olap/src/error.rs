@@ -1,0 +1,49 @@
+//! Error type for the QB4OLAP layer.
+
+use std::fmt;
+
+/// Errors raised while generating or reading QB4OLAP structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qb4olapError {
+    /// A SPARQL query failed.
+    Sparql(String),
+    /// No QB4OLAP schema found for the requested dataset.
+    SchemaNotFound(String),
+    /// The schema is structurally invalid.
+    InvalidSchema(String),
+}
+
+impl fmt::Display for Qb4olapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qb4olapError::Sparql(m) => write!(f, "SPARQL error in QB4OLAP layer: {m}"),
+            Qb4olapError::SchemaNotFound(m) => write!(f, "QB4OLAP schema not found: {m}"),
+            Qb4olapError::InvalidSchema(m) => write!(f, "invalid QB4OLAP schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Qb4olapError {}
+
+impl From<sparql::SparqlError> for Qb4olapError {
+    fn from(e: sparql::SparqlError) -> Self {
+        Qb4olapError::Sparql(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: Qb4olapError = sparql::SparqlError::eval("x").into();
+        assert!(e.to_string().contains("x"));
+        assert!(Qb4olapError::SchemaNotFound("ds".into())
+            .to_string()
+            .contains("ds"));
+        assert!(Qb4olapError::InvalidSchema("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

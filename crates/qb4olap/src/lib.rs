@@ -1,0 +1,34 @@
+//! The QB4OLAP layer of the QB2OLAP reproduction.
+//!
+//! QB4OLAP extends the QB vocabulary with the multidimensional concepts
+//! OLAP needs (Section II of the paper): dimension hierarchies built from
+//! levels and hierarchy steps, level attributes, fact–level cardinalities
+//! and aggregate functions on measures. This crate provides:
+//!
+//! * [`model`] — the in-memory cube schema (dimensions, hierarchies, levels,
+//!   attributes, measures, cardinalities, aggregate functions);
+//! * [`triples`] — schema → RDF triples (Triple Generation phase) and
+//!   RDF → schema (what Exploration/Querying read back from the endpoint);
+//! * [`instances`] — level members, member roll-up links (`skos:broader`)
+//!   and member attribute values;
+//! * [`validate`] — structural schema validation.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod instances;
+pub mod model;
+pub mod triples;
+pub mod validate;
+
+pub use error::Qb4olapError;
+pub use instances::{
+    attribute_triple, attribute_value, member_count, member_of_triple, members_of_level,
+    non_functional_members, parent_member, rollup_pairs, rollup_triple,
+};
+pub use model::{
+    AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep, Level,
+    LevelAttribute, LevelComponent, MeasureSpec,
+};
+pub use triples::{schema_from_endpoint, schema_triples};
+pub use validate::{validate_schema, SchemaIssue, SchemaReport, SchemaSeverity};

@@ -1,0 +1,245 @@
+//! The result of a QL query: a data cube computed on the fly.
+
+use rdf::{Iri, Term};
+use sparql::Solutions;
+
+/// One axis of the result cube: a dimension kept in the result, the level it
+/// was aggregated to, and the SPARQL variable that carries its members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeAxis {
+    /// The dimension.
+    pub dimension: Iri,
+    /// The level of the dimension present in the result.
+    pub level: Iri,
+    /// The SPARQL variable name (without `?`).
+    pub variable: String,
+}
+
+/// One cell of the result cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeCell {
+    /// The member of each axis, in axis order.
+    pub coordinates: Vec<Term>,
+    /// The aggregated value of each measure, in measure order (`None` when
+    /// the aggregate produced no value).
+    pub values: Vec<Option<Term>>,
+}
+
+/// A result cube.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultCube {
+    /// The axes (non-sliced dimensions at their final levels).
+    pub axes: Vec<CubeAxis>,
+    /// The measures: `(measure property, output variable name)`.
+    pub measures: Vec<(Iri, String)>,
+    /// The cells.
+    pub cells: Vec<CubeCell>,
+}
+
+impl ResultCube {
+    /// Builds a cube from SPARQL solutions using the axis/measure variables.
+    pub fn from_solutions(
+        axes: Vec<CubeAxis>,
+        measures: Vec<(Iri, String)>,
+        solutions: &Solutions,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(solutions.len());
+        for row in 0..solutions.len() {
+            let coordinates = axes
+                .iter()
+                .map(|axis| {
+                    solutions
+                        .get(row, &axis.variable)
+                        .cloned()
+                        .unwrap_or_else(|| Term::string(""))
+                })
+                .collect();
+            let values = measures
+                .iter()
+                .map(|(_, var)| solutions.get(row, var).cloned())
+                .collect();
+            cells.push(CubeCell {
+                coordinates,
+                values,
+            });
+        }
+        let mut cube = ResultCube {
+            axes,
+            measures,
+            cells,
+        };
+        cube.sort_cells();
+        cube
+    }
+
+    /// Sorts cells by their coordinates (canonical order, so that cubes can
+    /// be compared independently of how they were computed).
+    pub fn sort_cells(&mut self) {
+        self.cells.sort_by(|a, b| a.coordinates.cmp(&b.coordinates));
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the cube has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The numeric total of the first measure over all cells (handy in tests
+    /// and summaries).
+    pub fn first_measure_total(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter_map(|c| c.values.first().cloned().flatten())
+            .filter_map(|t| t.as_literal().and_then(|l| l.as_double()))
+            .sum()
+    }
+
+    /// Looks up a cell by its coordinates.
+    pub fn cell(&self, coordinates: &[Term]) -> Option<&CubeCell> {
+        self.cells.iter().find(|c| c.coordinates == coordinates)
+    }
+
+    /// Renders the cube as a text table (the "resulting cube computed
+    /// on-the-fly" the demo shows).
+    pub fn to_table_string(&self) -> String {
+        let mut headers: Vec<String> = self
+            .axes
+            .iter()
+            .map(|a| a.level.local_name().to_string())
+            .collect();
+        headers.extend(self.measures.iter().map(|(_, v)| v.clone()));
+
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let mut row: Vec<String> = cell
+                    .coordinates
+                    .iter()
+                    .map(Term::display_label)
+                    .collect();
+                row.extend(cell.values.iter().map(|v| {
+                    v.as_ref().map(Term::display_label).unwrap_or_default()
+                }));
+                row
+            })
+            .collect();
+
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (value, width) in cells.iter().zip(&widths) {
+                out.push_str(&format!(" {value:<width$} |"));
+            }
+            out.push('\n');
+        };
+        write_row(&headers, &mut out);
+        out.push('|');
+        for width in &widths {
+            out.push_str(&format!("{}|", "-".repeat(width + 2)));
+        }
+        out.push('\n');
+        for row in &rows {
+            write_row(row, &mut out);
+        }
+        out.push_str(&format!("{} cell(s)\n", self.cells.len()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparql::Variable;
+
+    fn sample_cube() -> ResultCube {
+        let solutions = Solutions {
+            variables: vec![
+                Variable::new("continent"),
+                Variable::new("year"),
+                Variable::new("obsValue"),
+            ],
+            rows: vec![
+                vec![
+                    Some(Term::iri("http://dic/continent#Africa")),
+                    Some(Term::iri("http://dic/time#2014")),
+                    Some(Term::integer(250)),
+                ],
+                vec![
+                    Some(Term::iri("http://dic/continent#Asia")),
+                    Some(Term::iri("http://dic/time#2013")),
+                    Some(Term::integer(420)),
+                ],
+            ],
+        };
+        ResultCube::from_solutions(
+            vec![
+                CubeAxis {
+                    dimension: Iri::new("http://schema/citizenshipDim"),
+                    level: Iri::new("http://schema/continent"),
+                    variable: "continent".to_string(),
+                },
+                CubeAxis {
+                    dimension: Iri::new("http://schema/timeDim"),
+                    level: Iri::new("http://schema/year"),
+                    variable: "year".to_string(),
+                },
+            ],
+            vec![(
+                rdf::vocab::sdmx_measure::obs_value(),
+                "obsValue".to_string(),
+            )],
+            &solutions,
+        )
+    }
+
+    #[test]
+    fn cube_from_solutions() {
+        let cube = sample_cube();
+        assert_eq!(cube.len(), 2);
+        assert!(!cube.is_empty());
+        assert_eq!(cube.first_measure_total(), 670.0);
+        let cell = cube
+            .cell(&[
+                Term::iri("http://dic/continent#Africa"),
+                Term::iri("http://dic/time#2014"),
+            ])
+            .expect("cell exists");
+        assert_eq!(cell.values[0], Some(Term::integer(250)));
+        assert!(cube.cell(&[Term::iri("http://nope")]).is_none());
+    }
+
+    #[test]
+    fn table_rendering_contains_labels() {
+        let table = sample_cube().to_table_string();
+        assert!(table.contains("continent"));
+        assert!(table.contains("Africa"));
+        assert!(table.contains("2 cell(s)"));
+    }
+
+    #[test]
+    fn cells_are_sorted_canonically() {
+        let cube = sample_cube();
+        let mut coordinates: Vec<_> = cube.cells.iter().map(|c| c.coordinates.clone()).collect();
+        let sorted = {
+            let mut copy = coordinates.clone();
+            copy.sort();
+            copy
+        };
+        assert_eq!(coordinates, sorted);
+        coordinates.reverse();
+        assert_ne!(coordinates, sorted);
+    }
+}

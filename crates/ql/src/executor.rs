@@ -1,0 +1,311 @@
+//! The Querying module workflow (Figure 3 of the paper): QL text is parsed,
+//! simplified, translated to SPARQL and executed on the endpoint, and the
+//! resulting cube is computed on the fly.
+
+use std::time::{Duration, Instant};
+
+use qb4olap::CubeSchema;
+use rdf::Iri;
+use sparql::Endpoint;
+
+use crate::ast::QlProgram;
+use crate::cube::{CubeAxis, ResultCube};
+use crate::error::QlError;
+use crate::parser::parse_ql;
+use crate::pipeline::{simplify, QueryPipeline, SimplificationReport};
+use crate::translate::{translate, SparqlVariant, TranslationOutput};
+
+/// A QL query after the Simplification and Translation phases, ready to be
+/// executed (possibly several times, with either SPARQL variant).
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The parsed program.
+    pub program: QlProgram,
+    /// The simplified pipeline.
+    pub pipeline: QueryPipeline,
+    /// What the simplification did.
+    pub report: SimplificationReport,
+    /// The translation (both SPARQL variants + result-cube metadata).
+    pub translation: TranslationOutput,
+}
+
+impl PreparedQuery {
+    /// The SPARQL text of the chosen variant.
+    pub fn sparql(&self, variant: SparqlVariant) -> String {
+        match variant {
+            SparqlVariant::Direct => self.translation.direct_sparql(),
+            SparqlVariant::Alternative => self.translation.alternative_sparql(),
+        }
+    }
+
+    /// The axes of the result cube.
+    pub fn axes(&self) -> &[CubeAxis] {
+        &self.translation.axes
+    }
+}
+
+/// Timings of one query execution, per workflow phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryTimings {
+    /// Parsing + simplification + translation.
+    pub preparation: Duration,
+    /// SPARQL execution (including result-cube construction).
+    pub execution: Duration,
+}
+
+/// The Querying module: holds the endpoint and the QB4OLAP schema of one cube.
+pub struct QueryingModule<'e> {
+    endpoint: &'e dyn Endpoint,
+    schema: CubeSchema,
+}
+
+impl<'e> QueryingModule<'e> {
+    /// Creates the module by reading the QB4OLAP schema of `dataset` back
+    /// from the endpoint (i.e. after the Enrichment module loaded it).
+    pub fn for_dataset(endpoint: &'e dyn Endpoint, dataset: &Iri) -> Result<Self, QlError> {
+        let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
+        Ok(QueryingModule { endpoint, schema })
+    }
+
+    /// Creates the module from an already materialised schema.
+    pub fn with_schema(endpoint: &'e dyn Endpoint, schema: CubeSchema) -> Self {
+        QueryingModule { endpoint, schema }
+    }
+
+    /// The cube schema the module works against.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Runs the Query Simplification and Query Translation phases.
+    pub fn prepare(&self, ql_text: &str) -> Result<PreparedQuery, QlError> {
+        let program = parse_ql(ql_text)?;
+        let (pipeline, report) = simplify(&program, &self.schema)?;
+        let translation = translate(&pipeline, &self.schema)?;
+        Ok(PreparedQuery {
+            program,
+            pipeline,
+            report,
+            translation,
+        })
+    }
+
+    /// Runs the SPARQL Execution phase for one variant.
+    pub fn execute(
+        &self,
+        prepared: &PreparedQuery,
+        variant: SparqlVariant,
+    ) -> Result<ResultCube, QlError> {
+        let sparql_text = prepared.sparql(variant);
+        let solutions = self.endpoint.select(&sparql_text)?;
+        Ok(ResultCube::from_solutions(
+            prepared.translation.axes.clone(),
+            prepared.translation.measures.clone(),
+            &solutions,
+        ))
+    }
+
+    /// Convenience: full workflow (parse → simplify → translate → execute
+    /// the direct variant), returning the prepared query, the cube and the
+    /// phase timings.
+    pub fn run(&self, ql_text: &str) -> Result<(PreparedQuery, ResultCube, QueryTimings), QlError> {
+        let started = Instant::now();
+        let prepared = self.prepare(ql_text)?;
+        let preparation = started.elapsed();
+        let started = Instant::now();
+        let cube = self.execute(&prepared, SparqlVariant::Direct)?;
+        let execution = started.elapsed();
+        Ok((
+            prepared,
+            cube,
+            QueryTimings {
+                preparation,
+                execution,
+            },
+        ))
+    }
+
+    /// Executes a handwritten SPARQL query (the demo's Querying module "also
+    /// gives the possibility to manually formulate SPARQL queries").
+    pub fn execute_raw_sparql(&self, sparql_text: &str) -> Result<sparql::Solutions, QlError> {
+        Ok(self.endpoint.select(sparql_text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::demo_cube_schema;
+    use datagen::{load_demo_endpoint, EurostatConfig};
+    use enrichment::{EnrichmentConfig, EnrichmentSession};
+    use rdf::vocab::{demo_schema, eurostat_property, rdfs, sdmx_dimension};
+    use sparql::LocalEndpoint;
+
+    /// Builds an endpoint with a small generated dataset, runs the demo
+    /// enrichment on it and returns the endpoint + dataset IRI.
+    fn enriched_endpoint(observations: usize) -> (LocalEndpoint, Iri) {
+        let (endpoint, data) = load_demo_endpoint(&EurostatConfig::small(observations));
+        let config = EnrichmentConfig::default()
+            .name_dimension(
+                eurostat_property::citizen(),
+                "citizenshipDim",
+                "citizenshipGeoHier",
+            )
+            .name_dimension(eurostat_property::geo(), "destinationDim", "destinationHier")
+            .name_dimension(sdmx_dimension::ref_period(), "timeDim", "timeHier")
+            .name_dimension(eurostat_property::asyl_app(), "asylappDim", "asylappHier")
+            .name_dimension(eurostat_property::age(), "ageDim", "ageHier")
+            .name_dimension(eurostat_property::sex(), "sexDim", "sexHier");
+        let mut session = EnrichmentSession::start(&endpoint, &data.dataset, config).unwrap();
+        session.redefine().unwrap();
+
+        // citizenship: citizen -> continent (+ continentName), destination:
+        // countryName attribute and politicalOrg level, time: month -> year.
+        let candidates = session
+            .discover_candidates(&eurostat_property::citizen())
+            .unwrap();
+        let continent = candidates
+            .level_candidate(&datagen::eurostat::continent_property())
+            .unwrap()
+            .clone();
+        let continent_level = session
+            .add_level(&eurostat_property::citizen(), &continent, "continent")
+            .unwrap();
+        session
+            .add_attribute(&continent_level, &rdfs::label(), "continentName")
+            .unwrap();
+
+        session
+            .add_attribute(&eurostat_property::geo(), &rdfs::label(), "countryName")
+            .unwrap();
+        let geo_candidates = session
+            .discover_candidates(&eurostat_property::geo())
+            .unwrap();
+        let polorg = geo_candidates
+            .level_candidate(&datagen::eurostat::political_org_property())
+            .unwrap()
+            .clone();
+        session
+            .add_level(&eurostat_property::geo(), &polorg, "politicalOrg")
+            .unwrap();
+
+        let time_candidates = session
+            .discover_candidates(&sdmx_dimension::ref_period())
+            .unwrap();
+        let year = time_candidates
+            .level_candidate(&datagen::eurostat::year_property())
+            .unwrap()
+            .clone();
+        session
+            .add_level(&sdmx_dimension::ref_period(), &year, "year")
+            .unwrap();
+
+        session.load_into_endpoint().unwrap();
+        (endpoint, data.dataset)
+    }
+
+    #[test]
+    fn full_workflow_on_the_enriched_cube() {
+        let (endpoint, dataset) = enriched_endpoint(400);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        assert!(module.schema().dimension(&demo_schema::citizenship_dim()).is_some());
+
+        let (prepared, cube, timings) = module.run(&datagen::workload::mary_query()).unwrap();
+        assert!(prepared.sparql(SparqlVariant::Direct).lines().count() > 30);
+        assert_eq!(prepared.axes().len(), 5);
+        // The cube has cells only for African citizens applying in France,
+        // grouped by year (and the remaining bottom-level dimensions).
+        for cell in &cube.cells {
+            assert_eq!(cell.coordinates.len(), 5);
+        }
+        assert!(timings.preparation > Duration::ZERO);
+        assert!(timings.execution > Duration::ZERO);
+    }
+
+    #[test]
+    fn both_variants_return_the_same_cube() {
+        let (endpoint, dataset) = enriched_endpoint(400);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        for (name, text) in datagen::workload::bench_queries() {
+            if name == "by_political_organisation" {
+                // politicalOrg has no attribute dice; still part of the loop.
+            }
+            let prepared = match module.prepare(&text) {
+                Ok(p) => p,
+                Err(e) => panic!("workload query '{name}' failed to prepare: {e}"),
+            };
+            let direct = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let alternative = module
+                .execute(&prepared, SparqlVariant::Alternative)
+                .unwrap();
+            assert_eq!(
+                direct, alternative,
+                "variants disagree for workload query '{name}'"
+            );
+        }
+    }
+
+    #[test]
+    fn unoptimized_and_optimized_mary_query_agree() {
+        let (endpoint, dataset) = enriched_endpoint(300);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let (_, optimised, _) = module.run(&datagen::workload::mary_query()).unwrap();
+        let (prepared, unoptimised, _) = module
+            .run(&datagen::workload::mary_query_unoptimized())
+            .unwrap();
+        assert!(prepared.report.fused_operations >= 2);
+        assert_eq!(optimised, unoptimised);
+    }
+
+    #[test]
+    fn rollup_totals_are_preserved() {
+        let (endpoint, dataset) = enriched_endpoint(300);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+
+        // Total of the measure across all observations (no slicing at all).
+        let raw_total = module
+            .execute_raw_sparql(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+                 SELECT (SUM(?v) AS ?total) WHERE { ?o a qb:Observation ; sdmx-measure:obsValue ?v }",
+            )
+            .unwrap()
+            .get(0, "total")
+            .and_then(|t| t.as_literal().and_then(|l| l.as_double()))
+            .unwrap();
+
+        // Rolling citizenship up to continent must preserve the grand total.
+        let (_, cube, _) = module
+            .run(&datagen::workload::rollup_citizenship_to_continent())
+            .unwrap();
+        assert!((cube.first_measure_total() - raw_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preparation_errors_surface() {
+        let (endpoint, dataset) = enriched_endpoint(100);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        assert!(module.prepare("not ql").is_err());
+        assert!(module
+            .prepare(
+                "PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+                 PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+                 QUERY
+                 $C1 := SLICE (data:migr_asyappctzm, schema:noSuchDim);"
+            )
+            .is_err());
+        // The module refuses to start on a dataset without a QB4OLAP schema.
+        let empty = LocalEndpoint::new();
+        assert!(QueryingModule::for_dataset(&empty, &dataset).is_err());
+    }
+
+    #[test]
+    fn with_schema_constructor_uses_the_given_schema() {
+        let (endpoint, _dataset) = enriched_endpoint(100);
+        let module = QueryingModule::with_schema(&endpoint, demo_cube_schema());
+        let prepared = module
+            .prepare(&datagen::workload::rollup_citizenship_to_continent())
+            .unwrap();
+        assert_eq!(prepared.report.simplified_operations, 1);
+    }
+}

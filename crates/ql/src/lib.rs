@@ -1,0 +1,41 @@
+//! The Querying module of QB2OLAP (Section III-B of the paper).
+//!
+//! Users write OLAP queries in the high-level language **QL** — a sequence
+//! of `SLICE`, `ROLLUP`, `DRILLDOWN` and `DICE` operations — and the module
+//! simplifies the program, translates it into SPARQL (two semantically
+//! equivalent variants) using the QB4OLAP metadata, executes it on the
+//! endpoint and materialises the resulting cube on the fly.
+//!
+//! * [`ast`] / [`parser`] — the QL language;
+//! * [`pipeline`] — the Query Simplification phase (slice push-down,
+//!   roll-up/drill-down fusion) and schema validation;
+//! * [`translate`] — the Query Translation phase (direct + alternative
+//!   SPARQL);
+//! * [`executor`] — the SPARQL Execution phase and the end-to-end
+//!   [`QueryingModule`](executor::QueryingModule);
+//! * [`cube`] — the result cube.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cube;
+pub mod error;
+pub mod executor;
+pub mod parser;
+pub mod pipeline;
+pub mod reference;
+pub mod translate;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use ast::{
+    CubeRef, DiceCondition, DiceOp, DiceOperand, DiceValue, QlOperation, QlProgram, QlStatement,
+};
+pub use cube::{CubeAxis, CubeCell, ResultCube};
+pub use error::QlError;
+pub use executor::{PreparedQuery, QueryTimings, QueryingModule};
+pub use parser::parse_ql;
+pub use pipeline::{simplify, QueryPipeline, SimplificationReport};
+pub use reference::evaluate_reference;
+pub use translate::{translate, SparqlVariant, TranslationOutput};

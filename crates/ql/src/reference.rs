@@ -1,0 +1,408 @@
+//! An independent in-memory OLAP evaluator for simplified pipelines.
+//!
+//! This evaluator computes the result cube of a [`QueryPipeline`] directly
+//! from the observation, roll-up and attribute triples, without going
+//! through the SPARQL translation at all. It exists purely as a correctness
+//! oracle: the integration tests and the experiment harness compare its
+//! output against both SPARQL variants (experiment E6/E10 support).
+
+use std::collections::BTreeMap;
+
+use qb4olap::{AggregateFunction, CubeSchema};
+use rdf::{Iri, Term};
+use sparql::Endpoint;
+
+use crate::ast::{DiceCondition, DiceOp, DiceOperand, DiceValue};
+use crate::cube::{CubeAxis, CubeCell, ResultCube};
+use crate::error::QlError;
+use crate::pipeline::QueryPipeline;
+
+/// Evaluates a simplified pipeline with plain in-memory aggregation.
+pub fn evaluate_reference(
+    endpoint: &dyn Endpoint,
+    schema: &CubeSchema,
+    pipeline: &QueryPipeline,
+) -> Result<ResultCube, QlError> {
+    // Plan the kept dimensions exactly like the translator does.
+    let mut axes: Vec<CubeAxis> = Vec::new();
+    let mut bottoms: Vec<Iri> = Vec::new();
+    let mut ancestor_maps: Vec<Option<BTreeMap<Term, Term>>> = Vec::new();
+    for dimension in &schema.dimensions {
+        if pipeline.slices.contains(&dimension.iri) {
+            continue;
+        }
+        let bottom = schema
+            .bottom_level_of_dimension(&dimension.iri)
+            .ok_or_else(|| {
+                QlError::Validation(format!(
+                    "dimension <{}> has no bottom level",
+                    dimension.iri.as_str()
+                ))
+            })?;
+        let target = pipeline
+            .rollups
+            .get(&dimension.iri)
+            .cloned()
+            .unwrap_or_else(|| bottom.clone());
+        let map = if target == bottom {
+            None
+        } else {
+            let (_, steps) = dimension.rollup_path(&bottom, &target).ok_or_else(|| {
+                QlError::Validation(format!(
+                    "no roll-up path from <{}> to <{}>",
+                    bottom.as_str(),
+                    target.as_str()
+                ))
+            })?;
+            // Compose the member-level roll-up maps along the path.
+            let mut composed: Option<BTreeMap<Term, Term>> = None;
+            for step in steps {
+                let pairs = qb4olap::rollup_pairs(endpoint, &step.child, &step.parent)?;
+                let step_map: BTreeMap<Term, Term> = pairs.into_iter().collect();
+                composed = Some(match composed {
+                    None => step_map,
+                    Some(previous) => previous
+                        .into_iter()
+                        .filter_map(|(member, mid)| {
+                            step_map.get(&mid).map(|top| (member, top.clone()))
+                        })
+                        .collect(),
+                });
+            }
+            composed
+        };
+        axes.push(CubeAxis {
+            dimension: dimension.iri.clone(),
+            level: target,
+            variable: String::new(),
+        });
+        bottoms.push(bottom);
+        ancestor_maps.push(map);
+    }
+
+    // Attribute values needed by the dices: attribute IRI → member → value.
+    let mut attribute_values: BTreeMap<Iri, BTreeMap<Term, Term>> = BTreeMap::new();
+    for dice in &pipeline.dices {
+        for (operand, _, _) in dice.comparisons() {
+            if let DiceOperand::Attribute { attribute, .. } = operand {
+                if attribute_values.contains_key(attribute) {
+                    continue;
+                }
+                let solutions = endpoint.select(&format!(
+                    "SELECT ?m ?v WHERE {{ ?m <{}> ?v }}",
+                    attribute.as_str()
+                ))?;
+                let mut map = BTreeMap::new();
+                for row in &solutions.rows {
+                    if let (Some(m), Some(v)) =
+                        (row.first().cloned().flatten(), row.get(1).cloned().flatten())
+                    {
+                        map.entry(m).or_insert(v);
+                    }
+                }
+                attribute_values.insert(attribute.clone(), map);
+            }
+        }
+    }
+
+    // Load the observations (bottom members + measure values).
+    let dsd = qb::load_dataset(endpoint, &pipeline.dataset)?.structure;
+    let observations = qb::load_observations(endpoint, &pipeline.dataset, &dsd, None)?;
+
+    // Aggregate.
+    let measures: Vec<(Iri, AggregateFunction)> = schema
+        .measures
+        .iter()
+        .map(|m| (m.property.clone(), m.aggregate))
+        .collect();
+    let mut groups: BTreeMap<Vec<Term>, Vec<Vec<f64>>> = BTreeMap::new();
+    'observations: for observation in &observations {
+        let mut coordinates = Vec::with_capacity(axes.len());
+        for ((axis, bottom), map) in axes.iter().zip(&bottoms).zip(&ancestor_maps) {
+            let Some(member) = observation.dimension(bottom) else {
+                continue 'observations;
+            };
+            let coordinate = match map {
+                None => member.clone(),
+                Some(map) => match map.get(member) {
+                    Some(parent) => parent.clone(),
+                    None => continue 'observations,
+                },
+            };
+            let _ = axis;
+            coordinates.push(coordinate);
+        }
+        // Attribute dices apply to the coordinates.
+        for dice in &pipeline.dices {
+            let is_measure_dice = dice
+                .comparisons()
+                .iter()
+                .any(|(operand, _, _)| matches!(operand, DiceOperand::Measure(_)));
+            if is_measure_dice {
+                continue;
+            }
+            if !condition_holds(dice, &axes, &coordinates, &attribute_values) {
+                continue 'observations;
+            }
+        }
+        let values: Vec<f64> = measures
+            .iter()
+            .map(|(property, _)| observation.measure_number(property).unwrap_or(0.0))
+            .collect();
+        groups.entry(coordinates).or_default().push(values);
+    }
+
+    // Produce cells, then apply measure dices on the aggregated values.
+    let mut cells = Vec::with_capacity(groups.len());
+    'groups: for (coordinates, rows) in groups {
+        let mut aggregated = Vec::with_capacity(measures.len());
+        for (index, (_, function)) in measures.iter().enumerate() {
+            let values: Vec<f64> = rows.iter().map(|r| r[index]).collect();
+            aggregated.push(aggregate(*function, &values));
+        }
+        for dice in &pipeline.dices {
+            if !measure_condition_holds(dice, &measures, &aggregated) {
+                continue 'groups;
+            }
+        }
+        cells.push(CubeCell {
+            coordinates,
+            values: aggregated
+                .iter()
+                .map(|v| Some(number_term(*v)))
+                .collect(),
+        });
+    }
+
+    let mut cube = ResultCube {
+        axes,
+        measures: measures
+            .iter()
+            .map(|(property, _)| (property.clone(), property.local_name().to_string()))
+            .collect(),
+        cells,
+    };
+    cube.sort_cells();
+    Ok(cube)
+}
+
+fn aggregate(function: AggregateFunction, values: &[f64]) -> f64 {
+    match function {
+        AggregateFunction::Sum => values.iter().sum(),
+        AggregateFunction::Count => values.len() as f64,
+        AggregateFunction::Avg => {
+            if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        }
+        AggregateFunction::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+        AggregateFunction::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+fn number_term(value: f64) -> Term {
+    if value.fract() == 0.0 && value.abs() < 9.0e15 {
+        Term::Literal(rdf::Literal::integer(value as i64))
+    } else {
+        Term::Literal(rdf::Literal::decimal(value))
+    }
+}
+
+fn compare_f64(op: DiceOp, left: f64, right: f64) -> bool {
+    match op {
+        DiceOp::Eq => left == right,
+        DiceOp::Ne => left != right,
+        DiceOp::Lt => left < right,
+        DiceOp::Le => left <= right,
+        DiceOp::Gt => left > right,
+        DiceOp::Ge => left >= right,
+    }
+}
+
+fn compare_strings(op: DiceOp, left: &str, right: &str) -> bool {
+    match op {
+        DiceOp::Eq => left == right,
+        DiceOp::Ne => left != right,
+        DiceOp::Lt => left < right,
+        DiceOp::Le => left <= right,
+        DiceOp::Gt => left > right,
+        DiceOp::Ge => left >= right,
+    }
+}
+
+fn condition_holds(
+    condition: &DiceCondition,
+    axes: &[CubeAxis],
+    coordinates: &[Term],
+    attribute_values: &BTreeMap<Iri, BTreeMap<Term, Term>>,
+) -> bool {
+    match condition {
+        DiceCondition::And(a, b) => {
+            condition_holds(a, axes, coordinates, attribute_values)
+                && condition_holds(b, axes, coordinates, attribute_values)
+        }
+        DiceCondition::Or(a, b) => {
+            condition_holds(a, axes, coordinates, attribute_values)
+                || condition_holds(b, axes, coordinates, attribute_values)
+        }
+        DiceCondition::Comparison { operand, op, value } => match operand {
+            DiceOperand::Measure(_) => true,
+            DiceOperand::Attribute {
+                dimension,
+                level,
+                attribute,
+            } => {
+                let Some(index) = axes
+                    .iter()
+                    .position(|a| &a.dimension == dimension && &a.level == level)
+                else {
+                    return false;
+                };
+                let member = &coordinates[index];
+                let attribute_value = attribute_values
+                    .get(attribute)
+                    .and_then(|map| map.get(member));
+                match (attribute_value, value) {
+                    (Some(actual), DiceValue::String(expected)) => {
+                        let actual = match actual {
+                            Term::Literal(lit) => lit.lexical().to_string(),
+                            other => other.display_label(),
+                        };
+                        compare_strings(*op, &actual, expected)
+                    }
+                    (Some(actual), DiceValue::Number(expected)) => actual
+                        .as_literal()
+                        .and_then(|l| l.as_double())
+                        .map(|n| compare_f64(*op, n, *expected))
+                        .unwrap_or(false),
+                    (Some(actual), DiceValue::Iri(expected)) => match op {
+                        DiceOp::Eq => actual == &Term::Iri(expected.clone()),
+                        DiceOp::Ne => actual != &Term::Iri(expected.clone()),
+                        _ => false,
+                    },
+                    (None, _) => false,
+                }
+            }
+        },
+    }
+}
+
+fn measure_condition_holds(
+    condition: &DiceCondition,
+    measures: &[(Iri, AggregateFunction)],
+    aggregated: &[f64],
+) -> bool {
+    match condition {
+        DiceCondition::And(a, b) => {
+            measure_condition_holds(a, measures, aggregated)
+                && measure_condition_holds(b, measures, aggregated)
+        }
+        DiceCondition::Or(a, b) => {
+            measure_condition_holds(a, measures, aggregated)
+                || measure_condition_holds(b, measures, aggregated)
+        }
+        DiceCondition::Comparison { operand, op, value } => match operand {
+            DiceOperand::Attribute { .. } => true,
+            DiceOperand::Measure(property) => {
+                let Some(index) = measures.iter().position(|(p, _)| p == property) else {
+                    return false;
+                };
+                match value {
+                    DiceValue::Number(expected) => compare_f64(*op, aggregated[index], *expected),
+                    _ => false,
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::QueryingModule;
+    use crate::translate::SparqlVariant;
+    use rdf::vocab::eurostat_property;
+
+    fn enriched() -> (sparql::LocalEndpoint, Iri) {
+        let (endpoint, data) =
+            datagen::load_demo_endpoint(&datagen::EurostatConfig::small(800));
+        let config = enrichment::EnrichmentConfig::default()
+            .name_dimension(
+                eurostat_property::citizen(),
+                "citizenshipDim",
+                "citizenshipGeoHier",
+            )
+            .name_dimension(eurostat_property::geo(), "destinationDim", "destinationHier")
+            .name_dimension(
+                rdf::vocab::sdmx_dimension::ref_period(),
+                "timeDim",
+                "timeHier",
+            )
+            .name_dimension(eurostat_property::asyl_app(), "asylappDim", "asylappHier")
+            .name_dimension(eurostat_property::age(), "ageDim", "ageHier")
+            .name_dimension(eurostat_property::sex(), "sexDim", "sexHier");
+        let mut session =
+            enrichment::EnrichmentSession::start(&endpoint, &data.dataset, config).unwrap();
+        session.redefine().unwrap();
+        let candidates = session
+            .discover_candidates(&eurostat_property::citizen())
+            .unwrap();
+        let continent = candidates
+            .level_candidate(&datagen::eurostat::continent_property())
+            .unwrap()
+            .clone();
+        let level = session
+            .add_level(&eurostat_property::citizen(), &continent, "continent")
+            .unwrap();
+        session
+            .add_attribute(&level, &rdf::vocab::rdfs::label(), "continentName")
+            .unwrap();
+        session
+            .add_attribute(&eurostat_property::geo(), &rdf::vocab::rdfs::label(), "countryName")
+            .unwrap();
+        let time_candidates = session
+            .discover_candidates(&rdf::vocab::sdmx_dimension::ref_period())
+            .unwrap();
+        let year = time_candidates
+            .level_candidate(&datagen::eurostat::year_property())
+            .unwrap()
+            .clone();
+        session
+            .add_level(&rdf::vocab::sdmx_dimension::ref_period(), &year, "year")
+            .unwrap();
+        session.load_into_endpoint().unwrap();
+        (endpoint, data.dataset)
+    }
+
+    /// The reference evaluator and the SPARQL translation agree on the
+    /// roll-up query and on Mary's query (modulo measure variable naming).
+    #[test]
+    fn reference_matches_sparql_translation() {
+        let (endpoint, dataset) = enriched();
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        for text in [
+            datagen::workload::rollup_citizenship_to_continent(),
+            datagen::workload::mary_query(),
+        ] {
+            let prepared = module.prepare(&text).unwrap();
+            let sparql_cube = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let reference =
+                evaluate_reference(&endpoint, module.schema(), &prepared.pipeline).unwrap();
+            assert_eq!(sparql_cube.len(), reference.len());
+            for (a, b) in sparql_cube.cells.iter().zip(reference.cells.iter()) {
+                assert_eq!(a.coordinates, b.coordinates);
+                let left = a.values[0]
+                    .as_ref()
+                    .and_then(|t| t.as_literal().and_then(|l| l.as_double()))
+                    .unwrap_or(f64::NAN);
+                let right = b.values[0]
+                    .as_ref()
+                    .and_then(|t| t.as_literal().and_then(|l| l.as_double()))
+                    .unwrap_or(f64::NAN);
+                assert!((left - right).abs() < 1e-6, "{left} vs {right}");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Test fixtures shared by the unit tests of this crate.
+
+use qb4olap::{
+    AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
+    LevelAttribute, LevelComponent, MeasureSpec,
+};
+use rdf::vocab::{demo_schema, eurostat_data, eurostat_property, sdmx_dimension, sdmx_measure};
+use rdf::Iri;
+
+/// The schema produced by the demo enrichment: the four dimensions used in
+/// Mary's query (citizenship, destination, time, applicant type) plus age
+/// and sex, with the paper's names.
+pub(crate) fn demo_cube_schema() -> CubeSchema {
+    let mut schema = CubeSchema::new(
+        demo_schema::term("migr_asyappctzmQB4O"),
+        eurostat_data::migr_asyappctzm(),
+    );
+    schema.measures.push(MeasureSpec {
+        property: sdmx_measure::obs_value(),
+        aggregate: AggregateFunction::Sum,
+    });
+
+    let mut add_dim = |dim: Iri, hier: Iri, bottom: Iri, uppers: Vec<Iri>| {
+        schema.level_components.push(LevelComponent {
+            level: bottom.clone(),
+            cardinality: Cardinality::ManyToOne,
+            dimension: Some(dim.clone()),
+        });
+        let mut hierarchy = Hierarchy::new(hier);
+        hierarchy.levels.push(bottom.clone());
+        let mut child = bottom.clone();
+        for upper in &uppers {
+            hierarchy.levels.push(upper.clone());
+            hierarchy.steps.push(HierarchyStep {
+                child: child.clone(),
+                parent: upper.clone(),
+                cardinality: Cardinality::ManyToOne,
+            });
+            child = upper.clone();
+        }
+        let mut dimension = Dimension::new(dim);
+        dimension.hierarchies.push(hierarchy);
+        schema.dimensions.push(dimension);
+        schema.level_mut(&bottom);
+        for upper in uppers {
+            schema.level_mut(&upper);
+        }
+    };
+
+    add_dim(
+        demo_schema::citizenship_dim(),
+        demo_schema::citizenship_geo_hier(),
+        eurostat_property::citizen(),
+        vec![demo_schema::continent(), demo_schema::cit_all()],
+    );
+    add_dim(
+        demo_schema::destination_dim(),
+        demo_schema::term("destinationHier"),
+        eurostat_property::geo(),
+        vec![demo_schema::term("politicalOrg")],
+    );
+    add_dim(
+        demo_schema::time_dim(),
+        demo_schema::term("timeHier"),
+        sdmx_dimension::ref_period(),
+        vec![demo_schema::year()],
+    );
+    add_dim(
+        demo_schema::asylapp_dim(),
+        demo_schema::term("asylappHier"),
+        eurostat_property::asyl_app(),
+        vec![],
+    );
+    add_dim(
+        demo_schema::term("ageDim"),
+        demo_schema::term("ageHier"),
+        eurostat_property::age(),
+        vec![demo_schema::term("ageGroup")],
+    );
+    add_dim(
+        demo_schema::term("sexDim"),
+        demo_schema::term("sexHier"),
+        eurostat_property::sex(),
+        vec![],
+    );
+
+    schema
+        .level_mut(&demo_schema::continent())
+        .attributes
+        .push(LevelAttribute::new(demo_schema::continent_name()));
+    schema
+        .level_mut(&eurostat_property::geo())
+        .attributes
+        .push(LevelAttribute::new(demo_schema::country_name()));
+    schema
+}

@@ -1,0 +1,83 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing RDF serialisations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number where the error was detected.
+    pub line: usize,
+    /// 1-based column number where the error was detected.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given position.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RDF parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors raised by the store layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A named graph was requested that does not exist.
+    GraphNotFound(String),
+    /// A serialisation could not be parsed while loading.
+    Parse(ParseError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::GraphNotFound(name) => write!(f, "named graph not found: {name}"),
+            StoreError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ParseError> for StoreError {
+    fn from(e: ParseError) -> Self {
+        StoreError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = ParseError::new(3, 7, "unexpected token");
+        assert_eq!(
+            e.to_string(),
+            "RDF parse error at line 3, column 7: unexpected token"
+        );
+        let s: StoreError = e.into();
+        assert!(s.to_string().contains("line 3"));
+        assert_eq!(
+            StoreError::GraphNotFound("g".into()).to_string(),
+            "named graph not found: g"
+        );
+    }
+}

@@ -1,0 +1,491 @@
+//! An in-memory, indexed RDF graph.
+//!
+//! Terms are interned into dense `u32` identifiers and triples are kept in
+//! three `BTreeSet` indexes (SPO, POS, OSP) so that any triple pattern with
+//! a bound prefix can be answered with a range scan. This mirrors the
+//! index layout of typical RDF stores (the role Virtuoso plays in the
+//! original QB2OLAP deployment).
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use crate::term::{Iri, Term, Triple};
+
+/// A dense identifier for an interned term.
+pub type TermId = u32;
+
+/// Interns [`Term`]s to dense [`TermId`]s and back.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `term`, interning it if necessary.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        match self.ids.entry(term.clone()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = self.terms.len() as TermId;
+                self.terms.push(term.clone());
+                *e.insert(id)
+            }
+        }
+    }
+
+    /// Returns the id of `term` if it has already been interned.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Returns the term for a previously issued id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this interner.
+    pub fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// A triple of interned term ids in (subject, predicate, object) order.
+pub type EncodedTriple = (TermId, TermId, TermId);
+
+/// An in-memory RDF graph with SPO/POS/OSP indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the graph contains no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms appearing in the graph.
+    pub fn term_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.interner.intern(&triple.subject);
+        let p = self.interner.intern(&Term::Iri(triple.predicate.clone()));
+        let o = self.interner.intern(&triple.object);
+        self.insert_encoded((s, p, o))
+    }
+
+    /// Inserts a triple given by already-interned ids.
+    pub fn insert_encoded(&mut self, (s, p, o): EncodedTriple) -> bool {
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&triple.subject),
+            self.interner.get(&Term::Iri(triple.predicate.clone())),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// True if the graph contains the given triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.interner.get(&triple.subject),
+            self.interner.get(&Term::Iri(triple.predicate.clone())),
+            self.interner.get(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Interns a term (for callers that want to work at the id level,
+    /// e.g. the SPARQL evaluator).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Looks up the id of a term without interning it.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Iterates over all triples (decoded).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| self.decode((s, p, o)))
+    }
+
+    /// Decodes an encoded triple into a [`Triple`].
+    ///
+    /// # Panics
+    /// Panics if the predicate id does not resolve to an IRI.
+    pub fn decode(&self, (s, p, o): EncodedTriple) -> Triple {
+        let predicate = match self.interner.resolve(p) {
+            Term::Iri(iri) => iri.clone(),
+            other => panic!("predicate id {p} is not an IRI: {other}"),
+        };
+        Triple {
+            subject: self.interner.resolve(s).clone(),
+            predicate,
+            object: self.interner.resolve(o).clone(),
+        }
+    }
+
+    /// Matches a triple pattern, returning decoded triples.
+    ///
+    /// `None` components are wildcards. The best index for the bound prefix
+    /// is chosen automatically.
+    pub fn triples_matching(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        self.match_pattern(subject, predicate, object)
+            .into_iter()
+            .map(|t| self.decode(t))
+            .collect()
+    }
+
+    /// Matches a triple pattern at the id level.
+    pub fn match_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<EncodedTriple> {
+        let s = match subject {
+            Some(t) => match self.interner.get(t) {
+                Some(id) => Some(id),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let p = match predicate {
+            Some(iri) => match self.interner.get(&Term::Iri(iri.clone())) {
+                Some(id) => Some(id),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let o = match object {
+            Some(t) => match self.interner.get(t) {
+                Some(id) => Some(id),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        self.match_ids(s, p, o)
+    }
+
+    /// Matches a triple pattern where components are given as optional ids.
+    pub fn match_ids(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<EncodedTriple> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .range2(&self.spo, s, p)
+                .map(|&(a, b, c)| (a, b, c))
+                .collect(),
+            (Some(s), None, None) => self
+                .range1(&self.spo, s)
+                .map(|&(a, b, c)| (a, b, c))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .range2(&self.pos, p, o)
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => self
+                .range1(&self.pos, p)
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => self
+                .range1(&self.osp, o)
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .range2(&self.osp, o, s)
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        }
+    }
+
+    fn range1<'a>(
+        &'a self,
+        index: &'a BTreeSet<(TermId, TermId, TermId)>,
+        first: TermId,
+    ) -> impl Iterator<Item = &'a (TermId, TermId, TermId)> {
+        index.range((
+            Bound::Included((first, 0, 0)),
+            Bound::Included((first, TermId::MAX, TermId::MAX)),
+        ))
+    }
+
+    fn range2<'a>(
+        &'a self,
+        index: &'a BTreeSet<(TermId, TermId, TermId)>,
+        first: TermId,
+        second: TermId,
+    ) -> impl Iterator<Item = &'a (TermId, TermId, TermId)> {
+        index.range((
+            Bound::Included((first, second, 0)),
+            Bound::Included((first, second, TermId::MAX)),
+        ))
+    }
+
+    /// Convenience: all objects of `(subject, predicate, ?o)`.
+    pub fn objects(&self, subject: &Term, predicate: &Iri) -> Vec<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .into_iter()
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// Convenience: the first object of `(subject, predicate, ?o)`, if any.
+    pub fn object(&self, subject: &Term, predicate: &Iri) -> Option<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .into_iter()
+            .map(|t| t.object)
+            .next()
+    }
+
+    /// Convenience: all subjects of `(?s, predicate, object)`.
+    pub fn subjects(&self, predicate: &Iri, object: &Term) -> Vec<Term> {
+        self.triples_matching(None, Some(predicate), Some(object))
+            .into_iter()
+            .map(|t| t.subject)
+            .collect()
+    }
+
+    /// Convenience: all subjects that have `rdf:type` `class`.
+    pub fn subjects_of_type(&self, class: &Iri) -> Vec<Term> {
+        self.subjects(&crate::vocab::rdf::type_(), &Term::Iri(class.clone()))
+    }
+
+    /// Convenience: all distinct predicates used on `subject`.
+    pub fn predicates_of(&self, subject: &Term) -> Vec<Iri> {
+        let mut preds: Vec<Iri> = self
+            .triples_matching(Some(subject), None, None)
+            .into_iter()
+            .map(|t| t.predicate)
+            .collect();
+        preds.sort();
+        preds.dedup();
+        preds
+    }
+
+    /// Extends this graph with all triples from another graph.
+    pub fn extend_from(&mut self, other: &Graph) {
+        for triple in other.iter() {
+            self.insert(&triple);
+        }
+    }
+
+    /// Builds a graph from an iterator of triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        let mut g = Graph::new();
+        for t in triples {
+            g.insert(&t);
+        }
+        g
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<T: IntoIterator<Item = Triple>>(&mut self, iter: T) {
+        for t in iter {
+            self.insert(&t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        Graph::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+    use crate::vocab::{rdf, rdfs};
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Iri::new(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut g = Graph::new();
+        let triple = t("http://s", "http://p", "http://o");
+        assert!(g.insert(&triple));
+        assert!(!g.insert(&triple), "duplicate insert must return false");
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&triple));
+        assert!(g.remove(&triple));
+        assert!(!g.contains(&triple));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn pattern_matching_all_shapes() {
+        let mut g = Graph::new();
+        g.insert(&t("http://a", "http://p1", "http://x"));
+        g.insert(&t("http://a", "http://p2", "http://y"));
+        g.insert(&t("http://b", "http://p1", "http://x"));
+        g.insert(&t("http://b", "http://p1", "http://z"));
+
+        let a = Term::iri("http://a");
+        let p1 = Iri::new("http://p1");
+        let x = Term::iri("http://x");
+
+        assert_eq!(g.triples_matching(None, None, None).len(), 4);
+        assert_eq!(g.triples_matching(Some(&a), None, None).len(), 2);
+        assert_eq!(g.triples_matching(None, Some(&p1), None).len(), 3);
+        assert_eq!(g.triples_matching(None, None, Some(&x)).len(), 2);
+        assert_eq!(g.triples_matching(Some(&a), Some(&p1), None).len(), 1);
+        assert_eq!(g.triples_matching(None, Some(&p1), Some(&x)).len(), 2);
+        assert_eq!(g.triples_matching(Some(&a), None, Some(&x)).len(), 1);
+        assert_eq!(g.triples_matching(Some(&a), Some(&p1), Some(&x)).len(), 1);
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let mut g = Graph::new();
+        g.insert(&t("http://a", "http://p", "http://x"));
+        let unknown = Term::iri("http://unknown");
+        assert!(g.triples_matching(Some(&unknown), None, None).is_empty());
+        assert!(g
+            .triples_matching(None, Some(&Iri::new("http://nope")), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn convenience_accessors() {
+        let mut g = Graph::new();
+        let syria = Term::iri("http://ex/SY");
+        g.insert(&Triple::new(
+            syria.clone(),
+            rdf::type_(),
+            Term::iri("http://ex/Country"),
+        ));
+        g.insert(&Triple::new(
+            syria.clone(),
+            rdfs::label(),
+            Literal::string("Syria"),
+        ));
+
+        assert_eq!(
+            g.object(&syria, &rdfs::label()),
+            Some(Term::Literal(Literal::string("Syria")))
+        );
+        assert_eq!(
+            g.subjects_of_type(&Iri::new("http://ex/Country")),
+            vec![syria.clone()]
+        );
+        assert_eq!(g.predicates_of(&syria).len(), 2);
+    }
+
+    #[test]
+    fn literal_objects_are_distinct_from_iris() {
+        let mut g = Graph::new();
+        g.insert(&Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Literal::string("http://o"),
+        ));
+        // An IRI with the same characters is a different term.
+        assert!(!g.contains(&t("http://s", "http://p", "http://o")));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let triples = vec![
+            t("http://a", "http://p", "http://x"),
+            t("http://b", "http://p", "http://y"),
+        ];
+        let g: Graph = triples.clone().into_iter().collect();
+        assert_eq!(g.len(), 2);
+
+        let mut g2 = Graph::new();
+        g2.extend_from(&g);
+        g2.extend(triples);
+        assert_eq!(g2.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut g = Graph::new();
+        let triple = Triple::new(
+            Term::blank("b1"),
+            Iri::new("http://p"),
+            Literal::integer(7),
+        );
+        g.insert(&triple);
+        let decoded: Vec<Triple> = g.iter().collect();
+        assert_eq!(decoded, vec![triple]);
+    }
+}

@@ -1,0 +1,150 @@
+//! RDF substrate for the QB2OLAP reproduction.
+//!
+//! This crate provides everything QB2OLAP needs from an RDF library and a
+//! triple store (the roles played by Apache Jena and Virtuoso in the
+//! original system):
+//!
+//! * [`term`] — IRIs, blank nodes, typed literals, triples;
+//! * [`graph`] — an indexed in-memory graph (SPO/POS/OSP) with term interning;
+//! * [`store`] — a thread-safe store with a default graph and named graphs;
+//! * [`parser`] / [`serializer`] — Turtle and N-Triples I/O;
+//! * [`namespace`] — prefix management;
+//! * [`vocab`] — the RDF/RDFS/XSD/SKOS/QB/QB4OLAP/SDMX/Eurostat vocabularies.
+//!
+//! # Example
+//!
+//! ```
+//! use rdf::prelude::*;
+//!
+//! let store = Store::new();
+//! store
+//!     .load_turtle(
+//!         "@prefix qb: <http://purl.org/linked-data/cube#> .
+//!          @prefix ex: <http://example.org/> .
+//!          ex:obs1 a qb:Observation ; ex:value 42 .",
+//!     )
+//!     .unwrap();
+//! assert_eq!(store.len(), 2);
+//! let obs = store.subjects_of_type(&vocab::qb::observation());
+//! assert_eq!(obs, vec![Term::iri("http://example.org/obs1")]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod namespace;
+pub mod parser;
+pub mod serializer;
+pub mod store;
+pub mod term;
+pub mod vocab;
+
+pub use error::{ParseError, StoreError};
+pub use graph::{EncodedTriple, Graph, Interner, TermId};
+pub use namespace::PrefixMap;
+pub use store::Store;
+pub use term::{BlankNode, Iri, Literal, Term, Triple};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::graph::Graph;
+    pub use crate::namespace::PrefixMap;
+    pub use crate::store::Store;
+    pub use crate::term::{BlankNode, Iri, Literal, Term, Triple};
+    pub use crate::vocab;
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::graph::Graph;
+    use crate::parser::parse_ntriples;
+    use crate::serializer::to_ntriples;
+    use crate::term::{Iri, Literal, Term, Triple};
+
+    fn arb_iri() -> impl Strategy<Value = Iri> {
+        "[a-z]{1,8}".prop_map(|s| Iri::new(format!("http://example.org/{s}")))
+    }
+
+    fn arb_literal() -> impl Strategy<Value = Literal> {
+        prop_oneof![
+            "[ -~]{0,20}".prop_map(Literal::string),
+            any::<i32>().prop_map(|i| Literal::integer(i as i64)),
+            any::<bool>().prop_map(Literal::boolean),
+            ("[a-zA-Z ]{0,10}", "[a-z]{2}").prop_map(|(s, l)| Literal::lang_string(s, l)),
+        ]
+    }
+
+    fn arb_term() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            arb_iri().prop_map(Term::Iri),
+            arb_literal().prop_map(Term::Literal),
+            "[a-z0-9]{1,6}".prop_map(Term::blank),
+        ]
+    }
+
+    fn arb_subject() -> impl Strategy<Value = Term> {
+        prop_oneof![
+            arb_iri().prop_map(Term::Iri),
+            "[a-z0-9]{1,6}".prop_map(Term::blank),
+        ]
+    }
+
+    fn arb_triple() -> impl Strategy<Value = Triple> {
+        (arb_subject(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+    }
+
+    proptest! {
+        /// Serialising a graph to N-Triples and parsing it back yields the
+        /// same set of triples.
+        #[test]
+        fn ntriples_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+            let graph = Graph::from_triples(triples);
+            let nt = to_ntriples(&graph);
+            let reparsed = parse_ntriples(&nt).expect("serialiser output must parse").into_graph();
+            prop_assert_eq!(reparsed.len(), graph.len());
+            for t in graph.iter() {
+                prop_assert!(reparsed.contains(&t), "missing triple {}", t);
+            }
+        }
+
+        /// Graph insertion is idempotent and pattern matching with all
+        /// components bound agrees with `contains`.
+        #[test]
+        fn graph_insert_idempotent(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+            let mut graph = Graph::new();
+            for t in &triples {
+                graph.insert(t);
+            }
+            let len_once = graph.len();
+            for t in &triples {
+                graph.insert(t);
+            }
+            prop_assert_eq!(graph.len(), len_once);
+            for t in &triples {
+                prop_assert!(graph.contains(t));
+                let matched = graph.triples_matching(Some(&t.subject), Some(&t.predicate), Some(&t.object));
+                prop_assert_eq!(matched.len(), 1);
+            }
+        }
+
+        /// Any pattern query returns a subset of the full graph and the
+        /// unconstrained pattern returns everything.
+        #[test]
+        fn pattern_queries_are_consistent(triples in proptest::collection::vec(arb_triple(), 1..30)) {
+            let graph = Graph::from_triples(triples);
+            let all = graph.triples_matching(None, None, None);
+            prop_assert_eq!(all.len(), graph.len());
+            for t in &all {
+                let by_subject = graph.triples_matching(Some(&t.subject), None, None);
+                prop_assert!(by_subject.contains(t));
+                let by_predicate = graph.triples_matching(None, Some(&t.predicate), None);
+                prop_assert!(by_predicate.contains(t));
+                let by_object = graph.triples_matching(None, None, Some(&t.object));
+                prop_assert!(by_object.contains(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! A thread-safe RDF store holding a default graph plus named graphs.
+//!
+//! This plays the role Virtuoso plays in the original QB2OLAP deployment:
+//! the QB source data, the generated QB4OLAP schema triples, and the
+//! generated level-instance triples are all loaded into one store, and the
+//! SPARQL engine evaluates queries against it. The store is cheap to clone
+//! (`Arc` internally) so the Enrichment, Exploration and Querying modules
+//! can share a single endpoint, as in Figure 1 of the paper.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::StoreError;
+use crate::graph::Graph;
+use crate::parser;
+use crate::term::{Iri, Term, Triple};
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    default_graph: Graph,
+    named_graphs: BTreeMap<Iri, Graph>,
+}
+
+/// A shared, thread-safe collection of RDF graphs.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    inner: Arc<RwLock<StoreInner>>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple into the default graph.
+    pub fn insert(&self, triple: &Triple) -> bool {
+        self.inner.write().default_graph.insert(triple)
+    }
+
+    /// Inserts a triple into a named graph (creating the graph if needed).
+    pub fn insert_named(&self, graph: &Iri, triple: &Triple) -> bool {
+        self.inner
+            .write()
+            .named_graphs
+            .entry(graph.clone())
+            .or_default()
+            .insert(triple)
+    }
+
+    /// Inserts all triples into the default graph.
+    pub fn insert_all<I: IntoIterator<Item = Triple>>(&self, triples: I) -> usize {
+        let mut inner = self.inner.write();
+        let mut added = 0;
+        for t in triples {
+            if inner.default_graph.insert(&t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Inserts all triples into a named graph.
+    pub fn insert_all_named<I: IntoIterator<Item = Triple>>(&self, graph: &Iri, triples: I) -> usize {
+        let mut inner = self.inner.write();
+        let g = inner.named_graphs.entry(graph.clone()).or_default();
+        let mut added = 0;
+        for t in triples {
+            if g.insert(&t) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Removes a triple from the default graph.
+    pub fn remove(&self, triple: &Triple) -> bool {
+        self.inner.write().default_graph.remove(triple)
+    }
+
+    /// True if the default graph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.inner.read().default_graph.contains(triple)
+    }
+
+    /// Number of triples in the default graph.
+    pub fn len(&self) -> usize {
+        self.inner.read().default_graph.len()
+    }
+
+    /// True if the default graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().default_graph.is_empty()
+    }
+
+    /// Total number of triples across the default and all named graphs.
+    pub fn total_len(&self) -> usize {
+        let inner = self.inner.read();
+        inner.default_graph.len() + inner.named_graphs.values().map(Graph::len).sum::<usize>()
+    }
+
+    /// Names of all named graphs.
+    pub fn graph_names(&self) -> Vec<Iri> {
+        self.inner.read().named_graphs.keys().cloned().collect()
+    }
+
+    /// Runs `f` with a read-only view of the default graph.
+    pub fn with_default_graph<R>(&self, f: impl FnOnce(&Graph) -> R) -> R {
+        f(&self.inner.read().default_graph)
+    }
+
+    /// Runs `f` with a read-only view of a named graph.
+    pub fn with_named_graph<R>(
+        &self,
+        name: &Iri,
+        f: impl FnOnce(&Graph) -> R,
+    ) -> Result<R, StoreError> {
+        let inner = self.inner.read();
+        let graph = inner
+            .named_graphs
+            .get(name)
+            .ok_or_else(|| StoreError::GraphNotFound(name.as_str().to_string()))?;
+        Ok(f(graph))
+    }
+
+    /// Returns a snapshot clone of the default graph.
+    pub fn default_graph_snapshot(&self) -> Graph {
+        self.inner.read().default_graph.clone()
+    }
+
+    /// Returns a snapshot of the union of the default graph and all named
+    /// graphs (the dataset's "union default graph", which is how Virtuoso is
+    /// typically configured for QB data and what the paper's queries assume).
+    pub fn union_graph_snapshot(&self) -> Graph {
+        let inner = self.inner.read();
+        let mut union = inner.default_graph.clone();
+        for g in inner.named_graphs.values() {
+            union.extend_from(g);
+        }
+        union
+    }
+
+    /// Pattern match against the default graph.
+    pub fn triples_matching(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        self.inner
+            .read()
+            .default_graph
+            .triples_matching(subject, predicate, object)
+    }
+
+    /// Convenience: the first object of `(subject, predicate, ?o)` in the
+    /// default graph.
+    pub fn object(&self, subject: &Term, predicate: &Iri) -> Option<Term> {
+        self.inner.read().default_graph.object(subject, predicate)
+    }
+
+    /// Convenience: all objects of `(subject, predicate, ?o)` in the default graph.
+    pub fn objects(&self, subject: &Term, predicate: &Iri) -> Vec<Term> {
+        self.inner.read().default_graph.objects(subject, predicate)
+    }
+
+    /// Convenience: all subjects with `rdf:type class` in the default graph.
+    pub fn subjects_of_type(&self, class: &Iri) -> Vec<Term> {
+        self.inner.read().default_graph.subjects_of_type(class)
+    }
+
+    /// Loads a Turtle document into the default graph. Returns the number of
+    /// triples added.
+    pub fn load_turtle(&self, turtle: &str) -> Result<usize, StoreError> {
+        let doc = parser::parse_turtle(turtle)?;
+        Ok(self.insert_all(doc.triples))
+    }
+
+    /// Loads an N-Triples document into the default graph.
+    pub fn load_ntriples(&self, ntriples: &str) -> Result<usize, StoreError> {
+        let doc = parser::parse_ntriples(ntriples)?;
+        Ok(self.insert_all(doc.triples))
+    }
+
+    /// Loads a Turtle document into a named graph.
+    pub fn load_turtle_named(&self, graph: &Iri, turtle: &str) -> Result<usize, StoreError> {
+        let doc = parser::parse_turtle(turtle)?;
+        Ok(self.insert_all_named(graph, doc.triples))
+    }
+
+    /// Serialises the default graph to N-Triples.
+    pub fn to_ntriples(&self) -> String {
+        crate::serializer::to_ntriples(&self.inner.read().default_graph)
+    }
+
+    /// Removes all triples from the default graph and all named graphs.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.default_graph = Graph::new();
+        inner.named_graphs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+    use crate::vocab::rdfs;
+
+    #[test]
+    fn default_graph_operations() {
+        let store = Store::new();
+        let t = Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Literal::integer(1),
+        );
+        assert!(store.insert(&t));
+        assert!(store.contains(&t));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(&t));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn named_graph_isolation_and_union() {
+        let store = Store::new();
+        let schema_graph = Iri::new("http://example.org/graph/schema");
+        let t1 = Triple::new(Term::iri("http://a"), Iri::new("http://p"), Term::iri("http://b"));
+        let t2 = Triple::new(Term::iri("http://c"), Iri::new("http://p"), Term::iri("http://d"));
+        store.insert(&t1);
+        store.insert_named(&schema_graph, &t2);
+
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_len(), 2);
+        assert_eq!(store.graph_names(), vec![schema_graph.clone()]);
+        assert!(!store.contains(&t2), "named-graph triples stay out of the default graph");
+
+        let union = store.union_graph_snapshot();
+        assert!(union.contains(&t1) && union.contains(&t2));
+
+        let count = store
+            .with_named_graph(&schema_graph, |g| g.len())
+            .expect("graph exists");
+        assert_eq!(count, 1);
+        assert!(store
+            .with_named_graph(&Iri::new("http://missing"), |g| g.len())
+            .is_err());
+    }
+
+    #[test]
+    fn load_and_serialize() {
+        let store = Store::new();
+        let added = store
+            .load_turtle("@prefix ex: <http://e/> . ex:s ex:p ex:o , ex:o2 .")
+            .expect("load");
+        assert_eq!(added, 2);
+        let nt = store.to_ntriples();
+        assert_eq!(nt.lines().count(), 2);
+
+        let store2 = Store::new();
+        store2.load_ntriples(&nt).expect("reload");
+        assert_eq!(store2.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let store = Store::new();
+        let err = store.load_turtle("ex:s ex:p ex:o .").expect_err("undefined prefix");
+        assert!(matches!(err, StoreError::Parse(_)));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let store = Store::new();
+        store.insert(&Triple::new(
+            Term::iri("http://s"),
+            rdfs::label(),
+            Literal::string("x"),
+        ));
+        store.insert_named(
+            &Iri::new("http://g"),
+            &Triple::new(Term::iri("http://s"), rdfs::label(), Literal::string("y")),
+        );
+        store.clear();
+        assert_eq!(store.total_len(), 0);
+        assert!(store.graph_names().is_empty());
+    }
+
+    #[test]
+    fn store_is_cloneable_and_shared() {
+        let store = Store::new();
+        let clone = store.clone();
+        clone.insert(&Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Term::iri("http://o"),
+        ));
+        assert_eq!(store.len(), 1, "clones share the same underlying data");
+    }
+}

@@ -1,0 +1,564 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+//!
+//! Terms are cheaply cloneable (the lexical payload is stored behind an
+//! [`Arc<str>`]), hashable, and totally ordered so they can be used as keys
+//! in the store indexes and in SPARQL solution orderings.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::vocab::xsd;
+
+/// An IRI (named node).
+///
+/// IRIs are stored as their full lexical form; no normalisation beyond what
+/// the parser applies is performed. Two IRIs are equal iff their lexical
+/// forms are equal, per RDF 1.1 simple interpretation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(Arc<str>);
+
+impl Iri {
+    /// Creates an IRI from any string-like value.
+    pub fn new(iri: impl AsRef<str>) -> Self {
+        Iri(Arc::from(iri.as_ref()))
+    }
+
+    /// The full IRI string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The local name: the suffix after the last `#` or `/`.
+    ///
+    /// Useful for rendering human-readable labels when no `rdfs:label` is
+    /// available (the situation the paper calls out for level members).
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) if idx + 1 < s.len() => &s[idx + 1..],
+            _ => s,
+        }
+    }
+
+    /// The namespace part: everything up to and including the last `#` or `/`.
+    pub fn namespace(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(idx) => &s[..=idx],
+            None => "",
+        }
+    }
+
+    /// Returns a new IRI formed by appending `suffix` to this IRI.
+    pub fn join(&self, suffix: &str) -> Iri {
+        let mut s = String::with_capacity(self.0.len() + suffix.len());
+        s.push_str(&self.0);
+        s.push_str(suffix);
+        Iri::new(s)
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for Iri {
+    fn from(s: &str) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl From<String> for Iri {
+    fn from(s: String) -> Self {
+        Iri::new(s)
+    }
+}
+
+impl AsRef<str> for Iri {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A blank node, identified by a local label.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    /// Creates a blank node with the given label (without the `_:` prefix).
+    pub fn new(label: impl AsRef<str>) -> Self {
+        BlankNode(Arc::from(label.as_ref()))
+    }
+
+    /// The blank node label (without the `_:` prefix).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: a lexical form plus a datatype IRI and an optional
+/// language tag (language-tagged strings always have datatype
+/// `rdf:langString`, plain literals default to `xsd:string`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    lexical: Arc<str>,
+    datatype: Iri,
+    language: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(value: impl AsRef<str>) -> Self {
+        Literal {
+            lexical: Arc::from(value.as_ref()),
+            datatype: xsd::string(),
+            language: None,
+        }
+    }
+
+    /// A language-tagged string literal.
+    pub fn lang_string(value: impl AsRef<str>, lang: impl AsRef<str>) -> Self {
+        Literal {
+            lexical: Arc::from(value.as_ref()),
+            datatype: Iri::new("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"),
+            language: Some(Arc::from(lang.as_ref().to_ascii_lowercase().as_str())),
+        }
+    }
+
+    /// A typed literal with an explicit datatype.
+    pub fn typed(value: impl AsRef<str>, datatype: Iri) -> Self {
+        Literal {
+            lexical: Arc::from(value.as_ref()),
+            datatype,
+            language: None,
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), xsd::integer())
+    }
+
+    /// An `xsd:decimal` literal.
+    pub fn decimal(value: f64) -> Self {
+        Literal::typed(format_decimal(value), xsd::decimal())
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(value.to_string(), xsd::double())
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(if value { "true" } else { "false" }, xsd::boolean())
+    }
+
+    /// An `xsd:date` literal from year, month, day.
+    pub fn date(year: i32, month: u32, day: u32) -> Self {
+        Literal::typed(format!("{year:04}-{month:02}-{day:02}"), xsd::date())
+    }
+
+    /// An `xsd:gYearMonth` literal (used by Eurostat reference periods).
+    pub fn year_month(year: i32, month: u32) -> Self {
+        Literal::typed(format!("{year:04}-{month:02}"), xsd::g_year_month())
+    }
+
+    /// An `xsd:gYear` literal.
+    pub fn year(year: i32) -> Self {
+        Literal::typed(format!("{year:04}"), xsd::g_year())
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The datatype IRI.
+    pub fn datatype(&self) -> &Iri {
+        &self.datatype
+    }
+
+    /// The language tag, if this is a language-tagged string.
+    pub fn language(&self) -> Option<&str> {
+        self.language.as_deref()
+    }
+
+    /// Whether the datatype is one of the XSD numeric types.
+    pub fn is_numeric(&self) -> bool {
+        crate::vocab::is_numeric_datatype(&self.datatype)
+    }
+
+    /// Tries to interpret the literal as an `i64`.
+    pub fn as_integer(&self) -> Option<i64> {
+        if self.is_numeric() {
+            self.lexical.trim().parse::<i64>().ok()
+        } else {
+            None
+        }
+    }
+
+    /// Tries to interpret the literal as an `f64`.
+    pub fn as_double(&self) -> Option<f64> {
+        if self.is_numeric() {
+            self.lexical.trim().parse::<f64>().ok()
+        } else {
+            None
+        }
+    }
+
+    /// Tries to interpret the literal as a boolean.
+    pub fn as_boolean(&self) -> Option<bool> {
+        if self.datatype == xsd::boolean() {
+            match self.lexical.trim() {
+                "true" | "1" => Some(true),
+                "false" | "0" => Some(false),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+/// Canonical decimal formatting without scientific notation.
+fn format_decimal(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{:.1}", value)
+    } else {
+        format!("{}", value)
+    }
+}
+
+impl PartialOrd for Literal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Literal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Order numerically where possible so that e.g. "9" < "10" for
+        // xsd:integer literals; fall back to lexicographic ordering.
+        if let (Some(a), Some(b)) = (self.as_double(), other.as_double()) {
+            if let Some(ord) = a.partial_cmp(&b) {
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+        }
+        (self.lexical.as_ref(), &self.datatype, &self.language).cmp(&(
+            other.lexical.as_ref(),
+            &other.datatype,
+            &other.language,
+        ))
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")
+        } else if self.datatype != xsd::string() {
+            write!(f, "^^{}", self.datatype)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Escapes a literal lexical form for N-Triples/Turtle output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Any RDF term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A named node (IRI).
+    Iri(Iri),
+    /// A blank node.
+    Blank(BlankNode),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(iri: impl AsRef<str>) -> Self {
+        Term::Iri(Iri::new(iri))
+    }
+
+    /// Convenience constructor for a blank-node term.
+    pub fn blank(label: impl AsRef<str>) -> Self {
+        Term::Blank(BlankNode::new(label))
+    }
+
+    /// Convenience constructor for a string literal term.
+    pub fn string(value: impl AsRef<str>) -> Self {
+        Term::Literal(Literal::string(value))
+    }
+
+    /// Convenience constructor for an integer literal term.
+    pub fn integer(value: i64) -> Self {
+        Term::Literal(Literal::integer(value))
+    }
+
+    /// Returns the IRI if this term is a named node.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// Returns the literal if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// Returns the blank node if this term is a blank node.
+    pub fn as_blank(&self) -> Option<&BlankNode> {
+        match self {
+            Term::Blank(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True if the term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if the term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True if the term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// A human-readable label for the term: literal lexical form, IRI local
+    /// name, or blank-node label.
+    pub fn display_label(&self) -> String {
+        match self {
+            Term::Iri(iri) => iri.local_name().to_string(),
+            Term::Blank(b) => format!("_:{}", b.as_str()),
+            Term::Literal(lit) => lit.lexical().to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "{iri}"),
+            Term::Blank(b) => write!(f, "{b}"),
+            Term::Literal(lit) => write!(f, "{lit}"),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(iri: Iri) -> Self {
+        Term::Iri(iri)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(lit: Literal) -> Self {
+        Term::Literal(lit)
+    }
+}
+
+/// An RDF triple (subject, predicate, object).
+///
+/// The subject may be an IRI or blank node, the predicate is always an IRI,
+/// and the object may be any term. For simplicity the subject is stored as a
+/// [`Term`]; constructors reject literal subjects.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Triple {
+    /// The subject (IRI or blank node).
+    pub subject: Term,
+    /// The predicate IRI.
+    pub predicate: Iri,
+    /// The object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple.
+    ///
+    /// # Panics
+    /// Panics if `subject` is a literal (invalid in RDF 1.1).
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Iri>, object: impl Into<Term>) -> Self {
+        let subject = subject.into();
+        assert!(
+            !subject.is_literal(),
+            "RDF triple subject must not be a literal: {subject}"
+        );
+        Triple {
+            subject,
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_local_name_and_namespace() {
+        let iri = Iri::new("http://example.org/ns#Country");
+        assert_eq!(iri.local_name(), "Country");
+        assert_eq!(iri.namespace(), "http://example.org/ns#");
+
+        let slash = Iri::new("http://example.org/data/obs1");
+        assert_eq!(slash.local_name(), "obs1");
+        assert_eq!(slash.namespace(), "http://example.org/data/");
+
+        let bare = Iri::new("urn:thing");
+        assert_eq!(bare.local_name(), "urn:thing");
+    }
+
+    #[test]
+    fn iri_join() {
+        let ns = Iri::new("http://example.org/ns#");
+        assert_eq!(ns.join("x").as_str(), "http://example.org/ns#x");
+    }
+
+    #[test]
+    fn literal_accessors() {
+        let int = Literal::integer(42);
+        assert_eq!(int.as_integer(), Some(42));
+        assert_eq!(int.as_double(), Some(42.0));
+        assert_eq!(int.datatype(), &xsd::integer());
+
+        let s = Literal::string("hello");
+        assert_eq!(s.as_integer(), None);
+        assert_eq!(s.lexical(), "hello");
+
+        let b = Literal::boolean(true);
+        assert_eq!(b.as_boolean(), Some(true));
+
+        let lang = Literal::lang_string("Afrique", "FR");
+        assert_eq!(lang.language(), Some("fr"));
+    }
+
+    #[test]
+    fn literal_numeric_ordering() {
+        let a = Literal::integer(9);
+        let b = Literal::integer(10);
+        assert!(a < b, "numeric literals must order numerically");
+    }
+
+    #[test]
+    fn literal_display_forms() {
+        assert_eq!(Literal::string("x").to_string(), "\"x\"");
+        assert_eq!(
+            Literal::integer(5).to_string(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(Literal::lang_string("x", "en").to_string(), "\"x\"@en");
+    }
+
+    #[test]
+    fn literal_escaping() {
+        let l = Literal::string("a\"b\\c\nd");
+        assert_eq!(l.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn term_display_label() {
+        assert_eq!(Term::iri("http://x.org/ns#Africa").display_label(), "Africa");
+        assert_eq!(Term::string("Africa").display_label(), "Africa");
+        assert_eq!(Term::blank("b0").display_label(), "_:b0");
+    }
+
+    #[test]
+    #[should_panic(expected = "subject must not be a literal")]
+    fn triple_rejects_literal_subject() {
+        let _ = Triple::new(Term::string("bad"), Iri::new("http://p"), Term::integer(1));
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Term::iri("http://o"),
+        );
+        assert_eq!(t.to_string(), "<http://s> <http://p> <http://o> .");
+    }
+
+    #[test]
+    fn date_literals() {
+        assert_eq!(Literal::year_month(2014, 3).lexical(), "2014-03");
+        assert_eq!(Literal::year(2013).lexical(), "2013");
+        assert_eq!(Literal::date(2014, 1, 31).lexical(), "2014-01-31");
+    }
+
+    #[test]
+    fn decimal_formatting() {
+        assert_eq!(Literal::decimal(5.0).lexical(), "5.0");
+        assert_eq!(Literal::decimal(5.25).lexical(), "5.25");
+    }
+}

@@ -1,0 +1,437 @@
+//! Well-known RDF vocabularies used throughout QB2OLAP.
+//!
+//! Each vocabulary is a module exposing the namespace IRI plus one function
+//! per term. The QB and QB4OLAP vocabularies follow the W3C RDF Data Cube
+//! recommendation and the QB4OLAP 1.3 specification respectively; the SDMX
+//! COG namespaces are those used by the Eurostat linked-statistics datasets
+//! the paper's demo is built on.
+
+use crate::term::Iri;
+
+macro_rules! vocabulary {
+    ($(#[$doc:meta])* $name:ident, $ns:literal, { $($(#[$tdoc:meta])* $term:ident => $local:literal),* $(,)? }) => {
+        $(#[$doc])*
+        pub mod $name {
+            use super::Iri;
+
+            /// The namespace IRI of this vocabulary.
+            pub const NAMESPACE: &str = $ns;
+
+            /// Returns the namespace IRI.
+            pub fn namespace() -> Iri {
+                Iri::new(NAMESPACE)
+            }
+
+            /// Returns an IRI in this namespace with the given local name.
+            pub fn term(local: &str) -> Iri {
+                Iri::new(format!("{}{}", NAMESPACE, local))
+            }
+
+            $(
+                $(#[$tdoc])*
+                pub fn $term() -> Iri {
+                    Iri::new(concat!($ns, $local))
+                }
+            )*
+        }
+    };
+}
+
+vocabulary!(
+    /// The core RDF vocabulary.
+    rdf, "http://www.w3.org/1999/02/22-rdf-syntax-ns#", {
+        /// `rdf:type`.
+        type_ => "type",
+        /// `rdf:Property`.
+        property => "Property",
+        /// `rdf:langString`.
+        lang_string => "langString",
+        /// `rdf:first` (RDF collections).
+        first => "first",
+        /// `rdf:rest` (RDF collections).
+        rest => "rest",
+        /// `rdf:nil` (RDF collections).
+        nil => "nil",
+    }
+);
+
+vocabulary!(
+    /// RDF Schema.
+    rdfs, "http://www.w3.org/2000/01/rdf-schema#", {
+        /// `rdfs:label`.
+        label => "label",
+        /// `rdfs:comment`.
+        comment => "comment",
+        /// `rdfs:subClassOf`.
+        sub_class_of => "subClassOf",
+        /// `rdfs:subPropertyOf`.
+        sub_property_of => "subPropertyOf",
+        /// `rdfs:range`.
+        range => "range",
+        /// `rdfs:domain`.
+        domain => "domain",
+        /// `rdfs:seeAlso`.
+        see_also => "seeAlso",
+        /// `rdfs:Class`.
+        class => "Class",
+    }
+);
+
+vocabulary!(
+    /// XML Schema datatypes.
+    xsd, "http://www.w3.org/2001/XMLSchema#", {
+        /// `xsd:string`.
+        string => "string",
+        /// `xsd:integer`.
+        integer => "integer",
+        /// `xsd:int`.
+        int => "int",
+        /// `xsd:long`.
+        long => "long",
+        /// `xsd:decimal`.
+        decimal => "decimal",
+        /// `xsd:double`.
+        double => "double",
+        /// `xsd:float`.
+        float => "float",
+        /// `xsd:boolean`.
+        boolean => "boolean",
+        /// `xsd:date`.
+        date => "date",
+        /// `xsd:dateTime`.
+        date_time => "dateTime",
+        /// `xsd:gYear`.
+        g_year => "gYear",
+        /// `xsd:gYearMonth`.
+        g_year_month => "gYearMonth",
+        /// `xsd:anyURI`.
+        any_uri => "anyURI",
+        /// `xsd:nonNegativeInteger`.
+        non_negative_integer => "nonNegativeInteger",
+    }
+);
+
+/// Returns true if `datatype` is one of the XSD numeric datatypes.
+pub fn is_numeric_datatype(datatype: &Iri) -> bool {
+    matches!(
+        datatype.as_str(),
+        "http://www.w3.org/2001/XMLSchema#integer"
+            | "http://www.w3.org/2001/XMLSchema#int"
+            | "http://www.w3.org/2001/XMLSchema#long"
+            | "http://www.w3.org/2001/XMLSchema#decimal"
+            | "http://www.w3.org/2001/XMLSchema#double"
+            | "http://www.w3.org/2001/XMLSchema#float"
+            | "http://www.w3.org/2001/XMLSchema#nonNegativeInteger"
+    )
+}
+
+vocabulary!(
+    /// OWL (only the terms QB2OLAP needs for linked-data enrichment).
+    owl, "http://www.w3.org/2002/07/owl#", {
+        /// `owl:sameAs`.
+        same_as => "sameAs",
+        /// `owl:Class`.
+        class => "Class",
+    }
+);
+
+vocabulary!(
+    /// SKOS, used by QB for code lists and by QB4OLAP for roll-up links.
+    skos, "http://www.w3.org/2004/02/skos/core#", {
+        /// `skos:broader` — the member-level roll-up relationship.
+        broader => "broader",
+        /// `skos:narrower`.
+        narrower => "narrower",
+        /// `skos:prefLabel`.
+        pref_label => "prefLabel",
+        /// `skos:notation`.
+        notation => "notation",
+        /// `skos:Concept`.
+        concept => "Concept",
+        /// `skos:ConceptScheme`.
+        concept_scheme => "ConceptScheme",
+        /// `skos:inScheme`.
+        in_scheme => "inScheme",
+        /// `skos:hasTopConcept`.
+        has_top_concept => "hasTopConcept",
+    }
+);
+
+vocabulary!(
+    /// The W3C RDF Data Cube (QB) vocabulary.
+    qb, "http://purl.org/linked-data/cube#", {
+        /// `qb:DataSet`.
+        data_set_class => "DataSet",
+        /// `qb:dataSet`.
+        data_set => "dataSet",
+        /// `qb:DataStructureDefinition`.
+        data_structure_definition => "DataStructureDefinition",
+        /// `qb:structure`.
+        structure => "structure",
+        /// `qb:component`.
+        component => "component",
+        /// `qb:ComponentSpecification`.
+        component_specification => "ComponentSpecification",
+        /// `qb:dimension`.
+        dimension => "dimension",
+        /// `qb:measure`.
+        measure => "measure",
+        /// `qb:attribute`.
+        attribute => "attribute",
+        /// `qb:componentProperty`.
+        component_property => "componentProperty",
+        /// `qb:componentRequired`.
+        component_required => "componentRequired",
+        /// `qb:order`.
+        order => "order",
+        /// `qb:Observation`.
+        observation => "Observation",
+        /// `qb:DimensionProperty`.
+        dimension_property => "DimensionProperty",
+        /// `qb:MeasureProperty`.
+        measure_property => "MeasureProperty",
+        /// `qb:AttributeProperty`.
+        attribute_property => "AttributeProperty",
+        /// `qb:CodedProperty`.
+        coded_property => "CodedProperty",
+        /// `qb:codeList`.
+        code_list => "codeList",
+        /// `qb:concept`.
+        concept => "concept",
+        /// `qb:Slice`.
+        slice => "Slice",
+        /// `qb:observation` (slice membership).
+        observation_link => "observation",
+    }
+);
+
+vocabulary!(
+    /// The QB4OLAP vocabulary (extension of QB with full MD semantics).
+    qb4o, "http://purl.org/qb4olap/cubes#", {
+        /// `qb4o:level` — links a DSD component to a dimension level.
+        level => "level",
+        /// `qb4o:LevelProperty` — the class of dimension levels.
+        level_property => "LevelProperty",
+        /// `qb4o:LevelAttribute` — the class of level attributes.
+        level_attribute => "LevelAttribute",
+        /// `qb4o:LevelMember` — the class of level members.
+        level_member => "LevelMember",
+        /// `qb4o:Hierarchy` — the class of dimension hierarchies.
+        hierarchy => "Hierarchy",
+        /// `qb4o:HierarchyStep` — a parent/child relationship between levels.
+        hierarchy_step => "HierarchyStep",
+        /// `qb4o:hasHierarchy` — dimension → hierarchy.
+        has_hierarchy => "hasHierarchy",
+        /// `qb4o:inDimension` — hierarchy → dimension.
+        in_dimension => "inDimension",
+        /// `qb4o:hasLevel` — hierarchy → level.
+        has_level => "hasLevel",
+        /// `qb4o:inHierarchy` — hierarchy step → hierarchy.
+        in_hierarchy => "inHierarchy",
+        /// `qb4o:childLevel` — hierarchy step → finer level.
+        child_level => "childLevel",
+        /// `qb4o:parentLevel` — hierarchy step → coarser level.
+        parent_level => "parentLevel",
+        /// `qb4o:pcCardinality` — hierarchy step cardinality.
+        pc_cardinality => "pcCardinality",
+        /// `qb4o:cardinality` — fact/level cardinality on DSD components.
+        cardinality => "cardinality",
+        /// `qb4o:hasAttribute` — level → level attribute.
+        has_attribute => "hasAttribute",
+        /// `qb4o:inLevel` — level attribute → level.
+        in_level => "inLevel",
+        /// `qb4o:memberOf` — member → level.
+        member_of => "memberOf",
+        /// `qb4o:aggregateFunction` — measure component → aggregate function.
+        aggregate_function => "aggregateFunction",
+        /// `qb4o:AggregateFunction` — the class of aggregate functions.
+        aggregate_function_class => "AggregateFunction",
+        /// `qb4o:sum`.
+        sum => "sum",
+        /// `qb4o:avg`.
+        avg => "avg",
+        /// `qb4o:count`.
+        count => "count",
+        /// `qb4o:min`.
+        min => "min",
+        /// `qb4o:max`.
+        max => "max",
+        /// `qb4o:OneToOne`.
+        one_to_one => "OneToOne",
+        /// `qb4o:OneToMany`.
+        one_to_many => "OneToMany",
+        /// `qb4o:ManyToOne`.
+        many_to_one => "ManyToOne",
+        /// `qb4o:ManyToMany`.
+        many_to_many => "ManyToMany",
+        /// `qb4o:Cardinality` — the class of cardinalities.
+        cardinality_class => "Cardinality",
+    }
+);
+
+vocabulary!(
+    /// SDMX COG dimension concepts (used by Eurostat QB datasets).
+    sdmx_dimension, "http://purl.org/linked-data/sdmx/2009/dimension#", {
+        /// `sdmx-dimension:refPeriod`.
+        ref_period => "refPeriod",
+        /// `sdmx-dimension:refArea`.
+        ref_area => "refArea",
+        /// `sdmx-dimension:sex`.
+        sex => "sex",
+        /// `sdmx-dimension:age`.
+        age => "age",
+        /// `sdmx-dimension:freq`.
+        freq => "freq",
+    }
+);
+
+vocabulary!(
+    /// SDMX COG measure concepts.
+    sdmx_measure, "http://purl.org/linked-data/sdmx/2009/measure#", {
+        /// `sdmx-measure:obsValue`.
+        obs_value => "obsValue",
+    }
+);
+
+vocabulary!(
+    /// SDMX COG attribute concepts.
+    sdmx_attribute, "http://purl.org/linked-data/sdmx/2009/attribute#", {
+        /// `sdmx-attribute:unitMeasure`.
+        unit_measure => "unitMeasure",
+        /// `sdmx-attribute:obsStatus`.
+        obs_status => "obsStatus",
+    }
+);
+
+vocabulary!(
+    /// Eurostat linked-statistics property namespace (dataset-specific
+    /// dimensions such as `property:citizen`, `property:geo`, `property:age`).
+    eurostat_property, "http://eurostat.linked-statistics.org/property#", {
+        /// `property:citizen` — country of citizenship of the applicant.
+        citizen => "citizen",
+        /// `property:geo` — destination (host) country.
+        geo => "geo",
+        /// `property:age` — age class.
+        age => "age",
+        /// `property:sex` — sex.
+        sex => "sex",
+        /// `property:asyl_app` — type of asylum applicant.
+        asyl_app => "asyl_app",
+        /// `property:unit` — unit of measure.
+        unit => "unit",
+    }
+);
+
+vocabulary!(
+    /// Eurostat linked-statistics DSD namespace.
+    eurostat_dsd, "http://eurostat.linked-statistics.org/dsd/", {
+        /// The asylum-applications DSD used in the demo.
+        migr_asyappctzm => "migr_asyappctzm",
+    }
+);
+
+vocabulary!(
+    /// Eurostat linked-statistics data namespace.
+    eurostat_data, "http://eurostat.linked-statistics.org/data/", {
+        /// The asylum-applications dataset used in the demo.
+        migr_asyappctzm => "migr_asyappctzm",
+    }
+);
+
+vocabulary!(
+    /// Eurostat dictionary namespace for code-list members
+    /// (e.g. `dic:citizen#SY` for Syria).
+    eurostat_dic, "http://eurostat.linked-statistics.org/dic/", {}
+);
+
+vocabulary!(
+    /// The demo schema namespace used by the paper for enrichment output
+    /// (`schema:citizenshipDim`, `schema:continent`, ...).
+    demo_schema, "http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#", {
+        /// `schema:citizenshipDim`.
+        citizenship_dim => "citizenshipDim",
+        /// `schema:citizenshipGeoHier`.
+        citizenship_geo_hier => "citizenshipGeoHier",
+        /// `schema:continent`.
+        continent => "continent",
+        /// `schema:continentName`.
+        continent_name => "continentName",
+        /// `schema:citAll`.
+        cit_all => "citAll",
+        /// `schema:destinationDim`.
+        destination_dim => "destinationDim",
+        /// `schema:countryName`.
+        country_name => "countryName",
+        /// `schema:timeDim`.
+        time_dim => "timeDim",
+        /// `schema:year`.
+        year => "year",
+        /// `schema:asylappDim`.
+        asylapp_dim => "asylappDim",
+    }
+);
+
+vocabulary!(
+    /// A DBpedia-like namespace for the synthetic external linked dataset
+    /// used to demonstrate cross-dataset enrichment.
+    dbpedia, "http://dbpedia.org/ontology/", {
+        /// `dbo:Country`.
+        country => "Country",
+        /// `dbo:continent`.
+        continent => "continent",
+        /// `dbo:governmentType`.
+        government_type => "governmentType",
+        /// `dbo:populationTotal`.
+        population_total => "populationTotal",
+        /// `dbo:capital`.
+        capital => "capital",
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_well_formed() {
+        assert_eq!(qb::NAMESPACE, "http://purl.org/linked-data/cube#");
+        assert_eq!(qb4o::NAMESPACE, "http://purl.org/qb4olap/cubes#");
+        assert!(rdf::type_().as_str().ends_with("#type"));
+        assert!(qb4o::level().as_str().ends_with("#level"));
+    }
+
+    #[test]
+    fn term_constructor_appends_local_name() {
+        assert_eq!(
+            qb::term("DataSet").as_str(),
+            "http://purl.org/linked-data/cube#DataSet"
+        );
+        assert_eq!(qb::term("DataSet"), qb::data_set_class());
+    }
+
+    #[test]
+    fn numeric_datatype_detection() {
+        assert!(is_numeric_datatype(&xsd::integer()));
+        assert!(is_numeric_datatype(&xsd::double()));
+        assert!(!is_numeric_datatype(&xsd::string()));
+        assert!(!is_numeric_datatype(&xsd::date()));
+    }
+
+    #[test]
+    fn eurostat_namespaces_match_paper() {
+        assert_eq!(
+            eurostat_property::citizen().as_str(),
+            "http://eurostat.linked-statistics.org/property#citizen"
+        );
+        assert_eq!(
+            demo_schema::continent().as_str(),
+            "http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#continent"
+        );
+    }
+
+    #[test]
+    fn sdmx_terms() {
+        assert!(sdmx_dimension::ref_period().as_str().ends_with("refPeriod"));
+        assert!(sdmx_measure::obs_value().as_str().ends_with("obsValue"));
+    }
+}

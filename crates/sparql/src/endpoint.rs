@@ -1,0 +1,190 @@
+//! The endpoint abstraction.
+//!
+//! In the original QB2OLAP deployment all three modules talk to a Virtuoso
+//! SPARQL endpoint. Here the [`Endpoint`] trait captures exactly that
+//! contract — query text in, results out — and [`LocalEndpoint`] implements
+//! it over an in-process [`rdf::Store`]. Higher layers (enrichment,
+//! exploration, querying) only ever use the trait, so they are oblivious to
+//! where the data lives, just as in the paper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rdf::{Iri, Store, Triple};
+
+use crate::error::SparqlError;
+use crate::eval::evaluate_query;
+use crate::parser::parse_query;
+use crate::results::{QueryResults, Solutions};
+
+/// A SPARQL endpoint: accepts query text, returns results.
+pub trait Endpoint {
+    /// Executes any supported query form.
+    fn query(&self, sparql: &str) -> Result<QueryResults, SparqlError>;
+
+    /// Executes a SELECT query and returns its solutions.
+    fn select(&self, sparql: &str) -> Result<Solutions, SparqlError> {
+        match self.query(sparql)? {
+            QueryResults::Solutions(s) => Ok(s),
+            QueryResults::Boolean(_) => Err(SparqlError::Endpoint(
+                "expected a SELECT query, got an ASK result".to_string(),
+            )),
+        }
+    }
+
+    /// Executes an ASK query and returns its boolean.
+    fn ask(&self, sparql: &str) -> Result<bool, SparqlError> {
+        match self.query(sparql)? {
+            QueryResults::Boolean(b) => Ok(b),
+            QueryResults::Solutions(_) => Err(SparqlError::Endpoint(
+                "expected an ASK query, got a SELECT result".to_string(),
+            )),
+        }
+    }
+
+    /// Loads triples into the endpoint's default graph (the paper's
+    /// Enrichment module loads the generated schema and instance triples
+    /// back into the endpoint).
+    fn insert_triples(&self, triples: &[Triple]) -> Result<usize, SparqlError>;
+
+    /// Loads triples into a named graph.
+    fn insert_triples_named(&self, graph: &Iri, triples: &[Triple]) -> Result<usize, SparqlError>;
+
+    /// Number of triples stored (default graph).
+    fn triple_count(&self) -> usize;
+}
+
+/// An in-process endpoint backed by an [`rdf::Store`].
+#[derive(Debug, Clone, Default)]
+pub struct LocalEndpoint {
+    store: Store,
+    queries_executed: Arc<AtomicUsize>,
+}
+
+impl LocalEndpoint {
+    /// Creates an endpoint over a fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an endpoint over an existing store.
+    pub fn with_store(store: Store) -> Self {
+        LocalEndpoint {
+            store,
+            queries_executed: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// The underlying store (shared).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of queries executed so far (for the workflow statistics the
+    /// demo UI displays).
+    pub fn queries_executed(&self) -> usize {
+        self.queries_executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Endpoint for LocalEndpoint {
+    fn query(&self, sparql: &str) -> Result<QueryResults, SparqlError> {
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        let parsed = parse_query(sparql)?;
+        self.store
+            .with_default_graph(|graph| evaluate_query(graph, &parsed))
+    }
+
+    fn insert_triples(&self, triples: &[Triple]) -> Result<usize, SparqlError> {
+        Ok(self.store.insert_all(triples.iter().cloned()))
+    }
+
+    fn insert_triples_named(&self, graph: &Iri, triples: &[Triple]) -> Result<usize, SparqlError> {
+        Ok(self.store.insert_all_named(graph, triples.iter().cloned()))
+    }
+
+    fn triple_count(&self) -> usize {
+        self.store.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::{Literal, Term};
+
+    fn endpoint() -> LocalEndpoint {
+        let ep = LocalEndpoint::new();
+        ep.store()
+            .load_turtle(
+                "@prefix ex: <http://example.org/> .
+                 ex:a ex:value 1 . ex:b ex:value 2 . ex:c ex:value 3 .",
+            )
+            .unwrap();
+        ep
+    }
+
+    #[test]
+    fn select_and_ask() {
+        let ep = endpoint();
+        let solutions = ep
+            .select("PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:value ?v . FILTER(?v > 1) }")
+            .unwrap();
+        assert_eq!(solutions.len(), 2);
+        assert!(ep
+            .ask("PREFIX ex: <http://example.org/> ASK { ex:a ex:value 1 }")
+            .unwrap());
+        assert_eq!(ep.queries_executed(), 2);
+    }
+
+    #[test]
+    fn wrong_result_kind_is_an_error() {
+        let ep = endpoint();
+        assert!(ep.select("ASK { ?s ?p ?o }").is_err());
+        assert!(ep.ask("SELECT * WHERE { ?s ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn insert_triples_visible_to_queries() {
+        let ep = endpoint();
+        let before = ep.triple_count();
+        ep.insert_triples(&[Triple::new(
+            Term::iri("http://example.org/d"),
+            Iri::new("http://example.org/value"),
+            Literal::integer(4),
+        )])
+        .unwrap();
+        assert_eq!(ep.triple_count(), before + 1);
+        let solutions = ep
+            .select("PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:value 4 }")
+            .unwrap();
+        assert_eq!(solutions.len(), 1);
+    }
+
+    #[test]
+    fn named_graph_insertion_is_separate() {
+        let ep = endpoint();
+        let g = Iri::new("http://example.org/graph/schema");
+        ep.insert_triples_named(
+            &g,
+            &[Triple::new(
+                Term::iri("http://example.org/s"),
+                Iri::new("http://example.org/p"),
+                Term::iri("http://example.org/o"),
+            )],
+        )
+        .unwrap();
+        // Named graph triples are not visible in the default graph.
+        let solutions = ep
+            .select("PREFIX ex: <http://example.org/> SELECT ?o WHERE { ex:s ex:p ?o }")
+            .unwrap();
+        assert!(solutions.is_empty());
+        assert_eq!(ep.store().total_len(), ep.triple_count() + 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let ep = endpoint();
+        assert!(ep.query("SELECT WHERE {").is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Query result representations.
+
+use std::collections::BTreeMap;
+
+use rdf::Term;
+
+use crate::ast::Variable;
+
+/// A table of solutions: a list of output variables plus one row per solution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solutions {
+    /// Output variables, in projection order.
+    pub variables: Vec<Variable>,
+    /// One row per solution; entries align with `variables` and are `None`
+    /// when the variable is unbound in that solution.
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Creates an empty solution table with the given variables.
+    pub fn new(variables: Vec<Variable>) -> Self {
+        Solutions {
+            variables,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The index of a variable by name, if it is part of the output.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v.name() == name)
+    }
+
+    /// The binding of `name` in row `row`, if bound.
+    pub fn get(&self, row: usize, name: &str) -> Option<&Term> {
+        let col = self.column(name)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// Iterates rows as `variable name → term` maps (unbound vars omitted).
+    pub fn iter_maps(&self) -> impl Iterator<Item = BTreeMap<&str, &Term>> + '_ {
+        self.rows.iter().map(move |row| {
+            self.variables
+                .iter()
+                .zip(row.iter())
+                .filter_map(|(v, t)| t.as_ref().map(|t| (v.name(), t)))
+                .collect()
+        })
+    }
+
+    /// Renders the solutions as a fixed-width text table (used by the demo
+    /// examples and the exploration module's text UI).
+    pub fn to_table_string(&self) -> String {
+        let headers: Vec<String> = self.variables.iter().map(|v| format!("?{}", v.name())).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let s = t.as_ref().map(render_term).unwrap_or_default();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out.push_str(&format!("{} solution(s)\n", self.rows.len()));
+        out
+    }
+}
+
+/// Renders a term compactly for table output (no angle brackets or quotes).
+fn render_term(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => iri.as_str().to_string(),
+        Term::Blank(b) => format!("_:{}", b.as_str()),
+        Term::Literal(lit) => lit.lexical().to_string(),
+    }
+}
+
+/// The result of executing a query: a solution table for SELECT, a boolean
+/// for ASK.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResults {
+    /// SELECT results.
+    Solutions(Solutions),
+    /// ASK result.
+    Boolean(bool),
+}
+
+impl QueryResults {
+    /// Returns the solutions, if this is a SELECT result.
+    pub fn solutions(&self) -> Option<&Solutions> {
+        match self {
+            QueryResults::Solutions(s) => Some(s),
+            QueryResults::Boolean(_) => None,
+        }
+    }
+
+    /// Consumes the result and returns the solutions, if this is a SELECT result.
+    pub fn into_solutions(self) -> Option<Solutions> {
+        match self {
+            QueryResults::Solutions(s) => Some(s),
+            QueryResults::Boolean(_) => None,
+        }
+    }
+
+    /// Returns the boolean, if this is an ASK result.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            QueryResults::Boolean(b) => Some(*b),
+            QueryResults::Solutions(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Solutions {
+        Solutions {
+            variables: vec![Variable::new("country"), Variable::new("total")],
+            rows: vec![
+                vec![Some(Term::iri("http://ex/SY")), Some(Term::integer(120))],
+                vec![Some(Term::iri("http://ex/NG")), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.column("total"), Some(1));
+        assert_eq!(s.column("missing"), None);
+        assert_eq!(s.get(0, "total"), Some(&Term::integer(120)));
+        assert_eq!(s.get(1, "total"), None);
+        assert_eq!(s.get(5, "total"), None);
+    }
+
+    #[test]
+    fn iter_maps_skips_unbound() {
+        let s = sample();
+        let maps: Vec<_> = s.iter_maps().collect();
+        assert_eq!(maps[0].len(), 2);
+        assert_eq!(maps[1].len(), 1);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = sample();
+        let table = s.to_table_string();
+        assert!(table.contains("?country"));
+        assert!(table.contains("http://ex/SY"));
+        assert!(table.contains("2 solution(s)"));
+    }
+
+    #[test]
+    fn query_results_accessors() {
+        let r = QueryResults::Solutions(sample());
+        assert!(r.solutions().is_some());
+        assert!(r.boolean().is_none());
+        assert!(r.into_solutions().is_some());
+        let b = QueryResults::Boolean(true);
+        assert_eq!(b.boolean(), Some(true));
+        assert!(b.solutions().is_none());
+    }
+}
