@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# The merge gate: tier-1 verify (build + tests) plus docs and lints.
+# Run from the repo root. Fails fast; every step must be warning-free.
+set -eux
+
+# Tier-1 (ROADMAP.md): the workspace builds and the full test suite passes.
+# --workspace so the gate covers every member even if the default-members
+# list in Cargo.toml drifts out of sync.
+cargo build --release --workspace
+cargo test -q --workspace
+
+# Documentation builds for all crates with zero warnings.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Lints, on every target (libs, bins, tests, examples, benches).
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

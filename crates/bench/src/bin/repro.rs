@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap-bench --bin repro -- [all|e1|e2|...|e10] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e10] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;

@@ -183,12 +183,7 @@ impl<'e> EnrichmentSession<'e> {
         if let Some(members) = self.members.get(level) {
             return Ok(members.clone());
         }
-        let is_bottom = self
-            .qb_dataset
-            .structure
-            .dimensions()
-            .iter()
-            .any(|d| *d == level);
+        let is_bottom = self.qb_dataset.structure.dimensions().contains(&level);
         if !is_bottom {
             return Err(EnrichmentError::UnknownElement(format!(
                 "level <{}> has no known members (it is neither an original dimension nor an added level)",

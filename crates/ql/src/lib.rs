@@ -9,10 +9,10 @@
 //! * [`ast`] / [`parser`] — the QL language;
 //! * [`pipeline`] — the Query Simplification phase (slice push-down,
 //!   roll-up/drill-down fusion) and schema validation;
-//! * [`translate`] — the Query Translation phase (direct + alternative
-//!   SPARQL);
+//! * [`translate`](mod@translate) — the Query Translation phase (direct +
+//!   alternative SPARQL);
 //! * [`executor`] — the SPARQL Execution phase and the end-to-end
-//!   [`QueryingModule`](executor::QueryingModule);
+//!   [`executor::QueryingModule`];
 //! * [`cube`] — the result cube.
 
 #![warn(missing_docs)]

@@ -55,65 +55,107 @@ pub mod prelude {
     pub use crate::vocab;
 }
 
+// Randomised invariant tests. The seed repo expressed these with `proptest`,
+// which is unavailable in the offline build; seeded `StdRng` sampling keeps
+// the same invariant coverage (without shrinking) and stays deterministic.
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     use crate::graph::Graph;
     use crate::parser::parse_ntriples;
     use crate::serializer::to_ntriples;
     use crate::term::{Iri, Literal, Term, Triple};
 
-    fn arb_iri() -> impl Strategy<Value = Iri> {
-        "[a-z]{1,8}".prop_map(|s| Iri::new(format!("http://example.org/{s}")))
+    const CASES: u64 = 128;
+
+    fn random_string(rng: &mut StdRng, lengths: std::ops::Range<usize>, pool: &str) -> String {
+        let chars: Vec<char> = pool.chars().collect();
+        (0..rng.gen_range(lengths))
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
     }
 
-    fn arb_literal() -> impl Strategy<Value = Literal> {
-        prop_oneof![
-            "[ -~]{0,20}".prop_map(Literal::string),
-            any::<i32>().prop_map(|i| Literal::integer(i as i64)),
-            any::<bool>().prop_map(Literal::boolean),
-            ("[a-zA-Z ]{0,10}", "[a-z]{2}").prop_map(|(s, l)| Literal::lang_string(s, l)),
-        ]
+    fn random_iri(rng: &mut StdRng) -> Iri {
+        let s = random_string(rng, 1..9, "abcdefghijklmnopqrstuvwxyz");
+        Iri::new(format!("http://example.org/{s}"))
     }
 
-    fn arb_term() -> impl Strategy<Value = Term> {
-        prop_oneof![
-            arb_iri().prop_map(Term::Iri),
-            arb_literal().prop_map(Term::Literal),
-            "[a-z0-9]{1,6}".prop_map(Term::blank),
-        ]
-    }
-
-    fn arb_subject() -> impl Strategy<Value = Term> {
-        prop_oneof![
-            arb_iri().prop_map(Term::Iri),
-            "[a-z0-9]{1,6}".prop_map(Term::blank),
-        ]
-    }
-
-    fn arb_triple() -> impl Strategy<Value = Triple> {
-        (arb_subject(), arb_iri(), arb_term()).prop_map(|(s, p, o)| Triple::new(s, p, o))
-    }
-
-    proptest! {
-        /// Serialising a graph to N-Triples and parsing it back yields the
-        /// same set of triples.
-        #[test]
-        fn ntriples_roundtrip(triples in proptest::collection::vec(arb_triple(), 0..40)) {
-            let graph = Graph::from_triples(triples);
-            let nt = to_ntriples(&graph);
-            let reparsed = parse_ntriples(&nt).expect("serialiser output must parse").into_graph();
-            prop_assert_eq!(reparsed.len(), graph.len());
-            for t in graph.iter() {
-                prop_assert!(reparsed.contains(&t), "missing triple {}", t);
+    fn random_literal(rng: &mut StdRng) -> Literal {
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let printable: String = (b' '..=b'~').map(char::from).collect();
+                Literal::string(random_string(rng, 0..21, &printable))
+            }
+            1 => Literal::integer(rng.gen_range(i32::MIN as i64..=i32::MAX as i64)),
+            2 => Literal::boolean(rng.gen_bool(0.5)),
+            _ => {
+                let text = random_string(
+                    rng,
+                    0..11,
+                    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ",
+                );
+                let lang = random_string(rng, 2..3, "abcdefghijklmnopqrstuvwxyz");
+                Literal::lang_string(text, lang)
             }
         }
+    }
 
-        /// Graph insertion is idempotent and pattern matching with all
-        /// components bound agrees with `contains`.
-        #[test]
-        fn graph_insert_idempotent(triples in proptest::collection::vec(arb_triple(), 0..40)) {
+    fn random_blank_label(rng: &mut StdRng) -> String {
+        random_string(rng, 1..7, "abcdefghijklmnopqrstuvwxyz0123456789")
+    }
+
+    fn random_term(rng: &mut StdRng) -> Term {
+        match rng.gen_range(0..3u8) {
+            0 => Term::Iri(random_iri(rng)),
+            1 => Term::Literal(random_literal(rng)),
+            _ => Term::blank(random_blank_label(rng)),
+        }
+    }
+
+    fn random_subject(rng: &mut StdRng) -> Term {
+        if rng.gen_bool(0.5) {
+            Term::Iri(random_iri(rng))
+        } else {
+            Term::blank(random_blank_label(rng))
+        }
+    }
+
+    fn random_triple(rng: &mut StdRng) -> Triple {
+        Triple::new(random_subject(rng), random_iri(rng), random_term(rng))
+    }
+
+    fn random_triples(rng: &mut StdRng, counts: std::ops::Range<usize>) -> Vec<Triple> {
+        (0..rng.gen_range(counts))
+            .map(|_| random_triple(rng))
+            .collect()
+    }
+
+    /// Serialising a graph to N-Triples and parsing it back yields the
+    /// same set of triples.
+    #[test]
+    fn ntriples_roundtrip() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = Graph::from_triples(random_triples(&mut rng, 0..40));
+            let nt = to_ntriples(&graph);
+            let reparsed = parse_ntriples(&nt)
+                .expect("serialiser output must parse")
+                .into_graph();
+            assert_eq!(reparsed.len(), graph.len(), "seed {seed}");
+            for t in graph.iter() {
+                assert!(reparsed.contains(&t), "seed {seed}: missing triple {t}");
+            }
+        }
+    }
+
+    /// Graph insertion is idempotent and pattern matching with all
+    /// components bound agrees with `contains`.
+    #[test]
+    fn graph_insert_idempotent() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let triples = random_triples(&mut rng, 0..40);
             let mut graph = Graph::new();
             for t in &triples {
                 graph.insert(t);
@@ -122,28 +164,32 @@ mod proptests {
             for t in &triples {
                 graph.insert(t);
             }
-            prop_assert_eq!(graph.len(), len_once);
+            assert_eq!(graph.len(), len_once, "seed {seed}");
             for t in &triples {
-                prop_assert!(graph.contains(t));
-                let matched = graph.triples_matching(Some(&t.subject), Some(&t.predicate), Some(&t.object));
-                prop_assert_eq!(matched.len(), 1);
+                assert!(graph.contains(t), "seed {seed}");
+                let matched =
+                    graph.triples_matching(Some(&t.subject), Some(&t.predicate), Some(&t.object));
+                assert_eq!(matched.len(), 1, "seed {seed}");
             }
         }
+    }
 
-        /// Any pattern query returns a subset of the full graph and the
-        /// unconstrained pattern returns everything.
-        #[test]
-        fn pattern_queries_are_consistent(triples in proptest::collection::vec(arb_triple(), 1..30)) {
-            let graph = Graph::from_triples(triples);
+    /// Any pattern query returns a subset of the full graph and the
+    /// unconstrained pattern returns everything.
+    #[test]
+    fn pattern_queries_are_consistent() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = Graph::from_triples(random_triples(&mut rng, 1..30));
             let all = graph.triples_matching(None, None, None);
-            prop_assert_eq!(all.len(), graph.len());
+            assert_eq!(all.len(), graph.len(), "seed {seed}");
             for t in &all {
                 let by_subject = graph.triples_matching(Some(&t.subject), None, None);
-                prop_assert!(by_subject.contains(t));
+                assert!(by_subject.contains(t), "seed {seed}");
                 let by_predicate = graph.triples_matching(None, Some(&t.predicate), None);
-                prop_assert!(by_predicate.contains(t));
+                assert!(by_predicate.contains(t), "seed {seed}");
                 let by_object = graph.triples_matching(None, None, Some(&t.object));
-                prop_assert!(by_object.contains(t));
+                assert!(by_object.contains(t), "seed {seed}");
             }
         }
     }

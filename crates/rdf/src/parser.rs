@@ -358,7 +358,7 @@ impl<'a> TurtleParser<'a> {
                     Some(c) => iri.push(c),
                     None => return Err(self.error("unterminated IRI escape")),
                 },
-                Some(c) if c == '\n' => return Err(self.error("newline inside IRI")),
+                Some('\n') => return Err(self.error("newline inside IRI")),
                 Some(c) => iri.push(c),
                 None => return Err(self.error("unterminated IRI")),
             }

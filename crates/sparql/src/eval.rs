@@ -95,7 +95,10 @@ impl<'g> Evaluator<'g> {
 
         // ORDER BY.
         if !query.order_by.is_empty() {
-            let mut keyed: Vec<(Vec<(Option<Term>, bool)>, Row)> = solution_rows
+            // One sort key per ORDER BY condition: the evaluated expression
+            // plus its direction flag.
+            type SortKeys = Vec<(Option<Term>, bool)>;
+            let mut keyed: Vec<(SortKeys, Row)> = solution_rows
                 .into_iter()
                 .map(|row| {
                     let keys = query
@@ -313,17 +316,14 @@ impl<'g> Evaluator<'g> {
                             let mut merged = row.clone();
                             let mut compatible = true;
                             for (&id, value) in ids.iter().zip(value_row) {
-                                match value {
-                                    Some(term) => {
-                                        match merged.get(id).and_then(Option::as_ref) {
-                                            Some(existing) if existing != term => {
-                                                compatible = false;
-                                                break;
-                                            }
-                                            _ => Self::bind(&mut merged, id, term.clone()),
+                                if let Some(term) = value {
+                                    match merged.get(id).and_then(Option::as_ref) {
+                                        Some(existing) if existing != term => {
+                                            compatible = false;
+                                            break;
                                         }
+                                        _ => Self::bind(&mut merged, id, term.clone()),
                                     }
-                                    None => {}
                                 }
                             }
                             if compatible {

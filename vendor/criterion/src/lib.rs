@@ -1,0 +1,220 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! slice of the criterion API its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology is deliberately simple but honest: each benchmark does one
+//! untimed warm-up pass, then `sample_size` timed passes, and reports
+//! min/mean/max wall-clock per iteration to stdout. There is no statistical
+//! outlier analysis or HTML report — for regressions, compare means across
+//! runs of the `repro` binary instead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a value computed in a bench loop.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver; one per process, created by
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 20, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies a benchmark as `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.function),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` and records it as a sample.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let started = Instant::now();
+        black_box(routine());
+        self.samples.push(started.elapsed());
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass: populate caches/allocator state, discard the timing.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+
+    let mut bencher = Bencher::default();
+    while bencher.samples.len() < sample_size {
+        let before = bencher.samples.len();
+        f(&mut bencher);
+        if bencher.samples.len() == before {
+            // The closure never called `iter`; avoid looping forever.
+            break;
+        }
+    }
+    let samples = &bencher.samples;
+    if samples.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "bench {label:<50} min {min:>12?}  mean {mean:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        // 1 warm-up pass + 5 timed samples.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

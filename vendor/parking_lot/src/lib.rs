@@ -1,0 +1,94 @@
+//! Offline stand-in for [`parking_lot`](https://docs.rs/parking_lot), backed
+//! by `std::sync` primitives.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! tiny slice of the parking_lot API it actually uses: [`Mutex`] and
+//! [`RwLock`] whose lock methods return guards directly (no poison
+//! `Result`). Lock poisoning is handled the way parking_lot handles it —
+//! by ignoring it — so behaviour under panic matches the real crate closely
+//! enough for this workspace.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock with parking_lot's panic-free locking API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock with parking_lot's panic-free locking API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns a mutable reference to the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(*l.read(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand).
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! slice of the rand API that `datagen` uses: [`rngs::StdRng`] constructed
+//! via [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! ranges. The generator is SplitMix64 — statistically solid for synthetic
+//! data generation and fully deterministic per seed, which is all the
+//! workspace needs (it is *not* cryptographically secure, and neither is the
+//! real `StdRng` meant to be used where that matters).
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic, seedable generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood 2014): one add, two xor-shifts,
+        // two multiplies; passes BigCrush when used as a stream.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A range that uniform samples can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// Panics if the range is empty, matching rand's behaviour.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Returns a uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits → uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..=500i64);
+            assert!((0..=500).contains(&v));
+            let w = rng.gen_range(3..7usize);
+            assert!((3..7).contains(&w));
+            let n = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serialization facade: a [`Serialize`] trait that lowers values to
+//! a JSON-like [`Value`] tree, and a `#[derive(Serialize)]` macro
+//! (re-exported from `serde_derive`) for structs with named fields. The
+//! sibling `serde_json` stand-in renders [`Value`] trees to JSON text.
+//!
+//! This is intentionally *not* serde's visitor-based data model — the
+//! workspace only serialises small measurement records, where an owned value
+//! tree is simpler and plenty fast.
+
+use std::collections::BTreeMap;
+
+// The derive macro emits `serde::`-qualified paths; alias self so the
+// expansion also resolves inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A serialised value: the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer from float).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// Key–value pairs, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// Returns the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_values() {
+        assert_eq!(42u32.to_value(), Value::Number(42.0));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Number(1.0), Value::Number(2.0)])
+        );
+    }
+
+    #[test]
+    fn derive_produces_field_order_objects() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            count: u32,
+        }
+        let v = Row {
+            name: "a".into(),
+            count: 3,
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("name".into(), Value::String("a".into())),
+                ("count".into(), Value::Number(3.0)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for [`serde_derive`](https://docs.rs/serde_derive).
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields by
+//! emitting an impl of the vendored `serde::Serialize` trait (which lowers
+//! to a `serde::Value` tree). Written against the bare `proc_macro` API —
+//! the build container has no crates.io access, so `syn`/`quote` are not
+//! available.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name> { ... }`, skipping attributes and visibility.
+    let struct_kw = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "struct"))
+        .ok_or_else(|| "#[derive(Serialize)] only supports structs".to_string())?;
+    let name = match tokens.get(struct_kw + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected a struct name after `struct`".to_string()),
+    };
+    let body = tokens
+        .iter()
+        .skip(struct_kw + 2)
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            "#[derive(Serialize)] only supports structs with named fields".to_string()
+        })?;
+
+    let fields = named_fields(body)?;
+    if fields.is_empty() {
+        return Err("#[derive(Serialize)] requires at least one field".to_string());
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    let output = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .map_err(|e| format!("derive expansion failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the token stream of a named-field struct body.
+///
+/// Walks top-level tokens, taking the last ident seen before each `:` that
+/// sits outside any angle-bracket nesting (so `Vec<Foo: Bar>`-style bounds
+/// inside a type cannot be mistaken for a new field), then skips to the next
+/// top-level comma.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    for tree in body {
+        match &tree {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !in_type => {
+                    let field = last_ident
+                        .take()
+                        .ok_or_else(|| "expected a field name before `:`".to_string())?;
+                    fields.push(field);
+                    in_type = true;
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(i) if !in_type => {
+                let text = i.to_string();
+                // `pub` (and raw-ident escapes) never name a field.
+                if text != "pub" {
+                    last_ident = Some(text.strip_prefix("r#").unwrap_or(&text).to_string());
+                }
+            }
+            // Attribute bodies `#[...]` and visibility scopes `pub(...)`
+            // arrive as groups and are skipped wholesale.
+            _ => {}
+        }
+    }
+    Ok(fields)
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
+//!
+//! Renders the vendored [`serde::Value`] tree to JSON text. Only the
+//! serialisation direction is implemented — the workspace never parses
+//! JSON. Output matches serde_json's formatting conventions: compact form
+//! has no whitespace, pretty form indents by two spaces and puts one space
+//! after `:`.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialisation error.
+///
+/// The value-tree design cannot actually fail, but the public API mirrors
+/// serde_json's fallible signatures so call sites keep their `?`/`expect`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => write_sequence(items.iter(), '[', ']', indent, depth, out, |item, out| {
+            write_value(item, indent, depth + 1, out)
+        }),
+        Value::Object(entries) => {
+            write_sequence(entries.iter(), '{', '}', indent, depth, out, |(key, val), out| {
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out);
+            })
+        }
+    }
+}
+
+fn write_sequence<I: ExactSizeIterator>(
+    items: I,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(I::Item, &mut String),
+) {
+    out.push(open);
+    let is_empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_and_indent(indent, depth + 1, out);
+        write_item(item, out);
+    }
+    if !is_empty {
+        newline_and_indent(indent, depth, out);
+    }
+    out.push(close);
+}
+
+fn newline_and_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        // Integral values print without a trailing `.0`, like serde_json.
+        if n == n.trunc() && n.abs() < 1e15 {
+            out.push_str(&format!("{}", n as i64));
+        } else {
+            out.push_str(&format!("{n}"));
+        }
+    } else {
+        // serde_json refuses non-finite numbers; `null` is the lossy
+        // stand-in since this API has no error path for values.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_objects() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(1.0)),
+            ("b".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x\"y"}"#);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": \"x\\\"y\"\n}"
+        );
+    }
+
+    #[test]
+    fn arrays_and_numbers() {
+        let v = Value::Array(vec![Value::Number(2.5), Value::Null, Value::Bool(false)]);
+        assert_eq!(to_string(&v).unwrap(), "[2.5,null,false]");
+        assert_eq!(to_string(&Value::Array(vec![])).unwrap(), "[]");
+    }
+}
