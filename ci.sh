@@ -9,6 +9,16 @@ set -eux
 cargo build --release --workspace
 cargo test -q --workspace
 
+# The backend-parity gate, run explicitly so a SPARQL-vs-columnar
+# regression can never slip through a test quarantine: every bench and
+# seeded generated workload query must return identical cubes from both
+# execution backends.
+cargo test --release -q -p qb2olap-suite --test integration_backends
+
+# Release-mode repro smoke: the experiment harness must run end to end
+# (E11 also re-checks backend parity at this scale).
+cargo run --release -p qb2olap_bench --bin repro -- e11 --observations 4000 > /dev/null
+
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 

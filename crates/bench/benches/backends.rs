@@ -1,0 +1,62 @@
+//! E11 — execution-backend comparison at the paper's E7 scale: the same
+//! prepared workload queries executed via the QL → SPARQL translation and
+//! via the columnar cube engine. The one-time columnar materialization is
+//! benchmarked separately from per-query execution.
+//!
+//! The default scale is the paper's 80,000 observations; set
+//! `QB2OLAP_BENCH_OBSERVATIONS` to run smaller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb2olap::{ExecutionBackend, Qb2Olap, SparqlVariant};
+use qb2olap_bench::demo_cube;
+
+fn bench_backends(c: &mut Criterion) {
+    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80_000usize);
+    let cube = demo_cube(observations);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+
+    let mut group = c.benchmark_group(format!("backends/{observations}"));
+    group.sample_size(10);
+
+    // Time the materialization itself, not the schema round-trips of
+    // constructing a querying module (repro E11's materialize_ms measures
+    // the same quantity).
+    let schema = querying.schema().clone();
+    group.bench_function("materialize_once", |b| {
+        b.iter(|| {
+            qb2olap::cubestore::MaterializedCube::from_endpoint(&cube.endpoint, &schema)
+                .expect("materialization succeeds")
+        });
+    });
+
+    querying.materialize().expect("materialization succeeds");
+    for (name, text) in datagen::workload::bench_queries() {
+        let prepared = querying.prepare(&text).expect("workload queries prepare");
+        group.bench_with_input(
+            BenchmarkId::new("sparql", name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| querying.execute(prepared, SparqlVariant::Direct).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar", name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    querying
+                        .execute(prepared, ExecutionBackend::Columnar)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

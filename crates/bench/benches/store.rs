@@ -14,10 +14,21 @@ fn bench_store(c: &mut Criterion) {
         let data = datagen::generate(&datagen::EurostatConfig::small(observations));
 
         group.bench_with_input(
-            BenchmarkId::new("bulk_insert", observations),
+            BenchmarkId::new("insert_loop", observations),
             &data.triples,
             |b, triples| {
                 b.iter(|| Graph::from_triples(triples.iter().cloned()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bulk_insert", observations),
+            &data.triples,
+            |b, triples| {
+                b.iter(|| {
+                    let mut graph = Graph::new();
+                    graph.bulk_insert(triples.iter().cloned());
+                    graph
+                });
             },
         );
 

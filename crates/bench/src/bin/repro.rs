@@ -1,15 +1,15 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E10).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E11).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e10] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e11] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
 
 use enrichment::{EnrichmentConfig, EnrichmentSession};
-use qb2olap::{demo, Endpoint, Qb2Olap, SparqlVariant};
+use qb2olap::{demo, Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
 use qb2olap_bench::{demo_cube_with, measurements_to_json, render_measurements, timed, Measurement};
 use rdf::vocab::eurostat_property;
 
@@ -62,6 +62,9 @@ fn main() {
     }
     if run("e9", &experiment) {
         rows.extend(e9_simplification(observations.min(10_000)));
+    }
+    if run("e11", &experiment) {
+        rows.extend(e11_backend_comparison(observations));
     }
 
     if as_json {
@@ -438,5 +441,71 @@ fn e9_simplification(observations: usize) -> Vec<Measurement> {
         "programs_equivalent",
         distinct.contains(&true) as u8 as f64,
     ));
+    rows
+}
+
+/// E11: execution-backend comparison — the same prepared workload queries
+/// executed via the QL → SPARQL translation and via the columnar cube
+/// engine, reported as median/MAD over repeated runs (plus the one-time
+/// materialization cost and a cell-for-cell parity bit).
+fn e11_backend_comparison(observations: usize) -> Vec<Measurement> {
+    const RUNS: usize = 9;
+    let parameters = format!("observations={observations}");
+    let cube = demo_cube_with(&datagen::EurostatConfig::small(observations));
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+
+    let mut rows = Vec::new();
+    let (materialized, build) = timed(|| querying.materialize().expect("materialization"));
+    rows.push(Measurement::new(
+        "E11",
+        &parameters,
+        "materialize_ms",
+        millis(build),
+    ));
+    rows.push(Measurement::new(
+        "E11",
+        &parameters,
+        "materialized_rows",
+        materialized.stats().rows as f64,
+    ));
+
+    for (name, text) in datagen::workload::bench_queries() {
+        let prepared = querying.prepare(&text).expect("workload queries prepare");
+        // A parity failure must abort the harness (CI runs E11 as a smoke
+        // step), not just show up as a metric in discarded output.
+        assert_eq!(
+            querying
+                .execute(&prepared, SparqlVariant::Direct)
+                .expect("SPARQL backend runs"),
+            querying
+                .execute(&prepared, ExecutionBackend::Columnar)
+                .expect("columnar backend runs"),
+            "E11: backends disagree for workload query '{name}'"
+        );
+        for (backend_name, backend) in [
+            ("sparql_direct", ExecutionBackend::Sparql(SparqlVariant::Direct)),
+            ("columnar", ExecutionBackend::Columnar),
+        ] {
+            let samples: Vec<std::time::Duration> = (0..RUNS)
+                .map(|_| timed(|| querying.execute(&prepared, backend).expect("executes")).1)
+                .collect();
+            let stats = criterion::Stats::from_durations(&samples).expect("samples exist");
+            let query_parameters = format!("{parameters} query={name} backend={backend_name}");
+            rows.push(Measurement::new(
+                "E11",
+                &query_parameters,
+                "execute_median_ms",
+                millis(stats.median),
+            ));
+            rows.push(Measurement::new(
+                "E11",
+                &query_parameters,
+                "execute_mad_ms",
+                millis(stats.mad),
+            ));
+        }
+    }
+    rows.push(Measurement::new("E11", &parameters, "backends_identical", 1.0));
     rows
 }

@@ -42,6 +42,7 @@
 
 pub mod demo;
 
+pub use cubestore;
 pub use datagen;
 pub use enrichment;
 pub use explorer;
@@ -53,7 +54,7 @@ pub use sparql;
 
 pub use enrichment::{EnrichmentConfig, EnrichmentSession, EnrichmentStats};
 pub use explorer::{CubeExplorer, CubeSummary};
-pub use ql::{QueryingModule, ResultCube, SparqlVariant};
+pub use ql::{ExecutionBackend, QueryingModule, ResultCube, SparqlVariant};
 pub use sparql::{Endpoint, LocalEndpoint};
 
 use rdf::Iri;

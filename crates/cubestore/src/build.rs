@@ -1,0 +1,343 @@
+//! Materialization: one pass over the endpoint turns a QB4OLAP dataset into
+//! a [`MaterializedCube`] — dictionary-encoded dimension columns, dense
+//! typed measure vectors, per-level member indexes with attribute values,
+//! and precomputed bottom-level → ancestor roll-up maps.
+//!
+//! The build runs a handful of SPARQL queries *once*; afterwards every QL
+//! pipeline executes directly over the columns with no endpoint round-trip.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use qb4olap::CubeSchema;
+use rdf::{Iri, Term};
+use sparql::Endpoint;
+
+use crate::columns::{DimensionColumn, MeasureColumn, MeasureVector};
+use crate::dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
+use crate::error::CubeStoreError;
+use crate::hierarchy::{LevelIndex, RollupMap};
+
+/// Counters describing what one materialization did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Observations of the dataset seen on the endpoint.
+    pub observations_seen: usize,
+    /// Fact rows materialized.
+    pub rows: usize,
+    /// Observations dropped (not typed `qb:Observation`, or missing a
+    /// measure value — the SPARQL backend's join drops them too).
+    pub rows_dropped: usize,
+    /// Level indexes built.
+    pub levels: usize,
+    /// Roll-up maps precomputed.
+    pub rollup_maps: usize,
+    /// `skos:broader` member links read from the endpoint.
+    pub broader_links: usize,
+}
+
+/// A QB4OLAP dataset materialized into columnar form.
+#[derive(Debug, Clone)]
+pub struct MaterializedCube {
+    schema: CubeSchema,
+    row_count: usize,
+    dimensions: Vec<DimensionColumn>,
+    measures: Vec<MeasureColumn>,
+    levels: BTreeMap<Iri, LevelIndex>,
+    rollups: BTreeMap<(Iri, Iri), RollupMap>,
+    stats: BuildStats,
+}
+
+impl MaterializedCube {
+    /// Materializes the dataset described by `schema` from the endpoint.
+    ///
+    /// The cube is a snapshot: triples loaded into the endpoint afterwards
+    /// are not reflected (rebuild to pick them up). Observations are
+    /// assumed to carry at most one value per dimension and per measure
+    /// (QB well-formedness); extra values are ignored rather than
+    /// multiplying rows the way a raw SPARQL join would.
+    pub fn from_endpoint(
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+    ) -> Result<Self, CubeStoreError> {
+        Builder { endpoint, schema }.build()
+    }
+
+    /// The schema the cube was materialized for.
+    pub fn schema(&self) -> &CubeSchema {
+        &self.schema
+    }
+
+    /// Number of fact rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// The column of a dimension, if the schema declares it.
+    pub fn dimension_column(&self, dimension: &Iri) -> Option<&DimensionColumn> {
+        self.dimensions.iter().find(|c| &c.dimension == dimension)
+    }
+
+    /// All dimension columns, in schema order.
+    pub fn dimension_columns(&self) -> &[DimensionColumn] {
+        &self.dimensions
+    }
+
+    /// All measure columns, in schema order.
+    pub fn measure_columns(&self) -> &[MeasureColumn] {
+        &self.measures
+    }
+
+    /// The member index of a level.
+    pub fn level(&self, level: &Iri) -> Option<&LevelIndex> {
+        self.levels.get(level)
+    }
+
+    /// The precomputed roll-up map of a dimension to a target level
+    /// (including the identity-with-membership map for the bottom level).
+    pub fn rollup(&self, dimension: &Iri, level: &Iri) -> Option<&RollupMap> {
+        self.rollups.get(&(dimension.clone(), level.clone()))
+    }
+
+    /// Build counters.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+}
+
+struct Builder<'a> {
+    endpoint: &'a dyn Endpoint,
+    schema: &'a CubeSchema,
+}
+
+impl Builder<'_> {
+    fn build(self) -> Result<MaterializedCube, CubeStoreError> {
+        let mut stats = BuildStats::default();
+
+        // The observations the SPARQL backend sees: typed `qb:Observation`
+        // AND linked to the dataset. `qb::load_observations` only requires
+        // the `qb:dataSet` link, so intersect with the typed set.
+        let typed: BTreeSet<Term> = self
+            .endpoint
+            .select(&format!(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 SELECT ?o WHERE {{ ?o a qb:Observation ; qb:dataSet <{}> }}",
+                self.schema.dataset.as_str()
+            ))?
+            .rows
+            .iter()
+            .filter_map(|r| r.first().cloned().flatten())
+            .collect();
+
+        let structure = qb::load_dataset(self.endpoint, &self.schema.dataset)?.structure;
+        let observations =
+            qb::load_observations(self.endpoint, &self.schema.dataset, &structure, None)?;
+        stats.observations_seen = observations.len();
+
+        // Per-dimension bottom levels (the level IRI doubles as the
+        // observation property, exactly as the SPARQL translator assumes).
+        let mut bottoms: Vec<Iri> = Vec::with_capacity(self.schema.dimensions.len());
+        for dimension in &self.schema.dimensions {
+            let bottom = self
+                .schema
+                .bottom_level_of_dimension(&dimension.iri)
+                .ok_or_else(|| {
+                    CubeStoreError::Build(format!(
+                        "dimension <{}> has no bottom level",
+                        dimension.iri.as_str()
+                    ))
+                })?;
+            bottoms.push(bottom);
+        }
+
+        // Fact columns. A row is accepted only if the observation is typed
+        // and carries a literal value for every measure (the SPARQL
+        // pattern's inner joins enforce the same).
+        let mut dictionaries: Vec<Dictionary> =
+            vec![Dictionary::new(); self.schema.dimensions.len()];
+        let mut codes: Vec<Vec<MemberId>> = vec![Vec::new(); self.schema.dimensions.len()];
+        let mut measure_data: Vec<Option<MeasureVector>> = vec![None; self.schema.measures.len()];
+        let mut row_count = 0usize;
+        for observation in &observations {
+            if !typed.contains(&observation.node) {
+                stats.rows_dropped += 1;
+                continue;
+            }
+            let mut literals = Vec::with_capacity(self.schema.measures.len());
+            for measure in &self.schema.measures {
+                match observation.measure(&measure.property).and_then(Term::as_literal) {
+                    Some(literal) => literals.push(literal),
+                    None => break,
+                }
+            }
+            if literals.len() != self.schema.measures.len() {
+                stats.rows_dropped += 1;
+                continue;
+            }
+            for (index, literal) in literals.into_iter().enumerate() {
+                let vector = match &mut measure_data[index] {
+                    Some(v) => v,
+                    slot => slot.insert(MeasureVector::for_literal(literal)?),
+                };
+                vector.push(literal)?;
+            }
+            for (index, bottom) in bottoms.iter().enumerate() {
+                let code = match observation.dimension(bottom) {
+                    Some(member) => dictionaries[index].encode(member),
+                    None => NO_MEMBER,
+                };
+                codes[index].push(code);
+            }
+            row_count += 1;
+        }
+        stats.rows = row_count;
+
+        let dimensions: Vec<DimensionColumn> = self
+            .schema
+            .dimensions
+            .iter()
+            .zip(bottoms.iter())
+            .zip(codes.into_iter().zip(dictionaries))
+            .map(|((dimension, bottom), (codes, dictionary))| {
+                DimensionColumn::new(dimension.iri.clone(), bottom.clone(), codes, dictionary)
+            })
+            .collect();
+
+        let measures: Vec<MeasureColumn> = self
+            .schema
+            .measures
+            .iter()
+            .zip(measure_data)
+            .map(|(spec, data)| MeasureColumn {
+                property: spec.property.clone(),
+                aggregate: spec.aggregate,
+                // No accepted row: an empty integer vector keeps the cube
+                // usable (every query returns zero cells).
+                data: data.unwrap_or(MeasureVector::Integer(Vec::new())),
+            })
+            .collect();
+
+        // Level indexes: declared members + the attribute values dices read.
+        let mut levels: BTreeMap<Iri, LevelIndex> = BTreeMap::new();
+        for dimension in &self.schema.dimensions {
+            for level in dimension.levels() {
+                if levels.contains_key(level) {
+                    continue;
+                }
+                let mut dictionary = Dictionary::new();
+                for member in qb4olap::members_of_level(self.endpoint, level)? {
+                    dictionary.encode(&member);
+                }
+                let mut index = LevelIndex::new(level.clone(), dictionary);
+                for attribute in self.schema.level_attributes(level) {
+                    let pairs: Vec<(Term, Term)> = self
+                        .endpoint
+                        .select(&format!(
+                            "SELECT ?m ?v WHERE {{ ?m <{}> ?v }} ORDER BY ?m ?v",
+                            attribute.iri.as_str()
+                        ))?
+                        .rows
+                        .iter()
+                        .filter_map(|r| {
+                            match (r.first().cloned().flatten(), r.get(1).cloned().flatten()) {
+                                (Some(m), Some(v)) => Some((m, v)),
+                                _ => None,
+                            }
+                        })
+                        .collect();
+                    index.set_attribute(attribute.iri.clone(), &pairs);
+                }
+                levels.insert(level.clone(), index);
+            }
+        }
+        stats.levels = levels.len();
+
+        // Member-level `skos:broader` adjacency, read once.
+        let broader_rows = self.endpoint.select(
+            "PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+             SELECT ?c ?p WHERE { ?c skos:broader ?p } ORDER BY ?c ?p",
+        )?;
+        let mut broader: HashMap<Term, Vec<Term>> = HashMap::new();
+        for row in &broader_rows.rows {
+            if let (Some(child), Some(parent)) =
+                (row.first().cloned().flatten(), row.get(1).cloned().flatten())
+            {
+                broader.entry(child).or_default().push(parent);
+                stats.broader_links += 1;
+            }
+        }
+
+        // Roll-up maps: for every level reachable upward from the bottom,
+        // walk the broader links for exactly the path length the hierarchy
+        // declares and anchor the result at the target level's members —
+        // the same navigation the generated SPARQL performs. Path *counts*
+        // are tracked, not just reachable members: the SPARQL join counts
+        // an observation once per distinct broader path, so a member with
+        // several paths (even to a single ancestor) is marked ambiguous
+        // and refused at execution time rather than silently undercounted.
+        let mut rollups: BTreeMap<(Iri, Iri), RollupMap> = BTreeMap::new();
+        for (dimension, column) in self.schema.dimensions.iter().zip(&dimensions) {
+            let bottom = &column.bottom_level;
+            let bottom_index = levels.get(bottom).expect("all levels indexed");
+            let identity: Vec<MemberId> = column
+                .dictionary
+                .iter()
+                .map(|(_, term)| bottom_index.dictionary.id(term).unwrap_or(NO_MEMBER))
+                .collect();
+            rollups.insert(
+                (dimension.iri.clone(), bottom.clone()),
+                RollupMap::new(dimension.iri.clone(), bottom.clone(), identity),
+            );
+
+            for target in dimension.ancestor_levels(bottom) {
+                let steps = match dimension.rollup_path(bottom, &target) {
+                    Some((_, steps)) => steps.len(),
+                    None => continue,
+                };
+                let target_index = levels.get(&target).expect("all levels indexed");
+                let map: Vec<MemberId> = column
+                    .dictionary
+                    .iter()
+                    .map(|(_, term)| {
+                        let mut frontier: BTreeMap<&Term, usize> = BTreeMap::new();
+                        frontier.insert(term, 1);
+                        for _ in 0..steps {
+                            let mut next: BTreeMap<&Term, usize> = BTreeMap::new();
+                            for (current, paths) in frontier {
+                                for parent in broader.get(current).into_iter().flatten() {
+                                    *next.entry(parent).or_default() += paths;
+                                }
+                            }
+                            frontier = next;
+                        }
+                        let anchored: Vec<(MemberId, usize)> = frontier
+                            .into_iter()
+                            .filter_map(|(t, paths)| {
+                                target_index.dictionary.id(t).map(|id| (id, paths))
+                            })
+                            .collect();
+                        match anchored.as_slice() {
+                            [] => NO_MEMBER,
+                            [(id, 1)] => *id,
+                            _ => AMBIGUOUS_MEMBER,
+                        }
+                    })
+                    .collect();
+                rollups.insert(
+                    (dimension.iri.clone(), target.clone()),
+                    RollupMap::new(dimension.iri.clone(), target, map),
+                );
+            }
+        }
+        stats.rollup_maps = rollups.len();
+
+        Ok(MaterializedCube {
+            schema: self.schema.clone(),
+            row_count,
+            dimensions,
+            measures,
+            levels,
+            rollups,
+            stats,
+        })
+    }
+}

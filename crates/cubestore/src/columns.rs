@@ -1,0 +1,241 @@
+//! The columns of a materialized cube: dictionary-encoded dimension-member
+//! columns and dense typed measure vectors.
+
+use qb4olap::AggregateFunction;
+use rdf::{Iri, Literal, Term};
+
+use crate::dictionary::{Dictionary, MemberId, NO_MEMBER};
+use crate::error::CubeStoreError;
+
+/// One dimension of the fact table: the member of the dimension's bottom
+/// level on each observation, dictionary-encoded.
+#[derive(Debug, Clone)]
+pub struct DimensionColumn {
+    /// The dimension IRI (e.g. `schema:citizenshipDim`).
+    pub dimension: Iri,
+    /// The dimension's bottom level, which doubles as the observation
+    /// property carrying the member (e.g. `property:citizen`).
+    pub bottom_level: Iri,
+    /// Per-row member codes into [`DimensionColumn::dictionary`]
+    /// ([`NO_MEMBER`] where the observation has no value for the dimension).
+    codes: Vec<MemberId>,
+    /// The bottom-member dictionary. It may contain members that are *not*
+    /// declared `qb4o:memberOf` the bottom level; the roll-up maps decide
+    /// what those members reach.
+    pub dictionary: Dictionary,
+}
+
+impl DimensionColumn {
+    /// Creates a column for a dimension with pre-encoded codes.
+    pub fn new(
+        dimension: Iri,
+        bottom_level: Iri,
+        codes: Vec<MemberId>,
+        dictionary: Dictionary,
+    ) -> Self {
+        DimensionColumn {
+            dimension,
+            bottom_level,
+            codes,
+            dictionary,
+        }
+    }
+
+    /// The member code of one row ([`NO_MEMBER`] if unbound).
+    #[inline]
+    pub fn code(&self, row: usize) -> MemberId {
+        self.codes[row]
+    }
+
+    /// All per-row codes.
+    pub fn codes(&self) -> &[MemberId] {
+        &self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of rows with no member bound.
+    pub fn unbound_rows(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == NO_MEMBER).count()
+    }
+}
+
+/// A dense, typed vector of measure values.
+///
+/// The variant is chosen at build time from the XSD datatype of the measure
+/// literals, and the builder verifies that every literal round-trips exactly
+/// through the variant's reconstruction (so MIN/MAX can return the same
+/// [`Term`]s the SPARQL engine returns). Data that does not round-trip is
+/// rejected as [`CubeStoreError::Unsupported`].
+#[derive(Debug, Clone)]
+pub enum MeasureVector {
+    /// `xsd:integer` values.
+    Integer(Vec<i64>),
+    /// `xsd:decimal` values.
+    Decimal(Vec<f64>),
+    /// `xsd:double` values.
+    Double(Vec<f64>),
+}
+
+impl MeasureVector {
+    /// Creates an empty vector of the variant matching `literal`'s datatype.
+    pub fn for_literal(literal: &Literal) -> Result<Self, CubeStoreError> {
+        let datatype = literal.datatype();
+        if *datatype == rdf::vocab::xsd::integer() {
+            Ok(MeasureVector::Integer(Vec::new()))
+        } else if *datatype == rdf::vocab::xsd::decimal() {
+            Ok(MeasureVector::Decimal(Vec::new()))
+        } else if *datatype == rdf::vocab::xsd::double() {
+            Ok(MeasureVector::Double(Vec::new()))
+        } else {
+            Err(CubeStoreError::Unsupported(format!(
+                "measure values of datatype <{}> are not supported by the columnar engine",
+                datatype.as_str()
+            )))
+        }
+    }
+
+    /// Appends a value, verifying it reconstructs to exactly `literal`.
+    pub fn push(&mut self, literal: &Literal) -> Result<(), CubeStoreError> {
+        let fail = |lit: &Literal| {
+            CubeStoreError::Unsupported(format!(
+                "measure literal \"{}\"^^<{}> does not round-trip through the columnar encoding",
+                lit.lexical(),
+                lit.datatype().as_str()
+            ))
+        };
+        match self {
+            MeasureVector::Integer(values) => {
+                let v = literal.as_integer().ok_or_else(|| fail(literal))?;
+                if Literal::integer(v) != *literal {
+                    return Err(fail(literal));
+                }
+                values.push(v);
+            }
+            MeasureVector::Decimal(values) => {
+                let v = literal.as_double().ok_or_else(|| fail(literal))?;
+                if Literal::decimal(v) != *literal {
+                    return Err(fail(literal));
+                }
+                values.push(v);
+            }
+            MeasureVector::Double(values) => {
+                let v = literal.as_double().ok_or_else(|| fail(literal))?;
+                if Literal::double(v) != *literal {
+                    return Err(fail(literal));
+                }
+                values.push(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The numeric value of one row.
+    #[inline]
+    pub fn value(&self, row: usize) -> f64 {
+        match self {
+            MeasureVector::Integer(v) => v[row] as f64,
+            MeasureVector::Decimal(v) | MeasureVector::Double(v) => v[row],
+        }
+    }
+
+    /// Reconstructs the original [`Term`] for a raw value of this vector
+    /// (used by MIN/MAX, whose SPARQL result is one of the input terms).
+    pub fn term_for(&self, value: f64) -> Term {
+        match self {
+            MeasureVector::Integer(_) => Term::Literal(Literal::integer(value as i64)),
+            MeasureVector::Decimal(_) => Term::Literal(Literal::decimal(value)),
+            MeasureVector::Double(_) => Term::Literal(Literal::double(value)),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            MeasureVector::Integer(v) => v.len(),
+            MeasureVector::Decimal(v) | MeasureVector::Double(v) => v.len(),
+        }
+    }
+
+    /// True if the vector has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One measure of the fact table.
+#[derive(Debug, Clone)]
+pub struct MeasureColumn {
+    /// The measure property (e.g. `sdmx-measure:obsValue`).
+    pub property: Iri,
+    /// The aggregate function attached by the QB4OLAP schema.
+    pub aggregate: AggregateFunction,
+    /// The values, one per row.
+    pub data: MeasureVector,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_column_accessors() {
+        let mut dict = Dictionary::new();
+        let a = dict.encode(&Term::iri("http://m/a"));
+        let column = DimensionColumn::new(
+            Iri::new("http://dim"),
+            Iri::new("http://level"),
+            vec![a, NO_MEMBER, a],
+            dict,
+        );
+        assert_eq!(column.len(), 3);
+        assert!(!column.is_empty());
+        assert_eq!(column.code(1), NO_MEMBER);
+        assert_eq!(column.unbound_rows(), 1);
+        assert_eq!(column.codes(), &[a, NO_MEMBER, a]);
+    }
+
+    #[test]
+    fn integer_vector_roundtrip() {
+        let lit = Literal::integer(42);
+        let mut vector = MeasureVector::for_literal(&lit).unwrap();
+        vector.push(&lit).unwrap();
+        vector.push(&Literal::integer(-7)).unwrap();
+        assert_eq!(vector.len(), 2);
+        assert!(!vector.is_empty());
+        assert_eq!(vector.value(0), 42.0);
+        assert_eq!(vector.term_for(-7.0), Term::integer(-7));
+        // A decimal literal cannot be pushed into an integer vector.
+        assert!(vector.push(&Literal::decimal(1.5)).is_err());
+        // A non-canonical lexical form does not round-trip.
+        assert!(vector
+            .push(&Literal::typed("007", rdf::vocab::xsd::integer()))
+            .is_err());
+    }
+
+    #[test]
+    fn decimal_and_double_vectors() {
+        let mut decimal = MeasureVector::for_literal(&Literal::decimal(1.5)).unwrap();
+        decimal.push(&Literal::decimal(1.5)).unwrap();
+        assert_eq!(decimal.value(0), 1.5);
+        assert_eq!(decimal.term_for(1.5), Term::Literal(Literal::decimal(1.5)));
+
+        let mut double = MeasureVector::for_literal(&Literal::double(2.25)).unwrap();
+        double.push(&Literal::double(2.25)).unwrap();
+        assert_eq!(double.term_for(2.25), Term::Literal(Literal::double(2.25)));
+    }
+
+    #[test]
+    fn unsupported_datatypes_are_rejected() {
+        assert!(MeasureVector::for_literal(&Literal::string("x")).is_err());
+        assert!(MeasureVector::for_literal(&Literal::boolean(true)).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Dictionary encoding of RDF terms into dense `u32` member ids.
+//!
+//! Every dimension column and every level of the materialized cube has its
+//! own dictionary, so member ids stay small and the roll-up maps can be
+//! plain `Vec<MemberId>` lookups. The interning itself is [`rdf::Interner`]
+//! (the same structure the triple store uses); this module adds the
+//! member-id sentinels and the overflow guard they require.
+
+use rdf::{Interner, Term};
+
+/// A dense identifier for a member within one [`Dictionary`].
+pub type MemberId = u32;
+
+/// Sentinel id for "no member": an unbound dimension value on an
+/// observation, or a member with no ancestor at the roll-up target level
+/// (ragged hierarchies).
+pub const NO_MEMBER: MemberId = MemberId::MAX;
+
+/// Sentinel id for a member with *several* ancestors at the roll-up target
+/// level. The SPARQL backend duplicates the observation across the
+/// ancestors in that case; the columnar engine refuses to aggregate such
+/// non-functional roll-ups and reports an error when the member is reached.
+pub const AMBIGUOUS_MEMBER: MemberId = MemberId::MAX - 1;
+
+/// Interns [`Term`]s into dense [`MemberId`]s and back: a thin wrapper
+/// around [`rdf::Interner`] that keeps the id space clear of the
+/// [`NO_MEMBER`] / [`AMBIGUOUS_MEMBER`] sentinels.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    interner: Interner,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with room for `capacity` members.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut interner = Interner::new();
+        interner.reserve(capacity);
+        Dictionary { interner }
+    }
+
+    /// Returns the id for `term`, interning it if necessary.
+    pub fn encode(&mut self, term: &Term) -> MemberId {
+        let id = self.interner.intern(term);
+        assert!(id < AMBIGUOUS_MEMBER, "dictionary overflow");
+        id
+    }
+
+    /// The id of `term` if it has been interned.
+    pub fn id(&self, term: &Term) -> Option<MemberId> {
+        self.interner.get(term)
+    }
+
+    /// The term behind a previously issued id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this dictionary (including the
+    /// [`NO_MEMBER`] / [`AMBIGUOUS_MEMBER`] sentinels).
+    pub fn term(&self, id: MemberId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Number of distinct members.
+    pub fn len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// True if no member has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.interner.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MemberId, &Term)> {
+        self.interner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut dict = Dictionary::with_capacity(4);
+        let a = Term::iri("http://example.org/a");
+        let b = Term::iri("http://example.org/b");
+        let ia = dict.encode(&a);
+        let ib = dict.encode(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(dict.encode(&a), ia, "re-encoding is stable");
+        assert_eq!(dict.term(ia), &a);
+        assert_eq!(dict.id(&b), Some(ib));
+        assert_eq!(dict.id(&Term::iri("http://example.org/c")), None);
+        assert_eq!(dict.len(), 2);
+        assert!(!dict.is_empty());
+        assert_eq!(dict.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let dict = Dictionary::new();
+        assert!(dict.is_empty());
+        assert_eq!(dict.len(), 0);
+    }
+}

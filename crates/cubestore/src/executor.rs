@@ -1,0 +1,472 @@
+//! The vectorized executor: runs a simplified OLAP pipeline
+//! (slice → dice → roll-up → aggregate) directly over the columns of a
+//! [`MaterializedCube`], with no SPARQL round-trip.
+//!
+//! The executor is written to agree **cell-for-cell** with the SPARQL
+//! backend of the querying module: member coordinates come from the same
+//! `qb4o:memberOf`-anchored navigation (precomputed into roll-up maps),
+//! attribute dices keep the generated query's inner-join semantics (a
+//! member with no attribute value is dropped even under `OR`), comparisons
+//! reuse [`sparql::compare_terms`], and aggregate values reproduce the
+//! SPARQL engine's typing rules (integer sums stay integers, averages are
+//! decimals, MIN/MAX return input terms).
+
+use std::collections::{BTreeMap, HashMap};
+
+use qb4olap::AggregateFunction;
+use rdf::{Iri, Literal, Term};
+use sparql::ast::CmpOp;
+use sparql::compare_terms;
+
+use crate::build::MaterializedCube;
+use crate::columns::{DimensionColumn, MeasureColumn};
+use crate::dictionary::{MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
+use crate::error::CubeStoreError;
+use crate::hierarchy::{LevelIndex, RollupMap};
+
+/// How a dice comparison reads the attribute value, mirroring the two
+/// shapes the QL → SPARQL translator emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberPredicate {
+    /// `STR(?attr) <op> "value"` — string comparison on the lexical form.
+    Str {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The string constant.
+        value: String,
+    },
+    /// `?attr <op> constant` — direct term comparison.
+    Constant {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The constant term.
+        value: Term,
+    },
+}
+
+/// A dice condition over level-attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberFilter {
+    /// One comparison on an attribute of a level kept in the result.
+    Compare {
+        /// The dimension the attribute's level belongs to.
+        dimension: Iri,
+        /// The level carrying the attribute (must be the dimension's level
+        /// in the result).
+        level: Iri,
+        /// The attribute.
+        attribute: Iri,
+        /// The comparison.
+        predicate: MemberPredicate,
+    },
+    /// Conjunction.
+    And(Box<MemberFilter>, Box<MemberFilter>),
+    /// Disjunction.
+    Or(Box<MemberFilter>, Box<MemberFilter>),
+}
+
+/// A dice condition over aggregated measure values (`HAVING` semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureFilter {
+    /// One comparison on an aggregated measure.
+    Compare {
+        /// The measure property.
+        measure: Iri,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The constant term the aggregate is compared against.
+        value: Term,
+    },
+    /// Conjunction.
+    And(Box<MeasureFilter>, Box<MeasureFilter>),
+    /// Disjunction.
+    Or(Box<MeasureFilter>, Box<MeasureFilter>),
+}
+
+/// A simplified OLAP pipeline in columnar terms: which dimensions are
+/// sliced away, where the kept dimensions roll up to, and the dice filters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CubeQuery {
+    /// Dimensions sliced out of the result.
+    pub slices: Vec<Iri>,
+    /// Kept dimensions whose result level differs from their bottom level.
+    pub rollups: BTreeMap<Iri, Iri>,
+    /// Dice conditions on level attributes (applied before aggregation).
+    pub member_filters: Vec<MemberFilter>,
+    /// Dice conditions on aggregated measures (applied after aggregation).
+    pub measure_filters: Vec<MeasureFilter>,
+}
+
+/// One axis of a query result: a kept dimension at its result level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisSpec {
+    /// The dimension.
+    pub dimension: Iri,
+    /// The level the dimension was aggregated to.
+    pub level: Iri,
+}
+
+/// One cell of a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputCell {
+    /// The member of each axis, in axis order.
+    pub coordinates: Vec<Term>,
+    /// The aggregated value of each measure, in measure order.
+    pub values: Vec<Option<Term>>,
+}
+
+/// The result of one columnar execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The axes, in schema dimension order.
+    pub axes: Vec<AxisSpec>,
+    /// The measure properties, in schema order.
+    pub measures: Vec<Iri>,
+    /// The cells, sorted canonically by coordinates.
+    pub cells: Vec<OutputCell>,
+}
+
+/// Executes a columnar query against a materialized cube.
+pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput, CubeStoreError> {
+    for slice in &query.slices {
+        if cube.dimension_column(slice).is_none() {
+            return Err(CubeStoreError::Query(format!(
+                "cannot slice unknown dimension <{}>",
+                slice.as_str()
+            )));
+        }
+    }
+
+    // Plan the kept axes in schema order (the same order the SPARQL
+    // translator plans them in).
+    let mut axes: Vec<AxisPlan> = Vec::new();
+    for dimension in &cube.schema().dimensions {
+        if query.slices.contains(&dimension.iri) {
+            continue;
+        }
+        let column = cube
+            .dimension_column(&dimension.iri)
+            .expect("every schema dimension has a column");
+        let target = query
+            .rollups
+            .get(&dimension.iri)
+            .unwrap_or(&column.bottom_level);
+        let rollup = cube.rollup(&dimension.iri, target).ok_or_else(|| {
+            CubeStoreError::Query(format!(
+                "no roll-up map from the bottom of <{}> to level <{}>",
+                dimension.iri.as_str(),
+                target.as_str()
+            ))
+        })?;
+        let level_index = cube.level(target).ok_or_else(|| {
+            CubeStoreError::Query(format!("level <{}> is not indexed", target.as_str()))
+        })?;
+        axes.push(AxisPlan {
+            column,
+            rollup,
+            level_index,
+        });
+    }
+
+    // Compile the member filters into per-member truth tables.
+    let compiled_filters: Vec<CompiledFilter> = query
+        .member_filters
+        .iter()
+        .map(|filter| compile_filter(filter, &axes))
+        .collect::<Result<_, _>>()?;
+
+    // Row loop: map each fact row to its axis coordinates, apply the member
+    // filters, and accumulate the measures per coordinate group.
+    let measures = cube.measure_columns();
+    let mut groups: HashMap<Vec<MemberId>, Vec<MeasureAcc>> = HashMap::new();
+    'rows: for row in 0..cube.row_count() {
+        let mut key = Vec::with_capacity(axes.len());
+        for axis in &axes {
+            let bottom = axis.column.code(row);
+            if bottom == NO_MEMBER {
+                continue 'rows;
+            }
+            let target = axis.rollup.target(bottom);
+            if target == NO_MEMBER {
+                continue 'rows;
+            }
+            if target == AMBIGUOUS_MEMBER {
+                return Err(CubeStoreError::Unsupported(format!(
+                    "member {} of dimension <{}> rolls up to several members of level <{}> \
+                     (non-functional roll-up); use the SPARQL backend",
+                    axis.column.dictionary.term(bottom),
+                    axis.column.dimension.as_str(),
+                    axis.rollup.target_level.as_str()
+                )));
+            }
+            key.push(target);
+        }
+        for filter in &compiled_filters {
+            if !filter.keeps(&key) {
+                continue 'rows;
+            }
+        }
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
+        for (acc, measure) in accs.iter_mut().zip(measures) {
+            acc.update(measure.data.value(row));
+        }
+    }
+
+    // Aggregate each group and apply the measure filters (HAVING).
+    let mut cells: Vec<OutputCell> = Vec::with_capacity(groups.len());
+    'groups: for (key, accs) in groups {
+        let values: Vec<Option<Term>> = accs
+            .iter()
+            .zip(measures)
+            .map(|(acc, measure)| Some(acc.aggregate(measure)))
+            .collect();
+        for filter in &query.measure_filters {
+            let verdict = eval_measure_filter(filter, measures, &values)?;
+            if verdict != Some(true) {
+                continue 'groups;
+            }
+        }
+        let coordinates = key
+            .iter()
+            .zip(&axes)
+            .map(|(&code, axis)| axis.level_index.dictionary.term(code).clone())
+            .collect();
+        cells.push(OutputCell {
+            coordinates,
+            values,
+        });
+    }
+    cells.sort_by(|a, b| a.coordinates.cmp(&b.coordinates));
+
+    Ok(QueryOutput {
+        axes: axes
+            .iter()
+            .map(|axis| AxisSpec {
+                dimension: axis.column.dimension.clone(),
+                level: axis.rollup.target_level.clone(),
+            })
+            .collect(),
+        measures: measures.iter().map(|m| m.property.clone()).collect(),
+        cells,
+    })
+}
+
+struct AxisPlan<'c> {
+    column: &'c DimensionColumn,
+    rollup: &'c RollupMap,
+    level_index: &'c LevelIndex,
+}
+
+/// One measure accumulator: everything the five QB4OLAP aggregate
+/// functions need, updated in a single pass.
+#[derive(Debug, Clone)]
+struct MeasureAcc {
+    count: usize,
+    sum: f64,
+    /// Every value so far was integral — the SPARQL engine's SUM stays an
+    /// `xsd:integer` exactly in that case.
+    all_integral: bool,
+    min: f64,
+    max: f64,
+}
+
+impl Default for MeasureAcc {
+    fn default() -> Self {
+        MeasureAcc {
+            count: 0,
+            sum: 0.0,
+            all_integral: true,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl MeasureAcc {
+    #[inline]
+    fn update(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value.fract() != 0.0 {
+            self.all_integral = false;
+        }
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// The aggregate as a [`Term`], with exactly the typing rules of the
+    /// SPARQL engine's aggregate evaluation.
+    fn aggregate(&self, measure: &MeasureColumn) -> Term {
+        match measure.aggregate {
+            AggregateFunction::Count => Term::Literal(Literal::integer(self.count as i64)),
+            AggregateFunction::Sum => {
+                if self.all_integral && self.sum.abs() < 9.0e15 {
+                    Term::Literal(Literal::integer(self.sum as i64))
+                } else {
+                    Term::Literal(Literal::decimal(self.sum))
+                }
+            }
+            AggregateFunction::Avg => {
+                Term::Literal(Literal::decimal(self.sum / self.count as f64))
+            }
+            AggregateFunction::Min => measure.data.term_for(self.min),
+            AggregateFunction::Max => measure.data.term_for(self.max),
+        }
+    }
+}
+
+/// A member filter with every comparison pre-evaluated into a truth table
+/// over the member ids of its axis's result level.
+enum CompiledFilter {
+    /// `table[member]`: `None` = the member has no value for the attribute
+    /// (the SPARQL join drops the row before the FILTER runs, even under
+    /// `OR`); `Some(verdict)` = the comparison's three-valued outcome.
+    Compare {
+        axis: usize,
+        table: Vec<Option<Option<bool>>>,
+    },
+    And(Box<CompiledFilter>, Box<CompiledFilter>),
+    Or(Box<CompiledFilter>, Box<CompiledFilter>),
+}
+
+impl CompiledFilter {
+    /// True if a row with the given axis coordinates survives the filter:
+    /// all referenced attributes are present (join) and the condition
+    /// evaluates to true (FILTER).
+    fn keeps(&self, key: &[MemberId]) -> bool {
+        self.joins(key) && self.eval(key) == Some(true)
+    }
+
+    fn joins(&self, key: &[MemberId]) -> bool {
+        match self {
+            CompiledFilter::Compare { axis, table } => table[key[*axis] as usize].is_some(),
+            CompiledFilter::And(a, b) | CompiledFilter::Or(a, b) => a.joins(key) && b.joins(key),
+        }
+    }
+
+    /// Three-valued evaluation matching the SPARQL engine's `&&` / `||`.
+    fn eval(&self, key: &[MemberId]) -> Option<bool> {
+        match self {
+            CompiledFilter::Compare { axis, table } => table[key[*axis] as usize].flatten(),
+            CompiledFilter::And(a, b) => match (a.eval(key), b.eval(key)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            CompiledFilter::Or(a, b) => match (a.eval(key), b.eval(key)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+        }
+    }
+}
+
+fn compile_filter(
+    filter: &MemberFilter,
+    axes: &[AxisPlan<'_>],
+) -> Result<CompiledFilter, CubeStoreError> {
+    match filter {
+        MemberFilter::And(a, b) => Ok(CompiledFilter::And(
+            Box::new(compile_filter(a, axes)?),
+            Box::new(compile_filter(b, axes)?),
+        )),
+        MemberFilter::Or(a, b) => Ok(CompiledFilter::Or(
+            Box::new(compile_filter(a, axes)?),
+            Box::new(compile_filter(b, axes)?),
+        )),
+        MemberFilter::Compare {
+            dimension,
+            level,
+            attribute,
+            predicate,
+        } => {
+            let axis = axes
+                .iter()
+                .position(|a| &a.column.dimension == dimension && &a.rollup.target_level == level)
+                .ok_or_else(|| {
+                    CubeStoreError::Query(format!(
+                        "the dice on dimension <{}> refers to level <{}>, which is not the \
+                         level of that dimension in the result",
+                        dimension.as_str(),
+                        level.as_str()
+                    ))
+                })?;
+            let index = axes[axis].level_index;
+            let table = (0..index.member_count() as MemberId)
+                .map(|member| {
+                    index
+                        .attribute_value(attribute, member)
+                        .map(|value| eval_predicate(predicate, value))
+                })
+                .collect();
+            Ok(CompiledFilter::Compare { axis, table })
+        }
+    }
+}
+
+/// One attribute comparison, with exactly the semantics of the generated
+/// SPARQL: `Str` wraps the value like the `STR()` call the translator
+/// emits, `Constant` compares the raw term.
+fn eval_predicate(predicate: &MemberPredicate, value: &Term) -> Option<bool> {
+    match predicate {
+        MemberPredicate::Str { op, value: expected } => {
+            let lexical = match value {
+                Term::Iri(iri) => iri.as_str().to_string(),
+                Term::Blank(b) => b.as_str().to_string(),
+                Term::Literal(lit) => lit.lexical().to_string(),
+            };
+            compare_terms(
+                &Term::Literal(Literal::string(lexical)),
+                *op,
+                &Term::Literal(Literal::string(expected)),
+            )
+        }
+        MemberPredicate::Constant { op, value: expected } => compare_terms(value, *op, expected),
+    }
+}
+
+/// HAVING evaluation: compares the already-computed aggregate terms.
+fn eval_measure_filter(
+    filter: &MeasureFilter,
+    measures: &[MeasureColumn],
+    values: &[Option<Term>],
+) -> Result<Option<bool>, CubeStoreError> {
+    match filter {
+        MeasureFilter::And(a, b) => {
+            let va = eval_measure_filter(a, measures, values)?;
+            let vb = eval_measure_filter(b, measures, values)?;
+            Ok(match (va, vb) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            })
+        }
+        MeasureFilter::Or(a, b) => {
+            let va = eval_measure_filter(a, measures, values)?;
+            let vb = eval_measure_filter(b, measures, values)?;
+            Ok(match (va, vb) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            })
+        }
+        MeasureFilter::Compare { measure, op, value } => {
+            let index = measures
+                .iter()
+                .position(|m| &m.property == measure)
+                .ok_or_else(|| {
+                    CubeStoreError::Query(format!("unknown measure <{}>", measure.as_str()))
+                })?;
+            Ok(values[index]
+                .as_ref()
+                .and_then(|aggregate| compare_terms(aggregate, *op, value)))
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The hierarchy side of a materialized cube: per-level member indexes with
+//! attribute values, and precomputed bottom-level → ancestor roll-up maps.
+
+use std::collections::BTreeMap;
+
+use rdf::{Iri, Term};
+
+use crate::dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
+
+/// The members declared `qb4o:memberOf` one level, with the attribute values
+/// the dices need, dictionary-encoded.
+#[derive(Debug, Clone)]
+pub struct LevelIndex {
+    /// The level IRI.
+    pub level: Iri,
+    /// The declared members of the level.
+    pub dictionary: Dictionary,
+    /// Attribute IRI → per-member value (indexed by member id; `None` where
+    /// the member has no value for the attribute). Only the first value of a
+    /// multi-valued attribute is kept, matching the single-valued data the
+    /// SPARQL backend is exercised on.
+    attributes: BTreeMap<Iri, Vec<Option<Term>>>,
+}
+
+impl LevelIndex {
+    /// Creates an index over the declared members of a level.
+    pub fn new(level: Iri, dictionary: Dictionary) -> Self {
+        LevelIndex {
+            level,
+            dictionary,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Records the values of one attribute, given as `(member, value)`
+    /// pairs. Pairs whose member is not declared on the level are ignored;
+    /// for multi-valued members the first pair wins.
+    pub fn set_attribute(&mut self, attribute: Iri, pairs: &[(Term, Term)]) {
+        let mut values: Vec<Option<Term>> = vec![None; self.dictionary.len()];
+        for (member, value) in pairs {
+            if let Some(id) = self.dictionary.id(member) {
+                let slot = &mut values[id as usize];
+                if slot.is_none() {
+                    *slot = Some(value.clone());
+                }
+            }
+        }
+        self.attributes.insert(attribute, values);
+    }
+
+    /// The value of `attribute` on the member with id `member`, if any.
+    pub fn attribute_value(&self, attribute: &Iri, member: MemberId) -> Option<&Term> {
+        self.attributes
+            .get(attribute)?
+            .get(member as usize)?
+            .as_ref()
+    }
+
+    /// True if the index holds values for `attribute`.
+    pub fn has_attribute(&self, attribute: &Iri) -> bool {
+        self.attributes.contains_key(attribute)
+    }
+
+    /// Number of declared members.
+    pub fn member_count(&self) -> usize {
+        self.dictionary.len()
+    }
+}
+
+/// A precomputed roll-up map for one `(dimension, target level)` pair:
+/// bottom-member code → code of the ancestor member at the target level (in
+/// the target level's [`LevelIndex`] dictionary).
+///
+/// Entries are [`NO_MEMBER`] where the bottom member has no ancestor at the
+/// target level (ragged hierarchies — the SPARQL backend drops those
+/// observations, and so does the columnar executor) and
+/// [`AMBIGUOUS_MEMBER`] where it has several (non-functional roll-ups — the
+/// columnar executor refuses those).
+#[derive(Debug, Clone)]
+pub struct RollupMap {
+    /// The dimension the map belongs to.
+    pub dimension: Iri,
+    /// The level the map rolls up to.
+    pub target_level: Iri,
+    map: Vec<MemberId>,
+}
+
+impl RollupMap {
+    /// Creates a map from the raw per-bottom-code targets.
+    pub fn new(dimension: Iri, target_level: Iri, map: Vec<MemberId>) -> Self {
+        RollupMap {
+            dimension,
+            target_level,
+            map,
+        }
+    }
+
+    /// The target code for a bottom-member code.
+    #[inline]
+    pub fn target(&self, bottom: MemberId) -> MemberId {
+        self.map[bottom as usize]
+    }
+
+    /// Number of bottom members covered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the map covers no members.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of bottom members with no ancestor at the target level.
+    pub fn unmapped_members(&self) -> usize {
+        self.map.iter().filter(|&&t| t == NO_MEMBER).count()
+    }
+
+    /// Number of bottom members with several ancestors at the target level.
+    pub fn ambiguous_members(&self) -> usize {
+        self.map.iter().filter(|&&t| t == AMBIGUOUS_MEMBER).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(names: &[&str]) -> Dictionary {
+        let mut dict = Dictionary::new();
+        for n in names {
+            dict.encode(&Term::iri(format!("http://m/{n}")));
+        }
+        dict
+    }
+
+    #[test]
+    fn attribute_lookup_first_value_wins() {
+        let mut index = LevelIndex::new(Iri::new("http://level"), members(&["a", "b"]));
+        let attr = Iri::new("http://attr/name");
+        index.set_attribute(
+            attr.clone(),
+            &[
+                (Term::iri("http://m/a"), Term::string("first")),
+                (Term::iri("http://m/a"), Term::string("second")),
+                (Term::iri("http://m/unknown"), Term::string("ignored")),
+            ],
+        );
+        assert!(index.has_attribute(&attr));
+        assert_eq!(index.member_count(), 2);
+        assert_eq!(index.attribute_value(&attr, 0), Some(&Term::string("first")));
+        assert_eq!(index.attribute_value(&attr, 1), None);
+        assert!(!index.has_attribute(&Iri::new("http://attr/other")));
+        assert_eq!(index.attribute_value(&Iri::new("http://attr/other"), 0), None);
+    }
+
+    #[test]
+    fn rollup_map_counters() {
+        let map = RollupMap::new(
+            Iri::new("http://dim"),
+            Iri::new("http://level/top"),
+            vec![0, NO_MEMBER, 1, AMBIGUOUS_MEMBER],
+        );
+        assert_eq!(map.len(), 4);
+        assert!(!map.is_empty());
+        assert_eq!(map.target(0), 0);
+        assert_eq!(map.target(1), NO_MEMBER);
+        assert_eq!(map.unmapped_members(), 1);
+        assert_eq!(map.ambiguous_members(), 1);
+    }
+}

@@ -1,0 +1,611 @@
+//! A columnar in-memory cube engine for QB4OLAP datasets.
+//!
+//! The QB2OLAP querying module normally executes every QL pipeline by
+//! translating it to SPARQL and evaluating it against the triple store.
+//! That is faithful to the paper, but each query pays for triple-pattern
+//! joins, `skos:broader` navigation and GROUP BY over decoded terms. This
+//! crate trades one up-front materialization for SPARQL-free execution:
+//!
+//! * [`build::MaterializedCube::from_endpoint`] reads the observations,
+//!   level members, attribute values and member roll-up links **once** and
+//!   lays them out as columns — dictionary-encoded `u32` member ids per
+//!   dimension ([`columns::DimensionColumn`]), dense typed measure vectors
+//!   ([`columns::MeasureVector`]), and precomputed bottom-level → ancestor
+//!   roll-up maps ([`hierarchy::RollupMap`]);
+//! * [`executor::execute`] then runs a simplified OLAP pipeline
+//!   (slice → dice → roll-up → aggregate) as a single vectorized pass over
+//!   those columns.
+//!
+//! The executor is deliberately **bit-compatible** with the SPARQL backend:
+//! it reuses [`sparql::compare_terms`], reproduces the SPARQL engine's
+//! aggregate typing rules, and mirrors the generated query's join
+//! semantics, so both backends return identical result cubes (the `ql`
+//! crate's differential tests pin this). Data the columnar engine cannot
+//! execute faithfully — roll-ups that are non-functional or have several
+//! broader paths to an ancestor, non-numeric measures — is rejected with
+//! [`CubeStoreError::Unsupported`] instead of approximated. The one
+//! assumption taken on faith is QB well-formedness of the *fact* side:
+//! observations with several values for one dimension or measure, and
+//! members with several values for one attribute, keep a single value
+//! (see [`build::MaterializedCube::from_endpoint`]) where a raw SPARQL
+//! join would multiply rows.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod columns;
+pub mod dictionary;
+pub mod error;
+pub mod executor;
+pub mod hierarchy;
+
+pub use build::{BuildStats, MaterializedCube};
+pub use columns::{DimensionColumn, MeasureColumn, MeasureVector};
+pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
+pub use error::CubeStoreError;
+pub use executor::{
+    execute, AxisSpec, CubeQuery, MeasureFilter, MemberFilter, MemberPredicate, OutputCell,
+    QueryOutput,
+};
+pub use hierarchy::{LevelIndex, RollupMap};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use qb4olap::{
+        AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
+        LevelAttribute, LevelComponent, MeasureSpec,
+    };
+    use rdf::{Iri, Literal, Term, Triple};
+    use sparql::ast::CmpOp;
+    use sparql::{Endpoint, LocalEndpoint};
+
+    use super::*;
+
+    fn iri(suffix: &str) -> Iri {
+        Iri::new(format!("http://example.org/{suffix}"))
+    }
+
+    fn member(suffix: &str) -> Term {
+        Term::iri(format!("http://example.org/member/{suffix}"))
+    }
+
+    /// A tiny two-dimensional cube: cities (rolling up to countries) ×
+    /// months, with two measures. City `c3` is ragged (no country).
+    ///
+    /// Observations (city, month, value, score):
+    ///   o1 (c1, m1, 10, 4), o2 (c1, m2, 20, 6), o3 (c2, m1, 5, 1),
+    ///   o4 (c3, m1, 100, 9) — ragged city, o5 (c2, m2, 7, 3).
+    fn fixture(score_aggregate: AggregateFunction) -> (LocalEndpoint, CubeSchema) {
+        let city = iri("lv/city");
+        let country = iri("lv/country");
+        let month = iri("lv/month");
+        let value = iri("measure/value");
+        let score = iri("measure/score");
+
+        let mut builder = qb::QbDatasetBuilder::new(iri("ds"), iri("dsd"))
+            .dimension(city.clone())
+            .dimension(month.clone())
+            .measure(value.clone())
+            .measure(score.clone());
+        for (name, city_member, month_member, v, s) in [
+            ("o1", "c1", "m1", 10, 4),
+            ("o2", "c1", "m2", 20, 6),
+            ("o3", "c2", "m1", 5, 1),
+            ("o4", "c3", "m1", 100, 9),
+            ("o5", "c2", "m2", 7, 3),
+        ] {
+            let mut obs = qb::Observation::new(Term::iri(format!("http://example.org/obs/{name}")));
+            obs.dimensions.insert(city.clone(), member(city_member));
+            obs.dimensions.insert(month.clone(), member(month_member));
+            obs.measures
+                .insert(value.clone(), Term::Literal(Literal::integer(v)));
+            obs.measures
+                .insert(score.clone(), Term::Literal(Literal::integer(s)));
+            builder = builder.observation(obs);
+        }
+        let (_, mut triples) = builder.build();
+
+        for (m, level) in [
+            ("c1", &city),
+            ("c2", &city),
+            ("c3", &city),
+            ("K1", &country),
+            ("K2", &country),
+            ("m1", &month),
+            ("m2", &month),
+        ] {
+            triples.push(qb4olap::member_of_triple(&member(m), level));
+        }
+        triples.push(qb4olap::rollup_triple(&member("c1"), &member("K1")));
+        triples.push(qb4olap::rollup_triple(&member("c2"), &member("K2")));
+        // c3 stays ragged: no country ancestor.
+        triples.push(qb4olap::attribute_triple(
+            &member("K1"),
+            &iri("attr/countryName"),
+            &Term::Literal(Literal::string("Alpha")),
+        ));
+        // K2 has no countryName value at all.
+
+        let endpoint = LocalEndpoint::new();
+        endpoint.insert_triples(&triples).unwrap();
+
+        let mut schema = CubeSchema::new(iri("dsdQB4O"), iri("ds"));
+        let mut city_hierarchy = Hierarchy::new(iri("hier/city"));
+        city_hierarchy.levels = vec![city.clone(), country.clone()];
+        city_hierarchy.steps = vec![HierarchyStep {
+            child: city.clone(),
+            parent: country.clone(),
+            cardinality: Cardinality::ManyToOne,
+        }];
+        let mut city_dim = Dimension::new(iri("dim/city"));
+        city_dim.hierarchies.push(city_hierarchy);
+        schema.dimensions.push(city_dim);
+
+        let mut month_hierarchy = Hierarchy::new(iri("hier/month"));
+        month_hierarchy.levels = vec![month.clone()];
+        let mut month_dim = Dimension::new(iri("dim/month"));
+        month_dim.hierarchies.push(month_hierarchy);
+        schema.dimensions.push(month_dim);
+
+        schema.level_components.push(LevelComponent {
+            level: city,
+            cardinality: Cardinality::ManyToOne,
+            dimension: Some(iri("dim/city")),
+        });
+        schema.level_components.push(LevelComponent {
+            level: month,
+            cardinality: Cardinality::ManyToOne,
+            dimension: Some(iri("dim/month")),
+        });
+        schema.measures.push(MeasureSpec {
+            property: value,
+            aggregate: AggregateFunction::Sum,
+        });
+        schema.measures.push(MeasureSpec {
+            property: score,
+            aggregate: score_aggregate,
+        });
+        schema
+            .level_mut(&country)
+            .attributes
+            .push(LevelAttribute::new(iri("attr/countryName")));
+        (endpoint, schema)
+    }
+
+    fn build(score_aggregate: AggregateFunction) -> MaterializedCube {
+        let (endpoint, schema) = fixture(score_aggregate);
+        MaterializedCube::from_endpoint(&endpoint, &schema).unwrap()
+    }
+
+    fn rollup_query() -> CubeQuery {
+        CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        }
+    }
+
+    #[test]
+    fn build_materializes_columns_and_maps() {
+        let cube = build(AggregateFunction::Avg);
+        assert_eq!(cube.row_count(), 5);
+        let stats = cube.stats();
+        assert_eq!(stats.observations_seen, 5);
+        assert_eq!(stats.rows, 5);
+        assert_eq!(stats.rows_dropped, 0);
+        assert_eq!(stats.levels, 3);
+        // city→city (identity), city→country, month→month.
+        assert_eq!(stats.rollup_maps, 3);
+        assert_eq!(stats.broader_links, 2);
+
+        let column = cube.dimension_column(&iri("dim/city")).unwrap();
+        assert_eq!(column.len(), 5);
+        assert_eq!(column.unbound_rows(), 0);
+        let map = cube.rollup(&iri("dim/city"), &iri("lv/country")).unwrap();
+        assert_eq!(map.unmapped_members(), 1, "c3 is ragged");
+        assert_eq!(map.ambiguous_members(), 0);
+        assert_eq!(cube.level(&iri("lv/country")).unwrap().member_count(), 2);
+        assert_eq!(cube.measure_columns().len(), 2);
+        assert!(cube.dimension_column(&iri("dim/nope")).is_none());
+    }
+
+    #[test]
+    fn untyped_and_measureless_observations_are_dropped() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        // An observation linked to the dataset but not typed qb:Observation,
+        // and a typed one missing the `score` measure: the SPARQL pattern
+        // joins drop both, so the builder must too.
+        endpoint
+            .insert_triples(&[
+                Triple::new(
+                    Term::iri("http://example.org/obs/untyped"),
+                    rdf::vocab::qb::data_set(),
+                    Term::iri("http://example.org/ds"),
+                ),
+                Triple::new(
+                    Term::iri("http://example.org/obs/untyped"),
+                    iri("measure/value"),
+                    Literal::integer(1),
+                ),
+                Triple::new(
+                    Term::iri("http://example.org/obs/half"),
+                    rdf::vocab::rdf::type_(),
+                    Term::Iri(rdf::vocab::qb::observation()),
+                ),
+                Triple::new(
+                    Term::iri("http://example.org/obs/half"),
+                    rdf::vocab::qb::data_set(),
+                    Term::iri("http://example.org/ds"),
+                ),
+                Triple::new(
+                    Term::iri("http://example.org/obs/half"),
+                    iri("measure/value"),
+                    Literal::integer(1),
+                ),
+            ])
+            .unwrap();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(cube.row_count(), 5);
+        assert_eq!(cube.stats().rows_dropped, 2);
+    }
+
+    #[test]
+    fn rollup_drops_ragged_members_and_sums() {
+        let cube = build(AggregateFunction::Sum);
+        let output = execute(&cube, &rollup_query()).unwrap();
+        assert_eq!(
+            output.axes,
+            vec![
+                AxisSpec {
+                    dimension: iri("dim/city"),
+                    level: iri("lv/country")
+                },
+                AxisSpec {
+                    dimension: iri("dim/month"),
+                    level: iri("lv/month")
+                },
+            ]
+        );
+        // o4 (ragged c3) contributes nowhere.
+        assert_eq!(output.cells.len(), 4);
+        let cell = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("K1"), member("m1")])
+            .unwrap();
+        assert_eq!(cell.values[0], Some(Term::integer(10)));
+        assert!(!output
+            .cells
+            .iter()
+            .any(|c| c.coordinates.contains(&member("c3"))));
+        // Grand total excludes the ragged row's 100.
+        let total: i64 = output
+            .cells
+            .iter()
+            .map(|c| {
+                c.values[0]
+                    .as_ref()
+                    .and_then(|t| t.as_literal().and_then(|l| l.as_integer()))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn slice_collapses_a_dimension() {
+        let cube = build(AggregateFunction::Sum);
+        let query = CubeQuery {
+            slices: vec![iri("dim/month")],
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&cube, &query).unwrap();
+        assert_eq!(output.axes.len(), 1);
+        assert_eq!(output.cells.len(), 2);
+        let k1 = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("K1")])
+            .unwrap();
+        assert_eq!(k1.values[0], Some(Term::integer(30)));
+    }
+
+    #[test]
+    fn aggregate_functions_match_sparql_typing() {
+        // score: avg of {4, 6} = decimal 5.0 on (K1, aggregated months).
+        let cube = build(AggregateFunction::Avg);
+        let query = CubeQuery {
+            slices: vec![iri("dim/month")],
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&cube, &query).unwrap();
+        let k1 = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("K1")])
+            .unwrap();
+        assert_eq!(k1.values[1], Some(Term::Literal(Literal::decimal(5.0))));
+
+        for (aggregate, expected_k2) in [
+            (AggregateFunction::Min, Term::integer(1)),
+            (AggregateFunction::Max, Term::integer(3)),
+            (AggregateFunction::Count, Term::integer(2)),
+        ] {
+            let cube = build(aggregate);
+            let output = execute(&cube, &query).unwrap();
+            let k2 = output
+                .cells
+                .iter()
+                .find(|c| c.coordinates == vec![member("K2")])
+                .unwrap();
+            assert_eq!(k2.values[1], Some(expected_k2), "{aggregate:?}");
+        }
+    }
+
+    #[test]
+    fn member_filter_keeps_inner_join_semantics() {
+        let cube = build(AggregateFunction::Sum);
+        let compare = |op, value: &str| MemberFilter::Compare {
+            dimension: iri("dim/city"),
+            level: iri("lv/country"),
+            attribute: iri("attr/countryName"),
+            predicate: MemberPredicate::Str {
+                op,
+                value: value.to_string(),
+            },
+        };
+
+        let mut query = rollup_query();
+        query.member_filters = vec![compare(CmpOp::Eq, "Alpha")];
+        let output = execute(&cube, &query).unwrap();
+        assert!(output.cells.iter().all(|c| c.coordinates[0] == member("K1")));
+        assert_eq!(output.cells.len(), 2);
+
+        // K2 has no countryName: the SPARQL join drops its rows even when
+        // the condition is an OR whose other side would not need it.
+        let mut query = rollup_query();
+        query.member_filters = vec![MemberFilter::Or(
+            Box::new(compare(CmpOp::Eq, "Alpha")),
+            Box::new(compare(CmpOp::Ne, "Alpha")),
+        )];
+        let output = execute(&cube, &query).unwrap();
+        assert!(output.cells.iter().all(|c| c.coordinates[0] == member("K1")));
+
+        // An IRI constant compared with the member's attribute term.
+        let mut query = rollup_query();
+        query.member_filters = vec![MemberFilter::Compare {
+            dimension: iri("dim/city"),
+            level: iri("lv/country"),
+            attribute: iri("attr/countryName"),
+            predicate: MemberPredicate::Constant {
+                op: CmpOp::Eq,
+                value: Term::Literal(Literal::string("Alpha")),
+            },
+        }];
+        let output = execute(&cube, &query).unwrap();
+        assert_eq!(output.cells.len(), 2);
+    }
+
+    #[test]
+    fn measure_filter_applies_to_aggregates() {
+        let cube = build(AggregateFunction::Sum);
+        let mut query = CubeQuery {
+            slices: vec![iri("dim/month")],
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        query.measure_filters = vec![MeasureFilter::Compare {
+            measure: iri("measure/value"),
+            op: CmpOp::Gt,
+            value: Term::Literal(Literal::integer(20)),
+        }];
+        let output = execute(&cube, &query).unwrap();
+        assert_eq!(output.cells.len(), 1);
+        assert_eq!(output.cells[0].coordinates, vec![member("K1")]);
+
+        // Per group (country, value-sum, score-sum): K1 = (30, 10),
+        // K2 = (12, 4). Keep groups with score >= 5 AND
+        // (value <= 12 OR score >= 10): only K1 survives.
+        query.measure_filters = vec![MeasureFilter::And(
+            Box::new(MeasureFilter::Compare {
+                measure: iri("measure/score"),
+                op: CmpOp::Ge,
+                value: Term::Literal(Literal::integer(5)),
+            }),
+            Box::new(MeasureFilter::Or(
+                Box::new(MeasureFilter::Compare {
+                    measure: iri("measure/value"),
+                    op: CmpOp::Le,
+                    value: Term::Literal(Literal::integer(12)),
+                }),
+                Box::new(MeasureFilter::Compare {
+                    measure: iri("measure/score"),
+                    op: CmpOp::Ge,
+                    value: Term::Literal(Literal::integer(10)),
+                }),
+            )),
+        )];
+        let output = execute(&cube, &query).unwrap();
+        assert_eq!(output.cells.len(), 1);
+        assert_eq!(output.cells[0].coordinates, vec![member("K1")]);
+    }
+
+    #[test]
+    fn ambiguous_rollups_are_refused() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        endpoint
+            .insert_triples(&[qb4olap::rollup_triple(&member("c1"), &member("K2"))])
+            .unwrap();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(
+            cube.rollup(&iri("dim/city"), &iri("lv/country"))
+                .unwrap()
+                .ambiguous_members(),
+            1
+        );
+        let error = execute(&cube, &rollup_query()).unwrap_err();
+        assert!(matches!(error, CubeStoreError::Unsupported(_)), "{error}");
+        // Queries that do not roll city up still work.
+        assert!(execute(&cube, &CubeQuery::default()).is_ok());
+    }
+
+    #[test]
+    fn diamond_paths_to_one_ancestor_are_refused_not_undercounted() {
+        // city → district → country where c1 reaches K1 through TWO
+        // districts. The SPARQL join counts each observation once per
+        // broader path (twice here), so the columnar engine must refuse
+        // the roll-up rather than silently counting once.
+        let city = iri("lv/city");
+        let district = iri("lv/district");
+        let country = iri("lv/country");
+        let value = iri("measure/value");
+
+        let mut builder = qb::QbDatasetBuilder::new(iri("ds"), iri("dsd"))
+            .dimension(city.clone())
+            .measure(value.clone());
+        let mut obs = qb::Observation::new(Term::iri("http://example.org/obs/o1"));
+        obs.dimensions.insert(city.clone(), member("c1"));
+        obs.measures
+            .insert(value.clone(), Term::Literal(Literal::integer(10)));
+        builder = builder.observation(obs);
+        let (_, mut triples) = builder.build();
+
+        for (m, level) in [
+            ("c1", &city),
+            ("d1", &district),
+            ("d2", &district),
+            ("K1", &country),
+        ] {
+            triples.push(qb4olap::member_of_triple(&member(m), level));
+        }
+        for (child, parent) in [("c1", "d1"), ("c1", "d2"), ("d1", "K1"), ("d2", "K1")] {
+            triples.push(qb4olap::rollup_triple(&member(child), &member(parent)));
+        }
+        let endpoint = LocalEndpoint::new();
+        endpoint.insert_triples(&triples).unwrap();
+
+        let mut schema = CubeSchema::new(iri("dsdQB4O"), iri("ds"));
+        let mut hierarchy = Hierarchy::new(iri("hier/city"));
+        hierarchy.levels = vec![city.clone(), district.clone(), country.clone()];
+        hierarchy.steps = vec![
+            HierarchyStep {
+                child: city.clone(),
+                parent: district.clone(),
+                cardinality: Cardinality::ManyToOne,
+            },
+            HierarchyStep {
+                child: district.clone(),
+                parent: country.clone(),
+                cardinality: Cardinality::ManyToOne,
+            },
+        ];
+        let mut dim = Dimension::new(iri("dim/city"));
+        dim.hierarchies.push(hierarchy);
+        schema.dimensions.push(dim);
+        schema.level_components.push(LevelComponent {
+            level: city.clone(),
+            cardinality: Cardinality::ManyToOne,
+            dimension: Some(iri("dim/city")),
+        });
+        schema.measures.push(MeasureSpec {
+            property: value,
+            aggregate: AggregateFunction::Sum,
+        });
+
+        // The raw SPARQL navigation really does see the observation twice.
+        let doubled = endpoint
+            .select(
+                "PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
+                 PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+                 SELECT (SUM(?v) AS ?total) WHERE {
+                   ?o <http://example.org/lv/city> ?c . ?o <http://example.org/measure/value> ?v .
+                   ?c skos:broader ?d . ?d skos:broader ?k .
+                   ?k qb4o:memberOf <http://example.org/lv/country> .
+                 }",
+            )
+            .unwrap()
+            .get(0, "total")
+            .and_then(|t| t.as_literal().and_then(|l| l.as_integer()))
+            .unwrap();
+        assert_eq!(doubled, 20, "SPARQL bag semantics count one path twice");
+
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        let map = cube.rollup(&iri("dim/city"), &country).unwrap();
+        assert_eq!(map.ambiguous_members(), 1);
+        // Rolling up to `district` (two distinct ancestors) is ambiguous
+        // too; to `country` (one ancestor, two paths) must also refuse.
+        for target in [district, country] {
+            let query = CubeQuery {
+                rollups: BTreeMap::from([(iri("dim/city"), target)]),
+                ..CubeQuery::default()
+            };
+            assert!(matches!(
+                execute(&cube, &query).unwrap_err(),
+                CubeStoreError::Unsupported(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn query_errors_on_unknown_schema_elements() {
+        let cube = build(AggregateFunction::Sum);
+        let query = CubeQuery {
+            slices: vec![iri("dim/nope")],
+            ..CubeQuery::default()
+        };
+        assert!(matches!(
+            execute(&cube, &query).unwrap_err(),
+            CubeStoreError::Query(_)
+        ));
+
+        let query = CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/galaxy"))]),
+            ..CubeQuery::default()
+        };
+        assert!(matches!(
+            execute(&cube, &query).unwrap_err(),
+            CubeStoreError::Query(_)
+        ));
+
+        let query = CubeQuery {
+            measure_filters: vec![MeasureFilter::Compare {
+                measure: iri("measure/nope"),
+                op: CmpOp::Gt,
+                value: Term::Literal(Literal::integer(0)),
+            }],
+            ..CubeQuery::default()
+        };
+        assert!(matches!(
+            execute(&cube, &query).unwrap_err(),
+            CubeStoreError::Query(_)
+        ));
+
+        let mut query = rollup_query();
+        query.member_filters = vec![MemberFilter::Compare {
+            dimension: iri("dim/city"),
+            level: iri("lv/city"), // not the level in the result
+            attribute: iri("attr/countryName"),
+            predicate: MemberPredicate::Str {
+                op: CmpOp::Eq,
+                value: "Alpha".to_string(),
+            },
+        }];
+        assert!(matches!(
+            execute(&cube, &query).unwrap_err(),
+            CubeStoreError::Query(_)
+        ));
+    }
+
+    #[test]
+    fn cells_are_sorted_canonically() {
+        let cube = build(AggregateFunction::Sum);
+        let output = execute(&cube, &CubeQuery::default()).unwrap();
+        assert_eq!(output.cells.len(), 5);
+        let mut sorted = output.cells.clone();
+        sorted.sort_by(|a, b| a.coordinates.cmp(&b.coordinates));
+        assert_eq!(output.cells, sorted);
+    }
+}

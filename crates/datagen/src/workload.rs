@@ -116,6 +116,154 @@ pub fn bench_queries() -> Vec<(&'static str, String)> {
     ]
 }
 
+/// A seeded generator of random — but always schema-valid — QL programs
+/// over the demo cube: random slice subsets, random roll-up targets
+/// (sometimes written redundantly, to exercise the simplification rules),
+/// and random attribute/measure dices. The same `(seed, count)` always
+/// yields the same programs, so differential harnesses (SPARQL variant vs
+/// variant, SPARQL vs columnar backend) can replay a stable workload.
+pub fn generated_queries(seed: u64, count: usize) -> Vec<(String, String)> {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const CONTINENT_NAMES: &[&str] = &["Africa", "Asia", "Europe", "America", "Atlantis"];
+    const COUNTRY_NAMES: &[&str] = &["France", "Germany", "Sweden", "Hungary", "Nowhere"];
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    for index in 0..count {
+        // Which dimensions stay in the result (at least one must).
+        let mut sliced = [false; 6];
+        let dims = [
+            "schema:citizenshipDim",
+            "schema:destinationDim",
+            "schema:timeDim",
+            "schema:ageDim",
+            "schema:sexDim",
+            "schema:asylappDim",
+        ];
+        for flag in sliced.iter_mut() {
+            *flag = rng.gen_bool(0.35);
+        }
+        if sliced.iter().all(|&s| s) {
+            sliced[rng.gen_range(0..sliced.len())] = false;
+        }
+
+        // Roll-up targets for the kept hierarchical dimensions. The target
+        // level decides which attribute dices stay valid later.
+        let citizenship_target = if !sliced[0] && rng.gen_bool(0.6) {
+            Some(if rng.gen_bool(0.75) {
+                "schema:continent"
+            } else {
+                "schema:citAll"
+            })
+        } else {
+            None
+        };
+        let destination_target = if !sliced[1] && rng.gen_bool(0.35) {
+            Some("schema:politicalOrg")
+        } else {
+            None
+        };
+        let time_target = if !sliced[2] && rng.gen_bool(0.5) {
+            Some("schema:year")
+        } else {
+            None
+        };
+
+        let mut operations: Vec<String> = Vec::new();
+        let rollup = |operations: &mut Vec<String>,
+                          rng: &mut StdRng,
+                          dimension: &str,
+                          bottom: &str,
+                          target: &str| {
+            // Sometimes write the roll-up redundantly (up, back down, up
+            // again) so rule (b) fusion has something to do.
+            if rng.gen_bool(0.25) {
+                operations.push(format!("ROLLUP (@, {dimension}, {target})"));
+                operations.push(format!("DRILLDOWN (@, {dimension}, {bottom})"));
+            }
+            operations.push(format!("ROLLUP (@, {dimension}, {target})"));
+        };
+        if let Some(target) = citizenship_target {
+            rollup(
+                &mut operations,
+                &mut rng,
+                "schema:citizenshipDim",
+                "property:citizen",
+                target,
+            );
+        }
+        if let Some(target) = destination_target {
+            rollup(
+                &mut operations,
+                &mut rng,
+                "schema:destinationDim",
+                "property:geo",
+                target,
+            );
+        }
+        if let Some(target) = time_target {
+            rollup(
+                &mut operations,
+                &mut rng,
+                "schema:timeDim",
+                "sdmx-dimension:refPeriod",
+                target,
+            );
+        }
+        // Slices go last so that rule (a) (slice push-down) is exercised
+        // whenever roll-ups precede them.
+        for (dimension, &is_sliced) in dims.iter().zip(&sliced) {
+            if is_sliced {
+                operations.push(format!("SLICE (@, {dimension})"));
+            }
+        }
+
+        // Dices (the grammar puts them at the end). Attribute dices must
+        // target the dimension's *result* level.
+        if citizenship_target == Some("schema:continent") && rng.gen_bool(0.6) {
+            let name = CONTINENT_NAMES[rng.gen_range(0..CONTINENT_NAMES.len())];
+            let op = if rng.gen_bool(0.8) { "=" } else { "!=" };
+            operations.push(format!(
+                "DICE (@, schema:citizenshipDim|schema:continent|schema:continentName {op} \"{name}\")"
+            ));
+        }
+        if !sliced[1] && destination_target.is_none() && rng.gen_bool(0.4) {
+            let name = COUNTRY_NAMES[rng.gen_range(0..COUNTRY_NAMES.len())];
+            operations.push(format!(
+                "DICE (@, schema:destinationDim|property:geo|schema:countryName = \"{name}\")"
+            ));
+        }
+        if rng.gen_bool(0.4) {
+            let threshold = rng.gen_range(1..=60) * 10;
+            let op = [">", ">=", "<", "<="][rng.gen_range(0..4usize)];
+            operations.push(format!("DICE (@, sdmx-measure:obsValue {op} {threshold})"));
+        }
+        // A program needs at least one operation to be valid QL.
+        if operations.is_empty() {
+            operations.push("SLICE (@, schema:asylappDim)".to_string());
+        }
+
+        let mut text = format!(
+            "{PROLOGUE}PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>;\nQUERY\n"
+        );
+        for (position, operation) in operations.iter().enumerate() {
+            let input = if position == 0 {
+                "data:migr_asyappctzm".to_string()
+            } else {
+                format!("$C{position}")
+            };
+            text.push_str(&format!(
+                "$C{} := {};\n",
+                position + 1,
+                operation.replace('@', &input)
+            ));
+        }
+        queries.push((format!("generated_{seed}_{index}"), text));
+    }
+    queries
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +303,34 @@ mod tests {
     #[test]
     fn measure_dice_query_declares_the_measure_prefix() {
         assert!(yearly_large_cells().contains("PREFIX sdmx-measure:"));
+    }
+
+    #[test]
+    fn generated_queries_are_deterministic_and_well_formed() {
+        let a = generated_queries(7, 24);
+        let b = generated_queries(7, 24);
+        assert_eq!(a, b, "same seed, same workload");
+        assert_eq!(a.len(), 24);
+        let c = generated_queries(8, 24);
+        assert_ne!(a, c, "different seeds differ");
+
+        for (name, text) in &a {
+            assert!(name.starts_with("generated_7_"), "{name}");
+            assert!(text.contains("QUERY"), "{name} misses QUERY:\n{text}");
+            assert!(
+                text.contains("$C1 := "),
+                "{name} must have at least one statement:\n{text}"
+            );
+            assert!(
+                text.contains("data:migr_asyappctzm"),
+                "{name} must start from the dataset:\n{text}"
+            );
+            assert!(text.trim_end().ends_with(';'), "{name} must end with ';'");
+        }
+        // The workload mixes the operation kinds across programs.
+        let all: String = a.iter().map(|(_, t)| t.as_str()).collect();
+        for keyword in ["SLICE", "ROLLUP", "DRILLDOWN", "DICE"] {
+            assert!(all.contains(keyword), "workload never uses {keyword}");
+        }
     }
 }

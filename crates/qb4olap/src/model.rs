@@ -307,6 +307,18 @@ impl Dimension {
         }
         None
     }
+
+    /// All levels reachable *upward* from `from` across the dimension's
+    /// hierarchies, in declaration order and without duplicates (`from`
+    /// itself is excluded). These are the valid roll-up targets a
+    /// materialized-cube builder must precompute maps for.
+    pub fn ancestor_levels(&self, from: &Iri) -> Vec<Iri> {
+        self.levels()
+            .into_iter()
+            .filter(|level| *level != from && self.rollup_path(from, level).is_some())
+            .cloned()
+            .collect()
+    }
 }
 
 /// A measure with its default aggregate function.
@@ -525,6 +537,20 @@ mod tests {
         assert_eq!(dim.bottom_level(), Some(&eurostat_property::citizen()));
         assert_eq!(dim.levels().len(), 3);
         assert!(dim.has_level(&demo_schema::continent()));
+    }
+
+    #[test]
+    fn ancestor_levels_exclude_self_and_unreachable() {
+        let dim = citizenship_dimension();
+        assert_eq!(
+            dim.ancestor_levels(&eurostat_property::citizen()),
+            vec![demo_schema::continent(), demo_schema::cit_all()]
+        );
+        assert_eq!(
+            dim.ancestor_levels(&demo_schema::continent()),
+            vec![demo_schema::cit_all()]
+        );
+        assert!(dim.ancestor_levels(&demo_schema::cit_all()).is_empty());
     }
 
     #[test]

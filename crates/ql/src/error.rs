@@ -20,6 +20,9 @@ pub enum QlError {
     Sparql(String),
     /// The QB4OLAP layer failed (schema could not be read back, ...).
     Schema(String),
+    /// The columnar backend failed to materialize or execute (data the
+    /// columnar engine does not support, stale materialization, ...).
+    Columnar(String),
 }
 
 impl fmt::Display for QlError {
@@ -29,6 +32,7 @@ impl fmt::Display for QlError {
             QlError::Validation(m) => write!(f, "QL validation error: {m}"),
             QlError::Sparql(m) => write!(f, "SPARQL execution error: {m}"),
             QlError::Schema(m) => write!(f, "schema error: {m}"),
+            QlError::Columnar(m) => write!(f, "columnar execution error: {m}"),
         }
     }
 }
@@ -53,6 +57,12 @@ impl From<qb::QbError> for QlError {
     }
 }
 
+impl From<cubestore::CubeStoreError> for QlError {
+    fn from(e: cubestore::CubeStoreError) -> Self {
+        QlError::Columnar(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +82,8 @@ mod tests {
         assert!(e.to_string().contains("s"));
         let e: QlError = qb::QbError::NotFound("d".into()).into();
         assert!(e.to_string().contains("d"));
+        let e: QlError = cubestore::CubeStoreError::Unsupported("nf".into()).into();
+        assert!(e.to_string().contains("nf"));
+        assert!(QlError::Columnar("c".into()).to_string().contains("columnar"));
     }
 }

@@ -1,22 +1,56 @@
 //! The Querying module workflow (Figure 3 of the paper): QL text is parsed,
-//! simplified, translated to SPARQL and executed on the endpoint, and the
-//! resulting cube is computed on the fly.
+//! simplified, translated to SPARQL and executed, and the resulting cube is
+//! computed on the fly.
+//!
+//! Execution goes through an [`ExecutionBackend`] seam: the
+//! [`ExecutionBackend::Sparql`] path evaluates one of the two generated
+//! SPARQL variants on the endpoint (the paper's workflow), while
+//! [`ExecutionBackend::Columnar`] runs the simplified pipeline on a
+//! [`cubestore::MaterializedCube`] built lazily from the endpoint — no
+//! SPARQL round-trip per query. Both backends return identical
+//! [`ResultCube`]s for the same prepared query.
 
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use cubestore::MaterializedCube;
 use qb4olap::CubeSchema;
 use rdf::Iri;
 use sparql::Endpoint;
 
 use crate::ast::QlProgram;
+use crate::columnar;
 use crate::cube::{CubeAxis, ResultCube};
 use crate::error::QlError;
 use crate::parser::parse_ql;
 use crate::pipeline::{simplify, QueryPipeline, SimplificationReport};
 use crate::translate::{translate, SparqlVariant, TranslationOutput};
 
+/// Which engine executes a prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionBackend {
+    /// Translate-and-ship: evaluate the chosen generated SPARQL variant on
+    /// the endpoint (the paper's Figure 3 workflow).
+    Sparql(SparqlVariant),
+    /// Run the simplified pipeline on the lazily materialized columnar
+    /// cube, bypassing SPARQL entirely.
+    Columnar,
+}
+
+impl Default for ExecutionBackend {
+    fn default() -> Self {
+        ExecutionBackend::Sparql(SparqlVariant::default())
+    }
+}
+
+impl From<SparqlVariant> for ExecutionBackend {
+    fn from(variant: SparqlVariant) -> Self {
+        ExecutionBackend::Sparql(variant)
+    }
+}
+
 /// A QL query after the Simplification and Translation phases, ready to be
-/// executed (possibly several times, with either SPARQL variant).
+/// executed (possibly several times, with either backend).
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     /// The parsed program.
@@ -27,6 +61,8 @@ pub struct PreparedQuery {
     pub report: SimplificationReport,
     /// The translation (both SPARQL variants + result-cube metadata).
     pub translation: TranslationOutput,
+    /// The backend [`QueryingModule::run`] executes the query on.
+    pub backend: ExecutionBackend,
 }
 
 impl PreparedQuery {
@@ -42,6 +78,12 @@ impl PreparedQuery {
     pub fn axes(&self) -> &[CubeAxis] {
         &self.translation.axes
     }
+
+    /// Selects the backend [`QueryingModule::run`] executes on.
+    pub fn with_backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Timings of one query execution, per workflow phase.
@@ -49,14 +91,19 @@ impl PreparedQuery {
 pub struct QueryTimings {
     /// Parsing + simplification + translation.
     pub preparation: Duration,
-    /// SPARQL execution (including result-cube construction).
+    /// Backend execution (including result-cube construction).
     pub execution: Duration,
 }
 
-/// The Querying module: holds the endpoint and the QB4OLAP schema of one cube.
+/// The Querying module: holds the endpoint and the QB4OLAP schema of one
+/// cube, plus the lazily built columnar materialization of the dataset.
 pub struct QueryingModule<'e> {
     endpoint: &'e dyn Endpoint,
     schema: CubeSchema,
+    /// The columnar cube, materialized on first use and shared by every
+    /// later [`ExecutionBackend::Columnar`] execution. The error is kept as
+    /// a string so the one-time build outcome can be handed out repeatedly.
+    columnar: OnceLock<Result<Arc<MaterializedCube>, String>>,
 }
 
 impl<'e> QueryingModule<'e> {
@@ -64,12 +111,20 @@ impl<'e> QueryingModule<'e> {
     /// from the endpoint (i.e. after the Enrichment module loaded it).
     pub fn for_dataset(endpoint: &'e dyn Endpoint, dataset: &Iri) -> Result<Self, QlError> {
         let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
-        Ok(QueryingModule { endpoint, schema })
+        Ok(QueryingModule {
+            endpoint,
+            schema,
+            columnar: OnceLock::new(),
+        })
     }
 
     /// Creates the module from an already materialised schema.
     pub fn with_schema(endpoint: &'e dyn Endpoint, schema: CubeSchema) -> Self {
-        QueryingModule { endpoint, schema }
+        QueryingModule {
+            endpoint,
+            schema,
+            columnar: OnceLock::new(),
+        }
     }
 
     /// The cube schema the module works against.
@@ -77,7 +132,23 @@ impl<'e> QueryingModule<'e> {
         &self.schema
     }
 
-    /// Runs the Query Simplification and Query Translation phases.
+    /// The columnar materialization of the dataset, building it from the
+    /// endpoint on first call. The materialization is a snapshot: triples
+    /// loaded afterwards are only picked up by a new module.
+    pub fn materialize(&self) -> Result<Arc<MaterializedCube>, QlError> {
+        self.columnar
+            .get_or_init(|| {
+                MaterializedCube::from_endpoint(self.endpoint, &self.schema)
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string())
+            })
+            .clone()
+            .map_err(QlError::Columnar)
+    }
+
+    /// Runs the Query Simplification and Query Translation phases. The
+    /// prepared query carries the default backend; override it with
+    /// [`PreparedQuery::with_backend`] or pick one per [`Self::execute`].
     pub fn prepare(&self, ql_text: &str) -> Result<PreparedQuery, QlError> {
         let program = parse_ql(ql_text)?;
         let (pipeline, report) = simplify(&program, &self.schema)?;
@@ -87,33 +158,44 @@ impl<'e> QueryingModule<'e> {
             pipeline,
             report,
             translation,
+            backend: ExecutionBackend::default(),
         })
     }
 
-    /// Runs the SPARQL Execution phase for one variant.
+    /// Runs the Execution phase on the chosen backend. Accepts a plain
+    /// [`SparqlVariant`] as shorthand for [`ExecutionBackend::Sparql`].
     pub fn execute(
         &self,
         prepared: &PreparedQuery,
-        variant: SparqlVariant,
+        backend: impl Into<ExecutionBackend>,
     ) -> Result<ResultCube, QlError> {
-        let sparql_text = prepared.sparql(variant);
-        let solutions = self.endpoint.select(&sparql_text)?;
-        Ok(ResultCube::from_solutions(
-            prepared.translation.axes.clone(),
-            prepared.translation.measures.clone(),
-            &solutions,
-        ))
+        match backend.into() {
+            ExecutionBackend::Sparql(variant) => {
+                let sparql_text = prepared.sparql(variant);
+                let solutions = self.endpoint.select(&sparql_text)?;
+                Ok(ResultCube::from_solutions(
+                    prepared.translation.axes.clone(),
+                    prepared.translation.measures.clone(),
+                    &solutions,
+                ))
+            }
+            ExecutionBackend::Columnar => {
+                let cube = self.materialize()?;
+                columnar::execute_columnar(&cube, prepared)
+            }
+        }
     }
 
     /// Convenience: full workflow (parse → simplify → translate → execute
-    /// the direct variant), returning the prepared query, the cube and the
-    /// phase timings.
+    /// on the prepared query's backend, the direct SPARQL variant by
+    /// default), returning the prepared query, the cube and the phase
+    /// timings.
     pub fn run(&self, ql_text: &str) -> Result<(PreparedQuery, ResultCube, QueryTimings), QlError> {
         let started = Instant::now();
         let prepared = self.prepare(ql_text)?;
         let preparation = started.elapsed();
         let started = Instant::now();
-        let cube = self.execute(&prepared, SparqlVariant::Direct)?;
+        let cube = self.execute(&prepared, prepared.backend)?;
         let execution = started.elapsed();
         Ok((
             prepared,
@@ -297,6 +379,41 @@ mod tests {
         // The module refuses to start on a dataset without a QB4OLAP schema.
         let empty = LocalEndpoint::new();
         assert!(QueryingModule::for_dataset(&empty, &dataset).is_err());
+    }
+
+    #[test]
+    fn columnar_backend_matches_sparql_for_the_whole_workload() {
+        let (endpoint, dataset) = enriched_endpoint(500);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let queries_before = endpoint.queries_executed();
+        // Force the one-time materialization, then count round-trips.
+        module.materialize().unwrap();
+        let queries_after_build = endpoint.queries_executed();
+        for (name, text) in datagen::workload::bench_queries() {
+            let prepared = module.prepare(&text).unwrap();
+            let sparql_cube = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let columnar_cube = module
+                .execute(&prepared, ExecutionBackend::Columnar)
+                .unwrap();
+            assert_eq!(
+                sparql_cube, columnar_cube,
+                "backends disagree for workload query '{name}'"
+            );
+        }
+        assert!(queries_after_build > queries_before, "the build queries once");
+        // Re-running columnar queries must not touch the endpoint again.
+        let before = endpoint.queries_executed();
+        let prepared = module
+            .prepare(&datagen::workload::mary_query())
+            .unwrap()
+            .with_backend(ExecutionBackend::Columnar);
+        assert_eq!(prepared.backend, ExecutionBackend::Columnar);
+        module.execute(&prepared, prepared.backend).unwrap();
+        assert_eq!(
+            endpoint.queries_executed(),
+            before,
+            "columnar execution must not issue SPARQL round-trips"
+        );
     }
 
     #[test]

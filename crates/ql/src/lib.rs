@@ -11,13 +11,16 @@
 //!   roll-up/drill-down fusion) and schema validation;
 //! * [`translate`](mod@translate) — the Query Translation phase (direct +
 //!   alternative SPARQL);
-//! * [`executor`] — the SPARQL Execution phase and the end-to-end
+//! * [`executor`] — the Execution phase behind the
+//!   [`executor::ExecutionBackend`] seam (SPARQL on the endpoint, or the
+//!   columnar [`cubestore`] engine) and the end-to-end
 //!   [`executor::QueryingModule`];
 //! * [`cube`] — the result cube.
 
 #![warn(missing_docs)]
 
 pub mod ast;
+pub(crate) mod columnar;
 pub mod cube;
 pub mod error;
 pub mod executor;
@@ -25,6 +28,8 @@ pub mod parser;
 pub mod pipeline;
 pub mod reference;
 pub mod translate;
+
+pub use cubestore;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -34,7 +39,7 @@ pub use ast::{
 };
 pub use cube::{CubeAxis, CubeCell, ResultCube};
 pub use error::QlError;
-pub use executor::{PreparedQuery, QueryTimings, QueryingModule};
+pub use executor::{ExecutionBackend, PreparedQuery, QueryTimings, QueryingModule};
 pub use parser::parse_ql;
 pub use pipeline::{simplify, QueryPipeline, SimplificationReport};
 pub use reference::evaluate_reference;

@@ -553,7 +553,10 @@ fn comparison_expression(variable: &str, op: DiceOp, value: &DiceValue) -> Expre
     }
 }
 
-fn to_sparql_cmp(op: DiceOp) -> CmpOp {
+/// The SPARQL comparison operator implementing a QL dice operator (shared
+/// with the columnar backend, which reuses the SPARQL value-comparison
+/// semantics).
+pub(crate) fn to_sparql_cmp(op: DiceOp) -> CmpOp {
     match op {
         DiceOp::Eq => CmpOp::Eq,
         DiceOp::Ne => CmpOp::Ne,

@@ -53,6 +53,20 @@ impl Interner {
         &self.terms[id as usize]
     }
 
+    /// Reserves room for at least `additional` more distinct terms.
+    pub fn reserve(&mut self, additional: usize) {
+        self.terms.reserve(additional);
+        self.ids.reserve(additional);
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t))
+    }
+
     /// Number of distinct interned terms.
     pub fn len(&self) -> usize {
         self.terms.len()
@@ -97,12 +111,51 @@ impl Graph {
         self.interner.len()
     }
 
-    /// Inserts a triple. Returns `true` if it was not already present.
-    pub fn insert(&mut self, triple: &Triple) -> bool {
+    /// Interns a triple's components without inserting it.
+    fn encode(&mut self, triple: &Triple) -> EncodedTriple {
         let s = self.interner.intern(&triple.subject);
         let p = self.interner.intern(&Term::Iri(triple.predicate.clone()));
         let o = self.interner.intern(&triple.object);
-        self.insert_encoded((s, p, o))
+        (s, p, o)
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let encoded = self.encode(triple);
+        self.insert_encoded(encoded)
+    }
+
+    /// Inserts a batch of triples, returning how many were new.
+    ///
+    /// Into an **empty** graph this takes the fast path the ROADMAP's
+    /// bulk-load hot path asks for: reserve the interner up front, encode
+    /// everything, sort + dedup once, and build the three indexes from the
+    /// sorted runs — instead of three per-triple `BTreeSet` probes. On a
+    /// non-empty graph it falls back to per-triple insertion (the batch
+    /// must still be checked against what is already there).
+    pub fn bulk_insert<I: IntoIterator<Item = Triple>>(&mut self, triples: I) -> usize {
+        let iter = triples.into_iter();
+        let (lower, _) = iter.size_hint();
+        if !self.spo.is_empty() {
+            let mut added = 0;
+            for triple in iter {
+                if self.insert(&triple) {
+                    added += 1;
+                }
+            }
+            return added;
+        }
+        // A fresh graph: no existing triples to collide with, so the only
+        // duplicates are within the batch itself — sort + dedup finds them
+        // in one pass.
+        self.interner.reserve(lower);
+        let mut encoded: Vec<EncodedTriple> = iter.map(|t| self.encode(&t)).collect();
+        encoded.sort_unstable();
+        encoded.dedup();
+        self.spo = encoded.iter().copied().collect();
+        self.pos = encoded.iter().map(|&(s, p, o)| (p, o, s)).collect();
+        self.osp = encoded.iter().map(|&(s, p, o)| (o, s, p)).collect();
+        encoded.len()
     }
 
     /// Inserts a triple given by already-interned ids.
@@ -462,6 +515,70 @@ mod tests {
     }
 
     #[test]
+    fn bulk_insert_into_fresh_graph_matches_loop_insert() {
+        let triples: Vec<Triple> = (0..200)
+            .map(|i| {
+                t(
+                    &format!("http://s{}", i % 40),
+                    &format!("http://p{}", i % 7),
+                    &format!("http://o{}", i % 23),
+                )
+            })
+            .collect();
+        let mut with_duplicates = triples.clone();
+        with_duplicates.extend(triples.iter().take(50).cloned());
+
+        let mut bulk = Graph::new();
+        let added = bulk.bulk_insert(with_duplicates.clone());
+
+        let mut reference = Graph::new();
+        let mut reference_added = 0;
+        for triple in &with_duplicates {
+            if reference.insert(triple) {
+                reference_added += 1;
+            }
+        }
+
+        assert_eq!(added, reference_added);
+        assert_eq!(bulk.len(), reference.len());
+        for triple in &triples {
+            assert!(bulk.contains(triple));
+        }
+        // All three indexes answer pattern queries consistently.
+        let p0 = Iri::new("http://p0");
+        assert_eq!(
+            bulk.triples_matching(None, Some(&p0), None).len(),
+            reference.triples_matching(None, Some(&p0), None).len()
+        );
+        let s1 = Term::iri("http://s1");
+        assert_eq!(
+            bulk.triples_matching(Some(&s1), None, None).len(),
+            reference.triples_matching(Some(&s1), None, None).len()
+        );
+        let o2 = Term::iri("http://o2");
+        assert_eq!(
+            bulk.triples_matching(None, None, Some(&o2)).len(),
+            reference.triples_matching(None, None, Some(&o2)).len()
+        );
+    }
+
+    #[test]
+    fn bulk_insert_into_non_empty_graph_checks_existing_triples() {
+        let mut g = Graph::new();
+        g.insert(&t("http://a", "http://p", "http://x"));
+        let added = g.bulk_insert(vec![
+            t("http://a", "http://p", "http://x"), // already present
+            t("http://b", "http://p", "http://y"),
+            t("http://b", "http://p", "http://y"), // duplicate within batch
+        ]);
+        assert_eq!(added, 1);
+        assert_eq!(g.len(), 2);
+        // A later removal keeps all indexes in sync.
+        assert!(g.remove(&t("http://b", "http://p", "http://y")));
+        assert!(g.triples_matching(None, None, Some(&Term::iri("http://y"))).is_empty());
+    }
+
+    #[test]
     fn extend_and_from_iterator() {
         let triples = vec![
             t("http://a", "http://p", "http://x"),
@@ -474,6 +591,20 @@ mod tests {
         g2.extend_from(&g);
         g2.extend(triples);
         assert_eq!(g2.len(), 2);
+    }
+
+    #[test]
+    fn interner_iter_is_in_id_order() {
+        let mut interner = Interner::new();
+        interner.reserve(2);
+        let a = interner.intern(&Term::iri("http://a"));
+        let b = interner.intern(&Term::iri("http://b"));
+        let pairs: Vec<(TermId, Term)> =
+            interner.iter().map(|(id, t)| (id, t.clone())).collect();
+        assert_eq!(
+            pairs,
+            vec![(a, Term::iri("http://a")), (b, Term::iri("http://b"))]
+        );
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl Store {
         added
     }
 
+    /// Bulk-loads triples into the default graph, holding the write lock
+    /// once and taking [`Graph::bulk_insert`]'s sort-and-build fast path
+    /// when the store is still empty (the ROADMAP's bulk-load hot path).
+    pub fn bulk_insert<I: IntoIterator<Item = Triple>>(&self, triples: I) -> usize {
+        self.inner.write().default_graph.bulk_insert(triples)
+    }
+
     /// Inserts all triples into a named graph.
     pub fn insert_all_named<I: IntoIterator<Item = Triple>>(&self, graph: &Iri, triples: I) -> usize {
         let mut inner = self.inner.write();
@@ -175,13 +182,13 @@ impl Store {
     /// triples added.
     pub fn load_turtle(&self, turtle: &str) -> Result<usize, StoreError> {
         let doc = parser::parse_turtle(turtle)?;
-        Ok(self.insert_all(doc.triples))
+        Ok(self.bulk_insert(doc.triples))
     }
 
     /// Loads an N-Triples document into the default graph.
     pub fn load_ntriples(&self, ntriples: &str) -> Result<usize, StoreError> {
         let doc = parser::parse_ntriples(ntriples)?;
-        Ok(self.insert_all(doc.triples))
+        Ok(self.bulk_insert(doc.triples))
     }
 
     /// Loads a Turtle document into a named graph.
@@ -248,6 +255,27 @@ mod tests {
         assert!(store
             .with_named_graph(&Iri::new("http://missing"), |g| g.len())
             .is_err());
+    }
+
+    #[test]
+    fn bulk_insert_fast_path_and_incremental_fallback() {
+        let store = Store::new();
+        let batch: Vec<Triple> = (0..100)
+            .map(|i| {
+                Triple::new(
+                    Term::iri(format!("http://s{i}")),
+                    Iri::new("http://p"),
+                    Literal::integer(i),
+                )
+            })
+            .collect();
+        // Fresh store: fast path.
+        assert_eq!(store.bulk_insert(batch.clone()), 100);
+        assert_eq!(store.len(), 100);
+        // Non-empty store: duplicates are detected against existing data.
+        assert_eq!(store.bulk_insert(batch[..10].to_vec()), 0);
+        assert_eq!(store.len(), 100);
+        assert!(store.contains(&batch[0]));
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl Endpoint for LocalEndpoint {
     }
 
     fn insert_triples(&self, triples: &[Triple]) -> Result<usize, SparqlError> {
-        Ok(self.store.insert_all(triples.iter().cloned()))
+        Ok(self.store.bulk_insert(triples.iter().cloned()))
     }
 
     fn insert_triples_named(&self, graph: &Iri, triples: &[Triple]) -> Result<usize, SparqlError> {

@@ -833,8 +833,12 @@ fn number_term(value: f64) -> Term {
     }
 }
 
-/// SPARQL value comparison. Returns `None` on type errors.
-fn compare_terms(a: &Term, op: CmpOp, b: &Term) -> Option<bool> {
+/// SPARQL value comparison: numeric when both sides are numeric literals,
+/// lexical between literals (with equality also requiring matching
+/// datatype/language), term identity otherwise. Returns `None` on type
+/// errors. Public so that engines that must agree cell-for-cell with this
+/// evaluator (the columnar backend) can reuse the exact same semantics.
+pub fn compare_terms(a: &Term, op: CmpOp, b: &Term) -> Option<bool> {
     use std::cmp::Ordering;
     // Numeric comparison when both sides are numeric literals.
     if let (Some(na), Some(nb)) = (numeric_value(a), numeric_value(b)) {

@@ -50,7 +50,7 @@ pub mod token;
 pub use ast::{Query, SelectQuery, Variable};
 pub use endpoint::{Endpoint, LocalEndpoint};
 pub use error::SparqlError;
-pub use eval::{evaluate_query, evaluate_select};
+pub use eval::{compare_terms, evaluate_query, evaluate_select};
 pub use parser::{parse_query, parse_select};
 pub use pretty::{query_to_string, select_to_string};
 pub use results::{QueryResults, Solutions};

@@ -1,0 +1,79 @@
+//! Runs the same QL workload on both execution backends — the QL → SPARQL
+//! translation evaluated on the endpoint, and the columnar cube engine —
+//! printing per-query timings and a cell-for-cell parity check.
+//!
+//! ```sh
+//! cargo run --release --example columnar_vs_sparql
+//! ```
+
+use std::time::Instant;
+
+use qb2olap::{demo, ExecutionBackend, Qb2Olap, SparqlVariant};
+
+fn main() {
+    let observations = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000usize);
+
+    println!("Building the demo cube ({observations} observations)...");
+    let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(observations))
+        .expect("demo setup succeeds");
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+
+    // The columnar backend pays a one-time materialization; everything
+    // after runs without touching the endpoint.
+    let started = Instant::now();
+    let materialized = querying.materialize().expect("materialization succeeds");
+    let build = started.elapsed();
+    let stats = materialized.stats();
+    println!(
+        "Materialized {} fact rows, {} level indexes, {} roll-up maps in {build:.2?}\n",
+        stats.rows, stats.levels, stats.rollup_maps
+    );
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>9} {:>8}  parity",
+        "query", "sparql", "columnar", "speedup", "cells"
+    );
+    let mut total_sparql = std::time::Duration::ZERO;
+    let mut total_columnar = std::time::Duration::ZERO;
+    for (name, text) in datagen::workload::bench_queries() {
+        let prepared = querying.prepare(&text).expect("workload queries prepare");
+
+        let started = Instant::now();
+        let sparql_cube = querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .expect("SPARQL backend");
+        let sparql_time = started.elapsed();
+
+        let started = Instant::now();
+        let columnar_cube = querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .expect("columnar backend");
+        let columnar_time = started.elapsed();
+
+        total_sparql += sparql_time;
+        total_columnar += columnar_time;
+        let speedup = sparql_time.as_secs_f64() / columnar_time.as_secs_f64().max(1e-9);
+        println!(
+            "{name:<28} {sparql_time:>14.2?} {columnar_time:>14.2?} {speedup:>8.1}x {:>8}  {}",
+            sparql_cube.len(),
+            if sparql_cube == columnar_cube {
+                "identical"
+            } else {
+                "MISMATCH!"
+            }
+        );
+        assert_eq!(
+            sparql_cube, columnar_cube,
+            "the two backends must return identical cubes for '{name}'"
+        );
+    }
+    let speedup = total_sparql.as_secs_f64() / total_columnar.as_secs_f64().max(1e-9);
+    println!(
+        "\nWorkload total: SPARQL {total_sparql:.2?}, columnar {total_columnar:.2?} \
+         ({speedup:.1}x; one-time materialization {build:.2?})"
+    );
+}

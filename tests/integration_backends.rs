@@ -1,0 +1,158 @@
+//! Differential tests between the two execution backends: every workload
+//! query — the named bench queries plus a seeded randomly generated
+//! workload — must return *identical* result cubes (same axes, same
+//! measures, same canonically-ordered cells) from the SPARQL translation
+//! and from the columnar cube engine, including on ragged hierarchies
+//! where members are missing an ancestor at the roll-up target level.
+
+use qb2olap::{demo, Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
+use rdf::vocab::skos;
+use rdf::Iri;
+
+fn demo_tool(observations: usize) -> (Qb2Olap, Iri) {
+    let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(observations)).unwrap();
+    (Qb2Olap::new(cube.endpoint.clone()), cube.dataset)
+}
+
+#[test]
+fn bench_and_generated_workloads_agree_across_backends() {
+    let (tool, dataset) = demo_tool(1_200);
+    let querying = tool.querying(&dataset).unwrap();
+
+    let mut workload: Vec<(String, String)> = datagen::workload::bench_queries()
+        .into_iter()
+        .map(|(name, text)| (name.to_string(), text))
+        .collect();
+    workload.extend(datagen::workload::generated_queries(42, 24));
+
+    for (name, text) in &workload {
+        let prepared = querying
+            .prepare(text)
+            .unwrap_or_else(|e| panic!("workload query '{name}' failed to prepare: {e}\n{text}"));
+        let sparql_cube = querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .unwrap_or_else(|e| panic!("SPARQL backend failed for '{name}': {e}"));
+        let columnar_cube = querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap_or_else(|e| panic!("columnar backend failed for '{name}': {e}"));
+        assert_eq!(
+            sparql_cube, columnar_cube,
+            "backends disagree for workload query '{name}':\n{text}"
+        );
+    }
+}
+
+/// Surgically removes the `skos:broader` links of one member, making the
+/// hierarchy ragged at that member, and returns how many links were cut.
+fn cut_broader_links(tool: &Qb2Olap, member: &rdf::Term) -> usize {
+    let store = tool.endpoint().store();
+    let links = store.triples_matching(Some(member), Some(&skos::broader()), None);
+    for triple in &links {
+        assert!(store.remove(triple));
+    }
+    links.len()
+}
+
+#[test]
+fn ragged_hierarchy_drops_members_identically_in_both_backends() {
+    let (tool, dataset) = demo_tool(900);
+
+    // Total over all observations, before making anything ragged.
+    let sum_for = |filter: &str| -> f64 {
+        tool.endpoint()
+            .select(&format!(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+                 PREFIX property: <http://eurostat.linked-statistics.org/property#>
+                 SELECT (SUM(?v) AS ?total) WHERE {{
+                   ?o a qb:Observation ; sdmx-measure:obsValue ?v .
+                   {filter}
+                 }}"
+            ))
+            .unwrap()
+            .get(0, "total")
+            .and_then(|t| t.as_literal().and_then(|l| l.as_double()))
+            .unwrap_or(0.0)
+    };
+    let full_total = sum_for("");
+    let syria_total = sum_for(&format!(
+        "?o property:citizen <{}> .",
+        datagen::eurostat::citizen_member("SY")
+            .as_iri()
+            .unwrap()
+            .as_str()
+    ));
+    assert!(syria_total > 0.0, "the 900-row sample has Syrian applicants");
+
+    // Make the citizenship hierarchy ragged at Syria (no continent), then
+    // open a fresh querying module so both backends see the mutated store.
+    assert!(cut_broader_links(&tool, &datagen::eurostat::citizen_member("SY")) > 0);
+    let querying = tool.querying(&dataset).unwrap();
+
+    let prepared = querying
+        .prepare(&datagen::workload::rollup_citizenship_to_continent())
+        .unwrap();
+    let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+    let columnar_cube = querying
+        .execute(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert_eq!(
+        sparql_cube, columnar_cube,
+        "backends disagree on the ragged citizenship roll-up"
+    );
+    // Both drop exactly the observations of the now-ragged member.
+    assert!(
+        (sparql_cube.first_measure_total() - (full_total - syria_total)).abs() < 1e-6,
+        "expected the roll-up to lose exactly Syria's total"
+    );
+
+    // A query that keeps citizenship at the bottom level still sees Syria.
+    let prepared = querying
+        .prepare(&datagen::workload::totals_by_citizenship())
+        .unwrap();
+    let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+    let columnar_cube = querying
+        .execute(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert_eq!(sparql_cube, columnar_cube);
+    assert!((sparql_cube.first_measure_total() - full_total).abs() < 1e-6);
+}
+
+#[test]
+fn ragged_middle_of_a_multi_level_rollup_is_pinned_in_both_backends() {
+    let (tool, dataset) = demo_tool(700);
+
+    // Cut the continent → citAll link of Africa: African citizens can then
+    // reach `continent` but not `citAll`.
+    assert!(cut_broader_links(&tool, &datagen::eurostat::continent_member("Africa")) > 0);
+    let querying = tool.querying(&dataset).unwrap();
+
+    let to_cit_all = "PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenshipDim, schema:citAll);
+";
+    let prepared = querying.prepare(to_cit_all).unwrap();
+    let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+    let columnar_cube = querying
+        .execute(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert_eq!(
+        sparql_cube, columnar_cube,
+        "backends disagree when the middle of a two-step roll-up is ragged"
+    );
+
+    // Rolling up only to `continent` is unaffected by the missing top link.
+    let prepared = querying
+        .prepare(&datagen::workload::rollup_citizenship_to_continent())
+        .unwrap();
+    let direct = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+    let columnar = querying
+        .execute(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert_eq!(direct, columnar);
+    assert!(direct
+        .cells
+        .iter()
+        .any(|c| c.coordinates.contains(&datagen::eurostat::continent_member("Africa"))));
+}

@@ -8,9 +8,12 @@
 //!
 //! Methodology is deliberately simple but honest: each benchmark does one
 //! untimed warm-up pass, then `sample_size` timed passes, and reports
-//! min/mean/max wall-clock per iteration to stdout. There is no statistical
-//! outlier analysis or HTML report — for regressions, compare means across
-//! runs of the `repro` binary instead.
+//! min/median/mean/max wall-clock per iteration plus the median absolute
+//! deviation (MAD) to stdout — median ± MAD are the numbers to quote, as
+//! they are robust to the stray slow sample an offline container produces.
+//! There is no outlier pruning or HTML report. The [`Stats`] summary is
+//! public so harnesses (e.g. the `repro` binary) can reuse the same
+//! statistics for their own timed loops.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -138,6 +141,58 @@ impl Bencher {
     }
 }
 
+/// A robust summary of one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (midpoint average for even sample counts).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Median absolute deviation from the median.
+    pub mad: Duration,
+    /// Number of samples summarised.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Summarises a non-empty slice of samples. Returns `None` when empty.
+    pub fn from_durations(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let median = median_of(&mut samples.to_vec());
+        let mut deviations: Vec<Duration> = samples
+            .iter()
+            .map(|&s| s.abs_diff(median))
+            .collect();
+        let total: Duration = samples.iter().sum();
+        Some(Stats {
+            min: *samples.iter().min().expect("non-empty"),
+            median,
+            mean: total / samples.len() as u32,
+            max: *samples.iter().max().expect("non-empty"),
+            mad: median_of(&mut deviations),
+            samples: samples.len(),
+        })
+    }
+}
+
+/// The median of a scratch buffer (sorted in place; midpoint average for
+/// even lengths).
+fn median_of(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
 fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -155,18 +210,13 @@ where
             break;
         }
     }
-    let samples = &bencher.samples;
-    if samples.is_empty() {
+    let Some(stats) = Stats::from_durations(&bencher.samples) else {
         println!("bench {label:<50} (no samples)");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().expect("non-empty");
-    let max = samples.iter().max().expect("non-empty");
+    };
     println!(
-        "bench {label:<50} min {min:>12?}  mean {mean:>12?}  max {max:>12?}  ({} samples)",
-        samples.len()
+        "bench {label:<50} min {:>12?}  median {:>12?}  mean {:>12?}  max {:>12?}  mad {:>10?}  ({} samples)",
+        stats.min, stats.median, stats.mean, stats.max, stats.mad, stats.samples
     );
 }
 
@@ -216,5 +266,31 @@ mod tests {
     fn id_formats_like_criterion() {
         assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn stats_median_and_mad() {
+        let ms = Duration::from_millis;
+        // Odd count: median is the middle sample, deviations {2,1,0,2,6}ms
+        // → MAD 2ms.
+        let stats =
+            Stats::from_durations(&[ms(1), ms(2), ms(3), ms(5), ms(9)]).expect("non-empty");
+        assert_eq!(stats.min, ms(1));
+        assert_eq!(stats.median, ms(3));
+        assert_eq!(stats.max, ms(9));
+        assert_eq!(stats.mean, ms(4));
+        assert_eq!(stats.mad, ms(2));
+        assert_eq!(stats.samples, 5);
+
+        // Even count: midpoint average.
+        let stats = Stats::from_durations(&[ms(1), ms(3)]).expect("non-empty");
+        assert_eq!(stats.median, ms(2));
+        assert_eq!(stats.mad, ms(1));
+
+        // A single sample has zero spread; empty input has no stats.
+        let stats = Stats::from_durations(&[ms(7)]).expect("non-empty");
+        assert_eq!(stats.median, ms(7));
+        assert_eq!(stats.mad, Duration::ZERO);
+        assert!(Stats::from_durations(&[]).is_none());
     }
 }
