@@ -15,9 +15,19 @@ cargo test -q --workspace
 # execution backends.
 cargo test --release -q -p qb2olap-suite --test integration_backends
 
+# The mutation-parity gate, pinned by name: interleaved store mutations
+# (delta refreshes and rebuild fallbacks) must keep the catalog-served
+# columnar results cell-identical to fresh SPARQL evaluation, and the
+# catalog-served explorer navigation identical to its SPARQL oracle.
+cargo test --release -q -p qb2olap-suite --test integration_backends -- \
+    interleaved_mutations_keep_catalog_and_sparql_in_lockstep
+
 # Release-mode repro smoke: the experiment harness must run end to end
-# (E11 also re-checks backend parity at this scale).
+# (E11 re-checks backend parity at this scale; E12 re-checks incremental
+# maintenance — the delta path must be taken for pure appends, parity must
+# hold after every refresh, and the rebuild fallback must report a reason).
 cargo run --release -p qb2olap_bench --bin repro -- e11 --observations 4000 > /dev/null
+cargo run --release -p qb2olap_bench --bin repro -- e12 --observations 4000 > /dev/null
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -1,14 +1,20 @@
-//! E11 — execution-backend comparison at the paper's E7 scale: the same
-//! prepared workload queries executed via the QL → SPARQL translation and
-//! via the columnar cube engine. The one-time columnar materialization is
-//! benchmarked separately from per-query execution.
+//! E11/E12 — execution-backend comparison at the paper's E7 scale: the
+//! same prepared workload queries executed via the QL → SPARQL translation
+//! and via the columnar cube engine. The one-time columnar materialization
+//! is benchmarked separately from per-query execution, and the row scan is
+//! additionally measured single- vs multi-threaded (the
+//! `execute_with_threads` seam).
 //!
 //! The default scale is the paper's 80,000 observations; set
 //! `QB2OLAP_BENCH_OBSERVATIONS` to run smaller.
 
+use std::collections::BTreeMap;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb2olap::cubestore::{execute_with_threads, CubeQuery};
 use qb2olap::{ExecutionBackend, Qb2Olap, SparqlVariant};
 use qb2olap_bench::demo_cube;
+use rdf::vocab::demo_schema;
 
 fn bench_backends(c: &mut Criterion) {
     let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
@@ -33,7 +39,37 @@ fn bench_backends(c: &mut Criterion) {
         });
     });
 
-    querying.materialize().expect("materialization succeeds");
+    // Single- vs multi-threaded columnar row scan on one representative
+    // full-scan roll-up (repro E12 records the same comparison).
+    let materialized = querying.materialize().expect("materialization succeeds");
+    let scan_query = CubeQuery {
+        slices: vec![
+            demo_schema::destination_dim(),
+            demo_schema::time_dim(),
+            demo_schema::term("ageDim"),
+            demo_schema::term("sexDim"),
+            demo_schema::asylapp_dim(),
+        ],
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+    // On a single-core container the second entry still exercises the
+    // chunked path (2 workers) and honestly reports its overhead; on real
+    // hardware it reports the available-parallelism speedup.
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    for threads in [1, parallelism] {
+        group.bench_with_input(
+            BenchmarkId::new("scan_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| execute_with_threads(&materialized, &scan_query, threads).unwrap());
+            },
+        );
+    }
+
     for (name, text) in datagen::workload::bench_queries() {
         let prepared = querying.prepare(&text).expect("workload queries prepare");
         group.bench_with_input(

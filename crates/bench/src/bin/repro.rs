@@ -1,9 +1,9 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E11).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E12).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e11] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e12] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -65,6 +65,9 @@ fn main() {
     }
     if run("e11", &experiment) {
         rows.extend(e11_backend_comparison(observations));
+    }
+    if run("e12", &experiment) {
+        rows.extend(e12_incremental_maintenance(observations));
     }
 
     if as_json {
@@ -507,5 +510,216 @@ fn e11_backend_comparison(observations: usize) -> Vec<Measurement> {
         }
     }
     rows.push(Measurement::new("E11", &parameters, "backends_identical", 1.0));
+    rows
+}
+
+/// E12: incremental cube maintenance and columnar exploration — a pure
+/// observation-append delta vs a full re-materialization, the rebuild
+/// fallback with its reported reason, and exploration served from the
+/// catalog's columns vs per-step SPARQL. Parity failures abort (the CI
+/// smoke step runs this experiment).
+fn e12_incremental_maintenance(observations: usize) -> Vec<Measurement> {
+    use qb2olap::cubestore::{MaintenanceStrategy, MaterializedCube};
+    use rdf::vocab::{demo_schema, qb, rdf as rdfv, sdmx_dimension, sdmx_measure};
+    use rdf::{Iri, Literal, Term, Triple};
+
+    const RUNS: usize = 5;
+    let parameters = format!("observations={observations}");
+    let cube = demo_cube_with(&datagen::EurostatConfig::small(observations));
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+
+    let mut rows = Vec::new();
+    let (_, fresh) = timed(|| querying.materialize().expect("materialization"));
+    rows.push(Measurement::new(
+        "E12",
+        &parameters,
+        "materialize_fresh_ms",
+        millis(fresh),
+    ));
+
+    // Full re-materialization median: the cost every store mutation paid
+    // before the catalog existed.
+    let schema = querying.schema().clone();
+    let rebuild_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| {
+            timed(|| MaterializedCube::from_endpoint(&cube.endpoint, &schema).expect("rebuild")).1
+        })
+        .collect();
+    let rebuild_stats = criterion::Stats::from_durations(&rebuild_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E12",
+        &parameters,
+        "full_rebuild_median_ms",
+        millis(rebuild_stats.median),
+    ));
+
+    // Member pools for generating valid observations.
+    let bottom_levels = [
+        eurostat_property::citizen(),
+        eurostat_property::geo(),
+        sdmx_dimension::ref_period(),
+        eurostat_property::age(),
+        eurostat_property::sex(),
+        eurostat_property::asyl_app(),
+    ];
+    let pools: Vec<(Iri, Vec<Term>)> = bottom_levels
+        .iter()
+        .map(|level| {
+            let members =
+                qb2olap::qb4olap::members_of_level(&cube.endpoint, level).expect("members");
+            (level.clone(), members)
+        })
+        .collect();
+    let mut serial = 0usize;
+    let mut observation_batch = |count: usize| -> Vec<Triple> {
+        let mut batch = Vec::with_capacity(count * 9);
+        for _ in 0..count {
+            let node = Term::iri(format!("http://example.org/e12/obs{serial}"));
+            batch.push(Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())));
+            batch.push(Triple::new(node.clone(), qb::data_set(), Term::Iri(cube.dataset.clone())));
+            for (offset, (level, members)) in pools.iter().enumerate() {
+                let member = members[(serial + offset) % members.len()].clone();
+                batch.push(Triple::new(node.clone(), level.clone(), member));
+            }
+            batch.push(Triple::new(
+                node,
+                sdmx_measure::obs_value(),
+                Literal::integer((serial % 500) as i64 + 1),
+            ));
+            serial += 1;
+        }
+        batch
+    };
+
+    // Pure observation-append deltas at growing batch sizes: the refresh
+    // must take the delta path, and at E7 scale it is orders of magnitude
+    // cheaper than the full rebuild above.
+    for batch_size in [100usize, 1_000] {
+        let batch = observation_batch(batch_size);
+        cube.endpoint.insert_triples(&batch).expect("append");
+        let (_, refresh) = timed(|| querying.materialize().expect("refresh"));
+        let report = querying
+            .maintenance_reports()
+            .last()
+            .cloned()
+            .expect("refresh recorded");
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Delta,
+            "E12: a pure observation append must refresh via the delta path"
+        );
+        assert_eq!(report.rows_appended, batch_size);
+        let batch_parameters = format!("{parameters} append_batch={batch_size}");
+        rows.push(Measurement::new(
+            "E12",
+            &batch_parameters,
+            "delta_refresh_ms",
+            millis(refresh),
+        ));
+        rows.push(Measurement::new(
+            "E12",
+            &batch_parameters,
+            "delta_rows_appended",
+            report.rows_appended as f64,
+        ));
+    }
+
+    // Parity after the deltas: catalog-served cells == fresh SPARQL cells.
+    let prepared = querying
+        .prepare(&datagen::workload::rollup_citizenship_to_continent())
+        .expect("prepare");
+    assert_eq!(
+        querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .expect("SPARQL backend runs"),
+        querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .expect("columnar backend runs"),
+        "E12: catalog-served cells diverge from SPARQL after delta refreshes"
+    );
+    rows.push(Measurement::new("E12", &parameters, "delta_matches_sparql", 1.0));
+
+    // The rebuild fallback: cutting a roll-up link is not delta-appliable.
+    let victim = pools[0].1.first().cloned().expect("citizen members exist");
+    let store = cube.endpoint.store();
+    let links = store.triples_matching(Some(&victim), Some(&rdf::vocab::skos::broader()), None);
+    for triple in &links {
+        store.remove(triple);
+    }
+    assert!(!links.is_empty(), "victim member had a continent link");
+    let (_, fallback) = timed(|| querying.materialize().expect("refresh"));
+    let report = querying
+        .maintenance_reports()
+        .last()
+        .cloned()
+        .expect("refresh recorded");
+    assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+    assert!(report.reason.is_some(), "rebuild reason is reported");
+    rows.push(Measurement::new(
+        "E12",
+        &parameters,
+        "rebuild_fallback_ms",
+        millis(fallback),
+    ));
+
+    // Exploration from the catalog's columns vs per-step SPARQL: member
+    // listing (with labels) and roll-up navigation of the citizenship
+    // hierarchy.
+    let columnar_explorer = tool.explorer(&cube.dataset).expect("explorer");
+    let sparql_explorer = tool.explorer_via_sparql(&cube.dataset).expect("explorer");
+    assert_eq!(
+        columnar_explorer
+            .members(&eurostat_property::citizen())
+            .expect("columnar members"),
+        sparql_explorer
+            .members(&eurostat_property::citizen())
+            .expect("SPARQL members"),
+        "E12: columnar exploration diverges from the SPARQL oracle"
+    );
+    type Probe<'a> = (&'a str, Box<dyn Fn() + 'a>);
+    let probes: Vec<Probe> = vec![
+        (
+            "explore_members_columns_ms",
+            Box::new(|| {
+                columnar_explorer
+                    .members(&eurostat_property::citizen())
+                    .map(|_| ())
+                    .expect("members")
+            }),
+        ),
+        (
+            "explore_members_sparql_ms",
+            Box::new(|| {
+                sparql_explorer
+                    .members(&eurostat_property::citizen())
+                    .map(|_| ())
+                    .expect("members")
+            }),
+        ),
+        (
+            "explore_rollup_edges_columns_ms",
+            Box::new(|| {
+                columnar_explorer
+                    .rollup_edges(&eurostat_property::citizen(), &demo_schema::continent())
+                    .map(|_| ())
+                    .expect("edges")
+            }),
+        ),
+        (
+            "explore_rollup_edges_sparql_ms",
+            Box::new(|| {
+                sparql_explorer
+                    .rollup_edges(&eurostat_property::citizen(), &demo_schema::continent())
+                    .map(|_| ())
+                    .expect("edges")
+            }),
+        ),
+    ];
+    for (name, run) in probes {
+        let samples: Vec<std::time::Duration> = (0..RUNS).map(|_| timed(&run).1).collect();
+        let stats = criterion::Stats::from_durations(&samples).expect("samples");
+        rows.push(Measurement::new("E12", &parameters, name, millis(stats.median)));
+    }
     rows
 }

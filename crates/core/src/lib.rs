@@ -57,30 +57,42 @@ pub use explorer::{CubeExplorer, CubeSummary};
 pub use ql::{ExecutionBackend, QueryingModule, ResultCube, SparqlVariant};
 pub use sparql::{Endpoint, LocalEndpoint};
 
+use std::sync::Arc;
+
+use cubestore::CubeCatalog;
 use rdf::Iri;
 
-/// The QB2OLAP tool: the three modules over one shared endpoint (Figure 1).
+/// The QB2OLAP tool: the three modules over one shared endpoint (Figure 1)
+/// and one shared live cube catalog — the Querying and Exploration modules
+/// serve from the same change-tracked columnar representation.
 #[derive(Debug, Clone)]
 pub struct Qb2Olap {
     endpoint: LocalEndpoint,
+    catalog: Arc<CubeCatalog>,
 }
 
 impl Qb2Olap {
     /// Creates the tool over an endpoint.
     pub fn new(endpoint: LocalEndpoint) -> Self {
-        Qb2Olap { endpoint }
+        Qb2Olap {
+            endpoint,
+            catalog: Arc::new(CubeCatalog::new()),
+        }
     }
 
     /// Creates the tool over a fresh, empty endpoint.
     pub fn with_empty_endpoint() -> Self {
-        Qb2Olap {
-            endpoint: LocalEndpoint::new(),
-        }
+        Self::new(LocalEndpoint::new())
     }
 
     /// The shared endpoint.
     pub fn endpoint(&self) -> &LocalEndpoint {
         &self.endpoint
+    }
+
+    /// The shared live cube catalog.
+    pub fn catalog(&self) -> &Arc<CubeCatalog> {
+        &self.catalog
     }
 
     /// Loads Turtle data into the endpoint (how the demo's input QB dataset
@@ -98,14 +110,25 @@ impl Qb2Olap {
         EnrichmentSession::start(&self.endpoint, dataset, config)
     }
 
-    /// Opens the Exploration module for an (enriched) dataset.
+    /// Opens the Exploration module for an (enriched) dataset, serving
+    /// navigation from the tool's shared cube catalog.
     pub fn explorer<'t>(&'t self, dataset: &Iri) -> Result<CubeExplorer<'t>, explorer::ExplorerError> {
+        CubeExplorer::open_with_catalog(&self.endpoint, dataset, self.catalog.clone())
+    }
+
+    /// Opens the Exploration module with per-step SPARQL navigation (the
+    /// paper's workflow, and the oracle for the columnar path).
+    pub fn explorer_via_sparql<'t>(
+        &'t self,
+        dataset: &Iri,
+    ) -> Result<CubeExplorer<'t>, explorer::ExplorerError> {
         CubeExplorer::open(&self.endpoint, dataset)
     }
 
-    /// Opens the Querying module for an (enriched) dataset.
+    /// Opens the Querying module for an (enriched) dataset, executing
+    /// columnar queries on the tool's shared cube catalog.
     pub fn querying<'t>(&'t self, dataset: &Iri) -> Result<QueryingModule<'t>, ql::QlError> {
-        QueryingModule::for_dataset(&self.endpoint, dataset)
+        QueryingModule::for_dataset_with_catalog(&self.endpoint, dataset, self.catalog.clone())
     }
 
     /// Lists the cubes available on the endpoint.
@@ -141,6 +164,29 @@ mod tests {
             .enrichment(&cube.dataset, demo::demo_enrichment_config())
             .unwrap();
         assert_eq!(session.qb_dataset().structure.dimensions().len(), 6);
+    }
+
+    #[test]
+    fn querying_and_exploration_share_one_columnar_representation() {
+        let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(150)).unwrap();
+        let tool = Qb2Olap::new(cube.endpoint.clone());
+
+        let querying = tool.querying(&cube.dataset).unwrap();
+        let materialized = querying.materialize().unwrap();
+        // The explorer serves members from the very same materialization,
+        // without any further SPARQL.
+        let explorer = tool.explorer(&cube.dataset).unwrap();
+        assert!(explorer.serves_from_columns());
+        let queries = cube.endpoint.queries_executed();
+        let members = explorer
+            .members(&rdf::vocab::eurostat_property::citizen())
+            .unwrap();
+        assert!(!members.is_empty());
+        assert_eq!(cube.endpoint.queries_executed(), queries);
+        assert!(std::sync::Arc::ptr_eq(
+            &materialized,
+            &tool.catalog().peek(&cube.dataset).unwrap()
+        ));
     }
 
     #[test]

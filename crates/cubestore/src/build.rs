@@ -36,15 +36,31 @@ pub struct BuildStats {
 }
 
 /// A QB4OLAP dataset materialized into columnar form.
+///
+/// Besides the fact columns and roll-up maps the executor needs, the cube
+/// retains the member-level `skos:broader` adjacency, the set of
+/// materialized observation nodes and the display labels — the state
+/// incremental maintenance ([`MaterializedCube::apply_delta`]) and the
+/// columnar Exploration paths are served from.
 #[derive(Debug, Clone)]
 pub struct MaterializedCube {
-    schema: CubeSchema,
-    row_count: usize,
-    dimensions: Vec<DimensionColumn>,
-    measures: Vec<MeasureColumn>,
-    levels: BTreeMap<Iri, LevelIndex>,
-    rollups: BTreeMap<(Iri, Iri), RollupMap>,
-    stats: BuildStats,
+    pub(crate) schema: CubeSchema,
+    pub(crate) row_count: usize,
+    pub(crate) dimensions: Vec<DimensionColumn>,
+    pub(crate) measures: Vec<MeasureColumn>,
+    pub(crate) levels: BTreeMap<Iri, LevelIndex>,
+    pub(crate) rollups: BTreeMap<(Iri, Iri), RollupMap>,
+    /// Materialized observation node → fact row.
+    pub(crate) observations: HashMap<Term, usize>,
+    /// Dataset-linked observation nodes that were *dropped* (untyped, or
+    /// missing a measure). A delta completing one of these must rebuild —
+    /// a fresh materialization would accept the now-complete observation.
+    pub(crate) dropped_observations: BTreeSet<Term>,
+    /// Member-level `skos:broader` adjacency (child → sorted parents).
+    pub(crate) broader: BTreeMap<Term, Vec<Term>>,
+    /// The dataset's `rdfs:label`, for catalog-served cube summaries.
+    pub(crate) dataset_label: Option<String>,
+    pub(crate) stats: BuildStats,
 }
 
 impl MaterializedCube {
@@ -102,6 +118,64 @@ impl MaterializedCube {
     pub fn stats(&self) -> BuildStats {
         self.stats
     }
+
+    /// All level indexes, keyed by level IRI.
+    pub fn levels(&self) -> &BTreeMap<Iri, LevelIndex> {
+        &self.levels
+    }
+
+    /// The `skos:broader` parents of a member (empty if none are known).
+    pub fn broader_parents(&self, member: &Term) -> &[Term] {
+        self.broader.get(member).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full member-level `skos:broader` adjacency (child → parents).
+    pub fn broader_map(&self) -> &BTreeMap<Term, Vec<Term>> {
+        &self.broader
+    }
+
+    /// True if `node` is one of the materialized observations.
+    pub fn is_observation(&self, node: &Term) -> bool {
+        self.observations.contains_key(node)
+    }
+
+    /// The dataset's `rdfs:label`, if it has one.
+    pub fn dataset_label(&self) -> Option<&str> {
+        self.dataset_label.as_deref()
+    }
+}
+
+/// Resolves the roll-up target of one bottom member: walks the `broader`
+/// adjacency for exactly `steps` hops (tracking path *counts*, because the
+/// SPARQL join counts an observation once per distinct path) and anchors
+/// the result at the target level's members. Shared by the initial build
+/// and by incremental maintenance so both produce identical maps.
+pub(crate) fn resolve_rollup_target(
+    term: &Term,
+    steps: usize,
+    broader: &BTreeMap<Term, Vec<Term>>,
+    target_index: &LevelIndex,
+) -> MemberId {
+    let mut frontier: BTreeMap<&Term, usize> = BTreeMap::new();
+    frontier.insert(term, 1);
+    for _ in 0..steps {
+        let mut next: BTreeMap<&Term, usize> = BTreeMap::new();
+        for (current, paths) in frontier {
+            for parent in broader.get(current).into_iter().flatten() {
+                *next.entry(parent).or_default() += paths;
+            }
+        }
+        frontier = next;
+    }
+    let anchored: Vec<(MemberId, usize)> = frontier
+        .into_iter()
+        .filter_map(|(t, paths)| target_index.dictionary.id(t).map(|id| (id, paths)))
+        .collect();
+    match anchored.as_slice() {
+        [] => NO_MEMBER,
+        [(id, 1)] => *id,
+        _ => AMBIGUOUS_MEMBER,
+    }
 }
 
 struct Builder<'a> {
@@ -157,9 +231,12 @@ impl Builder<'_> {
         let mut codes: Vec<Vec<MemberId>> = vec![Vec::new(); self.schema.dimensions.len()];
         let mut measure_data: Vec<Option<MeasureVector>> = vec![None; self.schema.measures.len()];
         let mut row_count = 0usize;
+        let mut observation_rows: HashMap<Term, usize> = HashMap::new();
+        let mut dropped_observations: BTreeSet<Term> = BTreeSet::new();
         for observation in &observations {
             if !typed.contains(&observation.node) {
                 stats.rows_dropped += 1;
+                dropped_observations.insert(observation.node.clone());
                 continue;
             }
             let mut literals = Vec::with_capacity(self.schema.measures.len());
@@ -171,6 +248,7 @@ impl Builder<'_> {
             }
             if literals.len() != self.schema.measures.len() {
                 stats.rows_dropped += 1;
+                dropped_observations.insert(observation.node.clone());
                 continue;
             }
             for (index, literal) in literals.into_iter().enumerate() {
@@ -187,6 +265,7 @@ impl Builder<'_> {
                 };
                 codes[index].push(code);
             }
+            observation_rows.insert(observation.node.clone(), row_count);
             row_count += 1;
         }
         stats.rows = row_count;
@@ -216,7 +295,33 @@ impl Builder<'_> {
             })
             .collect();
 
-        // Level indexes: declared members + the attribute values dices read.
+        // Display labels, read once and shared by every level index (the
+        // columnar Exploration paths serve member labels from here instead
+        // of one SPARQL lookup per member).
+        let label_pairs: Vec<(Term, Term)> = self
+            .endpoint
+            .select(
+                "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+                 SELECT ?m ?v WHERE { ?m rdfs:label ?v } ORDER BY ?m ?v",
+            )?
+            .rows
+            .iter()
+            .filter_map(|r| {
+                match (r.first().cloned().flatten(), r.get(1).cloned().flatten()) {
+                    (Some(m), Some(v)) => Some((m, v)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let dataset_node = Term::Iri(self.schema.dataset.clone());
+        let dataset_label = label_pairs
+            .iter()
+            .find(|(m, _)| m == &dataset_node)
+            .and_then(|(_, v)| v.as_literal())
+            .map(|l| l.lexical().to_string());
+
+        // Level indexes: declared members + the attribute values dices read
+        // + the display labels exploration reads.
         let mut levels: BTreeMap<Iri, LevelIndex> = BTreeMap::new();
         for dimension in &self.schema.dimensions {
             for level in dimension.levels() {
@@ -246,17 +351,21 @@ impl Builder<'_> {
                         .collect();
                     index.set_attribute(attribute.iri.clone(), &pairs);
                 }
+                if !index.has_attribute(&rdf::vocab::rdfs::label()) {
+                    index.set_attribute(rdf::vocab::rdfs::label(), &label_pairs);
+                }
                 levels.insert(level.clone(), index);
             }
         }
         stats.levels = levels.len();
 
-        // Member-level `skos:broader` adjacency, read once.
+        // Member-level `skos:broader` adjacency, read once and retained on
+        // the cube (incremental maintenance and exploration replay it).
         let broader_rows = self.endpoint.select(
             "PREFIX skos: <http://www.w3.org/2004/02/skos/core#>
              SELECT ?c ?p WHERE { ?c skos:broader ?p } ORDER BY ?c ?p",
         )?;
-        let mut broader: HashMap<Term, Vec<Term>> = HashMap::new();
+        let mut broader: BTreeMap<Term, Vec<Term>> = BTreeMap::new();
         for row in &broader_rows.rows {
             if let (Some(child), Some(parent)) =
                 (row.first().cloned().flatten(), row.get(1).cloned().flatten())
@@ -297,30 +406,7 @@ impl Builder<'_> {
                 let map: Vec<MemberId> = column
                     .dictionary
                     .iter()
-                    .map(|(_, term)| {
-                        let mut frontier: BTreeMap<&Term, usize> = BTreeMap::new();
-                        frontier.insert(term, 1);
-                        for _ in 0..steps {
-                            let mut next: BTreeMap<&Term, usize> = BTreeMap::new();
-                            for (current, paths) in frontier {
-                                for parent in broader.get(current).into_iter().flatten() {
-                                    *next.entry(parent).or_default() += paths;
-                                }
-                            }
-                            frontier = next;
-                        }
-                        let anchored: Vec<(MemberId, usize)> = frontier
-                            .into_iter()
-                            .filter_map(|(t, paths)| {
-                                target_index.dictionary.id(t).map(|id| (id, paths))
-                            })
-                            .collect();
-                        match anchored.as_slice() {
-                            [] => NO_MEMBER,
-                            [(id, 1)] => *id,
-                            _ => AMBIGUOUS_MEMBER,
-                        }
-                    })
+                    .map(|(_, term)| resolve_rollup_target(term, steps, &broader, target_index))
                     .collect();
                 rollups.insert(
                     (dimension.iri.clone(), target.clone()),
@@ -337,6 +423,10 @@ impl Builder<'_> {
             measures,
             levels,
             rollups,
+            observations: observation_rows,
+            dropped_observations,
+            broader,
+            dataset_label,
             stats,
         })
     }

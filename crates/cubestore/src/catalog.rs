@@ -1,0 +1,392 @@
+//! The live cube catalog: one shared, change-tracked columnar
+//! representation per dataset, served to every consumer module.
+//!
+//! A [`CubeCatalog`] keys [`MaterializedCube`]s by dataset IRI and
+//! validates the endpoint's mutation epoch on **every** [`CubeCatalog::serve`]
+//! call, so a consumer can never observe a stale cube: if the store moved,
+//! the catalog transparently refreshes the entry — replaying the recorded
+//! [`rdf::StoreDelta`]s through [`MaterializedCube::apply_delta`] when the
+//! change log covers the gap and the delta is appliable, and falling back
+//! to a full re-materialization otherwise. Every refresh decision, reason
+//! and timing is recorded as a [`MaintenanceReport`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use qb4olap::CubeSchema;
+use rdf::Iri;
+use sparql::Endpoint;
+
+use crate::build::MaterializedCube;
+use crate::error::CubeStoreError;
+
+/// How the catalog brought an entry up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceStrategy {
+    /// First materialization of the dataset.
+    Fresh,
+    /// Recorded deltas were replayed onto the existing columns.
+    Delta,
+    /// The cube was re-materialized from the endpoint.
+    Rebuild,
+}
+
+/// One catalog maintenance decision: what was done, why, and how long it
+/// took. The experiment harness (E12) and the differential tests read
+/// these to prove the delta path is exercised and measurably cheaper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintenanceReport {
+    /// The dataset that was refreshed.
+    pub dataset: Iri,
+    /// Delta replay, full rebuild, or first build.
+    pub strategy: MaintenanceStrategy,
+    /// For [`MaintenanceStrategy::Rebuild`]: why the delta path was not
+    /// taken (unappliable delta, or a change-log coverage gap).
+    pub reason: Option<String>,
+    /// Wall-clock time of the refresh.
+    pub duration: Duration,
+    /// The store epoch the entry was at before the refresh.
+    pub from_epoch: u64,
+    /// The store epoch the entry is at after the refresh.
+    pub to_epoch: u64,
+    /// Number of store deltas replayed (delta strategy only).
+    pub deltas_applied: usize,
+    /// Fact rows appended by the refresh.
+    pub rows_appended: usize,
+    /// Level members added by the refresh.
+    pub members_added: usize,
+}
+
+/// Maintenance reports retained per dataset.
+const REPORT_CAPACITY: usize = 64;
+
+struct CatalogEntry {
+    cube: Arc<MaterializedCube>,
+    epoch: u64,
+    reports: Vec<MaintenanceReport>,
+}
+
+impl CatalogEntry {
+    fn record(&mut self, report: MaintenanceReport) {
+        if self.reports.len() == REPORT_CAPACITY {
+            self.reports.remove(0);
+        }
+        self.reports.push(report);
+    }
+}
+
+/// One dataset's slot: `None` while the first build is still running.
+type EntrySlot = Arc<Mutex<Option<CatalogEntry>>>;
+
+/// A shared catalog of live materialized cubes, keyed by dataset IRI.
+///
+/// Cheap to share (`Arc<CubeCatalog>`); the Querying and Exploration
+/// modules of one tool instance hold the same catalog so they serve from
+/// one columnar representation. Locking is two-level: the catalog map is
+/// only held long enough to find or create a dataset's slot, and each slot
+/// has its own lock — a multi-second rebuild of one dataset serializes
+/// that dataset's consumers (they need the fresh cube anyway) without
+/// stalling serving of any other dataset.
+#[derive(Default)]
+pub struct CubeCatalog {
+    inner: Mutex<BTreeMap<Iri, EntrySlot>>,
+}
+
+impl CubeCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the up-to-date cube for `schema`'s dataset, materializing or
+    /// refreshing it as needed.
+    ///
+    /// The first call for a dataset enables change tracking on the endpoint
+    /// and builds the cube; later calls compare the endpoint's mutation
+    /// epoch with the entry's and replay deltas (or rebuild) when the store
+    /// moved. Stale reads are impossible by construction: the epoch is
+    /// validated on every call.
+    pub fn serve(
+        &self,
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+    ) -> Result<Arc<MaterializedCube>, CubeStoreError> {
+        let slot = self.slot(&schema.dataset);
+        let mut guard = slot.lock();
+        match guard.as_mut() {
+            Some(entry) => {
+                let now = endpoint.epoch();
+                if entry.epoch == now {
+                    return Ok(entry.cube.clone());
+                }
+                let started = Instant::now();
+                let from_epoch = entry.epoch;
+                let old_rows = entry.cube.row_count();
+                let old_members = member_total(&entry.cube);
+                let (cube, strategy, reason, deltas_applied, to_epoch) =
+                    match endpoint.deltas_since(from_epoch) {
+                        Some(deltas) => {
+                            // The epoch the replay catches the entry up to:
+                            // the last recorded delta (mutations racing in
+                            // after `now` was read are replayed next time).
+                            let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
+                            match entry.cube.apply_delta(&deltas) {
+                                Ok(cube) => {
+                                    (cube, MaintenanceStrategy::Delta, None, deltas.len(), caught_up)
+                                }
+                                Err(error) => {
+                                    let reason = match error {
+                                        CubeStoreError::DeltaUnsupported(message) => message,
+                                        other => other.to_string(),
+                                    };
+                                    let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                                    (
+                                        rebuilt,
+                                        MaintenanceStrategy::Rebuild,
+                                        Some(reason),
+                                        deltas.len(),
+                                        now,
+                                    )
+                                }
+                            }
+                        }
+                        None => {
+                            let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                            (
+                                rebuilt,
+                                MaintenanceStrategy::Rebuild,
+                                Some("change log does not cover the cube's epoch".to_string()),
+                                0,
+                                now,
+                            )
+                        }
+                    };
+                let cube = Arc::new(cube);
+                entry.cube = cube.clone();
+                entry.epoch = to_epoch;
+                entry.record(MaintenanceReport {
+                    dataset: schema.dataset.clone(),
+                    strategy,
+                    reason,
+                    duration: started.elapsed(),
+                    from_epoch,
+                    to_epoch,
+                    deltas_applied,
+                    rows_appended: cube.row_count().saturating_sub(old_rows),
+                    members_added: member_total(&cube).saturating_sub(old_members),
+                });
+                Ok(cube)
+            }
+            None => {
+                // Track changes from here on, so the next refresh can take
+                // the delta path. The epoch is read *before* the build: a
+                // mutation racing with the build is re-examined (and, being
+                // already materialized, resolved by a rebuild) rather than
+                // silently skipped.
+                endpoint.enable_change_tracking();
+                let epoch = endpoint.epoch();
+                let started = Instant::now();
+                let cube = Arc::new(MaterializedCube::from_endpoint(endpoint, schema)?);
+                let report = MaintenanceReport {
+                    dataset: schema.dataset.clone(),
+                    strategy: MaintenanceStrategy::Fresh,
+                    reason: None,
+                    duration: started.elapsed(),
+                    from_epoch: epoch,
+                    to_epoch: epoch,
+                    deltas_applied: 0,
+                    rows_appended: cube.row_count(),
+                    members_added: member_total(&cube),
+                };
+                *guard = Some(CatalogEntry {
+                    cube: cube.clone(),
+                    epoch,
+                    reports: vec![report],
+                });
+                Ok(cube)
+            }
+        }
+    }
+
+    /// Finds or creates a dataset's slot, holding the map lock only for
+    /// the lookup.
+    fn slot(&self, dataset: &Iri) -> EntrySlot {
+        self.inner.lock().entry(dataset.clone()).or_default().clone()
+    }
+
+    /// A dataset's slot if one exists, without creating it.
+    fn existing_slot(&self, dataset: &Iri) -> Option<EntrySlot> {
+        self.inner.lock().get(dataset).cloned()
+    }
+
+    /// The maintenance history of a dataset (oldest first, capped).
+    pub fn reports(&self, dataset: &Iri) -> Vec<MaintenanceReport> {
+        self.existing_slot(dataset)
+            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.reports.clone()))
+            .unwrap_or_default()
+    }
+
+    /// The most recent maintenance report of a dataset.
+    pub fn last_report(&self, dataset: &Iri) -> Option<MaintenanceReport> {
+        self.existing_slot(dataset)
+            .and_then(|slot| slot.lock().as_ref().and_then(|entry| entry.reports.last().cloned()))
+    }
+
+    /// The datasets currently materialized.
+    pub fn datasets(&self) -> Vec<Iri> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// The cube currently cached for a dataset, without refreshing it.
+    /// Useful for inspection; consumers should go through [`Self::serve`].
+    pub fn peek(&self, dataset: &Iri) -> Option<Arc<MaterializedCube>> {
+        self.existing_slot(dataset)
+            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.cube.clone()))
+    }
+
+    /// Drops a dataset's entry; the next [`Self::serve`] rebuilds it.
+    pub fn evict(&self, dataset: &Iri) {
+        self.inner.lock().remove(dataset);
+    }
+}
+
+impl std::fmt::Debug for CubeCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubeCatalog")
+            .field("datasets", &self.datasets())
+            .finish()
+    }
+}
+
+fn member_total(cube: &MaterializedCube) -> usize {
+    cube.levels()
+        .values()
+        .map(|index| index.member_count())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use qb4olap::AggregateFunction;
+    use rdf::Term;
+    use sparql::LocalEndpoint;
+
+    use crate::executor::{execute, CubeQuery};
+    use crate::testutil::{fixture, iri, member, observation_triples};
+
+    use super::*;
+
+    fn setup() -> (LocalEndpoint, qb4olap::CubeSchema, CubeCatalog) {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        (endpoint, schema, CubeCatalog::new())
+    }
+
+    #[test]
+    fn first_serve_materializes_and_enables_tracking() {
+        let (endpoint, schema, catalog) = setup();
+        assert!(!endpoint.store().change_log_enabled());
+        let cube = catalog.serve(&endpoint, &schema).unwrap();
+        assert_eq!(cube.row_count(), 5);
+        assert!(endpoint.store().change_log_enabled());
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Fresh);
+        assert_eq!(report.rows_appended, 5);
+        assert_eq!(catalog.datasets(), vec![schema.dataset.clone()]);
+        assert!(catalog.peek(&schema.dataset).is_some());
+    }
+
+    #[test]
+    fn unchanged_store_serves_the_same_cube_without_queries() {
+        let (endpoint, schema, catalog) = setup();
+        let first = catalog.serve(&endpoint, &schema).unwrap();
+        let queries = endpoint.queries_executed();
+        let second = catalog.serve(&endpoint, &schema).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same shared columns");
+        assert_eq!(endpoint.queries_executed(), queries, "no SPARQL issued");
+        assert_eq!(catalog.reports(&schema.dataset).len(), 1, "no refresh recorded");
+    }
+
+    #[test]
+    fn observation_append_refreshes_via_the_delta_path() {
+        let (endpoint, schema, catalog) = setup();
+        let stale = catalog.serve(&endpoint, &schema).unwrap();
+        endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        assert!(!Arc::ptr_eq(&stale, &fresh));
+        assert_eq!(fresh.row_count(), 6);
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Delta);
+        assert_eq!(report.rows_appended, 1);
+        assert_eq!(report.deltas_applied, 1);
+        assert!(report.reason.is_none());
+        assert!(report.to_epoch > report.from_epoch);
+
+        // The refreshed cube serves the new value.
+        let query = CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&fresh, &query).unwrap();
+        let k1m1 = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("K1"), member("m1")])
+            .unwrap();
+        assert_eq!(k1m1.values[0], Some(Term::integer(13)), "10 + 3");
+
+        // Serving again without further mutation reuses the refreshed cube.
+        let again = catalog.serve(&endpoint, &schema).unwrap();
+        assert!(Arc::ptr_eq(&fresh, &again));
+    }
+
+    #[test]
+    fn unappliable_deltas_fall_back_to_a_reported_rebuild() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Cut a roll-up link: the ragged mutation the delta path refuses.
+        assert!(endpoint
+            .store()
+            .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+        assert!(report.reason.as_deref().unwrap().contains("roll-up link removed"));
+        // c1 is now ragged: its observations drop out of the country roll-up.
+        let query = CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&fresh, &query).unwrap();
+        assert!(!output.cells.iter().any(|c| c.coordinates[0] == member("K1")));
+    }
+
+    #[test]
+    fn change_log_gaps_fall_back_to_a_rebuild() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Drop the log out from under the catalog, then mutate.
+        endpoint.store().disable_change_log();
+        endpoint.insert_triples(&observation_triples("o6", "c2", "m2", 2, 2)).unwrap();
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        assert_eq!(fresh.row_count(), 6);
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+        assert!(report.reason.as_deref().unwrap().contains("change log"));
+    }
+
+    #[test]
+    fn eviction_forces_a_fresh_build() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        catalog.evict(&schema.dataset);
+        assert!(catalog.peek(&schema.dataset).is_none());
+        catalog.serve(&endpoint, &schema).unwrap();
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Fresh);
+    }
+}

@@ -66,6 +66,17 @@ impl DimensionColumn {
     pub fn unbound_rows(&self) -> usize {
         self.codes.iter().filter(|&&c| c == NO_MEMBER).count()
     }
+
+    /// Appends one fact row (incremental maintenance), encoding the member
+    /// into the column dictionary ([`NO_MEMBER`] when the observation has
+    /// no value for the dimension).
+    pub fn push_row(&mut self, member: Option<&Term>) {
+        let code = match member {
+            Some(term) => self.dictionary.encode(term),
+            None => NO_MEMBER,
+        };
+        self.codes.push(code);
+    }
 }
 
 /// A dense, typed vector of measure values.
@@ -180,6 +191,23 @@ pub struct MeasureColumn {
     pub aggregate: AggregateFunction,
     /// The values, one per row.
     pub data: MeasureVector,
+}
+
+impl MeasureColumn {
+    /// Appends one value (incremental maintenance). An empty column — the
+    /// placeholder integer vector a zero-row build leaves behind — is
+    /// re-typed to the literal's datatype first, exactly as the builder
+    /// would have typed it from the first accepted row.
+    pub fn push_value(&mut self, literal: &Literal) -> Result<(), CubeStoreError> {
+        if self.data.is_empty() {
+            // An unsupported datatype falls through to push(), whose error
+            // names the offending literal.
+            if let Ok(vector) = MeasureVector::for_literal(literal) {
+                self.data = vector;
+            }
+        }
+        self.data.push(literal)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,944 @@
+//! Incremental maintenance: applies recorded store deltas
+//! ([`rdf::StoreDelta`]) to a [`MaterializedCube`] without touching the
+//! endpoint.
+//!
+//! The delta path handles the serving-friendly mutations — appending new
+//! observations, introducing brand-new members (with their roll-up links,
+//! labels and attribute values) — by extending the dictionary-encoded
+//! columns and roll-up maps in place. Every mutation it cannot replay with
+//! bit-identical results refuses with
+//! [`CubeStoreError::DeltaUnsupported`], whose message becomes the rebuild
+//! reason in the catalog's maintenance report: removals of relevant
+//! triples, changes to schema/hierarchy structure, and mutations of
+//! already-materialized observations or members all fall back to a full
+//! rebuild rather than risking divergence from the SPARQL oracle.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rdf::vocab::{qb, qb4o, rdf as rdfv, rdfs, skos};
+use rdf::{Iri, StoreDelta, Term, Triple};
+
+use crate::build::{resolve_rollup_target, MaterializedCube};
+use crate::dictionary::NO_MEMBER;
+use crate::error::CubeStoreError;
+
+impl MaterializedCube {
+    /// Applies a sequence of store deltas, returning the refreshed cube.
+    ///
+    /// On success the result is query-equivalent to a fresh
+    /// [`MaterializedCube::from_endpoint`] over the mutated store. On
+    /// [`CubeStoreError::DeltaUnsupported`] the cube is untouched and the
+    /// caller should rebuild (the error message is the reason). Deltas of
+    /// named graphs are skipped: the cube materializes the default graph,
+    /// which is all the local SPARQL engine queries.
+    pub fn apply_delta(&self, deltas: &[StoreDelta]) -> Result<MaterializedCube, CubeStoreError> {
+        let context = DeltaContext::for_cube(self);
+        let mut cube = self.clone();
+        for delta in deltas {
+            if delta.graph.is_some() {
+                continue;
+            }
+            apply_one(&mut cube, &context, delta)?;
+        }
+        Ok(cube)
+    }
+}
+
+/// Predicate classification tables, computed once per `apply_delta` call.
+struct DeltaContext {
+    /// Predicates that define schema/hierarchy structure: any effective
+    /// insert or removal using them forces a rebuild.
+    schema_predicates: BTreeSet<Iri>,
+    /// Per-dimension bottom-level observation properties, in column order.
+    bottom_order: Vec<Iri>,
+    /// Measure properties, in column order.
+    measure_order: Vec<Iri>,
+    /// Attributes tracked on some level index (declared attributes plus the
+    /// `rdfs:label` store exploration reads).
+    tracked_attributes: BTreeSet<Iri>,
+    /// The dataset node observations link to.
+    dataset: Term,
+}
+
+impl DeltaContext {
+    fn for_cube(cube: &MaterializedCube) -> Self {
+        let schema_predicates: BTreeSet<Iri> = [
+            qb::structure(),
+            qb::component(),
+            qb::dimension(),
+            qb::measure(),
+            qb::attribute(),
+            qb::component_property(),
+            qb4o::level(),
+            qb4o::has_hierarchy(),
+            qb4o::in_dimension(),
+            qb4o::has_level(),
+            qb4o::in_hierarchy(),
+            qb4o::child_level(),
+            qb4o::parent_level(),
+            qb4o::pc_cardinality(),
+            qb4o::cardinality(),
+            qb4o::has_attribute(),
+            qb4o::in_level(),
+            qb4o::aggregate_function(),
+        ]
+        .into_iter()
+        .collect();
+        let tracked_attributes = cube
+            .levels
+            .values()
+            .flat_map(|index| index.attribute_iris().cloned())
+            .collect();
+        DeltaContext {
+            schema_predicates,
+            bottom_order: cube
+                .dimensions
+                .iter()
+                .map(|c| c.bottom_level.clone())
+                .collect(),
+            measure_order: cube.measures.iter().map(|m| m.property.clone()).collect(),
+            tracked_attributes,
+            dataset: Term::Iri(cube.schema.dataset.clone()),
+        }
+    }
+}
+
+/// A new observation assembled from the inserted triples of one delta.
+#[derive(Default)]
+struct PendingObservation {
+    typed: bool,
+    linked: bool,
+    dimensions: BTreeMap<Iri, Vec<Term>>,
+    measures: BTreeMap<Iri, Vec<Term>>,
+}
+
+fn unsupported(reason: impl Into<String>) -> CubeStoreError {
+    CubeStoreError::DeltaUnsupported(reason.into())
+}
+
+/// True if the term is dictionary-encoded in some fact column: its roll-up
+/// map entries are already frozen, so hierarchy changes around it cannot be
+/// replayed incrementally.
+fn term_in_columns(cube: &MaterializedCube, term: &Term) -> bool {
+    cube.dimensions
+        .iter()
+        .any(|column| column.dictionary.id(term).is_some())
+}
+
+/// True if the term appears as a parent in the broader adjacency: existing
+/// members' roll-up walks can pass through it.
+fn is_adjacency_parent(cube: &MaterializedCube, term: &Term) -> bool {
+    cube.broader.values().any(|parents| parents.contains(term))
+}
+
+fn apply_one(
+    cube: &mut MaterializedCube,
+    context: &DeltaContext,
+    delta: &StoreDelta,
+) -> Result<(), CubeStoreError> {
+    for triple in &delta.removed {
+        check_removal(cube, context, triple)?;
+    }
+    if delta.inserted.is_empty() {
+        return Ok(());
+    }
+
+    // Classify every inserted triple against the pre-delta state.
+    let mut new_members: Vec<(Term, Iri)> = Vec::new();
+    let mut new_broader: Vec<(Term, Term)> = Vec::new();
+    let mut attribute_inserts: Vec<&Triple> = Vec::new();
+    let mut pending: BTreeMap<Term, PendingObservation> = BTreeMap::new();
+    for triple in &delta.inserted {
+        let predicate = &triple.predicate;
+        if context.schema_predicates.contains(predicate) {
+            return Err(unsupported(format!(
+                "schema/hierarchy triple inserted (<{}>)",
+                predicate.as_str()
+            )));
+        }
+        if *predicate == skos::broader() {
+            if cube.broader.contains_key(&triple.subject)
+                || is_adjacency_parent(cube, &triple.subject)
+                || term_in_columns(cube, &triple.subject)
+            {
+                return Err(unsupported(format!(
+                    "roll-up link added to existing member {}",
+                    triple.subject
+                )));
+            }
+            new_broader.push((triple.subject.clone(), triple.object.clone()));
+            continue;
+        }
+        if *predicate == qb4o::member_of() {
+            let Term::Iri(level) = &triple.object else {
+                continue;
+            };
+            let Some(index) = cube.levels.get(level) else {
+                continue; // a level of some other cube
+            };
+            if index.dictionary.id(&triple.subject).is_some() {
+                continue;
+            }
+            if term_in_columns(cube, &triple.subject) {
+                return Err(unsupported(format!(
+                    "member {} declared for a term already present in the fact columns",
+                    triple.subject
+                )));
+            }
+            if is_adjacency_parent(cube, &triple.subject) {
+                return Err(unsupported(format!(
+                    "member {} declared for a term already reachable in the hierarchy",
+                    triple.subject
+                )));
+            }
+            new_members.push((triple.subject.clone(), level.clone()));
+            continue;
+        }
+        if *predicate == rdfv::type_() {
+            if triple.object == Term::Iri(qb::observation())
+                && !cube.observations.contains_key(&triple.subject)
+            {
+                pending.entry(triple.subject.clone()).or_default().typed = true;
+            }
+            continue;
+        }
+        if *predicate == qb::data_set() {
+            if triple.object == context.dataset && !cube.observations.contains_key(&triple.subject)
+            {
+                pending.entry(triple.subject.clone()).or_default().linked = true;
+            }
+            continue;
+        }
+        if context.bottom_order.contains(predicate) {
+            if cube.observations.contains_key(&triple.subject) {
+                return Err(unsupported(format!(
+                    "materialized observation {} gained a dimension value",
+                    triple.subject
+                )));
+            }
+            pending
+                .entry(triple.subject.clone())
+                .or_default()
+                .dimensions
+                .entry(predicate.clone())
+                .or_default()
+                .push(triple.object.clone());
+            continue;
+        }
+        if context.measure_order.contains(predicate) {
+            if cube.observations.contains_key(&triple.subject) {
+                return Err(unsupported(format!(
+                    "materialized observation {} gained a measure value",
+                    triple.subject
+                )));
+            }
+            pending
+                .entry(triple.subject.clone())
+                .or_default()
+                .measures
+                .entry(predicate.clone())
+                .or_default()
+                .push(triple.object.clone());
+            continue;
+        }
+        if context.tracked_attributes.contains(predicate) {
+            attribute_inserts.push(triple);
+            continue;
+        }
+        // Anything else (owl:sameAs links, notations, other datasets'
+        // triples, ...) is invisible to the materialization.
+    }
+
+    // Apply in dependency order: members, hierarchy links, attribute
+    // values, observations, then extend the roll-up maps.
+    for (member, level) in &new_members {
+        let index = cube.levels.get_mut(level).expect("level classified above");
+        index.add_member(member);
+    }
+    for (child, parent) in new_broader {
+        // Keep each parent list sorted, exactly as the `ORDER BY ?c ?p`
+        // read at build time leaves it.
+        let parents = cube.broader.entry(child).or_default();
+        if let Err(position) = parents.binary_search(&parent) {
+            parents.insert(position, parent);
+            cube.stats.broader_links += 1;
+        }
+    }
+    for triple in attribute_inserts {
+        apply_attribute_insert(cube, context, triple)?;
+    }
+    let mut appended = false;
+    for (node, observation) in pending {
+        if !observation.linked {
+            if cube.dropped_observations.contains(&node) {
+                // A previously dropped (incomplete) observation of this
+                // dataset gained triples; a fresh build might now accept
+                // it, so the delta path may not silently ignore it.
+                return Err(unsupported(format!(
+                    "dropped observation {node} mutated"
+                )));
+            }
+            // Never linked to this cube's dataset: another dataset's
+            // observation, or a fragment whose `qb:dataSet` link arrives
+            // in a later delta (which then rebuilds). A fresh build would
+            // skip it too.
+            continue;
+        }
+        append_observation(cube, context, node, observation)?;
+        appended = true;
+    }
+    if appended || !new_members.is_empty() {
+        extend_rollup_maps(cube);
+    }
+    Ok(())
+}
+
+fn check_removal(
+    cube: &MaterializedCube,
+    context: &DeltaContext,
+    triple: &Triple,
+) -> Result<(), CubeStoreError> {
+    let predicate = &triple.predicate;
+    if context.schema_predicates.contains(predicate) {
+        return Err(unsupported(format!(
+            "schema/hierarchy triple removed (<{}>)",
+            predicate.as_str()
+        )));
+    }
+    if *predicate == skos::broader() {
+        if cube
+            .broader
+            .get(&triple.subject)
+            .is_some_and(|parents| parents.contains(&triple.object))
+        {
+            return Err(unsupported(format!(
+                "roll-up link removed from member {}",
+                triple.subject
+            )));
+        }
+        return Ok(());
+    }
+    if *predicate == qb4o::member_of() {
+        if let Term::Iri(level) = &triple.object {
+            if cube
+                .levels
+                .get(level)
+                .is_some_and(|index| index.dictionary.id(&triple.subject).is_some())
+            {
+                return Err(unsupported(format!(
+                    "member {} removed from level <{}>",
+                    triple.subject,
+                    level.as_str()
+                )));
+            }
+        }
+        return Ok(());
+    }
+    if cube.observations.contains_key(&triple.subject) {
+        let relevant = *predicate == qb::data_set()
+            || (*predicate == rdfv::type_() && triple.object == Term::Iri(qb::observation()))
+            || context.bottom_order.contains(predicate)
+            || context.measure_order.contains(predicate);
+        if relevant {
+            return Err(unsupported(format!(
+                "materialized observation {} mutated by a removal",
+                triple.subject
+            )));
+        }
+        return Ok(());
+    }
+    if context.tracked_attributes.contains(predicate) {
+        if *predicate == rdfs::label() && triple.subject == context.dataset {
+            let removed = triple.object.as_literal().map(|l| l.lexical());
+            if cube.dataset_label.as_deref() == removed {
+                return Err(unsupported("dataset label removed"));
+            }
+            return Ok(());
+        }
+        for index in cube.levels.values() {
+            if let Some(id) = index.dictionary.id(&triple.subject) {
+                if index.attribute_value(predicate, id) == Some(&triple.object) {
+                    return Err(unsupported(format!(
+                        "attribute value removed from member {}",
+                        triple.subject
+                    )));
+                }
+            }
+        }
+        return Ok(());
+    }
+    Ok(())
+}
+
+fn apply_attribute_insert(
+    cube: &mut MaterializedCube,
+    context: &DeltaContext,
+    triple: &Triple,
+) -> Result<(), CubeStoreError> {
+    if triple.subject == context.dataset && triple.predicate == rdfs::label() {
+        let label = triple
+            .object
+            .as_literal()
+            .map(|l| l.lexical().to_string())
+            .ok_or_else(|| unsupported("non-literal dataset label"))?;
+        match &cube.dataset_label {
+            None => cube.dataset_label = Some(label),
+            Some(existing) if *existing == label => {}
+            Some(_) => return Err(unsupported("dataset label changed")),
+        }
+        return Ok(());
+    }
+    if cube.observations.contains_key(&triple.subject) {
+        // Labels or attribute-named properties on observation nodes never
+        // reach any query; ignore them.
+        return Ok(());
+    }
+    let mut known_member = false;
+    for index in cube.levels.values_mut() {
+        let Some(id) = index.dictionary.id(&triple.subject) else {
+            continue;
+        };
+        known_member = true;
+        match index.attribute_value(&triple.predicate, id) {
+            // The attribute is not tracked on this level, or the member has
+            // no value yet: set_member_attribute handles both.
+            None => {
+                index.set_member_attribute(&triple.predicate, id, triple.object.clone());
+            }
+            Some(existing) if *existing == triple.object => {}
+            Some(_) => {
+                return Err(unsupported(format!(
+                    "member {} gained a second value for attribute <{}>",
+                    triple.subject,
+                    triple.predicate.as_str()
+                )));
+            }
+        }
+    }
+    if !known_member {
+        // The value may matter to a member added in a *later* delta or to a
+        // future rebuild; refusing keeps the cube bit-identical with one.
+        return Err(unsupported(format!(
+            "attribute value for unknown member {}",
+            triple.subject
+        )));
+    }
+    Ok(())
+}
+
+fn append_observation(
+    cube: &mut MaterializedCube,
+    context: &DeltaContext,
+    node: Term,
+    observation: PendingObservation,
+) -> Result<(), CubeStoreError> {
+    if !observation.typed {
+        // A dataset-linked but untyped fragment would be dropped today yet
+        // could be completed by a later mutation; a rebuild decides.
+        return Err(unsupported(format!(
+            "observation {node} arrives incomplete (not typed qb:Observation)"
+        )));
+    }
+    // Appending to a populated float column would accumulate SUM/AVG in a
+    // different order than a rebuild's ORDER BY ?obs row order — the same
+    // last-ulp hazard the executor's scan guards against by staying
+    // single-threaded for non-integral measures. Integral sums are exact
+    // in any order; floats go through the rebuild.
+    if cube.measures.iter().any(|m| {
+        !m.data.is_empty() && !matches!(m.data, crate::columns::MeasureVector::Integer(_))
+    }) {
+        return Err(unsupported(format!(
+            "observation {node} appends to a non-integral measure column \
+             (float accumulation order would diverge from a rebuild)"
+        )));
+    }
+    for (position, property) in context.measure_order.iter().enumerate() {
+        let values = observation
+            .measures
+            .get(property)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        match values {
+            [Term::Literal(literal)] => cube.measures[position].push_value(literal)?,
+            [] => {
+                return Err(unsupported(format!(
+                    "observation {node} is missing measure <{}>",
+                    property.as_str()
+                )))
+            }
+            [_] => {
+                return Err(unsupported(format!(
+                    "observation {node} has a non-literal value for measure <{}>",
+                    property.as_str()
+                )))
+            }
+            _ => {
+                return Err(unsupported(format!(
+                    "observation {node} has several values for measure <{}>",
+                    property.as_str()
+                )))
+            }
+        }
+    }
+    for (position, bottom) in context.bottom_order.iter().enumerate() {
+        let values = observation
+            .dimensions
+            .get(bottom)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        match values {
+            [] => cube.dimensions[position].push_row(None),
+            [member] => cube.dimensions[position].push_row(Some(member)),
+            _ => {
+                return Err(unsupported(format!(
+                    "observation {node} has several values for dimension <{}>",
+                    bottom.as_str()
+                )))
+            }
+        }
+    }
+    cube.observations.insert(node, cube.row_count);
+    cube.row_count += 1;
+    cube.stats.rows += 1;
+    cube.stats.observations_seen += 1;
+    Ok(())
+}
+
+/// Extends every roll-up map to cover bottom members that entered a column
+/// dictionary since the map was built, using the same
+/// broader-walk-with-path-counts the initial build uses.
+fn extend_rollup_maps(cube: &mut MaterializedCube) {
+    let MaterializedCube {
+        schema,
+        dimensions,
+        levels,
+        rollups,
+        broader,
+        ..
+    } = cube;
+    for column in dimensions.iter() {
+        let bottom = &column.bottom_level;
+        let dimension = schema
+            .dimension(&column.dimension)
+            .expect("every column has a schema dimension");
+
+        // Identity map (bottom level): anchor new codes at the declared
+        // bottom members.
+        let identity_key = (column.dimension.clone(), bottom.clone());
+        if let Some(map) = rollups.get_mut(&identity_key) {
+            let bottom_index = levels.get(bottom).expect("bottom level indexed");
+            for code in map.len()..column.dictionary.len() {
+                let term = column.dictionary.term(code as crate::dictionary::MemberId);
+                map.push(bottom_index.dictionary.id(term).unwrap_or(NO_MEMBER));
+            }
+        }
+
+        for target in dimension.ancestor_levels(bottom) {
+            let steps = match dimension.rollup_path(bottom, &target) {
+                Some((_, steps)) => steps.len(),
+                None => continue,
+            };
+            let key = (column.dimension.clone(), target.clone());
+            let Some(map) = rollups.get_mut(&key) else {
+                continue;
+            };
+            let target_index = levels.get(&target).expect("all levels indexed");
+            for code in map.len()..column.dictionary.len() {
+                let term = column.dictionary.term(code as crate::dictionary::MemberId);
+                map.push(resolve_rollup_target(term, steps, broader, target_index));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use qb4olap::AggregateFunction;
+    use rdf::vocab::{qb, rdf as rdfv, rdfs};
+    use rdf::{Literal, Term, Triple};
+    use sparql::{Endpoint, LocalEndpoint};
+
+    use crate::executor::{execute, CubeQuery};
+    use crate::testutil::{fixture, iri, member, observation_triples};
+    use crate::{CubeStoreError, MaterializedCube};
+
+    use super::*;
+
+    /// Builds the fixture cube with change tracking on, so mutations made
+    /// through the endpoint are recorded as replayable deltas.
+    fn tracked() -> (LocalEndpoint, MaterializedCube, u64) {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        endpoint.enable_change_tracking();
+        let epoch = endpoint.epoch();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        (endpoint, cube, epoch)
+    }
+
+    fn deltas_after(endpoint: &LocalEndpoint, epoch: u64) -> Vec<StoreDelta> {
+        endpoint.deltas_since(epoch).expect("change log enabled")
+    }
+
+    fn rollup_to_country() -> CubeQuery {
+        CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        }
+    }
+
+    /// After a successful delta application, every query the fixture can
+    /// answer must agree with a from-scratch materialization.
+    fn assert_matches_rebuild(endpoint: &LocalEndpoint, cube: &MaterializedCube) {
+        let rebuilt = MaterializedCube::from_endpoint(endpoint, cube.schema()).unwrap();
+        for query in [CubeQuery::default(), rollup_to_country()] {
+            assert_eq!(
+                execute(cube, &query).unwrap(),
+                execute(&rebuilt, &query).unwrap(),
+                "delta-applied cube diverges from a rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_observation_append_is_applied_in_place() {
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&observation_triples("o6", "c1", "m2", 40, 2))
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), cube.row_count() + 1);
+        assert_eq!(refreshed.stats().rows, cube.stats().rows + 1);
+        assert!(refreshed.is_observation(&Term::iri("http://example.org/obs/o6")));
+        assert_matches_rebuild(&endpoint, &refreshed);
+        // The original cube is untouched (apply returns a new one).
+        assert_eq!(cube.row_count(), 5);
+    }
+
+    #[test]
+    fn new_member_with_rollup_link_label_and_observation() {
+        let (endpoint, cube, epoch) = tracked();
+        // A brand-new city c4 in country K2, with a label, plus an
+        // observation that references it — all in one batch.
+        let mut batch = vec![
+            qb4olap::member_of_triple(&member("c4"), &iri("lv/city")),
+            qb4olap::rollup_triple(&member("c4"), &member("K2")),
+            Triple::new(member("c4"), rdfs::label(), Literal::string("City Four")),
+        ];
+        batch.extend(observation_triples("o7", "c4", "m1", 11, 1));
+        endpoint.insert_triples(&batch).unwrap();
+
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), 6);
+        let city_index = refreshed.level(&iri("lv/city")).unwrap();
+        let id = city_index.dictionary.id(&member("c4")).expect("declared");
+        assert_eq!(
+            city_index.attribute_value(&rdfs::label(), id),
+            Some(&Term::Literal(Literal::string("City Four")))
+        );
+        assert_eq!(refreshed.broader_parents(&member("c4")), &[member("K2")]);
+        // The K2 group gains the new observation's value.
+        let output = execute(&refreshed, &rollup_to_country()).unwrap();
+        let k2m1 = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("K2"), member("m1")])
+            .unwrap();
+        assert_eq!(k2m1.values[0], Some(Term::integer(16)), "5 + 11");
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    #[test]
+    fn consecutive_deltas_apply_in_order() {
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&observation_triples("o6", "c2", "m1", 1, 1))
+            .unwrap();
+        endpoint
+            .insert_triples(&observation_triples("o7", "c1", "m2", 2, 2))
+            .unwrap();
+        let deltas = deltas_after(&endpoint, epoch);
+        assert_eq!(deltas.len(), 2);
+        let refreshed = cube.apply_delta(&deltas).unwrap();
+        assert_eq!(refreshed.row_count(), 7);
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    #[test]
+    fn relevant_removals_force_a_rebuild() {
+        let (endpoint, cube, epoch) = tracked();
+        // Cutting a roll-up link (the ragged-hierarchy mutation) cannot be
+        // replayed in place.
+        assert!(endpoint
+            .store()
+            .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("roll-up link removed")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn observation_mutations_force_a_rebuild() {
+        let (endpoint, cube, epoch) = tracked();
+        let o1 = Term::iri("http://example.org/obs/o1");
+        // Removing a measure value of a materialized observation...
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(o1.clone(), iri("measure/value"), Literal::integer(10))));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(matches!(error, CubeStoreError::DeltaUnsupported(_)), "{error}");
+
+        // ... and giving an existing observation a second dimension value
+        // both refuse.
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&[Triple::new(o1, iri("lv/city"), member("c2"))])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("gained a dimension value")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn schema_and_hierarchy_structure_changes_force_a_rebuild() {
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&[Triple::new(
+                Term::iri("http://example.org/dsdQB4O"),
+                rdf::vocab::qb4o::has_level(),
+                Term::iri("http://example.org/lv/region"),
+            )])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("schema/hierarchy")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn incomplete_and_conflicting_inserts_force_a_rebuild() {
+        // An observation fragment missing its measures.
+        let (endpoint, cube, epoch) = tracked();
+        let node = Term::iri("http://example.org/obs/half");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node, qb::data_set(), Term::iri("http://example.org/ds")),
+            ])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(matches!(error, CubeStoreError::DeltaUnsupported(_)), "{error}");
+
+        // A broader link added to an already-materialized member.
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&[qb4olap::rollup_triple(&member("c3"), &member("K2"))])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("existing member")),
+            "{error}"
+        );
+
+        // An attribute value for a member the cube has never seen.
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&[Triple::new(
+                Term::iri("http://example.org/member/ghost"),
+                iri("attr/countryName"),
+                Literal::string("Ghost"),
+            )])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("unknown member")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn attribute_value_fills_an_empty_slot() {
+        let (endpoint, cube, epoch) = tracked();
+        // K2 has no countryName in the fixture; the delta provides one.
+        endpoint
+            .insert_triples(&[qb4olap::attribute_triple(
+                &member("K2"),
+                &iri("attr/countryName"),
+                &Term::Literal(Literal::string("Beta")),
+            )])
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        let country = refreshed.level(&iri("lv/country")).unwrap();
+        let id = country.dictionary.id(&member("K2")).unwrap();
+        assert_eq!(
+            country.attribute_value(&iri("attr/countryName"), id),
+            Some(&Term::Literal(Literal::string("Beta")))
+        );
+        // A *second*, different value conflicts.
+        let epoch = endpoint.epoch();
+        endpoint
+            .insert_triples(&[qb4olap::attribute_triple(
+                &member("K2"),
+                &iri("attr/countryName"),
+                &Term::Literal(Literal::string("Gamma")),
+            )])
+            .unwrap();
+        let error = refreshed
+            .apply_delta(&deltas_after(&endpoint, epoch))
+            .unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("second value")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn appends_to_float_measure_columns_force_a_rebuild() {
+        // A decimal-measure cube: appending would sum floats in a
+        // different order than a rebuild, so the delta path refuses.
+        let city = iri("lv/city");
+        let value = iri("measure/value");
+        let mut builder = ::qb::QbDatasetBuilder::new(iri("ds"), iri("dsd"))
+            .dimension(city.clone())
+            .measure(value.clone());
+        let mut obs = ::qb::Observation::new(Term::iri("http://example.org/obs/f1"));
+        obs.dimensions.insert(city.clone(), member("c1"));
+        obs.measures
+            .insert(value.clone(), Term::Literal(Literal::decimal(1.5)));
+        builder = builder.observation(obs);
+        let (_, mut triples) = builder.build();
+        triples.push(qb4olap::member_of_triple(&member("c1"), &city));
+        let endpoint = LocalEndpoint::new();
+        endpoint.insert_triples(&triples).unwrap();
+
+        let mut schema = qb4olap::CubeSchema::new(iri("dsdQB4O"), iri("ds"));
+        let mut hierarchy = qb4olap::Hierarchy::new(iri("hier/city"));
+        hierarchy.levels = vec![city.clone()];
+        let mut dimension = qb4olap::Dimension::new(iri("dim/city"));
+        dimension.hierarchies.push(hierarchy);
+        schema.dimensions.push(dimension);
+        schema.measures.push(qb4olap::MeasureSpec {
+            property: value.clone(),
+            aggregate: AggregateFunction::Sum,
+        });
+
+        endpoint.enable_change_tracking();
+        let epoch = endpoint.epoch();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        let node = Term::iri("http://example.org/obs/f2");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+                Triple::new(node.clone(), city, member("c1")),
+                Triple::new(node, value, Literal::decimal(2.5)),
+            ])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("non-integral")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn other_datasets_observations_do_not_disturb_the_delta_path() {
+        let (endpoint, cube, epoch) = tracked();
+        // A complete observation of a *different* dataset, sharing the
+        // measure property: invisible to this cube, so the delta applies
+        // as a no-op instead of forcing a rebuild.
+        let node = Term::iri("http://example.org/other/obs1");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/otherDs")),
+                Triple::new(node, iri("measure/value"), Literal::integer(123)),
+            ])
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), cube.row_count());
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    #[test]
+    fn completing_a_dropped_observation_forces_a_rebuild() {
+        // An observation that is dataset-linked but untyped is dropped at
+        // build time; a delta typing it must rebuild (a fresh build now
+        // accepts it), not be skipped as foreign.
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let node = Term::iri("http://example.org/obs/late");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+                Triple::new(node.clone(), iri("lv/city"), member("c1")),
+                Triple::new(node.clone(), iri("lv/month"), member("m1")),
+                Triple::new(node.clone(), iri("measure/value"), Literal::integer(7)),
+                Triple::new(node.clone(), iri("measure/score"), Literal::integer(7)),
+            ])
+            .unwrap();
+        endpoint.enable_change_tracking();
+        let epoch = endpoint.epoch();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(cube.stats().rows_dropped, 1, "untyped observation dropped");
+
+        endpoint
+            .insert_triples(&[Triple::new(node, rdfv::type_(), Term::Iri(qb::observation()))])
+            .unwrap();
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert!(
+            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("dropped observation")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn delta_applied_adjacency_stays_sorted_like_a_rebuild() {
+        let (endpoint, cube, epoch) = tracked();
+        // Two roll-up links for a new member, inserted in reverse order;
+        // the delta-applied adjacency must match the rebuilt (ordered)
+        // read. (The member becomes ambiguous — fine, queries refusing it
+        // is covered elsewhere.)
+        endpoint
+            .insert_triples(&[
+                qb4olap::member_of_triple(&member("c9"), &iri("lv/city")),
+                qb4olap::rollup_triple(&member("c9"), &member("K2")),
+                qb4olap::rollup_triple(&member("c9"), &member("K1")),
+            ])
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        let rebuilt = MaterializedCube::from_endpoint(&endpoint, refreshed.schema()).unwrap();
+        assert_eq!(
+            refreshed.broader_parents(&member("c9")),
+            rebuilt.broader_parents(&member("c9")),
+            "adjacency order diverges from a rebuild"
+        );
+        assert_eq!(refreshed.broader_parents(&member("c9")), &[member("K1"), member("K2")]);
+    }
+
+    #[test]
+    fn named_graph_and_irrelevant_deltas_are_ignored() {
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples_named(
+                &Iri::new("http://example.org/graph/staging"),
+                &observation_triples("staged", "c1", "m1", 999, 9),
+            )
+            .unwrap();
+        // Unrelated triples in the default graph are invisible too.
+        endpoint
+            .insert_triples(&[Triple::new(
+                Term::iri("http://example.org/elsewhere"),
+                Iri::new("http://example.org/unrelated"),
+                Literal::string("noise"),
+            )])
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), cube.row_count());
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+}

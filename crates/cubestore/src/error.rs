@@ -14,6 +14,11 @@ pub enum CubeStoreError {
     /// The query references schema elements the materialized cube does not
     /// have (unknown dimension, level without a roll-up map, ...).
     Query(String),
+    /// A store delta cannot be applied incrementally (it touches
+    /// schema/hierarchy structure, mutates already-materialized data, or
+    /// removes relevant triples). Callers fall back to a full rebuild; the
+    /// message is the rebuild reason the maintenance report records.
+    DeltaUnsupported(String),
     /// The endpoint failed while the cube was being materialized.
     Sparql(String),
 }
@@ -24,6 +29,9 @@ impl fmt::Display for CubeStoreError {
             CubeStoreError::Build(m) => write!(f, "cube build error: {m}"),
             CubeStoreError::Unsupported(m) => write!(f, "unsupported by the columnar engine: {m}"),
             CubeStoreError::Query(m) => write!(f, "columnar query error: {m}"),
+            CubeStoreError::DeltaUnsupported(m) => {
+                write!(f, "delta cannot be applied incrementally: {m}")
+            }
             CubeStoreError::Sparql(m) => write!(f, "endpoint error during materialization: {m}"),
         }
     }

@@ -126,8 +126,36 @@ pub struct QueryOutput {
     pub cells: Vec<OutputCell>,
 }
 
+/// Row count below which the scan stays single-threaded (spawning workers
+/// costs more than it saves on small cubes).
+const PARALLEL_SCAN_THRESHOLD: usize = 16_384;
+
 /// Executes a columnar query against a materialized cube.
+///
+/// Large cubes are scanned on multiple threads (one chunk of the row range
+/// per worker, partial groups merged at the end); the thread count comes
+/// from [`std::thread::available_parallelism`]. Parallelism is only used
+/// when every measure vector is integral, because summing floats in chunk
+/// order could differ from the SPARQL engine's row order in the last ulp —
+/// integer sums within `f64`'s exact range are order-independent, so the
+/// bit-compatibility guarantee holds on any thread count.
 pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput, CubeStoreError> {
+    let threads = if cube.row_count() >= PARALLEL_SCAN_THRESHOLD {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        1
+    };
+    execute_with_threads(cube, query, threads)
+}
+
+/// [`execute`] with an explicit scan thread count (1 = the sequential
+/// scan). Exposed so benchmarks can compare single- and multi-threaded
+/// medians directly; `execute` picks the count automatically.
+pub fn execute_with_threads(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+    threads: usize,
+) -> Result<QueryOutput, CubeStoreError> {
     for slice in &query.slices {
         if cube.dimension_column(slice).is_none() {
             return Err(CubeStoreError::Query(format!(
@@ -175,44 +203,11 @@ pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput
         .map(|filter| compile_filter(filter, &axes))
         .collect::<Result<_, _>>()?;
 
-    // Row loop: map each fact row to its axis coordinates, apply the member
-    // filters, and accumulate the measures per coordinate group.
+    // Row scan: map each fact row to its axis coordinates, apply the member
+    // filters, and accumulate the measures per coordinate group — chunked
+    // across worker threads when the cube is large enough.
     let measures = cube.measure_columns();
-    let mut groups: HashMap<Vec<MemberId>, Vec<MeasureAcc>> = HashMap::new();
-    'rows: for row in 0..cube.row_count() {
-        let mut key = Vec::with_capacity(axes.len());
-        for axis in &axes {
-            let bottom = axis.column.code(row);
-            if bottom == NO_MEMBER {
-                continue 'rows;
-            }
-            let target = axis.rollup.target(bottom);
-            if target == NO_MEMBER {
-                continue 'rows;
-            }
-            if target == AMBIGUOUS_MEMBER {
-                return Err(CubeStoreError::Unsupported(format!(
-                    "member {} of dimension <{}> rolls up to several members of level <{}> \
-                     (non-functional roll-up); use the SPARQL backend",
-                    axis.column.dictionary.term(bottom),
-                    axis.column.dimension.as_str(),
-                    axis.rollup.target_level.as_str()
-                )));
-            }
-            key.push(target);
-        }
-        for filter in &compiled_filters {
-            if !filter.keeps(&key) {
-                continue 'rows;
-            }
-        }
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
-        for (acc, measure) in accs.iter_mut().zip(measures) {
-            acc.update(measure.data.value(row));
-        }
-    }
+    let groups = scan(cube, &axes, &compiled_filters, measures, threads)?;
 
     // Aggregate each group and apply the measure filters (HAVING).
     let mut cells: Vec<OutputCell> = Vec::with_capacity(groups.len());
@@ -259,6 +254,106 @@ struct AxisPlan<'c> {
     level_index: &'c LevelIndex,
 }
 
+/// Partial aggregation state: coordinate key → one accumulator per measure.
+type ScanGroups = HashMap<Vec<MemberId>, Vec<MeasureAcc>>;
+
+/// Scans the fact rows, dispatching to the chunked multi-threaded scan when
+/// the caller asked for more than one worker and the data permits it.
+fn scan(
+    cube: &MaterializedCube,
+    axes: &[AxisPlan<'_>],
+    filters: &[CompiledFilter],
+    measures: &[MeasureColumn],
+    threads: usize,
+) -> Result<ScanGroups, CubeStoreError> {
+    let rows = cube.row_count();
+    // Float accumulation is order-sensitive; only integral measure vectors
+    // keep chunked sums bit-identical to the sequential row order.
+    let order_independent = measures
+        .iter()
+        .all(|m| matches!(m.data, crate::columns::MeasureVector::Integer(_)));
+    let workers = if order_independent { threads.max(1).min(rows.max(1)) } else { 1 };
+    if workers <= 1 {
+        return scan_range(axes, filters, measures, 0..rows);
+    }
+    let chunk = rows.div_ceil(workers);
+    let partials: Vec<Result<ScanGroups, CubeStoreError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let start = worker * chunk;
+                    let end = ((worker + 1) * chunk).min(rows);
+                    scope.spawn(move || scan_range(axes, filters, measures, start..end))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("scan worker panicked"))
+                .collect()
+        });
+    let mut groups: ScanGroups = HashMap::new();
+    for partial in partials {
+        for (key, accs) in partial? {
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(vacant) => {
+                    vacant.insert(accs);
+                }
+                std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                    for (merged, acc) in occupied.get_mut().iter_mut().zip(&accs) {
+                        merged.merge(acc);
+                    }
+                }
+            }
+        }
+    }
+    Ok(groups)
+}
+
+/// The sequential scan over one chunk of the row range.
+fn scan_range(
+    axes: &[AxisPlan<'_>],
+    filters: &[CompiledFilter],
+    measures: &[MeasureColumn],
+    rows: std::ops::Range<usize>,
+) -> Result<ScanGroups, CubeStoreError> {
+    let mut groups: ScanGroups = HashMap::new();
+    'rows: for row in rows {
+        let mut key = Vec::with_capacity(axes.len());
+        for axis in axes {
+            let bottom = axis.column.code(row);
+            if bottom == NO_MEMBER {
+                continue 'rows;
+            }
+            let target = axis.rollup.target(bottom);
+            if target == NO_MEMBER {
+                continue 'rows;
+            }
+            if target == AMBIGUOUS_MEMBER {
+                return Err(CubeStoreError::Unsupported(format!(
+                    "member {} of dimension <{}> rolls up to several members of level <{}> \
+                     (non-functional roll-up); use the SPARQL backend",
+                    axis.column.dictionary.term(bottom),
+                    axis.column.dimension.as_str(),
+                    axis.rollup.target_level.as_str()
+                )));
+            }
+            key.push(target);
+        }
+        for filter in filters {
+            if !filter.keeps(&key) {
+                continue 'rows;
+            }
+        }
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
+        for (acc, measure) in accs.iter_mut().zip(measures) {
+            acc.update(measure.data.value(row));
+        }
+    }
+    Ok(groups)
+}
+
 /// One measure accumulator: everything the five QB4OLAP aggregate
 /// functions need, updated in a single pass.
 #[derive(Debug, Clone)]
@@ -285,6 +380,16 @@ impl Default for MeasureAcc {
 }
 
 impl MeasureAcc {
+    /// Folds another chunk's accumulator into this one (multi-threaded
+    /// scan). Exact for integral data; the scan only parallelizes then.
+    fn merge(&mut self, other: &MeasureAcc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.all_integral &= other.all_integral;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     #[inline]
     fn update(&mut self, value: f64) {
         self.count += 1;

@@ -56,6 +56,40 @@ impl LevelIndex {
             .as_ref()
     }
 
+    /// Declares one more member on the level (incremental maintenance).
+    /// Every tracked attribute is extended with an empty slot. Returns the
+    /// member's id and whether it was new.
+    pub fn add_member(&mut self, member: &Term) -> (MemberId, bool) {
+        if let Some(id) = self.dictionary.id(member) {
+            return (id, false);
+        }
+        let id = self.dictionary.encode(member);
+        for values in self.attributes.values_mut() {
+            values.push(None);
+        }
+        (id, true)
+    }
+
+    /// Sets the value of a tracked attribute on one member (incremental
+    /// maintenance; the slot must currently be empty). Returns `false` when
+    /// the attribute is not tracked on this level.
+    pub fn set_member_attribute(&mut self, attribute: &Iri, member: MemberId, value: Term) -> bool {
+        match self.attributes.get_mut(attribute) {
+            Some(values) => {
+                let slot = &mut values[member as usize];
+                debug_assert!(slot.is_none(), "delta application checked the slot is empty");
+                *slot = Some(value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The attributes tracked on this level.
+    pub fn attribute_iris(&self) -> impl Iterator<Item = &Iri> {
+        self.attributes.keys()
+    }
+
     /// True if the index holds values for `attribute`.
     pub fn has_attribute(&self, attribute: &Iri) -> bool {
         self.attributes.contains_key(attribute)
@@ -99,6 +133,12 @@ impl RollupMap {
     #[inline]
     pub fn target(&self, bottom: MemberId) -> MemberId {
         self.map[bottom as usize]
+    }
+
+    /// Appends the target for the next bottom-member code (incremental
+    /// maintenance: the bottom dictionary grew by one member).
+    pub fn push(&mut self, target: MemberId) {
+        self.map.push(target);
     }
 
     /// Number of bottom members covered.

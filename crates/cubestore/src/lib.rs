@@ -33,42 +33,64 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod catalog;
 pub mod columns;
+pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod executor;
 pub mod hierarchy;
 
 pub use build::{BuildStats, MaterializedCube};
+pub use catalog::{CubeCatalog, MaintenanceReport, MaintenanceStrategy};
 pub use columns::{DimensionColumn, MeasureColumn, MeasureVector};
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 pub use error::CubeStoreError;
 pub use executor::{
-    execute, AxisSpec, CubeQuery, MeasureFilter, MemberFilter, MemberPredicate, OutputCell,
-    QueryOutput,
+    execute, execute_with_threads, AxisSpec, CubeQuery, MeasureFilter, MemberFilter,
+    MemberPredicate, OutputCell, QueryOutput,
 };
 pub use hierarchy::{LevelIndex, RollupMap};
 
+/// Shared fixtures for the crate's unit tests (the build/executor tests in
+/// this module plus the delta/catalog tests in their own modules).
 #[cfg(test)]
-mod tests {
-    use std::collections::BTreeMap;
-
+pub(crate) mod testutil {
     use qb4olap::{
         AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
         LevelAttribute, LevelComponent, MeasureSpec,
     };
-    use rdf::{Iri, Literal, Term, Triple};
-    use sparql::ast::CmpOp;
+    use rdf::{Iri, Literal, Term};
     use sparql::{Endpoint, LocalEndpoint};
 
-    use super::*;
-
-    fn iri(suffix: &str) -> Iri {
+    pub(crate) fn iri(suffix: &str) -> Iri {
         Iri::new(format!("http://example.org/{suffix}"))
     }
 
-    fn member(suffix: &str) -> Term {
+    pub(crate) fn member(suffix: &str) -> Term {
         Term::iri(format!("http://example.org/member/{suffix}"))
+    }
+
+    /// One complete fixture observation (typed, linked, both dimensions,
+    /// both measures) — what the delta path accepts as a pure append.
+    pub(crate) fn observation_triples(
+        name: &str,
+        city: &str,
+        month: &str,
+        value: i64,
+        score: i64,
+    ) -> Vec<rdf::Triple> {
+        use rdf::vocab::{qb, rdf as rdfv};
+        use rdf::Triple;
+        let node = Term::iri(format!("http://example.org/obs/{name}"));
+        vec![
+            Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+            Triple::new(node.clone(), iri("lv/city"), member(city)),
+            Triple::new(node.clone(), iri("lv/month"), member(month)),
+            Triple::new(node.clone(), iri("measure/value"), Literal::integer(value)),
+            Triple::new(node, iri("measure/score"), Literal::integer(score)),
+        ]
     }
 
     /// A tiny two-dimensional cube: cities (rolling up to countries) ×
@@ -77,7 +99,7 @@ mod tests {
     /// Observations (city, month, value, score):
     ///   o1 (c1, m1, 10, 4), o2 (c1, m2, 20, 6), o3 (c2, m1, 5, 1),
     ///   o4 (c3, m1, 100, 9) — ragged city, o5 (c2, m2, 7, 3).
-    fn fixture(score_aggregate: AggregateFunction) -> (LocalEndpoint, CubeSchema) {
+    pub(crate) fn fixture(score_aggregate: AggregateFunction) -> (LocalEndpoint, CubeSchema) {
         let city = iri("lv/city");
         let country = iri("lv/country");
         let month = iri("lv/month");
@@ -173,6 +195,20 @@ mod tests {
             .push(LevelAttribute::new(iri("attr/countryName")));
         (endpoint, schema)
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use qb4olap::{AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
+        LevelComponent, MeasureSpec};
+    use rdf::{Literal, Term, Triple};
+    use sparql::ast::CmpOp;
+    use sparql::{Endpoint, LocalEndpoint};
+
+    use super::testutil::{fixture, iri, member};
+    use super::*;
 
     fn build(score_aggregate: AggregateFunction) -> MaterializedCube {
         let (endpoint, schema) = fixture(score_aggregate);
@@ -607,5 +643,39 @@ mod tests {
         let mut sorted = output.cells.clone();
         sorted.sort_by(|a, b| a.coordinates.cmp(&b.coordinates));
         assert_eq!(output.cells, sorted);
+    }
+
+    #[test]
+    fn chunked_scan_matches_the_sequential_scan_on_any_thread_count() {
+        let cube = build(AggregateFunction::Sum);
+        let queries = [
+            CubeQuery::default(),
+            rollup_query(),
+            CubeQuery {
+                slices: vec![iri("dim/month")],
+                rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+                ..CubeQuery::default()
+            },
+        ];
+        for query in &queries {
+            let sequential = execute_with_threads(&cube, query, 1).unwrap();
+            for threads in [2, 3, 8, 64] {
+                assert_eq!(
+                    sequential,
+                    execute_with_threads(&cube, query, threads).unwrap(),
+                    "chunked scan with {threads} workers diverged"
+                );
+            }
+        }
+        // Errors surface from workers too: the ambiguous-roll-up refusal.
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        endpoint
+            .insert_triples(&[qb4olap::rollup_triple(&member("c1"), &member("K2"))])
+            .unwrap();
+        let ambiguous = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert!(matches!(
+            execute_with_threads(&ambiguous, &rollup_query(), 4).unwrap_err(),
+            CubeStoreError::Unsupported(_)
+        ));
     }
 }

@@ -27,7 +27,8 @@ use qb4olap::{
 };
 use rdf::vocab::{owl, qb4o, rdf as rdfv, skos};
 use rdf::{Iri, Term, Triple};
-use sparql::Endpoint;
+use sparql::ast::{GroupGraphPattern, PatternElement, SelectQuery, ValuesRow};
+use sparql::{Endpoint, Query};
 
 use crate::candidates::{suggested_local_name, CandidateAttribute, CandidateLevel, CandidateSet};
 use crate::config::EnrichmentConfig;
@@ -77,6 +78,88 @@ struct CollectedProperties {
     external: MemberPropertyValues,
 }
 
+/// Parsed probe-query templates, built once per session and reused across
+/// every phase and candidate: each chunked `VALUES (?m)` probe is executed
+/// by patching the rows of a cached AST ([`Endpoint::select_parsed`])
+/// instead of formatting and re-parsing SPARQL text per chunk.
+#[derive(Debug, Default)]
+struct ProbeCache {
+    /// `?m ?p ?v` over the member batch (property collection).
+    member_properties: Option<SelectQuery>,
+    /// The same through one `owl:sameAs` hop (external enrichment).
+    member_properties_external: Option<SelectQuery>,
+    /// `?m <property> ?v` per attribute source property.
+    attribute_direct: BTreeMap<Iri, SelectQuery>,
+    /// The same through `owl:sameAs`, per attribute source property.
+    attribute_external: BTreeMap<Iri, SelectQuery>,
+}
+
+/// The placeholder row every probe template is parsed with; it is replaced
+/// by the actual member batch before execution.
+const PROBE_PLACEHOLDER: &str = "(<urn:qb2olap:probe>)";
+
+fn probe_template(text: &str) -> SelectQuery {
+    sparql::parse_select(text).expect("static probe template parses")
+}
+
+fn member_properties_probe() -> SelectQuery {
+    probe_template(&format!(
+        "SELECT ?m ?p ?v WHERE {{ VALUES (?m) {{ {PROBE_PLACEHOLDER} }} ?m ?p ?v . }}"
+    ))
+}
+
+fn member_properties_external_probe() -> SelectQuery {
+    probe_template(&format!(
+        "PREFIX owl: <http://www.w3.org/2002/07/owl#>
+         SELECT ?m ?p ?v WHERE {{
+           VALUES (?m) {{ {PROBE_PLACEHOLDER} }}
+           ?m owl:sameAs ?ext .
+           ?ext ?p ?v .
+         }}"
+    ))
+}
+
+fn attribute_probe(property: &Iri, external: bool) -> SelectQuery {
+    let text = if external {
+        format!(
+            "PREFIX owl: <http://www.w3.org/2002/07/owl#>
+             SELECT ?m ?v WHERE {{
+               VALUES (?m) {{ {PROBE_PLACEHOLDER} }}
+               ?m owl:sameAs ?ext . ?ext <{}> ?v .
+             }}",
+            property.as_str()
+        )
+    } else {
+        format!(
+            "SELECT ?m ?v WHERE {{ VALUES (?m) {{ {PROBE_PLACEHOLDER} }} ?m <{}> ?v . }}",
+            property.as_str()
+        )
+    };
+    probe_template(&text)
+}
+
+/// Instantiates a cached template for one member batch by replacing the
+/// rows of its `VALUES` block.
+fn probe_for_members(template: &SelectQuery, members: &[&Iri]) -> Query {
+    let mut query = template.clone();
+    let rows: Vec<ValuesRow> = members
+        .iter()
+        .map(|iri| vec![Some(Term::Iri((*iri).clone()))])
+        .collect();
+    replace_values_rows(&mut query.pattern, rows);
+    Query::Select(query)
+}
+
+fn replace_values_rows(pattern: &mut GroupGraphPattern, rows: Vec<ValuesRow>) {
+    for element in &mut pattern.elements {
+        if let PatternElement::Values { rows: slot, .. } = element {
+            *slot = rows;
+            return;
+        }
+    }
+    unreachable!("every probe template starts with a VALUES block");
+}
+
 /// An interactive enrichment session over one dataset.
 pub struct EnrichmentSession<'e> {
     endpoint: &'e dyn Endpoint,
@@ -87,6 +170,7 @@ pub struct EnrichmentSession<'e> {
     collected: BTreeMap<Iri, CollectedProperties>,
     rollups: BTreeSet<(Term, Term)>,
     attribute_values: BTreeSet<(Term, Iri, Term)>,
+    probes: ProbeCache,
 }
 
 impl<'e> EnrichmentSession<'e> {
@@ -106,6 +190,7 @@ impl<'e> EnrichmentSession<'e> {
             collected: BTreeMap::new(),
             rollups: BTreeSet::new(),
             attribute_values: BTreeSet::new(),
+            probes: ProbeCache::default(),
         })
     }
 
@@ -219,17 +304,27 @@ impl<'e> EnrichmentSession<'e> {
             skos::broader(),
         ];
 
+        // Parse the probe shapes once per session; each chunk only swaps
+        // the VALUES rows of the cached AST.
+        let direct_template = self
+            .probes
+            .member_properties
+            .get_or_insert_with(member_properties_probe);
+        let external_template = if self.config.follow_same_as {
+            Some(
+                self.probes
+                    .member_properties_external
+                    .get_or_insert_with(member_properties_external_probe)
+                    .clone(),
+            )
+        } else {
+            None
+        };
         for chunk in iri_members.chunks(64) {
-            let values: Vec<String> = chunk
-                .iter()
-                .map(|iri| format!("(<{}>)", iri.as_str()))
-                .collect();
             // Direct properties of the members.
-            let query = format!(
-                "SELECT ?m ?p ?v WHERE {{ VALUES (?m) {{ {} }} ?m ?p ?v . }}",
-                values.join(" ")
-            );
-            let solutions = self.endpoint.select(&query)?;
+            let solutions = self
+                .endpoint
+                .select_parsed(&probe_for_members(direct_template, chunk))?;
             for i in 0..solutions.len() {
                 let (Some(m), Some(Term::Iri(p)), Some(v)) = (
                     solutions.get(i, "m").cloned(),
@@ -251,17 +346,10 @@ impl<'e> EnrichmentSession<'e> {
             }
 
             // Properties reachable through owl:sameAs (external enrichment).
-            if self.config.follow_same_as {
-                let query = format!(
-                    "PREFIX owl: <http://www.w3.org/2002/07/owl#>
-                     SELECT ?m ?p ?v WHERE {{
-                       VALUES (?m) {{ {} }}
-                       ?m owl:sameAs ?ext .
-                       ?ext ?p ?v .
-                     }}",
-                    values.join(" ")
-                );
-                let solutions = self.endpoint.select(&query)?;
+            if let Some(template) = &external_template {
+                let solutions = self
+                    .endpoint
+                    .select_parsed(&probe_for_members(template, chunk))?;
                 for i in 0..solutions.len() {
                     let (Some(m), Some(Term::Iri(p)), Some(v)) = (
                         solutions.get(i, "m").cloned(),
@@ -443,17 +531,29 @@ impl<'e> EnrichmentSession<'e> {
 
         let mut found = 0usize;
         let iri_members: Vec<&Iri> = members.iter().filter_map(Term::as_iri).collect();
+        // One parsed template per source property, shared by every chunk
+        // (and by repeated add_attribute calls for the same property).
+        let direct_template = self
+            .probes
+            .attribute_direct
+            .entry(source_property.clone())
+            .or_insert_with(|| attribute_probe(source_property, false))
+            .clone();
+        let external_template = if self.config.follow_same_as {
+            Some(
+                self.probes
+                    .attribute_external
+                    .entry(source_property.clone())
+                    .or_insert_with(|| attribute_probe(source_property, true))
+                    .clone(),
+            )
+        } else {
+            None
+        };
         for chunk in iri_members.chunks(64) {
-            let values: Vec<String> = chunk
-                .iter()
-                .map(|iri| format!("(<{}>)", iri.as_str()))
-                .collect();
-            let direct = format!(
-                "SELECT ?m ?v WHERE {{ VALUES (?m) {{ {} }} ?m <{}> ?v . }}",
-                values.join(" "),
-                source_property.as_str()
-            );
-            let solutions = self.endpoint.select(&direct)?;
+            let solutions = self
+                .endpoint
+                .select_parsed(&probe_for_members(&direct_template, chunk))?;
             let mut matched_members: BTreeSet<Term> = BTreeSet::new();
             for i in 0..solutions.len() {
                 if let (Some(m), Some(v)) = (
@@ -466,17 +566,10 @@ impl<'e> EnrichmentSession<'e> {
                     found += 1;
                 }
             }
-            if self.config.follow_same_as {
-                let external = format!(
-                    "PREFIX owl: <http://www.w3.org/2002/07/owl#>
-                     SELECT ?m ?v WHERE {{
-                       VALUES (?m) {{ {} }}
-                       ?m owl:sameAs ?ext . ?ext <{}> ?v .
-                     }}",
-                    values.join(" "),
-                    source_property.as_str()
-                );
-                let solutions = self.endpoint.select(&external)?;
+            if let Some(template) = &external_template {
+                let solutions = self
+                    .endpoint
+                    .select_parsed(&probe_for_members(template, chunk))?;
                 for i in 0..solutions.len() {
                     if let (Some(m), Some(v)) = (
                         solutions.get(i, "m").cloned(),
@@ -844,6 +937,50 @@ mod tests {
             EnrichmentConfig::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn probe_templates_are_parsed_once_and_reused_across_phases() {
+        let (endpoint, data) = load_demo_endpoint(&EurostatConfig::small(250));
+        let mut session = session_on(&endpoint, &data.dataset);
+        session.redefine().unwrap();
+
+        let candidates = session
+            .discover_candidates(&eurostat_property::citizen())
+            .unwrap();
+        assert!(session.probes.member_properties.is_some());
+        assert!(session.probes.member_properties_external.is_some());
+        let cached = session.probes.member_properties.clone().unwrap();
+
+        // A second discovery round (another phase, another level) reuses
+        // the very same parsed template instead of re-parsing.
+        let continent = candidates
+            .level_candidate(&datagen::eurostat::continent_property())
+            .unwrap()
+            .clone();
+        let continent_level = session
+            .add_level(&eurostat_property::citizen(), &continent, "continent")
+            .unwrap();
+        session.discover_candidates(&continent_level).unwrap();
+        assert_eq!(session.probes.member_properties.as_ref(), Some(&cached));
+
+        // Attribute probes are cached per source property.
+        session
+            .add_attribute(&continent_level, &rdfs::label(), "continentName")
+            .unwrap();
+        assert_eq!(session.probes.attribute_direct.len(), 1);
+        session
+            .add_attribute(&eurostat_property::citizen(), &rdfs::label(), "citizenName")
+            .unwrap();
+        assert_eq!(
+            session.probes.attribute_direct.len(),
+            1,
+            "same property, same template"
+        );
+        assert!(session
+            .probes
+            .attribute_direct
+            .contains_key(&rdfs::label()));
     }
 
     #[test]

@@ -6,12 +6,22 @@
 //! The original demo renders this with D3.js; here the same information is
 //! exposed as a library API plus text / DOT renderers used by the runnable
 //! examples.
+//!
+//! Navigation has two serving paths. Opened plainly
+//! ([`CubeExplorer::open`]), every step issues SPARQL, as in the paper.
+//! Opened on a shared [`cubestore::CubeCatalog`]
+//! ([`CubeExplorer::open_with_catalog`]), member listings, counts and
+//! roll-up navigation are served from the same live columnar cube the
+//! Querying module executes on — no per-step SPARQL — while the SPARQL
+//! path stays available (`*_via_sparql`) as a differential oracle.
 
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use cubestore::{CubeCatalog, CubeStoreError, MaterializedCube};
 use qb4olap::{member_count, members_of_level, rollup_pairs, CubeSchema, Qb4olapError};
 use rdf::vocab::rdfs;
 use rdf::{Iri, Term};
@@ -24,6 +34,8 @@ pub enum ExplorerError {
     Schema(String),
     /// A SPARQL query failed.
     Sparql(String),
+    /// The columnar serving layer failed.
+    Columnar(String),
 }
 
 impl fmt::Display for ExplorerError {
@@ -31,6 +43,7 @@ impl fmt::Display for ExplorerError {
         match self {
             ExplorerError::Schema(m) => write!(f, "exploration schema error: {m}"),
             ExplorerError::Sparql(m) => write!(f, "exploration SPARQL error: {m}"),
+            ExplorerError::Columnar(m) => write!(f, "exploration columnar error: {m}"),
         }
     }
 }
@@ -51,7 +64,13 @@ impl From<sparql::SparqlError> for ExplorerError {
 
 impl From<qb::QbError> for ExplorerError {
     fn from(e: qb::QbError) -> Self {
-        ExplorerError::Sparql(e.to_string())
+        ExplorerError::Schema(e.to_string())
+    }
+}
+
+impl From<CubeStoreError> for ExplorerError {
+    fn from(e: CubeStoreError) -> Self {
+        ExplorerError::Columnar(e.to_string())
     }
 }
 
@@ -100,22 +119,65 @@ pub struct MemberInfo {
     pub label: String,
 }
 
+/// The display label of a member, read from a level index's label store
+/// (populated at materialization) with the local-name fallback the SPARQL
+/// path uses.
+fn label_from_index(index: &cubestore::LevelIndex, member: &Term) -> String {
+    index
+        .dictionary
+        .id(member)
+        .and_then(|id| index.attribute_value(&rdfs::label(), id))
+        .and_then(|value| value.as_literal())
+        .map(|literal| literal.lexical().to_string())
+        .unwrap_or_else(|| member.display_label())
+}
+
 /// An interactive explorer over one enriched cube.
 pub struct CubeExplorer<'e> {
     endpoint: &'e dyn Endpoint,
     schema: CubeSchema,
+    /// When set, member navigation is served from the catalog's live
+    /// columnar cube instead of per-step SPARQL.
+    catalog: Option<Arc<CubeCatalog>>,
 }
 
 impl<'e> CubeExplorer<'e> {
-    /// Opens a cube by reading its QB4OLAP schema from the endpoint.
+    /// Opens a cube by reading its QB4OLAP schema from the endpoint. Every
+    /// navigation step issues SPARQL (the paper's workflow); use
+    /// [`Self::open_with_catalog`] for columnar serving.
     pub fn open(endpoint: &'e dyn Endpoint, dataset: &Iri) -> Result<Self, ExplorerError> {
         let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
-        Ok(CubeExplorer { endpoint, schema })
+        Ok(CubeExplorer {
+            endpoint,
+            schema,
+            catalog: None,
+        })
+    }
+
+    /// Opens a cube on a shared [`CubeCatalog`]: member listings, counts
+    /// and roll-up navigation are answered from the catalog's live columns
+    /// — the same representation the Querying module executes on — with no
+    /// per-step SPARQL round-trips.
+    pub fn open_with_catalog(
+        endpoint: &'e dyn Endpoint,
+        dataset: &Iri,
+        catalog: Arc<CubeCatalog>,
+    ) -> Result<Self, ExplorerError> {
+        let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
+        Ok(CubeExplorer {
+            endpoint,
+            schema,
+            catalog: Some(catalog),
+        })
     }
 
     /// Opens a cube from an already materialised schema.
     pub fn with_schema(endpoint: &'e dyn Endpoint, schema: CubeSchema) -> Self {
-        CubeExplorer { endpoint, schema }
+        CubeExplorer {
+            endpoint,
+            schema,
+            catalog: None,
+        }
     }
 
     /// The cube schema.
@@ -123,8 +185,74 @@ impl<'e> CubeExplorer<'e> {
         &self.schema
     }
 
-    /// The members of a level, with display labels.
+    /// True if navigation is served from the columnar catalog.
+    pub fn serves_from_columns(&self) -> bool {
+        self.catalog.is_some()
+    }
+
+    /// The up-to-date columnar cube, when catalog-backed.
+    fn cube(&self) -> Result<Option<Arc<MaterializedCube>>, ExplorerError> {
+        match &self.catalog {
+            Some(catalog) => Ok(Some(catalog.serve(self.endpoint, &self.schema)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// A summary of this cube (the entry the cube chooser displays). Served
+    /// from the catalog's columns when available.
+    pub fn summary(&self) -> Result<CubeSummary, ExplorerError> {
+        if let Some(cube) = self.cube()? {
+            return Ok(CubeSummary {
+                dataset: self.schema.dataset.clone(),
+                label: cube.dataset_label().map(str::to_string),
+                observations: cube.stats().observations_seen,
+                enriched: true,
+            });
+        }
+        let summaries = qb::list_datasets(self.endpoint)?;
+        summaries
+            .into_iter()
+            .find(|s| s.dataset == self.schema.dataset)
+            .map(|s| CubeSummary {
+                dataset: s.dataset,
+                label: s.label,
+                observations: s.observations,
+                enriched: true,
+            })
+            .ok_or_else(|| {
+                ExplorerError::Schema(format!(
+                    "dataset <{}> is not listed on the endpoint",
+                    self.schema.dataset.as_str()
+                ))
+            })
+    }
+
+    /// The members of a level, with display labels. Served from the
+    /// catalog's columns when available, in the same order the SPARQL
+    /// oracle returns ([`Self::members_via_sparql`]).
     pub fn members(&self, level: &Iri) -> Result<Vec<MemberInfo>, ExplorerError> {
+        if let Some(cube) = self.cube()? {
+            if let Some(index) = cube.level(level) {
+                let mut members: Vec<Term> =
+                    index.dictionary.iter().map(|(_, t)| t.clone()).collect();
+                members.sort();
+                return Ok(members
+                    .into_iter()
+                    .map(|member| MemberInfo {
+                        label: label_from_index(index, &member),
+                        member,
+                    })
+                    .collect());
+            }
+            // A level the cube's schema does not know: the oracle returns
+            // whatever `qb4o:memberOf` says (typically nothing).
+        }
+        self.members_via_sparql(level)
+    }
+
+    /// The members of a level resolved through SPARQL — the paper's
+    /// navigation and the differential oracle for the columnar path.
+    pub fn members_via_sparql(&self, level: &Iri) -> Result<Vec<MemberInfo>, ExplorerError> {
         let members = members_of_level(self.endpoint, level)?;
         let mut out = Vec::with_capacity(members.len());
         for member in members {
@@ -136,17 +264,30 @@ impl<'e> CubeExplorer<'e> {
         Ok(out)
     }
 
-    /// Number of members of a level.
+    /// Number of members of a level (from columns when catalog-backed).
     pub fn member_count(&self, level: &Iri) -> Result<usize, ExplorerError> {
+        if let Some(cube) = self.cube()? {
+            if let Some(index) = cube.level(level) {
+                return Ok(index.member_count());
+            }
+        }
+        self.member_count_via_sparql(level)
+    }
+
+    /// Number of members of a level, counted on the endpoint (the oracle).
+    pub fn member_count_via_sparql(&self, level: &Iri) -> Result<usize, ExplorerError> {
         Ok(member_count(self.endpoint, level)?)
     }
 
     /// The display label of a member (its `rdfs:label` or IRI local name).
     pub fn label_of(&self, member: &Term) -> Result<String, ExplorerError> {
         if let Term::Iri(iri) = member {
+            // ORDER BY ?l pins which label wins for multi-labeled members,
+            // matching the first-value-wins label store the columnar path
+            // reads (populated from an `ORDER BY ?m ?v` scan).
             let solutions = self.endpoint.select(&format!(
                 "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
-                 SELECT ?l WHERE {{ <{}> rdfs:label ?l }} LIMIT 1",
+                 SELECT ?l WHERE {{ <{}> rdfs:label ?l }} ORDER BY ?l LIMIT 1",
                 iri.as_str()
             ))?;
             if let Some(label) = solutions
@@ -157,7 +298,6 @@ impl<'e> CubeExplorer<'e> {
                 return Ok(label);
             }
         }
-        let _ = rdfs::label();
         Ok(member.display_label())
     }
 
@@ -181,7 +321,48 @@ impl<'e> CubeExplorer<'e> {
     }
 
     /// The roll-up edges (child member → parent member) between two levels.
+    /// Served from the catalog's broader adjacency when available, in the
+    /// same `(child, parent)` order as the SPARQL oracle.
     pub fn rollup_edges(
+        &self,
+        child_level: &Iri,
+        parent_level: &Iri,
+    ) -> Result<Vec<(MemberInfo, MemberInfo)>, ExplorerError> {
+        if let Some(cube) = self.cube()? {
+            if let (Some(child_index), Some(parent_index)) =
+                (cube.level(child_level), cube.level(parent_level))
+            {
+                let mut edges: Vec<(Term, Term)> = Vec::new();
+                for (_, child) in child_index.dictionary.iter() {
+                    for parent in cube.broader_parents(child) {
+                        if parent_index.dictionary.id(parent).is_some() {
+                            edges.push((child.clone(), parent.clone()));
+                        }
+                    }
+                }
+                edges.sort();
+                return Ok(edges
+                    .into_iter()
+                    .map(|(child, parent)| {
+                        (
+                            MemberInfo {
+                                label: label_from_index(child_index, &child),
+                                member: child,
+                            },
+                            MemberInfo {
+                                label: label_from_index(parent_index, &parent),
+                                member: parent,
+                            },
+                        )
+                    })
+                    .collect());
+            }
+        }
+        self.rollup_edges_via_sparql(child_level, parent_level)
+    }
+
+    /// The roll-up edges resolved through SPARQL (the oracle).
+    pub fn rollup_edges_via_sparql(
         &self,
         child_level: &Iri,
         parent_level: &Iri,
@@ -382,6 +563,78 @@ mod tests {
             .instance_graph_dot(&Iri::new("http://example.org/unknownDim"))
             .unwrap();
         assert!(!empty.contains("->"));
+    }
+
+    #[test]
+    fn catalog_backed_navigation_matches_the_sparql_oracle() {
+        let (endpoint, dataset) = enriched_endpoint(200);
+        let catalog = std::sync::Arc::new(cubestore::CubeCatalog::new());
+        let explorer = CubeExplorer::open_with_catalog(&endpoint, &dataset, catalog).unwrap();
+        assert!(explorer.serves_from_columns());
+        // Warm the catalog, then count round-trips: navigation from columns
+        // must not touch the endpoint again.
+        explorer.members(&eurostat_property::citizen()).unwrap();
+        let queries = endpoint.queries_executed();
+        let columns = explorer.members(&eurostat_property::citizen()).unwrap();
+        let count = explorer.member_count(&eurostat_property::citizen()).unwrap();
+        let edges = explorer
+            .rollup_edges(&eurostat_property::citizen(), &demo_schema::continent())
+            .unwrap();
+        let clusters = explorer
+            .cluster_by_level(&demo_schema::citizenship_dim())
+            .unwrap();
+        assert_eq!(
+            endpoint.queries_executed(),
+            queries,
+            "columnar navigation issued SPARQL round-trips"
+        );
+        // Cell-for-cell parity with the SPARQL oracle, labels included.
+        assert_eq!(
+            columns,
+            explorer.members_via_sparql(&eurostat_property::citizen()).unwrap()
+        );
+        assert_eq!(
+            count,
+            explorer
+                .member_count_via_sparql(&eurostat_property::citizen())
+                .unwrap()
+        );
+        assert_eq!(
+            edges,
+            explorer
+                .rollup_edges_via_sparql(&eurostat_property::citizen(), &demo_schema::continent())
+                .unwrap()
+        );
+        assert_eq!(clusters.len(), 2);
+        assert!(!edges.is_empty());
+        assert!(columns.iter().any(|m| m.label == "Syria"));
+    }
+
+    #[test]
+    fn catalog_backed_summary_matches_the_dataset_listing() {
+        let (endpoint, dataset) = enriched_endpoint(130);
+        let catalog = std::sync::Arc::new(cubestore::CubeCatalog::new());
+        let explorer =
+            CubeExplorer::open_with_catalog(&endpoint, &dataset, catalog).unwrap();
+        let summary = explorer.summary().unwrap();
+        let listed = list_cubes(&endpoint)
+            .unwrap()
+            .into_iter()
+            .find(|c| c.dataset == dataset)
+            .unwrap();
+        assert_eq!(summary, listed, "columns and SPARQL listing agree");
+        assert_eq!(summary.observations, 130);
+        assert!(summary.enriched);
+        assert!(summary.label.is_some());
+    }
+
+    #[test]
+    fn qb_errors_map_to_the_schema_variant() {
+        let error: ExplorerError = qb::QbError::NotFound("d".into()).into();
+        assert!(matches!(error, ExplorerError::Schema(_)), "{error}");
+        let error: ExplorerError =
+            cubestore::CubeStoreError::Build("boom".into()).into();
+        assert!(matches!(error, ExplorerError::Columnar(_)), "{error}");
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! [`ExecutionBackend::Sparql`] path evaluates one of the two generated
 //! SPARQL variants on the endpoint (the paper's workflow), while
 //! [`ExecutionBackend::Columnar`] runs the simplified pipeline on a
-//! [`cubestore::MaterializedCube`] built lazily from the endpoint — no
-//! SPARQL round-trip per query. Both backends return identical
-//! [`ResultCube`]s for the same prepared query.
+//! [`cubestore::MaterializedCube`] served by a shared
+//! [`cubestore::CubeCatalog`] — built lazily from the endpoint, kept live
+//! by incremental maintenance, and validated against the store's mutation
+//! epoch on every execution, so no SPARQL round-trip per query and no
+//! stale reads. Both backends return identical [`ResultCube`]s for the
+//! same prepared query.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cubestore::MaterializedCube;
+use cubestore::{CubeCatalog, MaintenanceReport, MaterializedCube};
 use qb4olap::CubeSchema;
 use rdf::Iri;
 use sparql::Endpoint;
@@ -96,25 +99,39 @@ pub struct QueryTimings {
 }
 
 /// The Querying module: holds the endpoint and the QB4OLAP schema of one
-/// cube, plus the lazily built columnar materialization of the dataset.
+/// cube, plus the shared [`CubeCatalog`] the columnar backend serves from.
+///
+/// The catalog validates the store's mutation epoch on **every**
+/// [`QueryingModule::execute`], replaying recorded deltas (or rebuilding)
+/// when the store moved — columnar results can never be stale, and several
+/// modules (Querying and Exploration) can share one live columnar
+/// representation by sharing the catalog.
 pub struct QueryingModule<'e> {
     endpoint: &'e dyn Endpoint,
     schema: CubeSchema,
-    /// The columnar cube, materialized on first use and shared by every
-    /// later [`ExecutionBackend::Columnar`] execution. The error is kept as
-    /// a string so the one-time build outcome can be handed out repeatedly.
-    columnar: OnceLock<Result<Arc<MaterializedCube>, String>>,
+    catalog: Arc<CubeCatalog>,
 }
 
 impl<'e> QueryingModule<'e> {
     /// Creates the module by reading the QB4OLAP schema of `dataset` back
-    /// from the endpoint (i.e. after the Enrichment module loaded it).
+    /// from the endpoint (i.e. after the Enrichment module loaded it). The
+    /// module gets a private catalog; use
+    /// [`Self::for_dataset_with_catalog`] to share one across consumers.
     pub fn for_dataset(endpoint: &'e dyn Endpoint, dataset: &Iri) -> Result<Self, QlError> {
+        Self::for_dataset_with_catalog(endpoint, dataset, Arc::new(CubeCatalog::new()))
+    }
+
+    /// Creates the module on a shared cube catalog.
+    pub fn for_dataset_with_catalog(
+        endpoint: &'e dyn Endpoint,
+        dataset: &Iri,
+        catalog: Arc<CubeCatalog>,
+    ) -> Result<Self, QlError> {
         let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
         Ok(QueryingModule {
             endpoint,
             schema,
-            columnar: OnceLock::new(),
+            catalog,
         })
     }
 
@@ -123,7 +140,7 @@ impl<'e> QueryingModule<'e> {
         QueryingModule {
             endpoint,
             schema,
-            columnar: OnceLock::new(),
+            catalog: Arc::new(CubeCatalog::new()),
         }
     }
 
@@ -132,18 +149,25 @@ impl<'e> QueryingModule<'e> {
         &self.schema
     }
 
-    /// The columnar materialization of the dataset, building it from the
-    /// endpoint on first call. The materialization is a snapshot: triples
-    /// loaded afterwards are only picked up by a new module.
+    /// The cube catalog the module serves columnar executions from.
+    pub fn catalog(&self) -> &Arc<CubeCatalog> {
+        &self.catalog
+    }
+
+    /// The maintenance history of this module's dataset (first build, delta
+    /// refreshes, rebuild fallbacks — with reasons and timings).
+    pub fn maintenance_reports(&self) -> Vec<MaintenanceReport> {
+        self.catalog.reports(&self.schema.dataset)
+    }
+
+    /// The up-to-date columnar materialization of the dataset, built on
+    /// first call and incrementally maintained afterwards: if the store
+    /// mutated since the last call, the catalog replays the recorded
+    /// deltas or rebuilds before returning.
     pub fn materialize(&self) -> Result<Arc<MaterializedCube>, QlError> {
-        self.columnar
-            .get_or_init(|| {
-                MaterializedCube::from_endpoint(self.endpoint, &self.schema)
-                    .map(Arc::new)
-                    .map_err(|e| e.to_string())
-            })
-            .clone()
-            .map_err(QlError::Columnar)
+        self.catalog
+            .serve(self.endpoint, &self.schema)
+            .map_err(|e| QlError::Columnar(e.to_string()))
     }
 
     /// Runs the Query Simplification and Query Translation phases. The
@@ -414,6 +438,69 @@ mod tests {
             before,
             "columnar execution must not issue SPARQL round-trips"
         );
+    }
+
+    #[test]
+    fn catalog_refreshes_columnar_results_after_store_mutation() {
+        use cubestore::MaintenanceStrategy;
+        use rdf::vocab::{qb, rdf as rdfv, sdmx_measure};
+        use rdf::{Literal, Term, Triple};
+
+        let (endpoint, dataset) = enriched_endpoint(300);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let prepared = module
+            .prepare(&datagen::workload::totals_by_citizenship())
+            .unwrap();
+        let before = module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+
+        // Append one new observation through the endpoint: an extra Syrian
+        // application worth 1000.
+        let node = Term::iri("http://example.org/obs/late-arrival");
+        let citizen = datagen::eurostat::citizen_member("SY");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::Iri(dataset.clone())),
+                Triple::new(node.clone(), eurostat_property::citizen(), citizen.clone()),
+                Triple::new(node, sdmx_measure::obs_value(), Literal::integer(1000)),
+            ])
+            .unwrap();
+
+        // The same module, the same prepared query: the catalog detects the
+        // epoch change and serves the refreshed columns — and the SPARQL
+        // backend (always live) agrees cell-for-cell.
+        let columnar = module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+        let sparql_cube = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+        assert_eq!(columnar, sparql_cube, "no stale cells after mutation");
+        assert!(
+            (columnar.first_measure_total() - before.first_measure_total() - 1000.0).abs() < 1e-6
+        );
+
+        let reports = module.maintenance_reports();
+        assert_eq!(reports.len(), 2, "one fresh build, one refresh");
+        assert_eq!(reports[0].strategy, MaintenanceStrategy::Fresh);
+        assert_eq!(reports[1].strategy, MaintenanceStrategy::Delta);
+        assert_eq!(reports[1].rows_appended, 1);
+    }
+
+    #[test]
+    fn modules_share_a_catalog_and_its_materialization() {
+        let (endpoint, dataset) = enriched_endpoint(200);
+        let catalog = Arc::new(cubestore::CubeCatalog::new());
+        let first =
+            QueryingModule::for_dataset_with_catalog(&endpoint, &dataset, catalog.clone()).unwrap();
+        let second =
+            QueryingModule::for_dataset_with_catalog(&endpoint, &dataset, catalog.clone()).unwrap();
+        let cube_a = first.materialize().unwrap();
+        let queries = endpoint.queries_executed();
+        let cube_b = second.materialize().unwrap();
+        assert!(Arc::ptr_eq(&cube_a, &cube_b), "one shared materialization");
+        assert_eq!(endpoint.queries_executed(), queries, "second module built nothing");
+        assert_eq!(catalog.datasets(), vec![dataset]);
     }
 
     #[test]

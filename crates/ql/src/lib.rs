@@ -38,6 +38,7 @@ pub use ast::{
     CubeRef, DiceCondition, DiceOp, DiceOperand, DiceValue, QlOperation, QlProgram, QlStatement,
 };
 pub use cube::{CubeAxis, CubeCell, ResultCube};
+pub use cubestore::{CubeCatalog, MaintenanceReport, MaintenanceStrategy};
 pub use error::QlError;
 pub use executor::{ExecutionBackend, PreparedQuery, QueryTimings, QueryingModule};
 pub use parser::parse_ql;

@@ -43,7 +43,7 @@ pub mod vocab;
 pub use error::{ParseError, StoreError};
 pub use graph::{EncodedTriple, Graph, Interner, TermId};
 pub use namespace::PrefixMap;
-pub use store::Store;
+pub use store::{Store, StoreDelta, DEFAULT_CHANGE_LOG_CAPACITY};
 pub use term::{BlankNode, Iri, Literal, Term, Triple};
 
 /// Commonly used items, for glob import.

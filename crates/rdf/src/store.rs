@@ -8,6 +8,7 @@
 //! can share a single endpoint, as in Figure 1 of the paper.
 
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -17,10 +18,129 @@ use crate::graph::Graph;
 use crate::parser;
 use crate::term::{Iri, Term, Triple};
 
+/// One recorded store mutation: the triples actually inserted into /
+/// removed from one graph (`graph: None` = the default graph) by a single
+/// mutating call. Deltas carry the [`Store::epoch`] value they produced, so
+/// downstream consumers (the columnar cube catalog) can replay exactly the
+/// changes they have not seen yet instead of re-reading the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDelta {
+    /// The store epoch after this mutation was applied.
+    pub epoch: u64,
+    /// The named graph that changed (`None` = the default graph).
+    pub graph: Option<Iri>,
+    /// Triples that were newly inserted (duplicates of existing triples are
+    /// not recorded).
+    pub inserted: Vec<Triple>,
+    /// Triples that were actually removed.
+    pub removed: Vec<Triple>,
+}
+
+impl StoreDelta {
+    /// True if the delta records no changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Default maximum number of deltas retained by the change log before the
+/// oldest entries are dropped (dropping advances the log's coverage start,
+/// forcing consumers that fell too far behind to rebuild).
+pub const DEFAULT_CHANGE_LOG_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct ChangeLog {
+    /// Epoch from which the log has complete coverage: a consumer that last
+    /// saw epoch `e >= covered_from` can replay `deltas` to catch up.
+    covered_from: u64,
+    deltas: VecDeque<StoreDelta>,
+    capacity: usize,
+}
+
+impl ChangeLog {
+    fn new(covered_from: u64, capacity: usize) -> Self {
+        ChangeLog {
+            covered_from,
+            deltas: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    fn record(&mut self, delta: StoreDelta) {
+        self.deltas.push_back(delta);
+        self.trim();
+    }
+
+    /// Drops entries beyond the capacity, advancing coverage past them.
+    fn trim(&mut self) {
+        while self.deltas.len() > self.capacity {
+            let dropped = self.deltas.pop_front().expect("len > capacity >= 0");
+            self.covered_from = dropped.epoch;
+        }
+    }
+
+    /// Drops all entries and restarts coverage at `epoch` (used by bulk
+    /// wipes like [`Store::clear`], whose per-triple replay would be larger
+    /// than a rebuild).
+    fn reset(&mut self, epoch: u64) {
+        self.deltas.clear();
+        self.covered_from = epoch;
+    }
+}
+
 #[derive(Debug, Default)]
 struct StoreInner {
     default_graph: Graph,
     named_graphs: BTreeMap<Iri, Graph>,
+    /// Monotonically increasing mutation counter: bumped by every mutating
+    /// call that actually changed the store.
+    epoch: u64,
+    /// Change log, recording per-mutation deltas while enabled.
+    log: Option<ChangeLog>,
+}
+
+impl StoreInner {
+    /// Bumps the epoch and records a delta for an effective mutation.
+    fn commit(&mut self, graph: Option<Iri>, inserted: Vec<Triple>, removed: Vec<Triple>) {
+        self.epoch += 1;
+        if let Some(log) = &mut self.log {
+            log.record(StoreDelta {
+                epoch: self.epoch,
+                graph,
+                inserted,
+                removed,
+            });
+        }
+    }
+
+    /// [`Self::commit`] for a single inserted or removed triple, cloning
+    /// it (and allocating the delta) only when the log is recording — the
+    /// per-triple mutation paths stay allocation-free with the log off.
+    fn commit_one(&mut self, graph: Option<&Iri>, triple: &Triple, removed: bool) {
+        self.epoch += 1;
+        if let Some(log) = &mut self.log {
+            let (inserted, removed) = if removed {
+                (Vec::new(), vec![triple.clone()])
+            } else {
+                (vec![triple.clone()], Vec::new())
+            };
+            log.record(StoreDelta {
+                epoch: self.epoch,
+                graph: graph.cloned(),
+                inserted,
+                removed,
+            });
+        }
+    }
+
+    /// Bumps the epoch without logging triples, invalidating the log's
+    /// coverage (consumers must rebuild).
+    fn commit_unlogged(&mut self) {
+        self.epoch += 1;
+        if let Some(log) = &mut self.log {
+            log.reset(self.epoch);
+        }
+    }
 }
 
 /// A shared, thread-safe collection of RDF graphs.
@@ -35,29 +155,111 @@ impl Store {
         Self::default()
     }
 
+    /// The store's mutation epoch: 0 for a fresh store, bumped by every
+    /// mutating call that actually changed data. Consumers holding derived
+    /// state (e.g. a materialized cube) compare epochs to detect staleness.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().epoch
+    }
+
+    /// Enables the change log with the default capacity
+    /// ([`DEFAULT_CHANGE_LOG_CAPACITY`]). Mutations from this point on are
+    /// recorded as [`StoreDelta`]s and can be replayed via
+    /// [`Self::deltas_since`]. Enabling an already-enabled log is a no-op:
+    /// a capacity chosen via [`Self::enable_change_log_with_capacity`] is
+    /// kept.
+    pub fn enable_change_log(&self) {
+        let mut inner = self.inner.write();
+        if inner.log.is_none() {
+            let epoch = inner.epoch;
+            inner.log = Some(ChangeLog::new(epoch, DEFAULT_CHANGE_LOG_CAPACITY));
+        }
+    }
+
+    /// Enables the change log, retaining at most `capacity` deltas (older
+    /// entries are dropped and the coverage start advances past them). On
+    /// an already-enabled log this adjusts the capacity, trimming
+    /// immediately when it shrinks.
+    pub fn enable_change_log_with_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.write();
+        match &mut inner.log {
+            Some(log) => {
+                log.capacity = capacity;
+                log.trim();
+            }
+            None => {
+                let epoch = inner.epoch;
+                inner.log = Some(ChangeLog::new(epoch, capacity));
+            }
+        }
+    }
+
+    /// Disables and drops the change log.
+    pub fn disable_change_log(&self) {
+        self.inner.write().log = None;
+    }
+
+    /// True if the change log is currently recording.
+    pub fn change_log_enabled(&self) -> bool {
+        self.inner.read().log.is_some()
+    }
+
+    /// The deltas recording every mutation after epoch `since`, oldest
+    /// first. Returns `None` when the log cannot answer — it is disabled,
+    /// was enabled only after `since`, or has dropped entries past `since`
+    /// — in which case the consumer must rebuild its derived state from a
+    /// fresh snapshot.
+    pub fn deltas_since(&self, since: u64) -> Option<Vec<StoreDelta>> {
+        let inner = self.inner.read();
+        let log = inner.log.as_ref()?;
+        if since < log.covered_from {
+            return None;
+        }
+        Some(
+            log.deltas
+                .iter()
+                .filter(|d| d.epoch > since)
+                .cloned()
+                .collect(),
+        )
+    }
+
     /// Inserts a triple into the default graph.
     pub fn insert(&self, triple: &Triple) -> bool {
-        self.inner.write().default_graph.insert(triple)
+        let mut inner = self.inner.write();
+        let added = inner.default_graph.insert(triple);
+        if added {
+            inner.commit_one(None, triple, false);
+        }
+        added
     }
 
     /// Inserts a triple into a named graph (creating the graph if needed).
     pub fn insert_named(&self, graph: &Iri, triple: &Triple) -> bool {
-        self.inner
-            .write()
+        let mut inner = self.inner.write();
+        let added = inner
             .named_graphs
             .entry(graph.clone())
             .or_default()
-            .insert(triple)
+            .insert(triple);
+        if added {
+            inner.commit_one(Some(graph), triple, false);
+        }
+        added
     }
 
     /// Inserts all triples into the default graph.
     pub fn insert_all<I: IntoIterator<Item = Triple>>(&self, triples: I) -> usize {
         let mut inner = self.inner.write();
-        let mut added = 0;
+        let mut inserted = Vec::new();
         for t in triples {
             if inner.default_graph.insert(&t) {
-                added += 1;
+                inserted.push(t);
             }
+        }
+        let added = inserted.len();
+        if added > 0 {
+            inner.commit(None, inserted, Vec::new());
         }
         added
     }
@@ -65,26 +267,55 @@ impl Store {
     /// Bulk-loads triples into the default graph, holding the write lock
     /// once and taking [`Graph::bulk_insert`]'s sort-and-build fast path
     /// when the store is still empty (the ROADMAP's bulk-load hot path).
+    /// With the change log enabled the per-triple path is used instead, so
+    /// the exact set of newly inserted triples can be recorded.
     pub fn bulk_insert<I: IntoIterator<Item = Triple>>(&self, triples: I) -> usize {
-        self.inner.write().default_graph.bulk_insert(triples)
+        let mut inner = self.inner.write();
+        if inner.log.is_some() {
+            let mut inserted = Vec::new();
+            for t in triples {
+                if inner.default_graph.insert(&t) {
+                    inserted.push(t);
+                }
+            }
+            let added = inserted.len();
+            if added > 0 {
+                inner.commit(None, inserted, Vec::new());
+            }
+            return added;
+        }
+        let added = inner.default_graph.bulk_insert(triples);
+        if added > 0 {
+            inner.commit_unlogged();
+        }
+        added
     }
 
     /// Inserts all triples into a named graph.
     pub fn insert_all_named<I: IntoIterator<Item = Triple>>(&self, graph: &Iri, triples: I) -> usize {
         let mut inner = self.inner.write();
         let g = inner.named_graphs.entry(graph.clone()).or_default();
-        let mut added = 0;
+        let mut inserted = Vec::new();
         for t in triples {
             if g.insert(&t) {
-                added += 1;
+                inserted.push(t);
             }
+        }
+        let added = inserted.len();
+        if added > 0 {
+            inner.commit(Some(graph.clone()), inserted, Vec::new());
         }
         added
     }
 
     /// Removes a triple from the default graph.
     pub fn remove(&self, triple: &Triple) -> bool {
-        self.inner.write().default_graph.remove(triple)
+        let mut inner = self.inner.write();
+        let removed = inner.default_graph.remove(triple);
+        if removed {
+            inner.commit_one(None, triple, true);
+        }
+        removed
     }
 
     /// True if the default graph contains the triple.
@@ -203,10 +434,15 @@ impl Store {
     }
 
     /// Removes all triples from the default graph and all named graphs.
+    ///
+    /// The change log (if enabled) is reset rather than populated with one
+    /// giant removal delta: replaying a wipe is never cheaper than
+    /// rebuilding, so consumers see a coverage gap and rebuild.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.default_graph = Graph::new();
         inner.named_graphs.clear();
+        inner.commit_unlogged();
     }
 }
 
@@ -315,6 +551,116 @@ mod tests {
         store.clear();
         assert_eq!(store.total_len(), 0);
         assert!(store.graph_names().is_empty());
+    }
+
+    #[test]
+    fn epoch_tracks_effective_mutations_only() {
+        let store = Store::new();
+        assert_eq!(store.epoch(), 0);
+        let t = Triple::new(Term::iri("http://s"), Iri::new("http://p"), Literal::integer(1));
+        assert!(store.insert(&t));
+        assert_eq!(store.epoch(), 1);
+        // A duplicate insert and a no-op removal leave the epoch alone.
+        assert!(!store.insert(&t));
+        assert!(!store.remove(&Triple::new(
+            Term::iri("http://other"),
+            Iri::new("http://p"),
+            Literal::integer(2),
+        )));
+        assert_eq!(store.epoch(), 1);
+        assert!(store.remove(&t));
+        assert_eq!(store.epoch(), 2);
+        // Bulk loads count as one epoch step.
+        store.bulk_insert((0..5).map(|i| {
+            Triple::new(Term::iri(format!("http://s{i}")), Iri::new("http://p"), Literal::integer(i))
+        }));
+        assert_eq!(store.epoch(), 3);
+        store.clear();
+        assert_eq!(store.epoch(), 4);
+    }
+
+    #[test]
+    fn change_log_replays_mutations() {
+        let store = Store::new();
+        let t0 = Triple::new(Term::iri("http://pre"), Iri::new("http://p"), Literal::integer(0));
+        store.insert(&t0);
+        assert_eq!(store.deltas_since(0), None, "log not enabled yet");
+
+        store.enable_change_log();
+        assert!(store.change_log_enabled());
+        let enabled_at = store.epoch();
+        // Coverage starts at the enabling epoch: asking for earlier history
+        // is answered with None (rebuild).
+        assert_eq!(store.deltas_since(enabled_at.saturating_sub(1)), None);
+        assert_eq!(store.deltas_since(enabled_at), Some(Vec::new()));
+
+        let t1 = Triple::new(Term::iri("http://a"), Iri::new("http://p"), Literal::integer(1));
+        let t2 = Triple::new(Term::iri("http://b"), Iri::new("http://p"), Literal::integer(2));
+        store.bulk_insert(vec![t1.clone(), t2.clone(), t1.clone()]);
+        store.remove(&t2);
+        let g = Iri::new("http://g");
+        store.insert_named(&g, &t0);
+
+        let deltas = store.deltas_since(enabled_at).expect("covered");
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].inserted, vec![t1.clone(), t2.clone()]);
+        assert!(deltas[0].removed.is_empty() && deltas[0].graph.is_none());
+        assert_eq!(deltas[1].removed, vec![t2.clone()]);
+        assert_eq!(deltas[2].graph, Some(g));
+        assert!(deltas.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        assert!(!deltas[0].is_empty());
+
+        // Catching up from a later epoch returns only the tail.
+        let tail = store.deltas_since(deltas[1].epoch).expect("covered");
+        assert_eq!(tail.len(), 1);
+
+        // clear() resets coverage: everything before it is unanswerable.
+        store.clear();
+        assert_eq!(store.deltas_since(enabled_at), None);
+        assert_eq!(store.deltas_since(store.epoch()), Some(Vec::new()));
+
+        store.disable_change_log();
+        assert!(!store.change_log_enabled());
+        assert_eq!(store.deltas_since(store.epoch()), None);
+    }
+
+    #[test]
+    fn enable_change_log_keeps_a_custom_capacity() {
+        let store = Store::new();
+        store.enable_change_log_with_capacity(2);
+        // A consumer blindly enabling tracking must not clobber the
+        // configured capacity...
+        store.enable_change_log();
+        let start = store.epoch();
+        for i in 0..3 {
+            store.insert(&Triple::new(
+                Term::iri(format!("http://s{i}")),
+                Iri::new("http://p"),
+                Literal::integer(i),
+            ));
+        }
+        assert_eq!(store.deltas_since(start), None, "capacity 2 was kept");
+        // ... while an explicit re-configuration applies (and trims).
+        store.enable_change_log_with_capacity(1);
+        assert_eq!(store.deltas_since(start + 2).expect("covered").len(), 1);
+    }
+
+    #[test]
+    fn change_log_capacity_drops_oldest_coverage() {
+        let store = Store::new();
+        store.enable_change_log_with_capacity(2);
+        let start = store.epoch();
+        for i in 0..4 {
+            store.insert(&Triple::new(
+                Term::iri(format!("http://s{i}")),
+                Iri::new("http://p"),
+                Literal::integer(i),
+            ));
+        }
+        // Only the last two mutations are retained.
+        assert_eq!(store.deltas_since(start), None, "coverage start advanced");
+        let deltas = store.deltas_since(start + 2).expect("covered");
+        assert_eq!(deltas.len(), 2);
     }
 
     #[test]

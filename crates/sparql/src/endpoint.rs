@@ -10,17 +10,41 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use rdf::{Iri, Store, Triple};
+use rdf::{Iri, Store, StoreDelta, Triple};
 
+use crate::ast::Query;
 use crate::error::SparqlError;
 use crate::eval::evaluate_query;
 use crate::parser::parse_query;
+use crate::pretty::query_to_string;
 use crate::results::{QueryResults, Solutions};
 
 /// A SPARQL endpoint: accepts query text, returns results.
 pub trait Endpoint {
     /// Executes any supported query form.
     fn query(&self, sparql: &str) -> Result<QueryResults, SparqlError>;
+
+    /// Executes an already-parsed query, skipping the text round-trip.
+    ///
+    /// Callers that run the same query shape many times (the Enrichment
+    /// module's per-chunk `VALUES` probes) parse a template once, patch it,
+    /// and execute it here. The default implementation pretty-prints the
+    /// AST and goes through [`Self::query`], so remote endpoints that only
+    /// speak text keep working; [`LocalEndpoint`] evaluates the AST
+    /// directly.
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, SparqlError> {
+        self.query(&query_to_string(query))
+    }
+
+    /// Executes an already-parsed SELECT query and returns its solutions.
+    fn select_parsed(&self, query: &Query) -> Result<Solutions, SparqlError> {
+        match self.query_parsed(query)? {
+            QueryResults::Solutions(s) => Ok(s),
+            QueryResults::Boolean(_) => Err(SparqlError::Endpoint(
+                "expected a SELECT query, got an ASK result".to_string(),
+            )),
+        }
+    }
 
     /// Executes a SELECT query and returns its solutions.
     fn select(&self, sparql: &str) -> Result<Solutions, SparqlError> {
@@ -52,6 +76,29 @@ pub trait Endpoint {
 
     /// Number of triples stored (default graph).
     fn triple_count(&self) -> usize;
+
+    /// The endpoint's mutation epoch (see [`rdf::Store::epoch`]).
+    ///
+    /// Consumers holding derived state compare epochs to detect staleness.
+    /// The default (always 0) means "never reports a change": backends
+    /// without change tracking serve snapshots, exactly as before.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// The store deltas recorded after epoch `since`, oldest first, or
+    /// `None` when the endpoint cannot answer (no change tracking, or the
+    /// log no longer covers `since`) — the consumer must then rebuild from
+    /// a fresh snapshot.
+    fn deltas_since(&self, since: u64) -> Option<Vec<StoreDelta>> {
+        let _ = since;
+        None
+    }
+
+    /// Asks the endpoint to start recording mutations so that
+    /// [`Self::deltas_since`] can answer. A no-op by default (and for
+    /// backends that cannot track changes).
+    fn enable_change_tracking(&self) {}
 }
 
 /// An in-process endpoint backed by an [`rdf::Store`].
@@ -95,6 +142,12 @@ impl Endpoint for LocalEndpoint {
             .with_default_graph(|graph| evaluate_query(graph, &parsed))
     }
 
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, SparqlError> {
+        self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .with_default_graph(|graph| evaluate_query(graph, query))
+    }
+
     fn insert_triples(&self, triples: &[Triple]) -> Result<usize, SparqlError> {
         Ok(self.store.bulk_insert(triples.iter().cloned()))
     }
@@ -105,6 +158,18 @@ impl Endpoint for LocalEndpoint {
 
     fn triple_count(&self) -> usize {
         self.store.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    fn deltas_since(&self, since: u64) -> Option<Vec<StoreDelta>> {
+        self.store.deltas_since(since)
+    }
+
+    fn enable_change_tracking(&self) {
+        self.store.enable_change_log();
     }
 }
 
@@ -186,5 +251,41 @@ mod tests {
     fn parse_errors_surface() {
         let ep = endpoint();
         assert!(ep.query("SELECT WHERE {").is_err());
+    }
+
+    #[test]
+    fn parsed_queries_skip_the_text_round_trip() {
+        let ep = endpoint();
+        let text =
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:value ?v . FILTER(?v > 1) }";
+        let parsed = crate::parser::parse_query(text).unwrap();
+        let via_text = ep.select(text).unwrap();
+        let via_ast = ep.select_parsed(&parsed).unwrap();
+        assert_eq!(via_text, via_ast);
+        assert_eq!(ep.queries_executed(), 2, "parsed execution still counts");
+        // Handing an ASK AST to select_parsed is a type error.
+        let ask = crate::parser::parse_query("ASK { ?s ?p ?o }").unwrap();
+        assert!(ep.select_parsed(&ask).is_err());
+    }
+
+    #[test]
+    fn change_tracking_surfaces_store_epochs_and_deltas() {
+        let ep = endpoint();
+        let loaded_epoch = ep.epoch();
+        assert!(loaded_epoch > 0, "loading data bumped the epoch");
+        assert_eq!(ep.deltas_since(loaded_epoch), None, "tracking off by default");
+
+        ep.enable_change_tracking();
+        let tracked_from = ep.epoch();
+        let triple = Triple::new(
+            Term::iri("http://example.org/d"),
+            Iri::new("http://example.org/value"),
+            Literal::integer(4),
+        );
+        ep.insert_triples(std::slice::from_ref(&triple)).unwrap();
+        assert!(ep.epoch() > tracked_from);
+        let deltas = ep.deltas_since(tracked_from).expect("tracked");
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].inserted, vec![triple]);
     }
 }

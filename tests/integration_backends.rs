@@ -3,11 +3,15 @@
 //! workload — must return *identical* result cubes (same axes, same
 //! measures, same canonically-ordered cells) from the SPARQL translation
 //! and from the columnar cube engine, including on ragged hierarchies
-//! where members are missing an ancestor at the roll-up target level.
+//! where members are missing an ancestor at the roll-up target level —
+//! and, since the cube catalog is live, after *any* interleaving of store
+//! mutations (incremental delta refreshes and rebuild fallbacks alike).
 
 use qb2olap::{demo, Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
-use rdf::vocab::skos;
-use rdf::Iri;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf::vocab::{qb, rdf as rdfv, rdfs, sdmx_dimension, sdmx_measure, skos};
+use rdf::{Iri, Literal, Term, Triple};
 
 fn demo_tool(observations: usize) -> (Qb2Olap, Iri) {
     let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(observations)).unwrap();
@@ -155,4 +159,206 @@ $C1 := ROLLUP (data:migr_asyappctzm, schema:citizenshipDim, schema:citAll);
         .cells
         .iter()
         .any(|c| c.coordinates.contains(&datagen::eurostat::continent_member("Africa"))));
+}
+
+/// The mutation-parity gate: interleaves seeded random store mutations —
+/// pure observation appends (the delta path), brand-new members with
+/// roll-up links and labels, broader-link cuts and observation edits (the
+/// rebuild fallback) — with the bench workload, asserting after every
+/// round that the catalog-served columnar results stay cell-identical to a
+/// fresh SPARQL evaluation and that the catalog-served explorer navigation
+/// matches its SPARQL oracle. Stale or divergent cells anywhere fail here.
+#[test]
+fn interleaved_mutations_keep_catalog_and_sparql_in_lockstep() {
+    let (tool, dataset) = demo_tool(800);
+    let querying = tool.querying(&dataset).unwrap();
+    querying.materialize().unwrap();
+    let explorer = tool.explorer(&dataset).unwrap();
+
+    let members_of = |level: &Iri| -> Vec<Term> {
+        qb4olap::members_of_level(tool.endpoint(), level).unwrap()
+    };
+    let citizen_level = rdf::vocab::eurostat_property::citizen();
+    let continent_level = rdf::vocab::demo_schema::continent();
+    let pools: Vec<(Iri, Vec<Term>)> = [
+        citizen_level.clone(),
+        rdf::vocab::eurostat_property::geo(),
+        sdmx_dimension::ref_period(),
+        rdf::vocab::eurostat_property::age(),
+        rdf::vocab::eurostat_property::sex(),
+        rdf::vocab::eurostat_property::asyl_app(),
+    ]
+    .into_iter()
+    .map(|level| {
+        let members = members_of(&level);
+        assert!(!members.is_empty(), "level <{}> has members", level.as_str());
+        (level, members)
+    })
+    .collect();
+    let continents = members_of(&continent_level);
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut next_obs = 0usize;
+    let mut next_member = 0usize;
+
+    // One complete observation over the given citizen member, the other
+    // dimensions drawn from the existing member pools.
+    let new_observation = |rng: &mut StdRng, citizen: Term, serial: usize| -> Vec<Triple> {
+        let node = Term::iri(format!("http://example.org/mutation/obs{serial}"));
+        let mut batch = vec![
+            Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(node.clone(), qb::data_set(), Term::Iri(dataset.clone())),
+            Triple::new(node.clone(), citizen_level.clone(), citizen),
+            Triple::new(
+                node.clone(),
+                sdmx_measure::obs_value(),
+                Literal::integer(rng.gen_range(1..500)),
+            ),
+        ];
+        for (level, members) in pools.iter().skip(1) {
+            let member = members[rng.gen_range(0..members.len())].clone();
+            batch.push(Triple::new(node.clone(), level.clone(), member));
+        }
+        batch
+    };
+
+    enum Mutation {
+        AppendExisting,
+        AppendNewMember,
+        CutBroaderLink,
+        EditObservation,
+    }
+    let rounds = [
+        Mutation::AppendExisting,
+        Mutation::AppendNewMember,
+        Mutation::AppendExisting,
+        Mutation::CutBroaderLink,
+        Mutation::AppendExisting,
+        Mutation::EditObservation,
+    ];
+
+    for (round, mutation) in rounds.iter().enumerate() {
+        match mutation {
+            Mutation::AppendExisting => {
+                // Pure observation append: must refresh via the delta path.
+                let mut batch = Vec::new();
+                for _ in 0..3 {
+                    let citizens = &pools[0].1;
+                    let citizen = citizens[rng.gen_range(0..citizens.len())].clone();
+                    batch.extend(new_observation(&mut rng, citizen, next_obs));
+                    next_obs += 1;
+                }
+                tool.endpoint().insert_triples(&batch).unwrap();
+            }
+            Mutation::AppendNewMember => {
+                // A brand-new citizenship member, declared, linked into the
+                // hierarchy, labeled, and referenced by a new observation —
+                // all in one batch (delta-appliable).
+                let member = Term::iri(format!("http://example.org/mutation/citizen{next_member}"));
+                let continent = continents[rng.gen_range(0..continents.len())].clone();
+                let mut batch = vec![
+                    qb4olap::member_of_triple(&member, &citizen_level),
+                    qb4olap::rollup_triple(&member, &continent),
+                    Triple::new(
+                        member.clone(),
+                        rdfs::label(),
+                        Literal::string(format!("New citizenship {next_member}")),
+                    ),
+                ];
+                batch.extend(new_observation(&mut rng, member, next_obs));
+                next_obs += 1;
+                next_member += 1;
+                tool.endpoint().insert_triples(&batch).unwrap();
+            }
+            Mutation::CutBroaderLink => {
+                // Make the hierarchy ragged at one member: unappliable, so
+                // the catalog must take the rebuild fallback.
+                let citizens = &pools[0].1;
+                let victim = &citizens[rng.gen_range(0..citizens.len())];
+                assert!(
+                    cut_broader_links(&tool, victim) > 0,
+                    "victim had a continent link"
+                );
+            }
+            Mutation::EditObservation => {
+                // Rewrite one materialized observation's measure: remove +
+                // re-insert (both unappliable; rebuild fallback).
+                let store = tool.endpoint().store();
+                let solutions = tool
+                    .endpoint()
+                    .select(
+                        "PREFIX qb: <http://purl.org/linked-data/cube#>
+                         PREFIX sdmx-measure: <http://purl.org/linked-data/sdmx/2009/measure#>
+                         SELECT ?o ?v WHERE { ?o a qb:Observation ; sdmx-measure:obsValue ?v }
+                         ORDER BY ?o LIMIT 1",
+                    )
+                    .unwrap();
+                let node = solutions.get(0, "o").cloned().unwrap();
+                let value = solutions.get(0, "v").cloned().unwrap();
+                assert!(store.remove(&Triple::new(
+                    node.clone(),
+                    sdmx_measure::obs_value(),
+                    value
+                )));
+                store.insert(&Triple::new(
+                    node,
+                    sdmx_measure::obs_value(),
+                    Literal::integer(9_999),
+                ));
+            }
+        }
+
+        // Every workload query: catalog-served columnar results must be
+        // cell-identical to a fresh SPARQL evaluation of the same query.
+        for (name, text) in datagen::workload::bench_queries() {
+            let prepared = querying.prepare(&text).unwrap();
+            let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let columnar_cube = querying
+                .execute(&prepared, ExecutionBackend::Columnar)
+                .unwrap();
+            assert_eq!(
+                sparql_cube, columnar_cube,
+                "backends diverge for '{name}' after mutation round {round}"
+            );
+        }
+
+        // Catalog-served exploration must match its SPARQL oracle too.
+        assert_eq!(
+            explorer.members(&citizen_level).unwrap(),
+            explorer.members_via_sparql(&citizen_level).unwrap(),
+            "member listing diverges after mutation round {round}"
+        );
+        assert_eq!(
+            explorer.member_count(&continent_level).unwrap(),
+            explorer.member_count_via_sparql(&continent_level).unwrap()
+        );
+        assert_eq!(
+            explorer
+                .rollup_edges(&citizen_level, &continent_level)
+                .unwrap(),
+            explorer
+                .rollup_edges_via_sparql(&citizen_level, &continent_level)
+                .unwrap(),
+            "roll-up navigation diverges after mutation round {round}"
+        );
+    }
+
+    // The interleaving exercised both maintenance paths.
+    use qb2olap::cubestore::MaintenanceStrategy;
+    let reports = querying.maintenance_reports();
+    assert_eq!(reports[0].strategy, MaintenanceStrategy::Fresh);
+    let deltas = reports
+        .iter()
+        .filter(|r| r.strategy == MaintenanceStrategy::Delta)
+        .count();
+    let rebuilds = reports
+        .iter()
+        .filter(|r| r.strategy == MaintenanceStrategy::Rebuild)
+        .count();
+    assert!(deltas >= 3, "observation appends refresh via deltas: {reports:?}");
+    assert!(rebuilds >= 2, "unappliable mutations fall back to rebuilds: {reports:?}");
+    assert!(reports
+        .iter()
+        .filter(|r| r.strategy == MaintenanceStrategy::Rebuild)
+        .all(|r| r.reason.is_some()));
 }
