@@ -25,9 +25,25 @@ cargo test --release -q -p qb2olap-suite --test integration_backends -- \
 # Release-mode repro smoke: the experiment harness must run end to end
 # (E11 re-checks backend parity at this scale; E12 re-checks incremental
 # maintenance — the delta path must be taken for pure appends, parity must
-# hold after every refresh, and the rebuild fallback must report a reason).
+# hold after every refresh, and the rebuild fallback must report a reason;
+# E13 re-checks O(delta) maintenance — copy-on-write refreshes must share
+# dictionaries, whole-observation removals must tombstone instead of
+# rebuilding, and accumulated tombstones must trigger a reported
+# compaction, with parity held across every boundary).
 cargo run --release -p qb2olap_bench --bin repro -- e11 --observations 4000 > /dev/null
 cargo run --release -p qb2olap_bench --bin repro -- e12 --observations 4000 > /dev/null
+cargo run --release -p qb2olap_bench --bin repro -- e13 --observations 4000 > /dev/null
+
+# Documentation cross-references resolve: every local *.md file mentioned
+# in the top-level docs exists, and the architecture map is linked from
+# the README (so it cannot silently rot).
+for doc in README.md ARCHITECTURE.md EXPERIMENTS.md; do
+    for ref in $(grep -o '[A-Za-z0-9_./-]*\.md' "$doc" | sort -u); do
+        test -f "$ref" || { echo "ci.sh: $doc references missing file $ref"; exit 1; }
+    done
+done
+grep -q 'ARCHITECTURE.md' README.md
+grep -q 'E13' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -91,6 +91,40 @@ fn bench_backends(c: &mut Criterion) {
             },
         );
     }
+
+    // Maintenance refreshes (repro E13 records the same quantities with
+    // allocation counts): a 1-row append absorbed by the copy-on-write
+    // delta path, and a whole-observation removal absorbed as a tombstone.
+    // Each iteration mutates the store through the endpoint and refreshes
+    // via the shared catalog, so the measured time is the end-to-end
+    // epoch-check + delta-replay cost a serving consumer pays.
+    use rdf::Term;
+    let mut factory = qb2olap_bench::ObservationFactory::new(&cube.endpoint, &cube.dataset, "bench");
+    group.bench_function("refresh_append_1", |b| {
+        b.iter(|| {
+            qb2olap::Endpoint::insert_triples(&cube.endpoint, &factory.batch(1)).expect("append");
+            querying.materialize().expect("refresh")
+        });
+    });
+    let mut victims: Vec<Term> = qb2olap::Endpoint::select(
+        &cube.endpoint,
+        "PREFIX qb: <http://purl.org/linked-data/cube#>
+         SELECT ?o WHERE { ?o a qb:Observation } ORDER BY ?o",
+    )
+    .expect("observation list")
+    .rows
+    .iter()
+    .filter_map(|r| r.first().cloned().flatten())
+    .collect();
+    group.bench_function("refresh_remove_1", |b| {
+        b.iter(|| {
+            let node = victims.pop().expect("enough observations for the sample count");
+            let store = cube.endpoint.store();
+            let triples = store.triples_matching(Some(&node), None, None);
+            assert!(store.remove_all(&triples) >= 4);
+            querying.materialize().expect("refresh")
+        });
+    });
     group.finish();
 }
 

@@ -1,9 +1,9 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E12).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E13).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e12] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e13] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -12,6 +12,47 @@ use enrichment::{EnrichmentConfig, EnrichmentSession};
 use qb2olap::{demo, Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
 use qb2olap_bench::{demo_cube_with, measurements_to_json, render_measurements, timed, Measurement};
 use rdf::vocab::eurostat_property;
+
+/// A byte-counting wrapper around the system allocator, so E13 can report
+/// *allocation per refresh* — the quantity the copy-on-write columns are
+/// designed to shrink — not just wall-clock latency.
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts every allocation's size; frees are not subtracted (the
+    /// metric is allocation churn, not peak residency).
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates directly to `System`, only adding a relaxed
+    // atomic counter on the allocation paths.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Total bytes allocated so far; subtract two snapshots to get the
+    /// churn of the code in between.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED_BYTES.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +109,9 @@ fn main() {
     }
     if run("e12", &experiment) {
         rows.extend(e12_incremental_maintenance(observations));
+    }
+    if run("e13", &experiment) {
+        rows.extend(e13_cow_and_tombstone_maintenance(observations));
     }
 
     if as_json {
@@ -520,8 +564,7 @@ fn e11_backend_comparison(observations: usize) -> Vec<Measurement> {
 /// smoke step runs this experiment).
 fn e12_incremental_maintenance(observations: usize) -> Vec<Measurement> {
     use qb2olap::cubestore::{MaintenanceStrategy, MaterializedCube};
-    use rdf::vocab::{demo_schema, qb, rdf as rdfv, sdmx_dimension, sdmx_measure};
-    use rdf::{Iri, Literal, Term, Triple};
+    use rdf::vocab::demo_schema;
 
     const RUNS: usize = 5;
     let parameters = format!("observations={observations}");
@@ -554,49 +597,13 @@ fn e12_incremental_maintenance(observations: usize) -> Vec<Measurement> {
         millis(rebuild_stats.median),
     ));
 
-    // Member pools for generating valid observations.
-    let bottom_levels = [
-        eurostat_property::citizen(),
-        eurostat_property::geo(),
-        sdmx_dimension::ref_period(),
-        eurostat_property::age(),
-        eurostat_property::sex(),
-        eurostat_property::asyl_app(),
-    ];
-    let pools: Vec<(Iri, Vec<Term>)> = bottom_levels
-        .iter()
-        .map(|level| {
-            let members =
-                qb2olap::qb4olap::members_of_level(&cube.endpoint, level).expect("members");
-            (level.clone(), members)
-        })
-        .collect();
-    let mut serial = 0usize;
-    let mut observation_batch = |count: usize| -> Vec<Triple> {
-        let mut batch = Vec::with_capacity(count * 9);
-        for _ in 0..count {
-            let node = Term::iri(format!("http://example.org/e12/obs{serial}"));
-            batch.push(Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())));
-            batch.push(Triple::new(node.clone(), qb::data_set(), Term::Iri(cube.dataset.clone())));
-            for (offset, (level, members)) in pools.iter().enumerate() {
-                let member = members[(serial + offset) % members.len()].clone();
-                batch.push(Triple::new(node.clone(), level.clone(), member));
-            }
-            batch.push(Triple::new(
-                node,
-                sdmx_measure::obs_value(),
-                Literal::integer((serial % 500) as i64 + 1),
-            ));
-            serial += 1;
-        }
-        batch
-    };
+    let mut factory = qb2olap_bench::ObservationFactory::new(&cube.endpoint, &cube.dataset, "e12");
 
     // Pure observation-append deltas at growing batch sizes: the refresh
     // must take the delta path, and at E7 scale it is orders of magnitude
     // cheaper than the full rebuild above.
     for batch_size in [100usize, 1_000] {
-        let batch = observation_batch(batch_size);
+        let batch = factory.batch(batch_size);
         cube.endpoint.insert_triples(&batch).expect("append");
         let (_, refresh) = timed(|| querying.materialize().expect("refresh"));
         let report = querying
@@ -641,7 +648,11 @@ fn e12_incremental_maintenance(observations: usize) -> Vec<Measurement> {
     rows.push(Measurement::new("E12", &parameters, "delta_matches_sparql", 1.0));
 
     // The rebuild fallback: cutting a roll-up link is not delta-appliable.
-    let victim = pools[0].1.first().cloned().expect("citizen members exist");
+    let victim = qb2olap::qb4olap::members_of_level(&cube.endpoint, &eurostat_property::citizen())
+        .expect("members")
+        .first()
+        .cloned()
+        .expect("citizen members exist");
     let store = cube.endpoint.store();
     let links = store.triples_matching(Some(&victim), Some(&rdf::vocab::skos::broader()), None);
     for triple in &links {
@@ -721,5 +732,227 @@ fn e12_incremental_maintenance(observations: usize) -> Vec<Measurement> {
         let stats = criterion::Stats::from_durations(&samples).expect("samples");
         rows.push(Measurement::new("E12", &parameters, name, millis(stats.median)));
     }
+    rows
+}
+
+/// E13: O(delta) maintenance — copy-on-write columns and tombstoned
+/// removals. Measures what PR 3's delta path could not make cheap:
+/// the latency *and allocation churn* of a 1-row (and 100-row) append
+/// refresh vs a full rebuild, a single-observation removal absorbed as a
+/// tombstone (previously: forced rebuild), and the compaction the catalog
+/// triggers once tombstones outgrow the live rows. COW violations
+/// (a refresh deep-copying a dictionary) and parity failures abort — the
+/// CI smoke step runs this experiment.
+fn e13_cow_and_tombstone_maintenance(observations: usize) -> Vec<Measurement> {
+    use qb2olap::cubestore::{MaintenanceStrategy, MaterializedCube, RebuildReason};
+    use rdf::Term;
+
+    const RUNS: usize = 5;
+    let parameters = format!("observations={observations}");
+    let cube = demo_cube_with(&datagen::EurostatConfig::small(observations));
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let mut rows = Vec::new();
+
+    querying.materialize().expect("materialization");
+
+    // Baseline: the full rebuild every refresh used to cost, in time and
+    // in allocation churn.
+    let schema = querying.schema().clone();
+    let rebuild_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| {
+            timed(|| MaterializedCube::from_endpoint(&cube.endpoint, &schema).expect("rebuild")).1
+        })
+        .collect();
+    let rebuild_stats = criterion::Stats::from_durations(&rebuild_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E13",
+        &parameters,
+        "full_rebuild_median_ms",
+        millis(rebuild_stats.median),
+    ));
+    let before = alloc_counter::allocated_bytes();
+    let _rebuilt = MaterializedCube::from_endpoint(&cube.endpoint, &schema).expect("rebuild");
+    rows.push(Measurement::new(
+        "E13",
+        &parameters,
+        "full_rebuild_alloc_bytes",
+        (alloc_counter::allocated_bytes() - before) as f64,
+    ));
+    drop(_rebuilt);
+
+    // Observation factory over the existing member pools (same shape E12
+    // uses), so appends stay delta-appliable.
+    let mut factory = qb2olap_bench::ObservationFactory::new(&cube.endpoint, &cube.dataset, "e13");
+
+    // Append refreshes at 1 and 100 rows: the COW acceptance case. The
+    // refresh must take the delta path, share (not copy) every dictionary
+    // with the previous cube, and allocate orders of magnitude less than
+    // the rebuild above.
+    for batch_size in [1usize, 100] {
+        let stale = querying.materialize().expect("serve");
+        cube.endpoint
+            .insert_triples(&factory.batch(batch_size))
+            .expect("append");
+        let before = alloc_counter::allocated_bytes();
+        let (fresh, refresh) = timed(|| querying.materialize().expect("refresh"));
+        let alloc = alloc_counter::allocated_bytes() - before;
+        let report = querying
+            .maintenance_reports()
+            .last()
+            .cloned()
+            .expect("refresh recorded");
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Delta,
+            "E13: a pure observation append must refresh via the delta path"
+        );
+        assert_eq!(report.rows_appended, batch_size);
+        for (old, new) in stale.dimension_columns().iter().zip(fresh.dimension_columns()) {
+            assert!(
+                old.dictionary.shares_storage_with(&new.dictionary),
+                "E13: COW violation — the append refresh deep-copied the <{}> dictionary",
+                old.dimension.as_str()
+            );
+        }
+        let batch_parameters = format!("{parameters} append_batch={batch_size}");
+        rows.push(Measurement::new(
+            "E13",
+            &batch_parameters,
+            "delta_refresh_ms",
+            millis(refresh),
+        ));
+        rows.push(Measurement::new(
+            "E13",
+            &batch_parameters,
+            "delta_refresh_alloc_bytes",
+            alloc as f64,
+        ));
+    }
+
+    // A single-observation removal: previously unappliable (full rebuild),
+    // now a tombstone.
+    let list_observations = || -> Vec<Term> {
+        cube.endpoint
+            .select(&format!(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 SELECT ?o WHERE {{ ?o a qb:Observation ; qb:dataSet <{}> }} ORDER BY ?o",
+                cube.dataset.as_str()
+            ))
+            .expect("observations list")
+            .rows
+            .iter()
+            .filter_map(|r| r.first().cloned().flatten())
+            .collect()
+    };
+    let remove_one = |node: &Term| {
+        let store = cube.endpoint.store();
+        let triples = store.triples_matching(Some(node), None, None);
+        assert!(!triples.is_empty());
+        assert!(store.remove_all(&triples) >= 4, "whole observation removed");
+    };
+    let victim = list_observations().pop().expect("observations exist");
+    remove_one(&victim);
+    let before = alloc_counter::allocated_bytes();
+    let (fresh, refresh) = timed(|| querying.materialize().expect("refresh"));
+    let alloc = alloc_counter::allocated_bytes() - before;
+    let report = querying
+        .maintenance_reports()
+        .last()
+        .cloned()
+        .expect("refresh recorded");
+    assert_eq!(
+        report.strategy,
+        MaintenanceStrategy::Delta,
+        "E13: a whole-observation removal must refresh via the tombstone path"
+    );
+    assert_eq!(report.rows_removed, 1);
+    assert_eq!(fresh.tombstoned_rows(), 1);
+    rows.push(Measurement::new(
+        "E13",
+        &parameters,
+        "tombstone_remove_1_ms",
+        millis(refresh),
+    ));
+    rows.push(Measurement::new(
+        "E13",
+        &parameters,
+        "tombstone_remove_1_alloc_bytes",
+        alloc as f64,
+    ));
+
+    // Parity after the COW/tombstone refreshes: catalog-served cells must
+    // equal fresh SPARQL evaluation.
+    let prepared = querying
+        .prepare(&datagen::workload::rollup_citizenship_to_continent())
+        .expect("prepare");
+    assert_eq!(
+        querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .expect("SPARQL backend runs"),
+        querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .expect("columnar backend runs"),
+        "E13: catalog-served cells diverge from SPARQL after COW/tombstone refreshes"
+    );
+    rows.push(Measurement::new("E13", &parameters, "tombstone_matches_sparql", 1.0));
+
+    // Keep removing (in change-log-sized batches, refreshing between
+    // rounds) until the live fraction crosses the compaction threshold;
+    // the catalog must notice and re-materialize with a recorded reason.
+    let batch = (observations / 4).clamp(200, 2_000);
+    let mut compaction_rounds = 0usize;
+    loop {
+        compaction_rounds += 1;
+        assert!(
+            compaction_rounds <= 64,
+            "E13: compaction never triggered after {compaction_rounds} rounds"
+        );
+        for node in list_observations().iter().take(batch) {
+            remove_one(node);
+        }
+        let (fresh, refresh) = timed(|| querying.materialize().expect("refresh"));
+        let report = querying
+            .maintenance_reports()
+            .last()
+            .cloned()
+            .expect("refresh recorded");
+        match report.strategy {
+            MaintenanceStrategy::Delta => continue,
+            MaintenanceStrategy::Compaction => {
+                assert!(
+                    matches!(report.reason, Some(RebuildReason::LowLiveFraction { .. })),
+                    "E13: compaction must report the live fraction: {report:?}"
+                );
+                assert_eq!(fresh.tombstoned_rows(), 0, "compaction reclaims dead rows");
+                rows.push(Measurement::new(
+                    "E13",
+                    &parameters,
+                    "compaction_refresh_ms",
+                    millis(refresh),
+                ));
+                rows.push(Measurement::new(
+                    "E13",
+                    &parameters,
+                    "compaction_after_removal_rounds",
+                    compaction_rounds as f64,
+                ));
+                break;
+            }
+            other => panic!("E13: unexpected refresh strategy {other:?}: {report:?}"),
+        }
+    }
+
+    // Parity holds across the compaction boundary too.
+    assert_eq!(
+        querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .expect("SPARQL backend runs"),
+        querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .expect("columnar backend runs"),
+        "E13: catalog-served cells diverge from SPARQL after compaction"
+    );
+    rows.push(Measurement::new("E13", &parameters, "compaction_matches_sparql", 1.0));
     rows
 }

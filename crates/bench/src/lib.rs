@@ -26,6 +26,75 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, started.elapsed())
 }
 
+/// Generates complete, delta-appliable observations over the demo cube's
+/// existing member pools — the mutation shape the maintenance harnesses
+/// (repro E12/E13 and the `backends` bench refresh entries) append to a
+/// live endpoint. One factory per experiment keeps node IRIs unique.
+pub struct ObservationFactory {
+    dataset: rdf::Iri,
+    /// (bottom level, its members) per demo dimension, read once.
+    pools: Vec<(rdf::Iri, Vec<rdf::Term>)>,
+    prefix: String,
+    serial: usize,
+}
+
+impl ObservationFactory {
+    /// Reads the member pools of the demo cube's six bottom levels from
+    /// the endpoint. `prefix` namespaces the generated observation IRIs
+    /// (`http://example.org/<prefix>/obs<N>`).
+    pub fn new(endpoint: &qb2olap::LocalEndpoint, dataset: &rdf::Iri, prefix: &str) -> Self {
+        use rdf::vocab::{eurostat_property, sdmx_dimension};
+        let bottom_levels = [
+            eurostat_property::citizen(),
+            eurostat_property::geo(),
+            sdmx_dimension::ref_period(),
+            eurostat_property::age(),
+            eurostat_property::sex(),
+            eurostat_property::asyl_app(),
+        ];
+        let pools = bottom_levels
+            .into_iter()
+            .map(|level| {
+                let members = qb2olap::qb4olap::members_of_level(endpoint, &level)
+                    .expect("demo level has members");
+                (level, members)
+            })
+            .collect();
+        ObservationFactory {
+            dataset: dataset.clone(),
+            pools,
+            prefix: prefix.to_string(),
+            serial: 0,
+        }
+    }
+
+    /// The triples of `count` fresh observations: typed, dataset-linked,
+    /// one member per dimension drawn round-robin from the pools, one
+    /// integer measure value — exactly what the columnar delta path
+    /// accepts as a pure append.
+    pub fn batch(&mut self, count: usize) -> Vec<rdf::Triple> {
+        use rdf::vocab::{qb, rdf as rdfv, sdmx_measure};
+        use rdf::{Literal, Term, Triple};
+        let mut batch = Vec::with_capacity(count * 9);
+        for _ in 0..count {
+            let node = Term::iri(format!("http://example.org/{}/obs{}", self.prefix, self.serial));
+            batch.push(Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())));
+            batch.push(Triple::new(node.clone(), qb::data_set(), Term::Iri(self.dataset.clone())));
+            for (offset, (level, members)) in self.pools.iter().enumerate() {
+                let member = members[(self.serial + offset) % members.len()].clone();
+                batch.push(Triple::new(node.clone(), level.clone(), member));
+            }
+            batch.push(Triple::new(
+                node,
+                sdmx_measure::obs_value(),
+                Literal::integer((self.serial % 500) as i64 + 1),
+            ));
+            self.serial += 1;
+        }
+        batch
+    }
+}
+
 /// One measured row of an experiment, recorded by the `repro` binary.
 #[derive(Debug, Clone, Serialize)]
 pub struct Measurement {

@@ -7,6 +7,7 @@
 //! pipeline executes directly over the columns with no endpoint round-trip.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use qb4olap::CubeSchema;
 use rdf::{Iri, Term};
@@ -16,13 +17,19 @@ use crate::columns::{DimensionColumn, MeasureColumn, MeasureVector};
 use crate::dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 use crate::error::CubeStoreError;
 use crate::hierarchy::{LevelIndex, RollupMap};
+use crate::observations::ObservationIndex;
+use crate::tombstone::Tombstones;
 
-/// Counters describing what one materialization did.
+/// Counters describing what one materialization did, kept up to date by
+/// incremental maintenance (appends increment, tombstoned removals
+/// decrement), so they always describe what a fresh build of the current
+/// store would produce.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BuildStats {
-    /// Observations of the dataset seen on the endpoint.
+    /// Observations of the dataset on the endpoint (delta-applied removals
+    /// subtract, so this tracks what the endpoint currently holds).
     pub observations_seen: usize,
-    /// Fact rows materialized.
+    /// *Live* fact rows (physical rows minus tombstoned rows).
     pub rows: usize,
     /// Observations dropped (not typed `qb:Observation`, or missing a
     /// measure value — the SPARQL backend's join drops them too).
@@ -38,28 +45,49 @@ pub struct BuildStats {
 /// A QB4OLAP dataset materialized into columnar form.
 ///
 /// Besides the fact columns and roll-up maps the executor needs, the cube
-/// retains the member-level `skos:broader` adjacency, the set of
-/// materialized observation nodes and the display labels — the state
-/// incremental maintenance ([`MaterializedCube::apply_delta`]) and the
-/// columnar Exploration paths are served from.
+/// retains the member-level `skos:broader` adjacency, the observation →
+/// row index and the display labels — the state incremental maintenance
+/// ([`MaterializedCube::apply_delta`]) and the columnar Exploration paths
+/// are served from.
+///
+/// # Copy-on-write refreshes
+///
+/// Every sizable component is either segmented ([`crate::cowvec::CowVec`]
+/// columns), layered ([`ObservationIndex`]) or `Arc`-shared (dictionaries,
+/// level indexes, roll-up maps, the broader adjacency, the tombstone
+/// bitmap), so `cube.clone()` is O(components), not O(rows), and
+/// [`MaterializedCube::apply_delta`] copies only the pieces a delta
+/// actually extends. See `ARCHITECTURE.md` § "COW and tombstone
+/// invariants" for the full cost model.
+///
+/// # Tombstones
+///
+/// Removed observations stay physically present in the columns but are
+/// marked dead in a bitmap ([`MaterializedCube::tombstoned_rows`]); the
+/// executor skips dead rows, and the catalog re-materializes the cube once
+/// the live fraction falls below the compaction threshold.
 #[derive(Debug, Clone)]
 pub struct MaterializedCube {
-    pub(crate) schema: CubeSchema,
+    pub(crate) schema: Arc<CubeSchema>,
+    /// Physical fact rows, tombstoned rows included.
     pub(crate) row_count: usize,
     pub(crate) dimensions: Vec<DimensionColumn>,
     pub(crate) measures: Vec<MeasureColumn>,
     pub(crate) levels: BTreeMap<Iri, LevelIndex>,
     pub(crate) rollups: BTreeMap<(Iri, Iri), RollupMap>,
-    /// Materialized observation node → fact row.
-    pub(crate) observations: HashMap<Term, usize>,
+    /// Materialized observation node → fact row (live rows only).
+    pub(crate) observations: ObservationIndex,
     /// Dataset-linked observation nodes that were *dropped* (untyped, or
     /// missing a measure). A delta completing one of these must rebuild —
     /// a fresh materialization would accept the now-complete observation.
-    pub(crate) dropped_observations: BTreeSet<Term>,
-    /// Member-level `skos:broader` adjacency (child → sorted parents).
-    pub(crate) broader: BTreeMap<Term, Vec<Term>>,
+    pub(crate) dropped_observations: Arc<BTreeSet<Term>>,
+    /// Member-level `skos:broader` adjacency (child → sorted parents),
+    /// `Arc`-shared until a delta adds links for new members.
+    pub(crate) broader: Arc<BTreeMap<Term, Vec<Term>>>,
     /// The dataset's `rdfs:label`, for catalog-served cube summaries.
     pub(crate) dataset_label: Option<String>,
+    /// Dead-row bitmap; rows it marks are skipped by every scan.
+    pub(crate) tombstones: Tombstones,
     pub(crate) stats: BuildStats,
 }
 
@@ -83,9 +111,26 @@ impl MaterializedCube {
         &self.schema
     }
 
-    /// Number of fact rows.
+    /// Number of physical fact rows, tombstoned rows included (the row-id
+    /// space of the columns).
     pub fn row_count(&self) -> usize {
         self.row_count
+    }
+
+    /// Number of live fact rows (what a fresh build of the current store
+    /// would materialize).
+    pub fn live_row_count(&self) -> usize {
+        self.row_count - self.tombstones.dead_rows()
+    }
+
+    /// Number of tombstoned (removed but not yet compacted) fact rows.
+    pub fn tombstoned_rows(&self) -> usize {
+        self.tombstones.dead_rows()
+    }
+
+    /// The dead-row bitmap (scans must skip the rows it marks).
+    pub(crate) fn tombstones(&self) -> &Tombstones {
+        &self.tombstones
     }
 
     /// The column of a dimension, if the schema declares it.
@@ -134,9 +179,11 @@ impl MaterializedCube {
         &self.broader
     }
 
-    /// True if `node` is one of the materialized observations.
+    /// True if `node` is one of the live materialized observations
+    /// (removed observations stop being reported here the moment their row
+    /// is tombstoned).
     pub fn is_observation(&self, node: &Term) -> bool {
-        self.observations.contains_key(node)
+        self.observations.contains(node)
     }
 
     /// The dataset's `rdfs:label`, if it has one.
@@ -291,7 +338,7 @@ impl Builder<'_> {
                 aggregate: spec.aggregate,
                 // No accepted row: an empty integer vector keeps the cube
                 // usable (every query returns zero cells).
-                data: data.unwrap_or(MeasureVector::Integer(Vec::new())),
+                data: data.unwrap_or(MeasureVector::Integer(crate::cowvec::CowVec::new())),
             })
             .collect();
 
@@ -417,16 +464,17 @@ impl Builder<'_> {
         stats.rollup_maps = rollups.len();
 
         Ok(MaterializedCube {
-            schema: self.schema.clone(),
+            schema: Arc::new(self.schema.clone()),
             row_count,
             dimensions,
             measures,
             levels,
             rollups,
-            observations: observation_rows,
-            dropped_observations,
-            broader,
+            observations: ObservationIndex::from_map(observation_rows),
+            dropped_observations: Arc::new(dropped_observations),
+            broader: Arc::new(broader),
             dataset_label,
+            tombstones: Tombstones::new(),
             stats,
         })
     }

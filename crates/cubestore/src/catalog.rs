@@ -11,6 +11,7 @@
 //! and timing is recorded as a [`MaintenanceReport`].
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,31 +21,80 @@ use rdf::Iri;
 use sparql::Endpoint;
 
 use crate::build::MaterializedCube;
-use crate::error::CubeStoreError;
+use crate::error::{CubeStoreError, DeltaRefusal};
 
 /// How the catalog brought an entry up to date.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MaintenanceStrategy {
     /// First materialization of the dataset.
     Fresh,
-    /// Recorded deltas were replayed onto the existing columns.
+    /// Recorded deltas were replayed onto the existing columns
+    /// (copy-on-write: only the components the deltas extended were
+    /// copied; removals were tombstoned).
     Delta,
-    /// The cube was re-materialized from the endpoint.
+    /// The cube was re-materialized from the endpoint because the deltas
+    /// were unappliable or the change log had a coverage gap.
     Rebuild,
+    /// The deltas applied, but tombstoned rows had accumulated past the
+    /// live-fraction threshold ([`COMPACTION_LIVE_FRACTION`]), so the
+    /// catalog re-materialized to reclaim the dead rows.
+    Compaction,
+}
+
+/// Why a refresh re-materialized instead of (or after) replaying deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RebuildReason {
+    /// The delta classifier refused; the typed refusal says why (see the
+    /// decision table in the [`crate::delta`] module docs).
+    DeltaRefused(DeltaRefusal),
+    /// The change log does not reach back to the cube's epoch (log
+    /// disabled, reset, or trimmed past it).
+    ChangeLogGap,
+    /// The delta applied, but the live-row fraction fell below
+    /// [`COMPACTION_LIVE_FRACTION`]; the cube was compacted.
+    LowLiveFraction {
+        /// Live rows after the delta replay.
+        live_rows: usize,
+        /// Physical rows (live + tombstoned) after the delta replay.
+        total_rows: usize,
+    },
+    /// The delta replay failed with a non-refusal error (endpoint or
+    /// build failure surfaced mid-apply).
+    Error(String),
+}
+
+impl fmt::Display for RebuildReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildReason::DeltaRefused(refusal) => write!(f, "{refusal}"),
+            RebuildReason::ChangeLogGap => {
+                write!(f, "change log does not cover the cube's epoch")
+            }
+            RebuildReason::LowLiveFraction {
+                live_rows,
+                total_rows,
+            } => write!(
+                f,
+                "live-row fraction {live_rows}/{total_rows} fell below the compaction threshold"
+            ),
+            RebuildReason::Error(message) => write!(f, "{message}"),
+        }
+    }
 }
 
 /// One catalog maintenance decision: what was done, why, and how long it
-/// took. The experiment harness (E12) and the differential tests read
+/// took. The experiment harness (E12/E13) and the differential tests read
 /// these to prove the delta path is exercised and measurably cheaper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaintenanceReport {
     /// The dataset that was refreshed.
     pub dataset: Iri,
-    /// Delta replay, full rebuild, or first build.
+    /// Delta replay, full rebuild, compaction, or first build.
     pub strategy: MaintenanceStrategy,
-    /// For [`MaintenanceStrategy::Rebuild`]: why the delta path was not
-    /// taken (unappliable delta, or a change-log coverage gap).
-    pub reason: Option<String>,
+    /// For [`MaintenanceStrategy::Rebuild`] and
+    /// [`MaintenanceStrategy::Compaction`]: why the columns were
+    /// re-materialized.
+    pub reason: Option<RebuildReason>,
     /// Wall-clock time of the refresh.
     pub duration: Duration,
     /// The store epoch the entry was at before the refresh.
@@ -53,10 +103,26 @@ pub struct MaintenanceReport {
     pub to_epoch: u64,
     /// Number of store deltas replayed (delta strategy only).
     pub deltas_applied: usize,
-    /// Fact rows appended by the refresh.
+    /// Fact rows appended by the refresh (net new live rows for rebuilds).
     pub rows_appended: usize,
+    /// Fact rows removed by the refresh: tombstoned for
+    /// [`MaintenanceStrategy::Delta`], net lost live rows for rebuilds.
+    pub rows_removed: usize,
     /// Level members added by the refresh.
     pub members_added: usize,
+}
+
+/// The live-row fraction below which a delta-refreshed cube is compacted
+/// (re-materialized) instead of served: once more than half the physical
+/// rows are tombstones, the scan skips more than it reads and the memory
+/// overhead of the dead rows exceeds the live data.
+pub const COMPACTION_LIVE_FRACTION: f64 = 0.5;
+
+/// True if the cube has accumulated enough tombstones to warrant
+/// compaction.
+fn needs_compaction(cube: &MaterializedCube) -> bool {
+    cube.tombstoned_rows() > 0
+        && (cube.live_row_count() as f64) < (cube.row_count() as f64) * COMPACTION_LIVE_FRACTION
 }
 
 /// Maintenance reports retained per dataset.
@@ -124,6 +190,8 @@ impl CubeCatalog {
                 let started = Instant::now();
                 let from_epoch = entry.epoch;
                 let old_rows = entry.cube.row_count();
+                let old_tombstoned = entry.cube.tombstoned_rows();
+                let old_live = entry.cube.live_row_count();
                 let old_members = member_total(&entry.cube);
                 let (cube, strategy, reason, deltas_applied, to_epoch) =
                     match endpoint.deltas_since(from_epoch) {
@@ -133,13 +201,33 @@ impl CubeCatalog {
                             // after `now` was read are replayed next time).
                             let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
                             match entry.cube.apply_delta(&deltas) {
+                                Ok(cube) if needs_compaction(&cube) => {
+                                    // The delta applied, but the tombstones
+                                    // it (and earlier refreshes) left now
+                                    // dominate the columns: re-materialize
+                                    // while the reason is recorded.
+                                    let reason = RebuildReason::LowLiveFraction {
+                                        live_rows: cube.live_row_count(),
+                                        total_rows: cube.row_count(),
+                                    };
+                                    let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                                    (
+                                        rebuilt,
+                                        MaintenanceStrategy::Compaction,
+                                        Some(reason),
+                                        deltas.len(),
+                                        now,
+                                    )
+                                }
                                 Ok(cube) => {
                                     (cube, MaintenanceStrategy::Delta, None, deltas.len(), caught_up)
                                 }
                                 Err(error) => {
                                     let reason = match error {
-                                        CubeStoreError::DeltaUnsupported(message) => message,
-                                        other => other.to_string(),
+                                        CubeStoreError::DeltaUnsupported(refusal) => {
+                                            RebuildReason::DeltaRefused(refusal)
+                                        }
+                                        other => RebuildReason::Error(other.to_string()),
                                     };
                                     let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
                                     (
@@ -157,13 +245,26 @@ impl CubeCatalog {
                             (
                                 rebuilt,
                                 MaintenanceStrategy::Rebuild,
-                                Some("change log does not cover the cube's epoch".to_string()),
+                                Some(RebuildReason::ChangeLogGap),
                                 0,
                                 now,
                             )
                         }
                     };
                 let cube = Arc::new(cube);
+                // Appends grow the physical rows; removals grow the
+                // tombstone count. Rebuilds reset both, so they report the
+                // net live-row movement instead.
+                let (rows_appended, rows_removed) = match strategy {
+                    MaintenanceStrategy::Delta => (
+                        cube.row_count().saturating_sub(old_rows),
+                        cube.tombstoned_rows().saturating_sub(old_tombstoned),
+                    ),
+                    _ => (
+                        cube.live_row_count().saturating_sub(old_live),
+                        old_live.saturating_sub(cube.live_row_count()),
+                    ),
+                };
                 entry.cube = cube.clone();
                 entry.epoch = to_epoch;
                 entry.record(MaintenanceReport {
@@ -174,7 +275,8 @@ impl CubeCatalog {
                     from_epoch,
                     to_epoch,
                     deltas_applied,
-                    rows_appended: cube.row_count().saturating_sub(old_rows),
+                    rows_appended,
+                    rows_removed,
                     members_added: member_total(&cube).saturating_sub(old_members),
                 });
                 Ok(cube)
@@ -198,6 +300,7 @@ impl CubeCatalog {
                     to_epoch: epoch,
                     deltas_applied: 0,
                     rows_appended: cube.row_count(),
+                    rows_removed: 0,
                     members_added: member_total(&cube),
                 };
                 *guard = Some(CatalogEntry {
@@ -355,7 +458,16 @@ mod tests {
         let fresh = catalog.serve(&endpoint, &schema).unwrap();
         let report = catalog.last_report(&schema.dataset).unwrap();
         assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
-        assert!(report.reason.as_deref().unwrap().contains("roll-up link removed"));
+        let reason = report.reason.unwrap();
+        assert!(
+            matches!(
+                &reason,
+                RebuildReason::DeltaRefused(refusal)
+                    if refusal.kind == crate::RefusalKind::RollupLinkRemoved
+            ),
+            "{reason}"
+        );
+        assert!(reason.to_string().contains("roll-up link removed"));
         // c1 is now ragged: its observations drop out of the country roll-up.
         let query = CubeQuery {
             rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
@@ -376,7 +488,72 @@ mod tests {
         assert_eq!(fresh.row_count(), 6);
         let report = catalog.last_report(&schema.dataset).unwrap();
         assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
-        assert!(report.reason.as_deref().unwrap().contains("change log"));
+        assert_eq!(report.reason, Some(RebuildReason::ChangeLogGap));
+        assert!(report.reason.unwrap().to_string().contains("change log"));
+    }
+
+    #[test]
+    fn tombstoned_removal_refreshes_via_the_delta_path() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Remove one observation completely, in one batch → one delta
+        // (observation_triples yields exactly the six triples the fixture
+        // observation was built from).
+        let removed = endpoint
+            .store()
+            .remove_all(&observation_triples("o3", "c2", "m1", 5, 1));
+        assert_eq!(removed, 6);
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Delta);
+        assert_eq!(report.rows_removed, 1);
+        assert_eq!(report.rows_appended, 0);
+        assert!(report.reason.is_none());
+        assert_eq!(fresh.live_row_count(), 4);
+        assert_eq!(fresh.tombstoned_rows(), 1);
+        // The removed observation's cell is gone from query results.
+        let query = CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&fresh, &query).unwrap();
+        assert!(!output
+            .cells
+            .iter()
+            .any(|c| c.coordinates == vec![member("K2"), member("m1")]));
+    }
+
+    #[test]
+    fn accumulated_tombstones_trigger_a_reported_compaction() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Remove three of the five observations (each as one whole-batch
+        // delta): live 2/5 < the 0.5 threshold, so the serve must apply
+        // the deltas, notice the fraction and compact.
+        for (name, city, month, value, score) in
+            [("o1", "c1", "m1", 10, 4), ("o3", "c2", "m1", 5, 1), ("o4", "c3", "m1", 100, 9)]
+        {
+            let removed = endpoint
+                .store()
+                .remove_all(&observation_triples(name, city, month, value, score));
+            assert_eq!(removed, 6);
+        }
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Compaction);
+        assert_eq!(
+            report.reason,
+            Some(RebuildReason::LowLiveFraction {
+                live_rows: 2,
+                total_rows: 5
+            })
+        );
+        assert_eq!(report.rows_removed, 3);
+        // The compacted cube is dense again: no tombstones, 2 physical rows.
+        assert_eq!(fresh.row_count(), 2);
+        assert_eq!(fresh.tombstoned_rows(), 0);
+        let output = execute(&fresh, &CubeQuery::default()).unwrap();
+        assert_eq!(output.cells.len(), 2);
     }
 
     #[test]

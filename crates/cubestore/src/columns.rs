@@ -1,9 +1,15 @@
 //! The columns of a materialized cube: dictionary-encoded dimension-member
 //! columns and dense typed measure vectors.
+//!
+//! All per-row storage is backed by [`CowVec`], so cloning a cube for a
+//! delta refresh shares the sealed column segments instead of copying
+//! every row, and an append extends only each column's small mutable tail
+//! (see the [`crate::cowvec`] module docs for the cost model).
 
 use qb4olap::AggregateFunction;
 use rdf::{Iri, Literal, Term};
 
+use crate::cowvec::CowVec;
 use crate::dictionary::{Dictionary, MemberId, NO_MEMBER};
 use crate::error::CubeStoreError;
 
@@ -18,7 +24,7 @@ pub struct DimensionColumn {
     pub bottom_level: Iri,
     /// Per-row member codes into [`DimensionColumn::dictionary`]
     /// ([`NO_MEMBER`] where the observation has no value for the dimension).
-    codes: Vec<MemberId>,
+    codes: CowVec<MemberId>,
     /// The bottom-member dictionary. It may contain members that are *not*
     /// declared `qb4o:memberOf` the bottom level; the roll-up maps decide
     /// what those members reach.
@@ -36,7 +42,7 @@ impl DimensionColumn {
         DimensionColumn {
             dimension,
             bottom_level,
-            codes,
+            codes: CowVec::from_vec(codes),
             dictionary,
         }
     }
@@ -44,15 +50,16 @@ impl DimensionColumn {
     /// The member code of one row ([`NO_MEMBER`] if unbound).
     #[inline]
     pub fn code(&self, row: usize) -> MemberId {
-        self.codes[row]
+        *self.codes.get(row)
     }
 
-    /// All per-row codes.
-    pub fn codes(&self) -> &[MemberId] {
-        &self.codes
+    /// Iterates over the per-row codes in row order (tombstoned rows
+    /// included — liveness lives on the cube, not the column).
+    pub fn codes(&self) -> impl Iterator<Item = MemberId> + '_ {
+        self.codes.iter().copied()
     }
 
-    /// Number of rows.
+    /// Number of physical rows (tombstoned rows included).
     pub fn len(&self) -> usize {
         self.codes.len()
     }
@@ -62,7 +69,7 @@ impl DimensionColumn {
         self.codes.is_empty()
     }
 
-    /// Number of rows with no member bound.
+    /// Number of physical rows with no member bound.
     pub fn unbound_rows(&self) -> usize {
         self.codes.iter().filter(|&&c| c == NO_MEMBER).count()
     }
@@ -89,11 +96,11 @@ impl DimensionColumn {
 #[derive(Debug, Clone)]
 pub enum MeasureVector {
     /// `xsd:integer` values.
-    Integer(Vec<i64>),
+    Integer(CowVec<i64>),
     /// `xsd:decimal` values.
-    Decimal(Vec<f64>),
+    Decimal(CowVec<f64>),
     /// `xsd:double` values.
-    Double(Vec<f64>),
+    Double(CowVec<f64>),
 }
 
 impl MeasureVector {
@@ -101,11 +108,11 @@ impl MeasureVector {
     pub fn for_literal(literal: &Literal) -> Result<Self, CubeStoreError> {
         let datatype = literal.datatype();
         if *datatype == rdf::vocab::xsd::integer() {
-            Ok(MeasureVector::Integer(Vec::new()))
+            Ok(MeasureVector::Integer(CowVec::new()))
         } else if *datatype == rdf::vocab::xsd::decimal() {
-            Ok(MeasureVector::Decimal(Vec::new()))
+            Ok(MeasureVector::Decimal(CowVec::new()))
         } else if *datatype == rdf::vocab::xsd::double() {
-            Ok(MeasureVector::Double(Vec::new()))
+            Ok(MeasureVector::Double(CowVec::new()))
         } else {
             Err(CubeStoreError::Unsupported(format!(
                 "measure values of datatype <{}> are not supported by the columnar engine",
@@ -153,13 +160,15 @@ impl MeasureVector {
     #[inline]
     pub fn value(&self, row: usize) -> f64 {
         match self {
-            MeasureVector::Integer(v) => v[row] as f64,
-            MeasureVector::Decimal(v) | MeasureVector::Double(v) => v[row],
+            MeasureVector::Integer(v) => *v.get(row) as f64,
+            MeasureVector::Decimal(v) | MeasureVector::Double(v) => *v.get(row),
         }
     }
 
     /// Reconstructs the original [`Term`] for a raw value of this vector
-    /// (used by MIN/MAX, whose SPARQL result is one of the input terms).
+    /// (used by MIN/MAX, whose SPARQL result is one of the input terms, and
+    /// by the removal path, which rebuilds an observation's measure triples
+    /// from its row to verify a removal is complete).
     pub fn term_for(&self, value: f64) -> Term {
         match self {
             MeasureVector::Integer(_) => Term::Literal(Literal::integer(value as i64)),
@@ -168,7 +177,19 @@ impl MeasureVector {
         }
     }
 
-    /// Number of rows.
+    /// Reconstructs the exact [`Term`] of one row — unlike
+    /// [`MeasureVector::term_for`] this never round-trips an integer
+    /// through `f64`, so it is lossless for the full `i64` range. The
+    /// removal path uses it to rebuild an observation's measure triples.
+    pub fn term_at(&self, row: usize) -> Term {
+        match self {
+            MeasureVector::Integer(v) => Term::Literal(Literal::integer(*v.get(row))),
+            MeasureVector::Decimal(v) => Term::Literal(Literal::decimal(*v.get(row))),
+            MeasureVector::Double(v) => Term::Literal(Literal::double(*v.get(row))),
+        }
+    }
+
+    /// Number of physical rows (tombstoned rows included).
     pub fn len(&self) -> usize {
         match self {
             MeasureVector::Integer(v) => v.len(),
@@ -228,7 +249,7 @@ mod tests {
         assert!(!column.is_empty());
         assert_eq!(column.code(1), NO_MEMBER);
         assert_eq!(column.unbound_rows(), 1);
-        assert_eq!(column.codes(), &[a, NO_MEMBER, a]);
+        assert_eq!(column.codes().collect::<Vec<_>>(), vec![a, NO_MEMBER, a]);
     }
 
     #[test]

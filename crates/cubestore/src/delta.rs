@@ -4,23 +4,59 @@
 //!
 //! The delta path handles the serving-friendly mutations — appending new
 //! observations, introducing brand-new members (with their roll-up links,
-//! labels and attribute values) — by extending the dictionary-encoded
-//! columns and roll-up maps in place. Every mutation it cannot replay with
-//! bit-identical results refuses with
-//! [`CubeStoreError::DeltaUnsupported`], whose message becomes the rebuild
-//! reason in the catalog's maintenance report: removals of relevant
-//! triples, changes to schema/hierarchy structure, and mutations of
-//! already-materialized observations or members all fall back to a full
-//! rebuild rather than risking divergence from the SPARQL oracle.
+//! labels and attribute values), and removing whole observations — by
+//! extending the copy-on-write columns and roll-up maps and tombstoning
+//! removed rows. Every mutation it cannot replay with bit-identical
+//! results refuses with [`CubeStoreError::DeltaUnsupported`], whose typed
+//! [`DeltaRefusal`] becomes the rebuild reason in the catalog's
+//! maintenance report, so a wrong classification can cost a rebuild but
+//! never correctness.
+//!
+//! # Delta-vs-rebuild decision table
+//!
+//! What is appliable, what is refused, and why. The refusal kinds are the
+//! [`RefusalKind`] variants; `tests::refusal_kinds_match_the_decision_table`
+//! keeps this table and the classifier in sync. (EXPERIMENTS.md §E13
+//! measures the cost difference between the two columns.)
+//!
+//! | Mutation | Decision | Refusal kind / rationale |
+//! |---|---|---|
+//! | Insert a complete new observation (typed, linked, every measure) over known members | **apply**: extend each column's tail | — |
+//! | Insert a complete new observation referencing a brand-new member | **apply**: extend level index, adjacency and roll-up maps, then append | — |
+//! | Insert `qb4o:memberOf` for a fresh term | **apply**: add to the level index | — |
+//! | Insert `skos:broader` for a fresh (not yet materialized) child | **apply**: extend the adjacency | — |
+//! | Insert an attribute/label value filling an empty slot | **apply**: set the slot | — |
+//! | Remove **all** triples of one materialized observation in one delta | **apply**: tombstone its row (executor skips it; catalog compacts when the live fraction drops) | — |
+//! | Remove only part of an observation's triples | refuse | [`RefusalKind::PartialObservationRemoval`] — the surviving fragment's classification (dropped? invisible?) needs a fresh build |
+//! | Insert/remove a schema or hierarchy-structure triple (`qb:*` components, `qb4o:*` structure) | refuse | [`RefusalKind::SchemaStructure`] — every roll-up map could change |
+//! | Add a `skos:broader` link to an existing member | refuse | [`RefusalKind::RollupLinkAdded`] — frozen roll-up entries could change |
+//! | Remove a `skos:broader` link of a known member | refuse | [`RefusalKind::RollupLinkRemoved`] — ragged-hierarchy drops must be recomputed |
+//! | Remove a `qb4o:memberOf` declaration | refuse | [`RefusalKind::MemberRemoved`] |
+//! | Declare a member for a term already in the fact columns / reachable in the hierarchy | refuse | [`RefusalKind::MemberConflict`] — its frozen roll-up entries were computed without the declaration |
+//! | Give a materialized observation a new dimension/measure value | refuse | [`RefusalKind::ObservationMutated`] |
+//! | Touch (insert into or remove from) a previously *dropped* observation | refuse | [`RefusalKind::DroppedObservationMutated`] — a fresh build might classify it differently now |
+//! | Insert an incomplete observation (untyped or missing a measure) | refuse | [`RefusalKind::IncompleteObservation`] — a later delta may complete it |
+//! | Insert an observation with several values per dimension/measure, or a non-literal measure | refuse | [`RefusalKind::MalformedObservation`] |
+//! | Append to a populated **float** measure column | refuse | [`RefusalKind::NonIntegralAppend`] — append accumulation order could differ from the rebuild's row order in the last ulp; integral sums are exact in any order (the same hazard keeps the chunked scan integral-only). Compensated/decimal summation would lift this; see ROADMAP |
+//! | Attribute value conflicting with the materialized one | refuse | [`RefusalKind::AttributeConflict`] (first-value-wins needs build order) |
+//! | Remove an attribute value / change or remove the dataset label | refuse | [`RefusalKind::AttributeRemoved`] / [`RefusalKind::DatasetLabelChanged`] |
+//! | Attribute value for a member the cube never saw | refuse | [`RefusalKind::UnknownMemberAttribute`] — it may matter to a member of a later delta |
+//! | Anything in a named graph, or triples invisible to the materialization | **skip** (no-op) | the cube materializes the default graph only |
+//!
+//! Whole-observation removal is only recognized *within one delta*: a
+//! removal spread across several `Store::remove` calls arrives as several
+//! single-triple deltas, each partial, and rebuilds. Callers that want
+//! tombstoned removals batch them through [`rdf::Store::remove_all`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use rdf::vocab::{qb, qb4o, rdf as rdfv, rdfs, skos};
 use rdf::{Iri, StoreDelta, Term, Triple};
 
 use crate::build::{resolve_rollup_target, MaterializedCube};
 use crate::dictionary::NO_MEMBER;
-use crate::error::CubeStoreError;
+use crate::error::{CubeStoreError, DeltaRefusal, RefusalKind};
 
 impl MaterializedCube {
     /// Applies a sequence of store deltas, returning the refreshed cube.
@@ -28,9 +64,15 @@ impl MaterializedCube {
     /// On success the result is query-equivalent to a fresh
     /// [`MaterializedCube::from_endpoint`] over the mutated store. On
     /// [`CubeStoreError::DeltaUnsupported`] the cube is untouched and the
-    /// caller should rebuild (the error message is the reason). Deltas of
-    /// named graphs are skipped: the cube materializes the default graph,
-    /// which is all the local SPARQL engine queries.
+    /// caller should rebuild (the [`DeltaRefusal`] is the reason). Deltas
+    /// of named graphs are skipped: the cube materializes the default
+    /// graph, which is all the local SPARQL engine queries.
+    ///
+    /// The returned cube shares every untouched component with `self`
+    /// (copy-on-write): a pure observation append copies only each
+    /// column's mutable tail and the small observation-index overlay, a
+    /// whole-observation removal additionally copies the tombstone words —
+    /// never the sealed column segments, dictionaries or roll-up maps.
     pub fn apply_delta(&self, deltas: &[StoreDelta]) -> Result<MaterializedCube, CubeStoreError> {
         let context = DeltaContext::for_cube(self);
         let mut cube = self.clone();
@@ -101,6 +143,17 @@ impl DeltaContext {
             dataset: Term::Iri(cube.schema.dataset.clone()),
         }
     }
+
+    /// True if the triple is part of what the materialization reads off an
+    /// observation node: its type, dataset link, dimension or measure
+    /// values.
+    fn is_fact_triple(&self, triple: &Triple) -> bool {
+        let predicate = &triple.predicate;
+        *predicate == qb::data_set()
+            || (*predicate == rdfv::type_() && triple.object == Term::Iri(qb::observation()))
+            || self.bottom_order.contains(predicate)
+            || self.measure_order.contains(predicate)
+    }
 }
 
 /// A new observation assembled from the inserted triples of one delta.
@@ -112,8 +165,8 @@ struct PendingObservation {
     measures: BTreeMap<Iri, Vec<Term>>,
 }
 
-fn unsupported(reason: impl Into<String>) -> CubeStoreError {
-    CubeStoreError::DeltaUnsupported(reason.into())
+fn unsupported(kind: RefusalKind, detail: impl Into<String>) -> CubeStoreError {
+    CubeStoreError::DeltaUnsupported(DeltaRefusal::new(kind, detail))
 }
 
 /// True if the term is dictionary-encoded in some fact column: its roll-up
@@ -136,8 +189,22 @@ fn apply_one(
     context: &DeltaContext,
     delta: &StoreDelta,
 ) -> Result<(), CubeStoreError> {
+    // Removals of a materialized observation's fact triples are collected
+    // per node: a set covering the *whole* observation tombstones its row;
+    // anything partial (and every other relevant removal) refuses.
+    let mut pending_removals: BTreeMap<Term, Vec<&Triple>> = BTreeMap::new();
     for triple in &delta.removed {
+        if cube.observations.contains(&triple.subject) && context.is_fact_triple(triple) {
+            pending_removals
+                .entry(triple.subject.clone())
+                .or_default()
+                .push(triple);
+            continue;
+        }
         check_removal(cube, context, triple)?;
+    }
+    for (node, removed) in pending_removals {
+        tombstone_observation(cube, context, &node, &removed)?;
     }
     if delta.inserted.is_empty() {
         return Ok(());
@@ -151,20 +218,20 @@ fn apply_one(
     for triple in &delta.inserted {
         let predicate = &triple.predicate;
         if context.schema_predicates.contains(predicate) {
-            return Err(unsupported(format!(
-                "schema/hierarchy triple inserted (<{}>)",
-                predicate.as_str()
-            )));
+            return Err(unsupported(
+                RefusalKind::SchemaStructure,
+                format!("schema/hierarchy triple inserted (<{}>)", predicate.as_str()),
+            ));
         }
         if *predicate == skos::broader() {
             if cube.broader.contains_key(&triple.subject)
                 || is_adjacency_parent(cube, &triple.subject)
                 || term_in_columns(cube, &triple.subject)
             {
-                return Err(unsupported(format!(
-                    "roll-up link added to existing member {}",
-                    triple.subject
-                )));
+                return Err(unsupported(
+                    RefusalKind::RollupLinkAdded,
+                    format!("roll-up link added to existing member {}", triple.subject),
+                ));
             }
             new_broader.push((triple.subject.clone(), triple.object.clone()));
             continue;
@@ -180,41 +247,49 @@ fn apply_one(
                 continue;
             }
             if term_in_columns(cube, &triple.subject) {
-                return Err(unsupported(format!(
-                    "member {} declared for a term already present in the fact columns",
-                    triple.subject
-                )));
+                return Err(unsupported(
+                    RefusalKind::MemberConflict,
+                    format!(
+                        "member {} declared for a term already present in the fact columns",
+                        triple.subject
+                    ),
+                ));
             }
             if is_adjacency_parent(cube, &triple.subject) {
-                return Err(unsupported(format!(
-                    "member {} declared for a term already reachable in the hierarchy",
-                    triple.subject
-                )));
+                return Err(unsupported(
+                    RefusalKind::MemberConflict,
+                    format!(
+                        "member {} declared for a term already reachable in the hierarchy",
+                        triple.subject
+                    ),
+                ));
             }
             new_members.push((triple.subject.clone(), level.clone()));
             continue;
         }
         if *predicate == rdfv::type_() {
             if triple.object == Term::Iri(qb::observation())
-                && !cube.observations.contains_key(&triple.subject)
+                && !cube.observations.contains(&triple.subject)
             {
                 pending.entry(triple.subject.clone()).or_default().typed = true;
             }
             continue;
         }
         if *predicate == qb::data_set() {
-            if triple.object == context.dataset && !cube.observations.contains_key(&triple.subject)
-            {
+            if triple.object == context.dataset && !cube.observations.contains(&triple.subject) {
                 pending.entry(triple.subject.clone()).or_default().linked = true;
             }
             continue;
         }
         if context.bottom_order.contains(predicate) {
-            if cube.observations.contains_key(&triple.subject) {
-                return Err(unsupported(format!(
-                    "materialized observation {} gained a dimension value",
-                    triple.subject
-                )));
+            if cube.observations.contains(&triple.subject) {
+                return Err(unsupported(
+                    RefusalKind::ObservationMutated,
+                    format!(
+                        "materialized observation {} gained a dimension value",
+                        triple.subject
+                    ),
+                ));
             }
             pending
                 .entry(triple.subject.clone())
@@ -226,11 +301,14 @@ fn apply_one(
             continue;
         }
         if context.measure_order.contains(predicate) {
-            if cube.observations.contains_key(&triple.subject) {
-                return Err(unsupported(format!(
-                    "materialized observation {} gained a measure value",
-                    triple.subject
-                )));
+            if cube.observations.contains(&triple.subject) {
+                return Err(unsupported(
+                    RefusalKind::ObservationMutated,
+                    format!(
+                        "materialized observation {} gained a measure value",
+                        triple.subject
+                    ),
+                ));
             }
             pending
                 .entry(triple.subject.clone())
@@ -258,7 +336,7 @@ fn apply_one(
     for (child, parent) in new_broader {
         // Keep each parent list sorted, exactly as the `ORDER BY ?c ?p`
         // read at build time leaves it.
-        let parents = cube.broader.entry(child).or_default();
+        let parents = Arc::make_mut(&mut cube.broader).entry(child).or_default();
         if let Err(position) = parents.binary_search(&parent) {
             parents.insert(position, parent);
             cube.stats.broader_links += 1;
@@ -274,9 +352,10 @@ fn apply_one(
                 // A previously dropped (incomplete) observation of this
                 // dataset gained triples; a fresh build might now accept
                 // it, so the delta path may not silently ignore it.
-                return Err(unsupported(format!(
-                    "dropped observation {node} mutated"
-                )));
+                return Err(unsupported(
+                    RefusalKind::DroppedObservationMutated,
+                    format!("dropped observation {node} mutated"),
+                ));
             }
             // Never linked to this cube's dataset: another dataset's
             // observation, or a fragment whose `qb:dataSet` link arrives
@@ -300,10 +379,10 @@ fn check_removal(
 ) -> Result<(), CubeStoreError> {
     let predicate = &triple.predicate;
     if context.schema_predicates.contains(predicate) {
-        return Err(unsupported(format!(
-            "schema/hierarchy triple removed (<{}>)",
-            predicate.as_str()
-        )));
+        return Err(unsupported(
+            RefusalKind::SchemaStructure,
+            format!("schema/hierarchy triple removed (<{}>)", predicate.as_str()),
+        ));
     }
     if *predicate == skos::broader() {
         if cube
@@ -311,10 +390,10 @@ fn check_removal(
             .get(&triple.subject)
             .is_some_and(|parents| parents.contains(&triple.object))
         {
-            return Err(unsupported(format!(
-                "roll-up link removed from member {}",
-                triple.subject
-            )));
+            return Err(unsupported(
+                RefusalKind::RollupLinkRemoved,
+                format!("roll-up link removed from member {}", triple.subject),
+            ));
         }
         return Ok(());
     }
@@ -325,48 +404,115 @@ fn check_removal(
                 .get(level)
                 .is_some_and(|index| index.dictionary.id(&triple.subject).is_some())
             {
-                return Err(unsupported(format!(
-                    "member {} removed from level <{}>",
-                    triple.subject,
-                    level.as_str()
-                )));
+                return Err(unsupported(
+                    RefusalKind::MemberRemoved,
+                    format!(
+                        "member {} removed from level <{}>",
+                        triple.subject,
+                        level.as_str()
+                    ),
+                ));
             }
         }
         return Ok(());
     }
-    if cube.observations.contains_key(&triple.subject) {
-        let relevant = *predicate == qb::data_set()
-            || (*predicate == rdfv::type_() && triple.object == Term::Iri(qb::observation()))
-            || context.bottom_order.contains(predicate)
-            || context.measure_order.contains(predicate);
-        if relevant {
-            return Err(unsupported(format!(
-                "materialized observation {} mutated by a removal",
-                triple.subject
-            )));
-        }
+    if cube.dropped_observations.contains(&triple.subject) && context.is_fact_triple(triple) {
+        // Unlinking or stripping a dropped observation changes what a
+        // fresh build would count as seen/dropped.
+        return Err(unsupported(
+            RefusalKind::DroppedObservationMutated,
+            format!("dropped observation {} mutated by a removal", triple.subject),
+        ));
+    }
+    if cube.observations.contains(&triple.subject) {
+        // Fact triples of materialized observations were routed to the
+        // tombstone path before this function; what reaches here are
+        // irrelevant decorations (labels etc.) on observation nodes.
         return Ok(());
     }
     if context.tracked_attributes.contains(predicate) {
         if *predicate == rdfs::label() && triple.subject == context.dataset {
             let removed = triple.object.as_literal().map(|l| l.lexical());
             if cube.dataset_label.as_deref() == removed {
-                return Err(unsupported("dataset label removed"));
+                return Err(unsupported(
+                    RefusalKind::DatasetLabelChanged,
+                    "dataset label removed",
+                ));
             }
             return Ok(());
         }
         for index in cube.levels.values() {
             if let Some(id) = index.dictionary.id(&triple.subject) {
                 if index.attribute_value(predicate, id) == Some(&triple.object) {
-                    return Err(unsupported(format!(
-                        "attribute value removed from member {}",
-                        triple.subject
-                    )));
+                    return Err(unsupported(
+                        RefusalKind::AttributeRemoved,
+                        format!("attribute value removed from member {}", triple.subject),
+                    ));
                 }
             }
         }
         return Ok(());
     }
+    Ok(())
+}
+
+/// Tombstones the row of a materialized observation whose fact triples
+/// were *all* removed by one delta. The expected triple set is
+/// reconstructed from the columns (the dictionaries decode the dimension
+/// members, [`crate::columns::MeasureVector::term_at`] the measure
+/// literals), so the check is exact: any mismatch — extra removals,
+/// missing removals, removals of values the build never materialized —
+/// refuses instead of guessing.
+fn tombstone_observation(
+    cube: &mut MaterializedCube,
+    context: &DeltaContext,
+    node: &Term,
+    removed: &[&Triple],
+) -> Result<(), CubeStoreError> {
+    let row = cube.observations.row_of(node).expect("caller checked");
+    let mut expected: BTreeSet<Triple> = BTreeSet::new();
+    expected.insert(Triple::new(
+        node.clone(),
+        rdfv::type_(),
+        Term::Iri(qb::observation()),
+    ));
+    expected.insert(Triple::new(
+        node.clone(),
+        qb::data_set(),
+        context.dataset.clone(),
+    ));
+    for column in &cube.dimensions {
+        let code = column.code(row);
+        if code != NO_MEMBER {
+            expected.insert(Triple::new(
+                node.clone(),
+                column.bottom_level.clone(),
+                column.dictionary.term(code).clone(),
+            ));
+        }
+    }
+    for measure in &cube.measures {
+        expected.insert(Triple::new(
+            node.clone(),
+            measure.property.clone(),
+            measure.data.term_at(row),
+        ));
+    }
+    let removed_set: BTreeSet<Triple> = removed.iter().map(|t| (*t).clone()).collect();
+    if removed_set != expected {
+        return Err(unsupported(
+            RefusalKind::PartialObservationRemoval,
+            format!(
+                "removal covers {} of the {} materialized triples of observation {node}",
+                removed_set.intersection(&expected).count(),
+                expected.len()
+            ),
+        ));
+    }
+    cube.observations.remove(node);
+    cube.tombstones.kill(row);
+    cube.stats.rows -= 1;
+    cube.stats.observations_seen -= 1;
     Ok(())
 }
 
@@ -380,15 +526,22 @@ fn apply_attribute_insert(
             .object
             .as_literal()
             .map(|l| l.lexical().to_string())
-            .ok_or_else(|| unsupported("non-literal dataset label"))?;
+            .ok_or_else(|| {
+                unsupported(RefusalKind::DatasetLabelChanged, "non-literal dataset label")
+            })?;
         match &cube.dataset_label {
             None => cube.dataset_label = Some(label),
             Some(existing) if *existing == label => {}
-            Some(_) => return Err(unsupported("dataset label changed")),
+            Some(_) => {
+                return Err(unsupported(
+                    RefusalKind::DatasetLabelChanged,
+                    "dataset label changed",
+                ))
+            }
         }
         return Ok(());
     }
-    if cube.observations.contains_key(&triple.subject) {
+    if cube.observations.contains(&triple.subject) {
         // Labels or attribute-named properties on observation nodes never
         // reach any query; ignore them.
         return Ok(());
@@ -407,21 +560,24 @@ fn apply_attribute_insert(
             }
             Some(existing) if *existing == triple.object => {}
             Some(_) => {
-                return Err(unsupported(format!(
-                    "member {} gained a second value for attribute <{}>",
-                    triple.subject,
-                    triple.predicate.as_str()
-                )));
+                return Err(unsupported(
+                    RefusalKind::AttributeConflict,
+                    format!(
+                        "member {} gained a second value for attribute <{}>",
+                        triple.subject,
+                        triple.predicate.as_str()
+                    ),
+                ));
             }
         }
     }
     if !known_member {
         // The value may matter to a member added in a *later* delta or to a
         // future rebuild; refusing keeps the cube bit-identical with one.
-        return Err(unsupported(format!(
-            "attribute value for unknown member {}",
-            triple.subject
-        )));
+        return Err(unsupported(
+            RefusalKind::UnknownMemberAttribute,
+            format!("attribute value for unknown member {}", triple.subject),
+        ));
     }
     Ok(())
 }
@@ -435,9 +591,10 @@ fn append_observation(
     if !observation.typed {
         // A dataset-linked but untyped fragment would be dropped today yet
         // could be completed by a later mutation; a rebuild decides.
-        return Err(unsupported(format!(
-            "observation {node} arrives incomplete (not typed qb:Observation)"
-        )));
+        return Err(unsupported(
+            RefusalKind::IncompleteObservation,
+            format!("observation {node} arrives incomplete (not typed qb:Observation)"),
+        ));
     }
     // Appending to a populated float column would accumulate SUM/AVG in a
     // different order than a rebuild's ORDER BY ?obs row order — the same
@@ -447,10 +604,13 @@ fn append_observation(
     if cube.measures.iter().any(|m| {
         !m.data.is_empty() && !matches!(m.data, crate::columns::MeasureVector::Integer(_))
     }) {
-        return Err(unsupported(format!(
-            "observation {node} appends to a non-integral measure column \
-             (float accumulation order would diverge from a rebuild)"
-        )));
+        return Err(unsupported(
+            RefusalKind::NonIntegralAppend,
+            format!(
+                "observation {node} appends to a non-integral measure column \
+                 (float accumulation order would diverge from a rebuild)"
+            ),
+        ));
     }
     for (position, property) in context.measure_order.iter().enumerate() {
         let values = observation
@@ -461,22 +621,28 @@ fn append_observation(
         match values {
             [Term::Literal(literal)] => cube.measures[position].push_value(literal)?,
             [] => {
-                return Err(unsupported(format!(
-                    "observation {node} is missing measure <{}>",
-                    property.as_str()
-                )))
+                return Err(unsupported(
+                    RefusalKind::IncompleteObservation,
+                    format!("observation {node} is missing measure <{}>", property.as_str()),
+                ))
             }
             [_] => {
-                return Err(unsupported(format!(
-                    "observation {node} has a non-literal value for measure <{}>",
-                    property.as_str()
-                )))
+                return Err(unsupported(
+                    RefusalKind::MalformedObservation,
+                    format!(
+                        "observation {node} has a non-literal value for measure <{}>",
+                        property.as_str()
+                    ),
+                ))
             }
             _ => {
-                return Err(unsupported(format!(
-                    "observation {node} has several values for measure <{}>",
-                    property.as_str()
-                )))
+                return Err(unsupported(
+                    RefusalKind::MalformedObservation,
+                    format!(
+                        "observation {node} has several values for measure <{}>",
+                        property.as_str()
+                    ),
+                ))
             }
         }
     }
@@ -490,10 +656,13 @@ fn append_observation(
             [] => cube.dimensions[position].push_row(None),
             [member] => cube.dimensions[position].push_row(Some(member)),
             _ => {
-                return Err(unsupported(format!(
-                    "observation {node} has several values for dimension <{}>",
-                    bottom.as_str()
-                )))
+                return Err(unsupported(
+                    RefusalKind::MalformedObservation,
+                    format!(
+                        "observation {node} has several values for dimension <{}>",
+                        bottom.as_str()
+                    ),
+                ))
             }
         }
     }
@@ -516,6 +685,7 @@ fn extend_rollup_maps(cube: &mut MaterializedCube) {
         broader,
         ..
     } = cube;
+    let broader: &BTreeMap<Term, Vec<Term>> = broader;
     for column in dimensions.iter() {
         let bottom = &column.bottom_level;
         let dimension = schema
@@ -562,7 +732,7 @@ mod tests {
 
     use crate::executor::{execute, CubeQuery};
     use crate::testutil::{fixture, iri, member, observation_triples};
-    use crate::{CubeStoreError, MaterializedCube};
+    use crate::{CubeStoreError, MaterializedCube, RefusalKind};
 
     use super::*;
 
@@ -584,6 +754,14 @@ mod tests {
         CubeQuery {
             rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
             ..CubeQuery::default()
+        }
+    }
+
+    /// The refusal of an error that must be a `DeltaUnsupported`.
+    fn refusal(error: CubeStoreError) -> DeltaRefusal {
+        match error {
+            CubeStoreError::DeltaUnsupported(refusal) => refusal,
+            other => panic!("expected a delta refusal, got {other}"),
         }
     }
 
@@ -665,6 +843,95 @@ mod tests {
     }
 
     #[test]
+    fn whole_observation_removal_tombstones_the_row() {
+        let (endpoint, cube, epoch) = tracked();
+        // Remove o3 (c2, m1, 5, 1) completely, as ONE batch → one delta.
+        let o3 = Term::iri("http://example.org/obs/o3");
+        let removed = endpoint.store().remove_all(&[
+            Triple::new(o3.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(o3.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+            Triple::new(o3.clone(), iri("lv/city"), member("c2")),
+            Triple::new(o3.clone(), iri("lv/month"), member("m1")),
+            Triple::new(o3.clone(), iri("measure/value"), Literal::integer(5)),
+            Triple::new(o3.clone(), iri("measure/score"), Literal::integer(1)),
+        ]);
+        assert_eq!(removed, 6);
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        // The row stays physically present but dead.
+        assert_eq!(refreshed.row_count(), 5, "physical rows unchanged");
+        assert_eq!(refreshed.live_row_count(), 4);
+        assert_eq!(refreshed.tombstoned_rows(), 1);
+        assert_eq!(refreshed.stats().rows, 4);
+        assert_eq!(refreshed.stats().observations_seen, 4);
+        assert!(!refreshed.is_observation(&o3));
+        assert_matches_rebuild(&endpoint, &refreshed);
+        // The K2/m1 cell (5) is gone; K2/m2 (7) survives.
+        let output = execute(&refreshed, &rollup_to_country()).unwrap();
+        assert!(!output
+            .cells
+            .iter()
+            .any(|c| c.coordinates == vec![member("K2"), member("m1")]));
+        // The original cube is untouched.
+        assert_eq!(cube.live_row_count(), 5);
+        assert!(cube.is_observation(&o3));
+    }
+
+    #[test]
+    fn removal_then_reappend_of_the_same_node_is_appliable() {
+        let (endpoint, cube, epoch) = tracked();
+        let o3 = Term::iri("http://example.org/obs/o3");
+        endpoint.store().remove_all(&[
+            Triple::new(o3.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(o3.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+            Triple::new(o3.clone(), iri("lv/city"), member("c2")),
+            Triple::new(o3.clone(), iri("lv/month"), member("m1")),
+            Triple::new(o3.clone(), iri("measure/value"), Literal::integer(5)),
+            Triple::new(o3.clone(), iri("measure/score"), Literal::integer(1)),
+        ]);
+        // The same node comes back with a different value.
+        endpoint
+            .insert_triples(&observation_triples("o3", "c2", "m1", 50, 2))
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), 6, "old row dead, new row appended");
+        assert_eq!(refreshed.live_row_count(), 5);
+        assert!(refreshed.is_observation(&o3));
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    #[test]
+    fn partial_observation_removal_forces_a_rebuild() {
+        let (endpoint, cube, epoch) = tracked();
+        let o1 = Term::iri("http://example.org/obs/o1");
+        // Removing a measure value of a materialized observation (one
+        // triple only) cannot be replayed: the surviving fragment would
+        // be *dropped* by a fresh build, not tombstoned.
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(o1.clone(), iri("measure/value"), Literal::integer(10))));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert_eq!(refusal(error).kind, RefusalKind::PartialObservationRemoval);
+
+        // A per-triple removal of a WHOLE observation still refuses: each
+        // single-triple delta is partial on its own (batch through
+        // `Store::remove_all` to tombstone).
+        let (endpoint, cube, epoch) = tracked();
+        let o3 = Term::iri("http://example.org/obs/o3");
+        for triple in [
+            Triple::new(o3.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(o3.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+            Triple::new(o3.clone(), iri("lv/city"), member("c2")),
+            Triple::new(o3.clone(), iri("lv/month"), member("m1")),
+            Triple::new(o3.clone(), iri("measure/value"), Literal::integer(5)),
+            Triple::new(o3.clone(), iri("measure/score"), Literal::integer(1)),
+        ] {
+            assert!(endpoint.store().remove(&triple));
+        }
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert_eq!(refusal(error).kind, RefusalKind::PartialObservationRemoval);
+    }
+
+    #[test]
     fn relevant_removals_force_a_rebuild() {
         let (endpoint, cube, epoch) = tracked();
         // Cutting a roll-up link (the ragged-hierarchy mutation) cannot be
@@ -673,34 +940,23 @@ mod tests {
             .store()
             .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("roll-up link removed")),
-            "{error}"
-        );
+        let refusal = refusal(error);
+        assert_eq!(refusal.kind, RefusalKind::RollupLinkRemoved);
+        assert!(refusal.detail.contains("roll-up link removed"), "{refusal}");
     }
 
     #[test]
     fn observation_mutations_force_a_rebuild() {
+        // Giving an existing observation a second dimension value refuses.
         let (endpoint, cube, epoch) = tracked();
         let o1 = Term::iri("http://example.org/obs/o1");
-        // Removing a measure value of a materialized observation...
-        assert!(endpoint
-            .store()
-            .remove(&Triple::new(o1.clone(), iri("measure/value"), Literal::integer(10))));
-        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(matches!(error, CubeStoreError::DeltaUnsupported(_)), "{error}");
-
-        // ... and giving an existing observation a second dimension value
-        // both refuse.
-        let (endpoint, cube, epoch) = tracked();
         endpoint
             .insert_triples(&[Triple::new(o1, iri("lv/city"), member("c2"))])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("gained a dimension value")),
-            "{error}"
-        );
+        let refusal = refusal(error);
+        assert_eq!(refusal.kind, RefusalKind::ObservationMutated);
+        assert!(refusal.detail.contains("gained a dimension value"), "{refusal}");
     }
 
     #[test]
@@ -714,10 +970,7 @@ mod tests {
             )])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("schema/hierarchy")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::SchemaStructure);
     }
 
     #[test]
@@ -732,7 +985,7 @@ mod tests {
             ])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(matches!(error, CubeStoreError::DeltaUnsupported(_)), "{error}");
+        assert_eq!(refusal(error).kind, RefusalKind::IncompleteObservation);
 
         // A broader link added to an already-materialized member.
         let (endpoint, cube, epoch) = tracked();
@@ -740,10 +993,7 @@ mod tests {
             .insert_triples(&[qb4olap::rollup_triple(&member("c3"), &member("K2"))])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("existing member")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::RollupLinkAdded);
 
         // An attribute value for a member the cube has never seen.
         let (endpoint, cube, epoch) = tracked();
@@ -755,10 +1005,7 @@ mod tests {
             )])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("unknown member")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::UnknownMemberAttribute);
     }
 
     #[test]
@@ -791,10 +1038,7 @@ mod tests {
         let error = refreshed
             .apply_delta(&deltas_after(&endpoint, epoch))
             .unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("second value")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::AttributeConflict);
     }
 
     #[test]
@@ -840,10 +1084,7 @@ mod tests {
             ])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("non-integral")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::NonIntegralAppend);
     }
 
     #[test]
@@ -887,13 +1128,19 @@ mod tests {
         assert_eq!(cube.stats().rows_dropped, 1, "untyped observation dropped");
 
         endpoint
-            .insert_triples(&[Triple::new(node, rdfv::type_(), Term::Iri(qb::observation()))])
+            .insert_triples(&[Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation()))])
             .unwrap();
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert!(
-            matches!(error, CubeStoreError::DeltaUnsupported(ref m) if m.contains("dropped observation")),
-            "{error}"
-        );
+        assert_eq!(refusal(error).kind, RefusalKind::DroppedObservationMutated);
+
+        // Removing a fact triple from the dropped observation refuses too:
+        // a fresh build would no longer see (or count) the fragment.
+        let epoch = endpoint.epoch();
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(node, qb::data_set(), Term::iri("http://example.org/ds"))));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        assert_eq!(refusal(error).kind, RefusalKind::DroppedObservationMutated);
     }
 
     #[test]
@@ -940,5 +1187,53 @@ mod tests {
         let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
         assert_eq!(refreshed.row_count(), cube.row_count());
         assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    /// Every refusal the classifier can produce is one of the enumerated
+    /// kinds, and every kind documented in the module-level decision table
+    /// exists — this is the "tests and docs can enumerate them" guarantee
+    /// the typed refusals were introduced for.
+    #[test]
+    fn refusal_kinds_match_the_decision_table() {
+        let table = include_str!("delta.rs")
+            .split("# Delta-vs-rebuild decision table")
+            .nth(1)
+            .expect("module docs contain the decision table")
+            .split("use std::collections")
+            .next()
+            .expect("table precedes the code");
+        for kind in RefusalKind::ALL {
+            assert!(
+                table.contains(&format!("{kind:?}")),
+                "RefusalKind::{kind:?} is missing from the decision table in the module docs"
+            );
+        }
+    }
+
+    /// A pure append's refresh must share (not copy) the heavy components
+    /// with the cube it refreshed — the copy-on-write guarantee.
+    #[test]
+    fn pure_append_shares_dictionaries_and_maps() {
+        let (endpoint, cube, epoch) = tracked();
+        endpoint
+            .insert_triples(&observation_triples("o6", "c1", "m1", 8, 8))
+            .unwrap();
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        // Dictionaries saw no new member: fully shared.
+        for (before, after) in cube.dimensions.iter().zip(&refreshed.dimensions) {
+            assert!(
+                before.dictionary.shares_storage_with(&after.dictionary),
+                "append over existing members must not copy the column dictionary"
+            );
+        }
+        for (level, index) in cube.levels.iter() {
+            assert!(
+                index
+                    .dictionary
+                    .shares_storage_with(&refreshed.levels[level].dictionary),
+                "level <{}> dictionary copied on a pure append",
+                level.as_str()
+            );
+        }
     }
 }

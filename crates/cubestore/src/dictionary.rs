@@ -5,6 +5,15 @@
 //! plain `Vec<MemberId>` lookups. The interning itself is [`rdf::Interner`]
 //! (the same structure the triple store uses); this module adds the
 //! member-id sentinels and the overflow guard they require.
+//!
+//! Dictionaries are **copy-on-write**: the interner lives behind an `Arc`,
+//! so cloning a cube shares every dictionary, and [`Dictionary::encode`]
+//! copies the interner only when a delta introduces a member the
+//! dictionary has never seen. A refresh that appends observations over
+//! *existing* members — the serving-layer hot case — leaves all
+//! dictionaries fully shared with the previous cube.
+
+use std::sync::Arc;
 
 use rdf::{Interner, Term};
 
@@ -27,7 +36,7 @@ pub const AMBIGUOUS_MEMBER: MemberId = MemberId::MAX - 1;
 /// [`NO_MEMBER`] / [`AMBIGUOUS_MEMBER`] sentinels.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    interner: Interner,
+    interner: Arc<Interner>,
 }
 
 impl Dictionary {
@@ -40,12 +49,19 @@ impl Dictionary {
     pub fn with_capacity(capacity: usize) -> Self {
         let mut interner = Interner::new();
         interner.reserve(capacity);
-        Dictionary { interner }
+        Dictionary {
+            interner: Arc::new(interner),
+        }
     }
 
-    /// Returns the id for `term`, interning it if necessary.
+    /// Returns the id for `term`, interning it if necessary. Interning a
+    /// *new* term copies the shared interner first (copy-on-write);
+    /// re-encoding a known term never does.
     pub fn encode(&mut self, term: &Term) -> MemberId {
-        let id = self.interner.intern(term);
+        if let Some(id) = self.interner.get(term) {
+            return id;
+        }
+        let id = Arc::make_mut(&mut self.interner).intern(term);
         assert!(id < AMBIGUOUS_MEMBER, "dictionary overflow");
         id
     }
@@ -78,6 +94,13 @@ impl Dictionary {
     pub fn iter(&self) -> impl Iterator<Item = (MemberId, &Term)> {
         self.interner.iter()
     }
+
+    /// True if two dictionaries share one interner allocation — how the
+    /// copy-on-write tests (and the maintenance experiments) verify that
+    /// a refresh did not deep-copy a dictionary.
+    pub fn shares_storage_with(&self, other: &Dictionary) -> bool {
+        Arc::ptr_eq(&self.interner, &other.interner)
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +129,22 @@ mod tests {
         let dict = Dictionary::new();
         assert!(dict.is_empty());
         assert_eq!(dict.len(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_interner_until_a_new_member_arrives() {
+        let mut dict = Dictionary::new();
+        let a = Term::iri("http://example.org/a");
+        let ia = dict.encode(&a);
+        let mut clone = dict.clone();
+        assert!(Arc::ptr_eq(&dict.interner, &clone.interner));
+        // Re-encoding a known term keeps the sharing.
+        assert_eq!(clone.encode(&a), ia);
+        assert!(Arc::ptr_eq(&dict.interner, &clone.interner));
+        // A genuinely new member copies the clone's interner only.
+        clone.encode(&Term::iri("http://example.org/b"));
+        assert!(!Arc::ptr_eq(&dict.interner, &clone.interner));
+        assert_eq!(dict.len(), 1);
+        assert_eq!(clone.len(), 2);
     }
 }

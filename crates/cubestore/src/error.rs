@@ -1,6 +1,130 @@
-//! Error type of the columnar cube engine.
+//! Error types of the columnar cube engine, including the enumerable
+//! delta-refusal reasons incremental maintenance reports.
 
 use std::fmt;
+
+/// Why a store delta could not be replayed onto the columns — the typed
+/// half of a [`DeltaRefusal`].
+///
+/// The variants enumerate every refusal the delta classifier can produce
+/// (see the decision table in the [`crate::delta`] module docs); tests
+/// iterate [`RefusalKind::ALL`] to keep the table and the code in sync.
+/// Every refusal makes the catalog fall back to a full rebuild, so a wrong
+/// classification can cost performance but never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RefusalKind {
+    /// A schema/hierarchy-structure triple was inserted or removed.
+    SchemaStructure,
+    /// A `skos:broader` link was added to an already-materialized member.
+    RollupLinkAdded,
+    /// A `skos:broader` link of a materialized member was removed.
+    RollupLinkRemoved,
+    /// A `qb4o:memberOf` declaration of a materialized member was removed.
+    MemberRemoved,
+    /// A member declaration collided with a term already frozen in the
+    /// fact columns or reachable in the hierarchy.
+    MemberConflict,
+    /// An already-materialized observation gained or lost a relevant
+    /// triple (type, dataset link, dimension or measure value).
+    ObservationMutated,
+    /// A removal covered only part of a materialized observation's
+    /// triples; only whole-observation removals tombstone.
+    PartialObservationRemoval,
+    /// A previously dropped (incomplete) observation gained or lost
+    /// triples — a fresh build might now classify it differently.
+    DroppedObservationMutated,
+    /// A new observation arrived incomplete (untyped, or missing a
+    /// measure value).
+    IncompleteObservation,
+    /// A new observation carried several values for one dimension or
+    /// measure, or a non-literal measure value.
+    MalformedObservation,
+    /// An append would extend a non-integral measure column, whose
+    /// accumulation order could differ from a rebuild in the last ulp.
+    NonIntegralAppend,
+    /// An attribute value conflicted with the one already materialized.
+    AttributeConflict,
+    /// An attribute value of a materialized member was removed.
+    AttributeRemoved,
+    /// An attribute value arrived for a member the cube has never seen.
+    UnknownMemberAttribute,
+    /// The dataset's `rdfs:label` changed or was removed.
+    DatasetLabelChanged,
+}
+
+impl RefusalKind {
+    /// Every refusal kind, for exhaustive enumeration in tests and docs.
+    pub const ALL: [RefusalKind; 15] = [
+        RefusalKind::SchemaStructure,
+        RefusalKind::RollupLinkAdded,
+        RefusalKind::RollupLinkRemoved,
+        RefusalKind::MemberRemoved,
+        RefusalKind::MemberConflict,
+        RefusalKind::ObservationMutated,
+        RefusalKind::PartialObservationRemoval,
+        RefusalKind::DroppedObservationMutated,
+        RefusalKind::IncompleteObservation,
+        RefusalKind::MalformedObservation,
+        RefusalKind::NonIntegralAppend,
+        RefusalKind::AttributeConflict,
+        RefusalKind::AttributeRemoved,
+        RefusalKind::UnknownMemberAttribute,
+        RefusalKind::DatasetLabelChanged,
+    ];
+
+    /// A stable, slug-like name (used in maintenance telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefusalKind::SchemaStructure => "schema-structure",
+            RefusalKind::RollupLinkAdded => "rollup-link-added",
+            RefusalKind::RollupLinkRemoved => "rollup-link-removed",
+            RefusalKind::MemberRemoved => "member-removed",
+            RefusalKind::MemberConflict => "member-conflict",
+            RefusalKind::ObservationMutated => "observation-mutated",
+            RefusalKind::PartialObservationRemoval => "partial-observation-removal",
+            RefusalKind::DroppedObservationMutated => "dropped-observation-mutated",
+            RefusalKind::IncompleteObservation => "incomplete-observation",
+            RefusalKind::MalformedObservation => "malformed-observation",
+            RefusalKind::NonIntegralAppend => "non-integral-append",
+            RefusalKind::AttributeConflict => "attribute-conflict",
+            RefusalKind::AttributeRemoved => "attribute-removed",
+            RefusalKind::UnknownMemberAttribute => "unknown-member-attribute",
+            RefusalKind::DatasetLabelChanged => "dataset-label-changed",
+        }
+    }
+}
+
+impl fmt::Display for RefusalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One delta-refusal: the enumerable kind plus the human-readable detail
+/// (which triple/node/member tripped the classifier).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRefusal {
+    /// The enumerable refusal class.
+    pub kind: RefusalKind,
+    /// What exactly was refused, for logs and error messages.
+    pub detail: String,
+}
+
+impl DeltaRefusal {
+    /// Creates a refusal.
+    pub fn new(kind: RefusalKind, detail: impl Into<String>) -> Self {
+        DeltaRefusal {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeltaRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.detail, self.kind)
+    }
+}
 
 /// Errors raised while materializing or querying a columnar cube.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,11 +138,10 @@ pub enum CubeStoreError {
     /// The query references schema elements the materialized cube does not
     /// have (unknown dimension, level without a roll-up map, ...).
     Query(String),
-    /// A store delta cannot be applied incrementally (it touches
-    /// schema/hierarchy structure, mutates already-materialized data, or
-    /// removes relevant triples). Callers fall back to a full rebuild; the
-    /// message is the rebuild reason the maintenance report records.
-    DeltaUnsupported(String),
+    /// A store delta cannot be applied incrementally. Callers fall back to
+    /// a full rebuild; the [`DeltaRefusal`] becomes the rebuild reason the
+    /// maintenance report records.
+    DeltaUnsupported(DeltaRefusal),
     /// The endpoint failed while the cube was being materialized.
     Sparql(String),
 }
@@ -29,8 +152,8 @@ impl fmt::Display for CubeStoreError {
             CubeStoreError::Build(m) => write!(f, "cube build error: {m}"),
             CubeStoreError::Unsupported(m) => write!(f, "unsupported by the columnar engine: {m}"),
             CubeStoreError::Query(m) => write!(f, "columnar query error: {m}"),
-            CubeStoreError::DeltaUnsupported(m) => {
-                write!(f, "delta cannot be applied incrementally: {m}")
+            CubeStoreError::DeltaUnsupported(r) => {
+                write!(f, "delta cannot be applied incrementally: {r}")
             }
             CubeStoreError::Sparql(m) => write!(f, "endpoint error during materialization: {m}"),
         }
@@ -74,5 +197,22 @@ mod tests {
         assert!(e.to_string().contains("d"));
         let e: CubeStoreError = qb4olap::Qb4olapError::SchemaNotFound("s".into()).into();
         assert!(e.to_string().contains("s"));
+    }
+
+    #[test]
+    fn refusals_carry_kind_and_detail() {
+        let refusal = DeltaRefusal::new(RefusalKind::RollupLinkRemoved, "link gone");
+        let error = CubeStoreError::DeltaUnsupported(refusal.clone());
+        let rendered = error.to_string();
+        assert!(rendered.contains("link gone"), "{rendered}");
+        assert!(rendered.contains("rollup-link-removed"), "{rendered}");
+        assert_eq!(refusal.kind, RefusalKind::RollupLinkRemoved);
+    }
+
+    #[test]
+    fn refusal_kinds_enumerate_with_distinct_names() {
+        let names: std::collections::BTreeSet<&str> =
+            RefusalKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), RefusalKind::ALL.len(), "names are distinct");
     }
 }

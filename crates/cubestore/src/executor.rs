@@ -23,6 +23,7 @@ use crate::columns::{DimensionColumn, MeasureColumn};
 use crate::dictionary::{MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 use crate::error::CubeStoreError;
 use crate::hierarchy::{LevelIndex, RollupMap};
+use crate::tombstone::Tombstones;
 
 /// How a dice comparison reads the attribute value, mirroring the two
 /// shapes the QL → SPARQL translator emits.
@@ -267,6 +268,10 @@ fn scan(
     threads: usize,
 ) -> Result<ScanGroups, CubeStoreError> {
     let rows = cube.row_count();
+    // Removed observations stay physically present; the scan must skip
+    // the rows the tombstone bitmap marks dead. Chunk ranges stay over
+    // physical row ids — liveness is checked per row inside the chunk.
+    let tombstones = cube.tombstones();
     // Float accumulation is order-sensitive; only integral measure vectors
     // keep chunked sums bit-identical to the sequential row order.
     let order_independent = measures
@@ -274,7 +279,7 @@ fn scan(
         .all(|m| matches!(m.data, crate::columns::MeasureVector::Integer(_)));
     let workers = if order_independent { threads.max(1).min(rows.max(1)) } else { 1 };
     if workers <= 1 {
-        return scan_range(axes, filters, measures, 0..rows);
+        return scan_range(axes, filters, measures, tombstones, 0..rows);
     }
     let chunk = rows.div_ceil(workers);
     let partials: Vec<Result<ScanGroups, CubeStoreError>> =
@@ -283,7 +288,7 @@ fn scan(
                 .map(|worker| {
                     let start = worker * chunk;
                     let end = ((worker + 1) * chunk).min(rows);
-                    scope.spawn(move || scan_range(axes, filters, measures, start..end))
+                    scope.spawn(move || scan_range(axes, filters, measures, tombstones, start..end))
                 })
                 .collect();
             handles
@@ -314,10 +319,15 @@ fn scan_range(
     axes: &[AxisPlan<'_>],
     filters: &[CompiledFilter],
     measures: &[MeasureColumn],
+    tombstones: &Tombstones,
     rows: std::ops::Range<usize>,
 ) -> Result<ScanGroups, CubeStoreError> {
     let mut groups: ScanGroups = HashMap::new();
+    let check_tombstones = !tombstones.is_empty();
     'rows: for row in rows {
+        if check_tombstones && tombstones.is_dead(row) {
+            continue;
+        }
         let mut key = Vec::with_capacity(axes.len());
         for axis in axes {
             let bottom = axis.column.code(row);

@@ -1,7 +1,14 @@
 //! The hierarchy side of a materialized cube: per-level member indexes with
 //! attribute values, and precomputed bottom-level → ancestor roll-up maps.
+//!
+//! Both structures are copy-on-write: the attribute store of a
+//! [`LevelIndex`] and the target array of a [`RollupMap`] live behind
+//! `Arc`s, so a delta refresh that adds no members (the common case)
+//! shares them outright with the previous cube, and one that does add
+//! members copies only the indexes and maps that actually grow.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rdf::{Iri, Term};
 
@@ -18,8 +25,9 @@ pub struct LevelIndex {
     /// Attribute IRI → per-member value (indexed by member id; `None` where
     /// the member has no value for the attribute). Only the first value of a
     /// multi-valued attribute is kept, matching the single-valued data the
-    /// SPARQL backend is exercised on.
-    attributes: BTreeMap<Iri, Vec<Option<Term>>>,
+    /// SPARQL backend is exercised on. `Arc`-shared between a cube and its
+    /// delta-refreshed clones until a delta mutates it.
+    attributes: Arc<BTreeMap<Iri, Vec<Option<Term>>>>,
 }
 
 impl LevelIndex {
@@ -28,7 +36,7 @@ impl LevelIndex {
         LevelIndex {
             level,
             dictionary,
-            attributes: BTreeMap::new(),
+            attributes: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -45,7 +53,7 @@ impl LevelIndex {
                 }
             }
         }
-        self.attributes.insert(attribute, values);
+        Arc::make_mut(&mut self.attributes).insert(attribute, values);
     }
 
     /// The value of `attribute` on the member with id `member`, if any.
@@ -64,7 +72,7 @@ impl LevelIndex {
             return (id, false);
         }
         let id = self.dictionary.encode(member);
-        for values in self.attributes.values_mut() {
+        for values in Arc::make_mut(&mut self.attributes).values_mut() {
             values.push(None);
         }
         (id, true)
@@ -74,15 +82,16 @@ impl LevelIndex {
     /// maintenance; the slot must currently be empty). Returns `false` when
     /// the attribute is not tracked on this level.
     pub fn set_member_attribute(&mut self, attribute: &Iri, member: MemberId, value: Term) -> bool {
-        match self.attributes.get_mut(attribute) {
-            Some(values) => {
-                let slot = &mut values[member as usize];
-                debug_assert!(slot.is_none(), "delta application checked the slot is empty");
-                *slot = Some(value);
-                true
-            }
-            None => false,
+        if !self.attributes.contains_key(attribute) {
+            return false;
         }
+        let values = Arc::make_mut(&mut self.attributes)
+            .get_mut(attribute)
+            .expect("checked above");
+        let slot = &mut values[member as usize];
+        debug_assert!(slot.is_none(), "delta application checked the slot is empty");
+        *slot = Some(value);
+        true
     }
 
     /// The attributes tracked on this level.
@@ -116,7 +125,10 @@ pub struct RollupMap {
     pub dimension: Iri,
     /// The level the map rolls up to.
     pub target_level: Iri,
-    map: Vec<MemberId>,
+    /// `Arc`-shared with delta-refreshed clones; copied only when a delta
+    /// introduces new bottom members (the map grows with the bottom
+    /// dictionary, not with the fact rows).
+    map: Arc<Vec<MemberId>>,
 }
 
 impl RollupMap {
@@ -125,7 +137,7 @@ impl RollupMap {
         RollupMap {
             dimension,
             target_level,
-            map,
+            map: Arc::new(map),
         }
     }
 
@@ -136,9 +148,10 @@ impl RollupMap {
     }
 
     /// Appends the target for the next bottom-member code (incremental
-    /// maintenance: the bottom dictionary grew by one member).
+    /// maintenance: the bottom dictionary grew by one member). Copies the
+    /// shared map on the first push of a refresh.
     pub fn push(&mut self, target: MemberId) {
-        self.map.push(target);
+        Arc::make_mut(&mut self.map).push(target);
     }
 
     /// Number of bottom members covered.

@@ -29,28 +29,62 @@
 //! members with several values for one attribute, keep a single value
 //! (see [`build::MaterializedCube::from_endpoint`]) where a raw SPARQL
 //! join would multiply rows.
+//!
+//! # Serving and maintenance
+//!
+//! Beyond one-shot materialization the crate is a *serving layer*: a
+//! [`catalog::CubeCatalog`] keys live cubes by dataset IRI, validates the
+//! store's mutation epoch on every access, and refreshes stale entries in
+//! **O(delta)** rather than O(cube):
+//!
+//! * every sizable cube component is copy-on-write ([`cowvec::CowVec`]
+//!   column segments, `Arc`-shared dictionaries / level indexes / roll-up
+//!   maps, a layered observation index), so
+//!   [`build::MaterializedCube::apply_delta`] clones only what a delta
+//!   actually extends;
+//! * observation *removals* are applied by tombstoning the row
+//!   ([`tombstone::Tombstones`]) — the executor skips dead rows — and the
+//!   catalog compacts (re-materializes) once the live-row fraction drops
+//!   below [`catalog::COMPACTION_LIVE_FRACTION`];
+//! * everything the delta classifier cannot replay bit-identically
+//!   refuses with a typed [`error::DeltaRefusal`] and falls back to a
+//!   rebuild whose [`catalog::RebuildReason`] lands in the
+//!   [`catalog::MaintenanceReport`] (the full decision table is in the
+//!   [`delta`] module docs).
+//!
+//! The repo-level `ARCHITECTURE.md` places this crate in the overall
+//! system and spells out the COW/tombstone invariants; EXPERIMENTS.md
+//! §E12–§E13 quantify the refresh costs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod build;
 pub mod catalog;
 pub mod columns;
+pub mod cowvec;
 pub mod delta;
 pub mod dictionary;
 pub mod error;
 pub mod executor;
 pub mod hierarchy;
+pub mod observations;
+pub mod tombstone;
 
 pub use build::{BuildStats, MaterializedCube};
-pub use catalog::{CubeCatalog, MaintenanceReport, MaintenanceStrategy};
+pub use catalog::{
+    CubeCatalog, MaintenanceReport, MaintenanceStrategy, RebuildReason, COMPACTION_LIVE_FRACTION,
+};
 pub use columns::{DimensionColumn, MeasureColumn, MeasureVector};
+pub use cowvec::CowVec;
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
-pub use error::CubeStoreError;
+pub use error::{CubeStoreError, DeltaRefusal, RefusalKind};
 pub use executor::{
     execute, execute_with_threads, AxisSpec, CubeQuery, MeasureFilter, MemberFilter,
     MemberPredicate, OutputCell, QueryOutput,
 };
 pub use hierarchy::{LevelIndex, RollupMap};
+pub use observations::ObservationIndex;
+pub use tombstone::Tombstones;
 
 /// Shared fixtures for the crate's unit tests (the build/executor tests in
 /// this module plus the delta/catalog tests in their own modules).

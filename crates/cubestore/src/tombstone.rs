@@ -1,0 +1,103 @@
+//! The tombstone bitmap over fact rows: how observation *removals* become
+//! delta-appliable instead of forcing a full rebuild.
+//!
+//! Removing a fact row from columnar storage in place would shift every
+//! later row (and invalidate the observation → row index). Instead the row
+//! stays physically present and is marked dead here; the executor's scan
+//! skips dead rows, so query results are identical to a rebuild without
+//! the removed observation. Dead rows still occupy memory, so the catalog
+//! compacts (re-materializes) a cube once its live-row fraction drops
+//! below [`crate::catalog::COMPACTION_LIVE_FRACTION`].
+//!
+//! The bit storage is `Arc`-shared between a cube and its delta-refreshed
+//! clones: a refresh that removes nothing shares the bitmap outright, and
+//! one that does remove pays a words-sized (`rows / 64` bits) copy — far
+//! below the cost of cloning any column.
+
+use std::sync::Arc;
+
+/// A copy-on-write bitmap marking dead (removed) fact rows.
+///
+/// Rows beyond the bitmap's allocated words are implicitly live, so pure
+/// appends never touch (or grow) the bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct Tombstones {
+    /// Bit `row` set = row is dead. Lazily grown on the first removal past
+    /// the current words.
+    words: Arc<Vec<u64>>,
+    /// Number of set bits, kept so live-row accounting is O(1).
+    dead: usize,
+}
+
+impl Tombstones {
+    /// Creates an empty bitmap (every row live).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if `row` has been tombstoned.
+    #[inline]
+    pub fn is_dead(&self, row: usize) -> bool {
+        self.words
+            .get(row / 64)
+            .is_some_and(|word| word & (1 << (row % 64)) != 0)
+    }
+
+    /// True if no row has been tombstoned (the scan can skip the per-row
+    /// liveness check entirely).
+    pub fn is_empty(&self) -> bool {
+        self.dead == 0
+    }
+
+    /// Number of tombstoned rows.
+    pub fn dead_rows(&self) -> usize {
+        self.dead
+    }
+
+    /// Marks `row` dead. Returns `false` (and changes nothing) if the row
+    /// was already dead. Clones the shared words at most once per refresh.
+    pub fn kill(&mut self, row: usize) -> bool {
+        if self.is_dead(row) {
+            return false;
+        }
+        let words = Arc::make_mut(&mut self.words);
+        if words.len() <= row / 64 {
+            words.resize(row / 64 + 1, 0);
+        }
+        words[row / 64] |= 1 << (row % 64);
+        self.dead += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_and_query() {
+        let mut t = Tombstones::new();
+        assert!(t.is_empty());
+        assert!(!t.is_dead(1000), "rows past the words are live");
+        assert!(t.kill(3));
+        assert!(t.kill(64));
+        assert!(t.kill(200));
+        assert!(!t.kill(64), "double kill is a no-op");
+        assert_eq!(t.dead_rows(), 3);
+        assert!(t.is_dead(3) && t.is_dead(64) && t.is_dead(200));
+        assert!(!t.is_dead(4) && !t.is_dead(63) && !t.is_dead(201));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_words_until_mutated() {
+        let mut a = Tombstones::new();
+        a.kill(10);
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.words, &b.words));
+        b.kill(11);
+        assert!(!Arc::ptr_eq(&a.words, &b.words), "copy-on-write");
+        assert!(!a.is_dead(11));
+        assert!(b.is_dead(10) && b.is_dead(11));
+    }
+}

@@ -629,6 +629,50 @@ mod tests {
     }
 
     #[test]
+    fn catalog_backed_summary_tracks_tombstoned_removals() {
+        // A whole-observation removal is absorbed by the catalog as a
+        // tombstone (no rebuild); the explorer's summary — served from the
+        // cube's stats — must track it exactly like the SPARQL listing.
+        let (endpoint, dataset) = enriched_endpoint(140);
+        let catalog = std::sync::Arc::new(cubestore::CubeCatalog::new());
+        let explorer =
+            CubeExplorer::open_with_catalog(&endpoint, &dataset, catalog.clone()).unwrap();
+        assert_eq!(explorer.summary().unwrap().observations, 140);
+
+        let node = endpoint
+            .select(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 SELECT ?o WHERE { ?o a qb:Observation } ORDER BY ?o LIMIT 1",
+            )
+            .unwrap()
+            .get(0, "o")
+            .cloned()
+            .unwrap();
+        let triples = endpoint.store().triples_matching(Some(&node), None, None);
+        assert!(endpoint.store().remove_all(&triples) >= 4);
+
+        let summary = explorer.summary().unwrap();
+        assert_eq!(summary.observations, 139, "summary reflects the removal");
+        let listed = list_cubes(&endpoint)
+            .unwrap()
+            .into_iter()
+            .find(|c| c.dataset == dataset)
+            .unwrap();
+        assert_eq!(summary, listed, "columns and SPARQL listing agree");
+        // The refresh was a tombstone, not a rebuild, and navigation still
+        // matches the oracle.
+        let report = catalog.last_report(&dataset).unwrap();
+        assert_eq!(report.strategy, cubestore::MaintenanceStrategy::Delta);
+        assert_eq!(report.rows_removed, 1);
+        assert_eq!(
+            explorer.members(&eurostat_property::citizen()).unwrap(),
+            explorer
+                .members_via_sparql(&eurostat_property::citizen())
+                .unwrap()
+        );
+    }
+
+    #[test]
     fn qb_errors_map_to_the_schema_variant() {
         let error: ExplorerError = qb::QbError::NotFound("d".into()).into();
         assert!(matches!(error, ExplorerError::Schema(_)), "{error}");

@@ -8,10 +8,12 @@
 //! [`ExecutionBackend::Columnar`] runs the simplified pipeline on a
 //! [`cubestore::MaterializedCube`] served by a shared
 //! [`cubestore::CubeCatalog`] — built lazily from the endpoint, kept live
-//! by incremental maintenance, and validated against the store's mutation
-//! epoch on every execution, so no SPARQL round-trip per query and no
-//! stale reads. Both backends return identical [`ResultCube`]s for the
-//! same prepared query.
+//! by O(delta) incremental maintenance (copy-on-write refreshes for
+//! appends, tombstoned rows for whole-observation removals, a reported
+//! rebuild for everything the classifier refuses), and validated against
+//! the store's mutation epoch on every execution, so no SPARQL round-trip
+//! per query and no stale reads. Both backends return identical
+//! [`ResultCube`]s for the same prepared query.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};

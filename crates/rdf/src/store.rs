@@ -318,6 +318,32 @@ impl Store {
         removed
     }
 
+    /// Removes all given triples from the default graph as **one**
+    /// mutation: the epoch bumps once and, with the change log enabled,
+    /// the triples actually removed land in a single [`StoreDelta`].
+    ///
+    /// Batching matters to delta consumers: the columnar cube catalog can
+    /// tombstone a removed observation only when *all* of its triples
+    /// disappear within one delta — per-triple [`Store::remove`] calls
+    /// produce one single-triple delta each, which the catalog must treat
+    /// as partial removals and resolve with a full rebuild.
+    ///
+    /// Returns the number of triples actually removed.
+    pub fn remove_all(&self, triples: &[Triple]) -> usize {
+        let mut inner = self.inner.write();
+        let mut removed = Vec::new();
+        for triple in triples {
+            if inner.default_graph.remove(triple) {
+                removed.push(triple.clone());
+            }
+        }
+        let count = removed.len();
+        if count > 0 {
+            inner.commit(None, Vec::new(), removed);
+        }
+        count
+    }
+
     /// True if the default graph contains the triple.
     pub fn contains(&self, triple: &Triple) -> bool {
         self.inner.read().default_graph.contains(triple)
@@ -622,6 +648,39 @@ mod tests {
         store.disable_change_log();
         assert!(!store.change_log_enabled());
         assert_eq!(store.deltas_since(store.epoch()), None);
+    }
+
+    #[test]
+    fn remove_all_records_one_delta_and_one_epoch_step() {
+        let store = Store::new();
+        let triples: Vec<Triple> = (0..4)
+            .map(|i| {
+                Triple::new(Term::iri("http://s"), Iri::new("http://p"), Literal::integer(i))
+            })
+            .collect();
+        store.bulk_insert(triples.clone());
+        store.enable_change_log();
+        let epoch = store.epoch();
+
+        // Three present triples plus one that never existed: only the
+        // effective removals are counted and recorded.
+        let mut batch = triples[..3].to_vec();
+        batch.push(Triple::new(
+            Term::iri("http://s"),
+            Iri::new("http://p"),
+            Literal::integer(99),
+        ));
+        assert_eq!(store.remove_all(&batch), 3);
+        assert_eq!(store.epoch(), epoch + 1, "one batch = one epoch step");
+        let deltas = store.deltas_since(epoch).expect("covered");
+        assert_eq!(deltas.len(), 1, "one batch = one delta");
+        assert_eq!(deltas[0].removed, triples[..3].to_vec());
+        assert!(deltas[0].inserted.is_empty());
+        assert_eq!(store.len(), 1);
+
+        // A batch removing nothing is a no-op: no epoch bump, no delta.
+        assert_eq!(store.remove_all(&batch[..3]), 0);
+        assert_eq!(store.epoch(), epoch + 1);
     }
 
     #[test]

@@ -57,6 +57,31 @@ fn cut_broader_links(tool: &Qb2Olap, member: &rdf::Term) -> usize {
     links.len()
 }
 
+/// The observation nodes of the dataset, in a deterministic order.
+fn observation_nodes(tool: &Qb2Olap, dataset: &Iri) -> Vec<Term> {
+    tool.endpoint()
+        .select(&format!(
+            "PREFIX qb: <http://purl.org/linked-data/cube#>
+             SELECT ?o WHERE {{ ?o a qb:Observation ; qb:dataSet <{}> }} ORDER BY ?o",
+            dataset.as_str()
+        ))
+        .unwrap()
+        .rows
+        .iter()
+        .filter_map(|r| r.first().cloned().flatten())
+        .collect()
+}
+
+/// Removes one observation *completely* as a single batched mutation (one
+/// `StoreDelta`), the shape the catalog can absorb by tombstoning the row.
+/// Returns how many triples went.
+fn remove_observation(tool: &Qb2Olap, node: &Term) -> usize {
+    let store = tool.endpoint().store();
+    let triples = store.triples_matching(Some(node), None, None);
+    assert!(!triples.is_empty(), "observation {node} has triples");
+    store.remove_all(&triples)
+}
+
 #[test]
 fn ragged_hierarchy_drops_members_identically_in_both_backends() {
     let (tool, dataset) = demo_tool(900);
@@ -225,15 +250,18 @@ fn interleaved_mutations_keep_catalog_and_sparql_in_lockstep() {
     enum Mutation {
         AppendExisting,
         AppendNewMember,
+        RemoveObservation,
         CutBroaderLink,
         EditObservation,
     }
     let rounds = [
         Mutation::AppendExisting,
         Mutation::AppendNewMember,
+        Mutation::RemoveObservation,
         Mutation::AppendExisting,
         Mutation::CutBroaderLink,
         Mutation::AppendExisting,
+        Mutation::RemoveObservation,
         Mutation::EditObservation,
     ];
 
@@ -269,6 +297,14 @@ fn interleaved_mutations_keep_catalog_and_sparql_in_lockstep() {
                 next_obs += 1;
                 next_member += 1;
                 tool.endpoint().insert_triples(&batch).unwrap();
+            }
+            Mutation::RemoveObservation => {
+                // Remove one whole observation in a single batch: the
+                // catalog must absorb it by tombstoning the row (delta
+                // path), not rebuilding.
+                let nodes = observation_nodes(&tool, &dataset);
+                let victim = &nodes[rng.gen_range(0..nodes.len())];
+                assert!(remove_observation(&tool, victim) >= 4);
             }
             Mutation::CutBroaderLink => {
                 // Make the hierarchy ragged at one member: unappliable, so
@@ -361,4 +397,101 @@ fn interleaved_mutations_keep_catalog_and_sparql_in_lockstep() {
         .iter()
         .filter(|r| r.strategy == MaintenanceStrategy::Rebuild)
         .all(|r| r.reason.is_some()));
+    // The whole-observation removals were absorbed as tombstones, not
+    // rebuilds: at least one delta-strategy refresh reports removed rows.
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.strategy == MaintenanceStrategy::Delta && r.rows_removed > 0),
+        "no removal was absorbed via the tombstone path: {reports:?}"
+    );
+}
+
+/// The tombstone/compaction gate: seeded whole-observation removals are
+/// absorbed as tombstones until the live-row fraction crosses the
+/// compaction threshold, at which point the catalog re-materializes — and
+/// at *every* boundary the catalog-served columnar results must stay
+/// cell-identical to fresh SPARQL evaluation, the explorer summary
+/// identical to the SPARQL dataset listing.
+#[test]
+fn removals_stay_in_lockstep_across_compaction_boundaries() {
+    use qb2olap::cubestore::{MaintenanceStrategy, RebuildReason};
+
+    let (tool, dataset) = demo_tool(400);
+    let querying = tool.querying(&dataset).unwrap();
+    let initial = querying.materialize().unwrap();
+    let initial_rows = initial.row_count();
+    let explorer = tool.explorer(&dataset).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xDEAD_BEEF);
+    let assert_parity = |round: usize| {
+        for (name, text) in datagen::workload::bench_queries() {
+            let prepared = querying.prepare(&text).unwrap();
+            let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let columnar_cube = querying
+                .execute(&prepared, ExecutionBackend::Columnar)
+                .unwrap();
+            assert_eq!(
+                sparql_cube, columnar_cube,
+                "backends diverge for '{name}' after removal round {round}"
+            );
+        }
+        // The catalog-served summary (observation count, label) must track
+        // the removals exactly like the SPARQL dataset listing does.
+        let summary = explorer.summary().unwrap();
+        let listed = explorer::list_cubes(tool.endpoint())
+            .unwrap()
+            .into_iter()
+            .find(|c| c.dataset == dataset)
+            .unwrap();
+        assert_eq!(
+            summary.observations, listed.observations,
+            "summary diverges from the SPARQL listing after round {round}"
+        );
+    };
+
+    // Remove ~60 observations per round until the catalog compacts; the
+    // physical row space only shrinks at the compaction boundary.
+    let mut compacted_at = None;
+    for round in 0..6 {
+        let nodes = observation_nodes(&tool, &dataset);
+        for _ in 0..60 {
+            let victim = nodes[rng.gen_range(0..nodes.len())].clone();
+            if tool.endpoint().store().triples_matching(Some(&victim), None, None).is_empty() {
+                continue; // already removed this round
+            }
+            remove_observation(&tool, &victim);
+        }
+        assert_parity(round);
+        let report = querying.maintenance_reports().last().cloned().unwrap();
+        match report.strategy {
+            MaintenanceStrategy::Delta => {
+                assert!(report.rows_removed > 0, "removals tombstone: {report:?}");
+            }
+            MaintenanceStrategy::Compaction => {
+                let reason = report.reason.clone().expect("compaction reports a reason");
+                assert!(
+                    matches!(reason, RebuildReason::LowLiveFraction { .. }),
+                    "{reason}"
+                );
+                compacted_at = Some(round);
+                break;
+            }
+            other => panic!("unexpected refresh strategy {other:?}: {report:?}"),
+        }
+    }
+    let compacted_at = compacted_at.expect("enough removals to cross the 0.5 live fraction");
+
+    // After the compaction boundary the cube is dense again and still in
+    // lockstep — including for one more removal + append round.
+    let compacted = querying.materialize().unwrap();
+    assert_eq!(compacted.tombstoned_rows(), 0, "compaction reclaimed the dead rows");
+    assert!(compacted.row_count() < initial_rows, "physical rows shrank");
+    let nodes = observation_nodes(&tool, &dataset);
+    let victim = nodes[rng.gen_range(0..nodes.len())].clone();
+    remove_observation(&tool, &victim);
+    assert_parity(compacted_at + 1);
+    let report = querying.maintenance_reports().last().cloned().unwrap();
+    assert_eq!(report.strategy, MaintenanceStrategy::Delta);
+    assert_eq!(report.rows_removed, 1);
 }
