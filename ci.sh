@@ -22,6 +22,16 @@ cargo test --release -q -p qb2olap-suite --test integration_backends
 cargo test --release -q -p qb2olap-suite --test integration_backends -- \
     interleaved_mutations_keep_catalog_and_sparql_in_lockstep
 
+# The mutation-sequence differential fuzzer, pinned by name and seed: 200
+# seeded steps of interleaved integer/float appends, new members, and
+# whole/partial removals against one store (two datasets) must refresh
+# exclusively via the delta path (no rebuild, no compaction) while the
+# catalog-served columnar results stay bit-identical to fresh SPARQL
+# evaluation after every step (float SUM/AVG included, thread counts
+# 1/2/8 swept periodically).
+QB2OLAP_FUZZ_STEPS=200 cargo test --release -q -p qb2olap-suite --test integration_backends -- \
+    mutation_sequence_fuzzer_keeps_catalog_and_sparql_in_lockstep
+
 # Release-mode repro smoke: the experiment harness must run end to end
 # (E11 re-checks backend parity at this scale; E12 re-checks incremental
 # maintenance — the delta path must be taken for pure appends, parity must
@@ -33,6 +43,11 @@ cargo test --release -q -p qb2olap-suite --test integration_backends -- \
 cargo run --release -p qb2olap_bench --bin repro -- e11 --observations 4000 > /dev/null
 cargo run --release -p qb2olap_bench --bin repro -- e12 --observations 4000 > /dev/null
 cargo run --release -p qb2olap_bench --bin repro -- e13 --observations 4000 > /dev/null
+# E14 additionally asserts: float appends and partial removals refresh via
+# the delta path (never a rebuild) on a decimal-measure cube, with
+# columnar results bit-identical to SPARQL and the chunked float scan
+# bit-identical across worker counts.
+cargo run --release -p qb2olap_bench --bin repro -- e14 --observations 4000 > /dev/null
 
 # Documentation cross-references resolve: every local *.md file mentioned
 # in the top-level docs exists, and the architecture map is linked from
@@ -44,6 +59,7 @@ for doc in README.md ARCHITECTURE.md EXPERIMENTS.md; do
 done
 grep -q 'ARCHITECTURE.md' README.md
 grep -q 'E13' EXPERIMENTS.md
+grep -q 'E14' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

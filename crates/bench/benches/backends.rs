@@ -125,6 +125,44 @@ fn bench_backends(c: &mut Criterion) {
             querying.materialize().expect("refresh")
         });
     });
+
+    // A *partial* removal (strip one observation's measure value, one
+    // pattern = one delta): previously a forced rebuild, now a tombstone +
+    // dropped-fragment reclassification on the delta path.
+    group.bench_function("refresh_partial_remove_1", |b| {
+        b.iter(|| {
+            let node = victims.pop().expect("enough observations for the sample count");
+            let removed = cube.endpoint.store().remove_matching(
+                Some(&node),
+                Some(&rdf::vocab::sdmx_measure::obs_value()),
+                None,
+            );
+            assert_eq!(removed.len(), 1);
+            querying.materialize().expect("refresh")
+        });
+    });
+
+    // Float-measure cube (xsd:decimal values): a 1-row append refresh —
+    // previously refused as NonIntegralAppend and rebuilt, now absorbed on
+    // the delta path thanks to order-independent compensated summation.
+    let float_cube = qb2olap_bench::demo_cube_with(&datagen::EurostatConfig {
+        decimal_measures: true,
+        ..datagen::EurostatConfig::small(observations)
+    });
+    let float_tool = Qb2Olap::new(float_cube.endpoint.clone());
+    let float_querying = float_tool
+        .querying(&float_cube.dataset)
+        .expect("float cube is enriched");
+    float_querying.materialize().expect("materialization");
+    let mut float_factory =
+        qb2olap_bench::ObservationFactory::new(&float_cube.endpoint, &float_cube.dataset, "benchf");
+    group.bench_function("refresh_append_float_1", |b| {
+        b.iter(|| {
+            qb2olap::Endpoint::insert_triples(&float_cube.endpoint, &float_factory.float_batch(1))
+                .expect("append");
+            float_querying.materialize().expect("refresh")
+        });
+    });
     group.finish();
 }
 

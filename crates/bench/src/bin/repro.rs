@@ -1,9 +1,9 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E13).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E14).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e13] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e14] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -112,6 +112,9 @@ fn main() {
     }
     if run("e13", &experiment) {
         rows.extend(e13_cow_and_tombstone_maintenance(observations));
+    }
+    if run("e14", &experiment) {
+        rows.extend(e14_float_and_partial_removal_maintenance(observations));
     }
 
     if as_json {
@@ -954,5 +957,192 @@ fn e13_cow_and_tombstone_maintenance(observations: usize) -> Vec<Measurement> {
         "E13: catalog-served cells diverge from SPARQL after compaction"
     );
     rows.push(Measurement::new("E13", &parameters, "compaction_matches_sparql", 1.0));
+    rows
+}
+
+/// E14: float-measure maintenance — order-independent (compensated)
+/// aggregation makes float appends and partial-observation removals
+/// delta-appliable. Measures, on an `xsd:decimal`-measure cube at the
+/// given scale: the full-rebuild baseline these mutations used to pay,
+/// the latency/allocation of a 1- and 100-row *float* append refresh and
+/// of a partial removal (one measure value stripped), and the chunked
+/// float scan at 1 and 2 workers (asserted bit-identical). Any refresh
+/// that falls back to a rebuild, and any columnar-vs-SPARQL divergence,
+/// aborts — the CI smoke step runs this experiment.
+fn e14_float_and_partial_removal_maintenance(observations: usize) -> Vec<Measurement> {
+    use qb2olap::cubestore::{execute_with_threads, CubeQuery, MaintenanceStrategy, MaterializedCube};
+    use rdf::vocab::{demo_schema, sdmx_measure};
+    use std::collections::BTreeMap;
+
+    const RUNS: usize = 5;
+    let parameters = format!("observations={observations}");
+    let cube = demo_cube_with(&datagen::EurostatConfig {
+        decimal_measures: true,
+        ..datagen::EurostatConfig::small(observations)
+    });
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let mut rows = Vec::new();
+    querying.materialize().expect("materialization");
+
+    // Baseline: what every float append and partial removal used to cost.
+    let schema = querying.schema().clone();
+    let rebuild_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| {
+            timed(|| MaterializedCube::from_endpoint(&cube.endpoint, &schema).expect("rebuild")).1
+        })
+        .collect();
+    let rebuild_stats = criterion::Stats::from_durations(&rebuild_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E14",
+        &parameters,
+        "full_rebuild_median_ms",
+        millis(rebuild_stats.median),
+    ));
+    let before = alloc_counter::allocated_bytes();
+    let rebuilt = MaterializedCube::from_endpoint(&cube.endpoint, &schema).expect("rebuild");
+    rows.push(Measurement::new(
+        "E14",
+        &parameters,
+        "full_rebuild_alloc_bytes",
+        (alloc_counter::allocated_bytes() - before) as f64,
+    ));
+    drop(rebuilt);
+
+    // Float append refreshes at 1 and 100 rows: previously refused as
+    // NonIntegralAppend (rebuild); now the delta path must absorb them.
+    let mut factory = qb2olap_bench::ObservationFactory::new(&cube.endpoint, &cube.dataset, "e14");
+    for batch_size in [1usize, 100] {
+        cube.endpoint
+            .insert_triples(&factory.float_batch(batch_size))
+            .expect("append");
+        let before = alloc_counter::allocated_bytes();
+        let (_, refresh) = timed(|| querying.materialize().expect("refresh"));
+        let alloc = alloc_counter::allocated_bytes() - before;
+        let report = querying
+            .maintenance_reports()
+            .last()
+            .cloned()
+            .expect("refresh recorded");
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Delta,
+            "E14: a float observation append must refresh via the delta path"
+        );
+        assert_eq!(report.rows_appended, batch_size);
+        let batch_parameters = format!("{parameters} append_batch={batch_size}");
+        rows.push(Measurement::new(
+            "E14",
+            &batch_parameters,
+            "float_append_refresh_ms",
+            millis(refresh),
+        ));
+        rows.push(Measurement::new(
+            "E14",
+            &batch_parameters,
+            "float_append_refresh_alloc_bytes",
+            alloc as f64,
+        ));
+    }
+
+    // A partial removal: strip ONE measure value (one pattern = one
+    // delta). Previously unappliable; now a tombstone + dropped-fragment
+    // reclassification.
+    let victim = cube
+        .endpoint
+        .select(&format!(
+            "PREFIX qb: <http://purl.org/linked-data/cube#>
+             SELECT ?o WHERE {{ ?o a qb:Observation ; qb:dataSet <{}> }} ORDER BY ?o LIMIT 1",
+            cube.dataset.as_str()
+        ))
+        .expect("observation list")
+        .get(0, "o")
+        .cloned()
+        .expect("observations exist");
+    let removed =
+        cube.endpoint
+            .store()
+            .remove_matching(Some(&victim), Some(&sdmx_measure::obs_value()), None);
+    assert_eq!(removed.len(), 1);
+    let before = alloc_counter::allocated_bytes();
+    let (fresh, refresh) = timed(|| querying.materialize().expect("refresh"));
+    let alloc = alloc_counter::allocated_bytes() - before;
+    let report = querying
+        .maintenance_reports()
+        .last()
+        .cloned()
+        .expect("refresh recorded");
+    assert_eq!(
+        report.strategy,
+        MaintenanceStrategy::Delta,
+        "E14: a partial-observation removal must refresh via the delta path"
+    );
+    assert_eq!(report.rows_removed, 1);
+    assert_eq!(fresh.tombstoned_rows(), 1);
+    rows.push(Measurement::new(
+        "E14",
+        &parameters,
+        "partial_remove_refresh_ms",
+        millis(refresh),
+    ));
+    rows.push(Measurement::new(
+        "E14",
+        &parameters,
+        "partial_remove_refresh_alloc_bytes",
+        alloc as f64,
+    ));
+
+    // Parity after the float/partial refreshes: catalog-served cells must
+    // equal fresh SPARQL evaluation, bit for bit (decimal lexicals).
+    let prepared = querying
+        .prepare(&datagen::workload::rollup_citizenship_to_continent())
+        .expect("prepare");
+    assert_eq!(
+        querying
+            .execute(&prepared, SparqlVariant::Direct)
+            .expect("SPARQL backend runs"),
+        querying
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .expect("columnar backend runs"),
+        "E14: catalog-served float cells diverge from SPARQL"
+    );
+    rows.push(Measurement::new("E14", &parameters, "float_matches_sparql", 1.0));
+
+    // The chunked float scan — single- vs two-worker medians, asserted
+    // bit-identical (the integral-only gate is gone).
+    let materialized = querying.materialize().expect("serve");
+    let scan_query = CubeQuery {
+        slices: vec![
+            demo_schema::destination_dim(),
+            demo_schema::time_dim(),
+            demo_schema::term("ageDim"),
+            demo_schema::term("sexDim"),
+            demo_schema::asylapp_dim(),
+        ],
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+    let reference = execute_with_threads(&materialized, &scan_query, 1).expect("scan");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            execute_with_threads(&materialized, &scan_query, threads).expect("scan"),
+            reference,
+            "E14: chunked float scan diverges at {threads} workers"
+        );
+    }
+    for threads in [1usize, 2] {
+        let samples: Vec<std::time::Duration> = (0..RUNS)
+            .map(|_| {
+                timed(|| execute_with_threads(&materialized, &scan_query, threads).expect("scan")).1
+            })
+            .collect();
+        let stats = criterion::Stats::from_durations(&samples).expect("samples");
+        rows.push(Measurement::new(
+            "E14",
+            format!("{parameters} threads={threads}"),
+            "scan_float_ms",
+            millis(stats.median),
+        ));
+    }
     rows
 }

@@ -73,8 +73,29 @@ impl ObservationFactory {
     /// integer measure value — exactly what the columnar delta path
     /// accepts as a pure append.
     pub fn batch(&mut self, count: usize) -> Vec<rdf::Triple> {
+        self.batch_with(count, |serial| {
+            rdf::Literal::integer((serial % 500) as i64 + 1)
+        })
+    }
+
+    /// Like [`ObservationFactory::batch`], but with quarter-step
+    /// `xsd:decimal` measure values — appends for a *float-measure* cube
+    /// (one generated with `EurostatConfig::decimal_measures`; mixing
+    /// measure datatypes within one dataset is unsupported by the columnar
+    /// engine, so use the factory method matching the cube's type).
+    pub fn float_batch(&mut self, count: usize) -> Vec<rdf::Triple> {
+        self.batch_with(count, |serial| {
+            rdf::Literal::decimal((serial % 2_000) as f64 / 4.0 + 0.25)
+        })
+    }
+
+    fn batch_with(
+        &mut self,
+        count: usize,
+        measure: impl Fn(usize) -> rdf::Literal,
+    ) -> Vec<rdf::Triple> {
         use rdf::vocab::{qb, rdf as rdfv, sdmx_measure};
-        use rdf::{Literal, Term, Triple};
+        use rdf::{Term, Triple};
         let mut batch = Vec::with_capacity(count * 9);
         for _ in 0..count {
             let node = Term::iri(format!("http://example.org/{}/obs{}", self.prefix, self.serial));
@@ -87,7 +108,7 @@ impl ObservationFactory {
             batch.push(Triple::new(
                 node,
                 sdmx_measure::obs_value(),
-                Literal::integer((self.serial % 500) as i64 + 1),
+                rdf::Term::Literal(measure(self.serial)),
             ));
             self.serial += 1;
         }

@@ -81,6 +81,12 @@ pub struct MaterializedCube {
     /// missing a measure). A delta completing one of these must rebuild —
     /// a fresh materialization would accept the now-complete observation.
     pub(crate) dropped_observations: Arc<BTreeSet<Term>>,
+    /// Materialized observations that carried **several distinct values**
+    /// for some dimension or measure in the store (QB-malformed; the
+    /// build froze one). Partial removals of these must rebuild: removing
+    /// the frozen value would silently expose the duplicate a fresh build
+    /// now picks.
+    pub(crate) multivalued_observations: Arc<BTreeSet<Term>>,
     /// Member-level `skos:broader` adjacency (child → sorted parents),
     /// `Arc`-shared until a delta adds links for new members.
     pub(crate) broader: Arc<BTreeMap<Term, Vec<Term>>>,
@@ -280,6 +286,7 @@ impl Builder<'_> {
         let mut row_count = 0usize;
         let mut observation_rows: HashMap<Term, usize> = HashMap::new();
         let mut dropped_observations: BTreeSet<Term> = BTreeSet::new();
+        let mut multivalued_observations: BTreeSet<Term> = BTreeSet::new();
         for observation in &observations {
             if !typed.contains(&observation.node) {
                 stats.rows_dropped += 1;
@@ -311,6 +318,9 @@ impl Builder<'_> {
                     None => NO_MEMBER,
                 };
                 codes[index].push(code);
+            }
+            if !observation.multivalued.is_empty() {
+                multivalued_observations.insert(observation.node.clone());
             }
             observation_rows.insert(observation.node.clone(), row_count);
             row_count += 1;
@@ -472,6 +482,7 @@ impl Builder<'_> {
             rollups,
             observations: ObservationIndex::from_map(observation_rows),
             dropped_observations: Arc::new(dropped_observations),
+            multivalued_observations: Arc::new(multivalued_observations),
             broader: Arc::new(broader),
             dataset_label,
             tombstones: Tombstones::new(),

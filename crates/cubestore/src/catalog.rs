@@ -524,6 +524,41 @@ mod tests {
     }
 
     #[test]
+    fn partial_observation_removal_refreshes_via_the_delta_path() {
+        use rdf::Triple;
+
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Strip ONE measure value of o3 — previously an unappliable
+        // partial removal (rebuild); now the row tombstones and the
+        // fragment is recorded as dropped, all in O(delta).
+        let o3 = Term::iri("http://example.org/obs/o3");
+        assert!(endpoint.store().remove(&Triple::new(
+            o3.clone(),
+            iri("measure/value"),
+            rdf::Literal::integer(5)
+        )));
+        let fresh = catalog.serve(&endpoint, &schema).unwrap();
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Delta);
+        assert_eq!(report.rows_removed, 1);
+        assert!(report.reason.is_none());
+        assert_eq!(fresh.live_row_count(), 4);
+        assert_eq!(fresh.tombstoned_rows(), 1);
+        assert!(!fresh.is_observation(&o3));
+        // The fragment's cell is gone from query results.
+        let query = CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let output = execute(&fresh, &query).unwrap();
+        assert!(!output
+            .cells
+            .iter()
+            .any(|c| c.coordinates == vec![member("K2"), member("m1")]));
+    }
+
+    #[test]
     fn accumulated_tombstones_trigger_a_reported_compaction() {
         let (endpoint, schema, catalog) = setup();
         catalog.serve(&endpoint, &schema).unwrap();

@@ -86,6 +86,18 @@ impl DimensionColumn {
     }
 }
 
+/// One measure value routed for aggregation: integer-routed values
+/// accumulate exactly (no `f64` round-trip), float-routed values go through
+/// the order-independent compensated sum. See
+/// [`MeasureVector::numeric_at`] for the routing rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MeasureValue {
+    /// An input the SPARQL engine reads as an integer.
+    Integer(i64),
+    /// An input the SPARQL engine reads as a float.
+    Float(f64),
+}
+
 /// A dense, typed vector of measure values.
 ///
 /// The variant is chosen at build time from the XSD datatype of the measure
@@ -156,12 +168,68 @@ impl MeasureVector {
         Ok(())
     }
 
-    /// The numeric value of one row.
+    /// The numeric value of one row as `f64`. For [`MeasureVector::Integer`]
+    /// this **rounds** above 2⁵³ (the `i64` → `f64` conversion is lossy
+    /// there); aggregation goes through [`MeasureVector::numeric_at`]
+    /// instead, which keeps integers exact end-to-end.
     #[inline]
     pub fn value(&self, row: usize) -> f64 {
         match self {
             MeasureVector::Integer(v) => *v.get(row) as f64,
             MeasureVector::Decimal(v) | MeasureVector::Double(v) => *v.get(row),
+        }
+    }
+
+    /// One row routed exactly as the SPARQL engine routes the corresponding
+    /// literal ([`MeasureVector::term_at`]) into its aggregates: a lexical
+    /// form that parses as `i64` is an integer input, everything else a
+    /// float input. The routing decides which [`sparql::NumericSum`] path a
+    /// value takes, so it must match the literal-side routing bit-for-bit:
+    ///
+    /// * `Integer` rows always route integer (canonical `xsd:integer`
+    ///   lexicals always parse);
+    /// * `Double` rows route integer when integral and within `i64` range
+    ///   (the canonical lexical of `2.0` is `"2"`);
+    /// * `Decimal` rows additionally need `|v| ≥ 1e15`: below that the
+    ///   canonical lexical keeps a trailing `.0` and never parses as an
+    ///   integer (see `rdf`'s decimal formatting).
+    ///
+    /// `tests::numeric_routing_matches_the_literal_parse` pins the
+    /// equivalence against an actual parse of [`MeasureVector::term_at`].
+    #[inline]
+    pub fn numeric_at(&self, row: usize) -> MeasureValue {
+        /// The `i64` the value's canonical lexical form denotes, if it
+        /// parses as one. Below 2⁵³ the shortest round-trip form is the
+        /// exact integer; beyond that it may denote a *neighbouring*
+        /// integer (`4.611686018427388e18` prints as
+        /// `"4611686018427388000"`, not 2⁶²), so the actual form is
+        /// consulted — exactly what the engine's `as_integer` read does.
+        fn int_if_lexically_integer(value: f64) -> Option<i64> {
+            const TWO_53: f64 = 9_007_199_254_740_992.0;
+            if value.fract() != 0.0 {
+                return None;
+            }
+            if value.abs() < TWO_53 {
+                return Some(value as i64);
+            }
+            value.to_string().parse::<i64>().ok()
+        }
+        match self {
+            MeasureVector::Integer(v) => MeasureValue::Integer(*v.get(row)),
+            MeasureVector::Decimal(v) => {
+                let value = *v.get(row);
+                match int_if_lexically_integer(value) {
+                    Some(int) if value.abs() >= 1e15 => MeasureValue::Integer(int),
+                    _ => MeasureValue::Float(value),
+                }
+            }
+            MeasureVector::Double(v) => {
+                let value = *v.get(row);
+                match int_if_lexically_integer(value) {
+                    Some(int) => MeasureValue::Integer(int),
+                    None => MeasureValue::Float(value),
+                }
+            }
         }
     }
 
@@ -286,5 +354,65 @@ mod tests {
     fn unsupported_datatypes_are_rejected() {
         assert!(MeasureVector::for_literal(&Literal::string("x")).is_err());
         assert!(MeasureVector::for_literal(&Literal::boolean(true)).is_err());
+    }
+
+    /// The aggregation routing of `numeric_at` must be exactly "does the
+    /// canonical lexical form parse as i64" — the read the SPARQL engine
+    /// performs on the literal `term_at` reconstructs.
+    #[test]
+    fn numeric_routing_matches_the_literal_parse() {
+        let tricky = [
+            0.0,
+            -0.0,
+            2.0,
+            2.5,
+            -3.75,
+            1e15,
+            1e15 - 0.5,
+            -1e15,
+            9.007199254740993e15, // 2^53 + 1-ish: integral, huge
+            9.223372036854776e18, // 2^63: one past i64::MAX
+            -9.223372036854776e18, // exactly i64::MIN
+            4.611686018427388e18, // 2^62
+            1e300,
+        ];
+        for make in [MeasureVector::Decimal, MeasureVector::Double] {
+            let vector = make(CowVec::from_vec(tricky.to_vec()));
+            for (row, &raw) in tricky.iter().enumerate() {
+                let literal = match vector.term_at(row) {
+                    Term::Literal(l) => l,
+                    other => panic!("measure term {other} is not a literal"),
+                };
+                let expected = match literal.as_integer() {
+                    Some(i) => MeasureValue::Integer(i),
+                    None => MeasureValue::Float(raw),
+                };
+                assert_eq!(
+                    vector.numeric_at(row),
+                    expected,
+                    "routing diverges from the literal parse for {} ({:?})",
+                    literal.lexical(),
+                    vector
+                );
+            }
+        }
+    }
+
+    /// Integer rows keep the full `i64` range exact end-to-end: neither
+    /// `numeric_at` nor `term_at` round-trips through `f64`.
+    #[test]
+    fn integer_boundary_values_stay_exact() {
+        let mut vector = MeasureVector::for_literal(&Literal::integer(0)).unwrap();
+        for v in [i64::MAX, i64::MAX - 1, i64::MIN, i64::MIN + 1] {
+            vector.push(&Literal::integer(v)).unwrap();
+        }
+        assert_eq!(vector.numeric_at(0), MeasureValue::Integer(i64::MAX));
+        assert_eq!(vector.numeric_at(1), MeasureValue::Integer(i64::MAX - 1));
+        assert_eq!(vector.numeric_at(2), MeasureValue::Integer(i64::MIN));
+        assert_eq!(vector.numeric_at(3), MeasureValue::Integer(i64::MIN + 1));
+        assert_eq!(vector.term_at(1), Term::integer(i64::MAX - 1), "no f64 round-trip");
+        // The f64 view *does* round there — which is why aggregation must
+        // not use it for integer vectors.
+        assert_eq!(vector.value(0), vector.value(1));
     }
 }

@@ -2,15 +2,21 @@
 //! ([`rdf::StoreDelta`]) to a [`MaterializedCube`] without touching the
 //! endpoint.
 //!
-//! The delta path handles the serving-friendly mutations — appending new
-//! observations, introducing brand-new members (with their roll-up links,
-//! labels and attribute values), and removing whole observations — by
-//! extending the copy-on-write columns and roll-up maps and tombstoning
-//! removed rows. Every mutation it cannot replay with bit-identical
-//! results refuses with [`CubeStoreError::DeltaUnsupported`], whose typed
-//! [`DeltaRefusal`] becomes the rebuild reason in the catalog's
-//! maintenance report, so a wrong classification can cost a rebuild but
-//! never correctness.
+//! The delta path handles every *pure-data* mutation — appending new
+//! observations (any measure type: float aggregation is order-independent
+//! via [`sparql::NumericSum`], so append order cannot diverge from a
+//! rebuild's row order), introducing brand-new members (with their
+//! roll-up links, labels and attribute values), and removing observations
+//! whole **or in part** — by extending the copy-on-write columns and
+//! roll-up maps and tombstoning removed rows. A partial removal
+//! re-classifies the surviving fragment exactly as a fresh build would:
+//! unlinked from the dataset → invisible; untyped or missing a measure →
+//! recorded as *dropped*; still complete → re-appended as a live row with
+//! the removed dimension values unbound. Every mutation the path cannot
+//! replay with bit-identical results refuses with
+//! [`CubeStoreError::DeltaUnsupported`], whose typed [`DeltaRefusal`]
+//! becomes the rebuild reason in the catalog's maintenance report, so a
+//! wrong classification can cost a rebuild but never correctness.
 //!
 //! # Delta-vs-rebuild decision table
 //!
@@ -27,7 +33,11 @@
 //! | Insert `skos:broader` for a fresh (not yet materialized) child | **apply**: extend the adjacency | — |
 //! | Insert an attribute/label value filling an empty slot | **apply**: set the slot | — |
 //! | Remove **all** triples of one materialized observation in one delta | **apply**: tombstone its row (executor skips it; catalog compacts when the live fraction drops) | — |
-//! | Remove only part of an observation's triples | refuse | [`RefusalKind::PartialObservationRemoval`] — the surviving fragment's classification (dropped? invisible?) needs a fresh build |
+//! | Remove the `qb:dataSet` link (and possibly more) of a materialized observation | **apply**: tombstone; the fragment is invisible to a fresh build | — |
+//! | Remove the type triple or a measure value of a materialized observation | **apply**: tombstone and record the fragment as *dropped* (a fresh build drops it too); later mutations of it rebuild | — |
+//! | Remove only dimension values of a materialized observation | **apply**: tombstone the old row and re-append the surviving row with those dimensions unbound | — |
+//! | Remove a dimension/measure value of a materialized observation that the build never materialized (a duplicate the store held) | refuse | [`RefusalKind::ObservationMutated`] — a fresh build could now pick a different value |
+//! | Partially remove an observation that carried **several** values for some dimension/measure at build time | refuse | [`RefusalKind::ObservationMutated`] — stripping the frozen value would silently expose the duplicate a fresh build now picks |
 //! | Insert/remove a schema or hierarchy-structure triple (`qb:*` components, `qb4o:*` structure) | refuse | [`RefusalKind::SchemaStructure`] — every roll-up map could change |
 //! | Add a `skos:broader` link to an existing member | refuse | [`RefusalKind::RollupLinkAdded`] — frozen roll-up entries could change |
 //! | Remove a `skos:broader` link of a known member | refuse | [`RefusalKind::RollupLinkRemoved`] — ragged-hierarchy drops must be recomputed |
@@ -37,16 +47,20 @@
 //! | Touch (insert into or remove from) a previously *dropped* observation | refuse | [`RefusalKind::DroppedObservationMutated`] — a fresh build might classify it differently now |
 //! | Insert an incomplete observation (untyped or missing a measure) | refuse | [`RefusalKind::IncompleteObservation`] — a later delta may complete it |
 //! | Insert an observation with several values per dimension/measure, or a non-literal measure | refuse | [`RefusalKind::MalformedObservation`] |
-//! | Append to a populated **float** measure column | refuse | [`RefusalKind::NonIntegralAppend`] — append accumulation order could differ from the rebuild's row order in the last ulp; integral sums are exact in any order (the same hazard keeps the chunked scan integral-only). Compensated/decimal summation would lift this; see ROADMAP |
+//! | Append to a populated **float** measure column | **apply**: extend the tail — SUM/AVG go through the order-independent compensated accumulator, so append order cannot move any aggregate off a rebuild's result by even an ulp | — |
 //! | Attribute value conflicting with the materialized one | refuse | [`RefusalKind::AttributeConflict`] (first-value-wins needs build order) |
 //! | Remove an attribute value / change or remove the dataset label | refuse | [`RefusalKind::AttributeRemoved`] / [`RefusalKind::DatasetLabelChanged`] |
 //! | Attribute value for a member the cube never saw | refuse | [`RefusalKind::UnknownMemberAttribute`] — it may matter to a member of a later delta |
 //! | Anything in a named graph, or triples invisible to the materialization | **skip** (no-op) | the cube materializes the default graph only |
 //!
-//! Whole-observation removal is only recognized *within one delta*: a
-//! removal spread across several `Store::remove` calls arrives as several
-//! single-triple deltas, each partial, and rebuilds. Callers that want
-//! tombstoned removals batch them through [`rdf::Store::remove_all`].
+//! Removal batching still matters, just less than it used to: a removal
+//! spread across several `Store::remove` calls arrives as several
+//! single-triple deltas, each of which is applied as a *partial* removal —
+//! the first one usually turns the fragment into a *dropped* observation,
+//! and the next delta touching that dropped fragment refuses with
+//! [`RefusalKind::DroppedObservationMutated`] and rebuilds. Callers that
+//! want a clean one-step tombstone batch the whole observation through
+//! [`rdf::Store::remove_all`] (or [`rdf::Store::remove_matching`]).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -190,8 +204,9 @@ fn apply_one(
     delta: &StoreDelta,
 ) -> Result<(), CubeStoreError> {
     // Removals of a materialized observation's fact triples are collected
-    // per node: a set covering the *whole* observation tombstones its row;
-    // anything partial (and every other relevant removal) refuses.
+    // per node: the row is tombstoned and the surviving fragment (if any)
+    // re-classified against the build rules — dropped, invisible, or
+    // re-appended live.
     let mut pending_removals: BTreeMap<Term, Vec<&Triple>> = BTreeMap::new();
     for triple in &delta.removed {
         if cube.observations.contains(&triple.subject) && context.is_fact_triple(triple) {
@@ -204,7 +219,7 @@ fn apply_one(
         check_removal(cube, context, triple)?;
     }
     for (node, removed) in pending_removals {
-        tombstone_observation(cube, context, &node, &removed)?;
+        apply_observation_removal(cube, context, &node, &removed)?;
     }
     if delta.inserted.is_empty() {
         return Ok(());
@@ -456,31 +471,35 @@ fn check_removal(
     Ok(())
 }
 
-/// Tombstones the row of a materialized observation whose fact triples
-/// were *all* removed by one delta. The expected triple set is
-/// reconstructed from the columns (the dictionaries decode the dimension
-/// members, [`crate::columns::MeasureVector::term_at`] the measure
-/// literals), so the check is exact: any mismatch — extra removals,
-/// missing removals, removals of values the build never materialized —
-/// refuses instead of guessing.
-fn tombstone_observation(
+/// Applies one delta's removals of a materialized observation's fact
+/// triples. The materialized triple set is reconstructed from the columns
+/// (the dictionaries decode the dimension members,
+/// [`crate::columns::MeasureVector::term_at`] the measure literals), so
+/// the classification is exact:
+///
+/// * a removal of a value the build never materialized (a duplicate the
+///   store held) refuses — a fresh build could now pick a different value;
+/// * a removal covering *everything* tombstones the row, exactly as
+///   before;
+/// * a partial removal tombstones the row and re-classifies the surviving
+///   fragment the way a fresh build would: no `qb:dataSet` link →
+///   invisible (not even counted as seen); untyped or missing a measure →
+///   recorded in `dropped_observations` (so any later mutation of the
+///   fragment refuses and rebuilds, keeping first-touch semantics); still
+///   a complete observation (only optional dimension values gone) →
+///   re-appended at the column tail with those dimensions unbound.
+fn apply_observation_removal(
     cube: &mut MaterializedCube,
     context: &DeltaContext,
     node: &Term,
     removed: &[&Triple],
 ) -> Result<(), CubeStoreError> {
     let row = cube.observations.row_of(node).expect("caller checked");
+    let type_triple = Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation()));
+    let dataset_triple = Triple::new(node.clone(), qb::data_set(), context.dataset.clone());
     let mut expected: BTreeSet<Triple> = BTreeSet::new();
-    expected.insert(Triple::new(
-        node.clone(),
-        rdfv::type_(),
-        Term::Iri(qb::observation()),
-    ));
-    expected.insert(Triple::new(
-        node.clone(),
-        qb::data_set(),
-        context.dataset.clone(),
-    ));
+    expected.insert(type_triple.clone());
+    expected.insert(dataset_triple.clone());
     for column in &cube.dimensions {
         let code = column.code(row);
         if code != NO_MEMBER {
@@ -499,20 +518,102 @@ fn tombstone_observation(
         ));
     }
     let removed_set: BTreeSet<Triple> = removed.iter().map(|t| (*t).clone()).collect();
-    if removed_set != expected {
+    if !removed_set.is_subset(&expected) {
         return Err(unsupported(
-            RefusalKind::PartialObservationRemoval,
+            RefusalKind::ObservationMutated,
             format!(
-                "removal covers {} of the {} materialized triples of observation {node}",
-                removed_set.intersection(&expected).count(),
-                expected.len()
+                "removal from observation {node} covers values the build never materialized \
+                 (a fresh build could now read different ones)"
             ),
         ));
     }
+    if removed_set.len() != expected.len() && cube.multivalued_observations.contains(node) {
+        // The store held several values for one of this observation's
+        // slots and the build froze one; a partial removal could strip the
+        // frozen value and silently expose the duplicate a fresh build now
+        // picks. Only a rebuild knows the surviving values.
+        return Err(unsupported(
+            RefusalKind::ObservationMutated,
+            format!(
+                "partial removal from observation {node}, which carried several values \
+                 for a dimension or measure at build time"
+            ),
+        ));
+    }
+
+    // Every case below kills the current row and drops it from the index;
+    // they differ in how the surviving fragment is accounted for.
     cube.observations.remove(node);
     cube.tombstones.kill(row);
     cube.stats.rows -= 1;
-    cube.stats.observations_seen -= 1;
+
+    if removed_set.len() == expected.len() {
+        // Whole removal: the node is gone from the dataset entirely.
+        cube.stats.observations_seen -= 1;
+        return Ok(());
+    }
+    if removed_set.contains(&dataset_triple) {
+        // The surviving fragment is no longer linked to this dataset: a
+        // fresh build neither materializes nor counts it.
+        cube.stats.observations_seen -= 1;
+        return Ok(());
+    }
+    let lost_type = removed_set.contains(&type_triple);
+    let lost_measure = cube.measures.iter().any(|measure| {
+        removed_set.contains(&Triple::new(
+            node.clone(),
+            measure.property.clone(),
+            measure.data.term_at(row),
+        ))
+    });
+    if lost_type || lost_measure {
+        // Still dataset-linked, but a fresh build would *drop* it (untyped
+        // or missing a measure). Track it so later mutations of the
+        // fragment refuse — first-touch semantics, like any dropped
+        // observation.
+        cube.stats.rows_dropped += 1;
+        Arc::make_mut(&mut cube.dropped_observations).insert(node.clone());
+        return Ok(());
+    }
+
+    // Only (optional) dimension values were removed: a fresh build still
+    // materializes the observation, with those dimensions unbound. Re-append
+    // the surviving row at the tail; order-independent aggregation makes the
+    // row position irrelevant to every query.
+    let surviving_members: Vec<Option<Term>> = cube
+        .dimensions
+        .iter()
+        .map(|column| {
+            let code = column.code(row);
+            if code == NO_MEMBER {
+                return None;
+            }
+            let member = column.dictionary.term(code).clone();
+            let removed_this = removed_set.contains(&Triple::new(
+                node.clone(),
+                column.bottom_level.clone(),
+                member.clone(),
+            ));
+            (!removed_this).then_some(member)
+        })
+        .collect();
+    let measure_literals: Vec<rdf::Literal> = cube
+        .measures
+        .iter()
+        .map(|measure| match measure.data.term_at(row) {
+            Term::Literal(literal) => literal,
+            other => unreachable!("measure columns reconstruct literals, got {other}"),
+        })
+        .collect();
+    for (column, member) in cube.dimensions.iter_mut().zip(&surviving_members) {
+        column.push_row(member.as_ref());
+    }
+    for (measure, literal) in cube.measures.iter_mut().zip(&measure_literals) {
+        measure.push_value(literal)?;
+    }
+    cube.observations.insert(node.clone(), cube.row_count);
+    cube.row_count += 1;
+    cube.stats.rows += 1;
     Ok(())
 }
 
@@ -596,22 +697,10 @@ fn append_observation(
             format!("observation {node} arrives incomplete (not typed qb:Observation)"),
         ));
     }
-    // Appending to a populated float column would accumulate SUM/AVG in a
-    // different order than a rebuild's ORDER BY ?obs row order — the same
-    // last-ulp hazard the executor's scan guards against by staying
-    // single-threaded for non-integral measures. Integral sums are exact
-    // in any order; floats go through the rebuild.
-    if cube.measures.iter().any(|m| {
-        !m.data.is_empty() && !matches!(m.data, crate::columns::MeasureVector::Integer(_))
-    }) {
-        return Err(unsupported(
-            RefusalKind::NonIntegralAppend,
-            format!(
-                "observation {node} appends to a non-integral measure column \
-                 (float accumulation order would diverge from a rebuild)"
-            ),
-        ));
-    }
+    // Any measure type appends in place — float columns included: SUM/AVG
+    // accumulate through the order-independent compensated summator, so an
+    // appended row's position cannot diverge from a rebuild's ORDER BY
+    // ?obs row order by even an ulp.
     for (position, property) in context.measure_order.iter().enumerate() {
         let values = observation
             .measures
@@ -900,21 +989,100 @@ mod tests {
     }
 
     #[test]
-    fn partial_observation_removal_forces_a_rebuild() {
+    fn partial_measure_removal_tombstones_and_drops_the_fragment() {
+        // Previously refused as PartialObservationRemoval; now the row is
+        // tombstoned and the surviving fragment recorded as *dropped*,
+        // exactly as a fresh build classifies it.
         let (endpoint, cube, epoch) = tracked();
         let o1 = Term::iri("http://example.org/obs/o1");
-        // Removing a measure value of a materialized observation (one
-        // triple only) cannot be replayed: the surviving fragment would
-        // be *dropped* by a fresh build, not tombstoned.
         assert!(endpoint
             .store()
             .remove(&Triple::new(o1.clone(), iri("measure/value"), Literal::integer(10))));
-        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert_eq!(refusal(error).kind, RefusalKind::PartialObservationRemoval);
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), 5, "row stays physically present");
+        assert_eq!(refreshed.live_row_count(), 4);
+        assert_eq!(refreshed.stats().rows, 4);
+        assert_eq!(refreshed.stats().observations_seen, 5, "still dataset-linked");
+        assert_eq!(refreshed.stats().rows_dropped, 1);
+        assert!(!refreshed.is_observation(&o1));
+        assert_matches_rebuild(&endpoint, &refreshed);
 
-        // A per-triple removal of a WHOLE observation still refuses: each
-        // single-triple delta is partial on its own (batch through
-        // `Store::remove_all` to tombstone).
+        // Mutating the now-dropped fragment refuses — first-touch
+        // semantics, like any other dropped observation.
+        let epoch = endpoint.epoch();
+        endpoint
+            .insert_triples(&[Triple::new(o1, iri("measure/value"), Literal::integer(11))])
+            .unwrap();
+        let error = refreshed
+            .apply_delta(&deltas_after(&endpoint, epoch))
+            .unwrap_err();
+        assert_eq!(refusal(error).kind, RefusalKind::DroppedObservationMutated);
+    }
+
+    #[test]
+    fn partial_dataset_unlink_hides_the_fragment() {
+        let (endpoint, cube, epoch) = tracked();
+        let o3 = Term::iri("http://example.org/obs/o3");
+        assert!(endpoint.store().remove(&Triple::new(
+            o3.clone(),
+            qb::data_set(),
+            Term::iri("http://example.org/ds")
+        )));
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.live_row_count(), 4);
+        assert_eq!(refreshed.stats().observations_seen, 4, "no longer counted");
+        assert_eq!(refreshed.stats().rows_dropped, 0, "invisible, not dropped");
+        assert!(!refreshed.is_observation(&o3));
+        assert_matches_rebuild(&endpoint, &refreshed);
+    }
+
+    #[test]
+    fn partial_dimension_removal_reappends_the_surviving_row() {
+        let (endpoint, cube, epoch) = tracked();
+        let o1 = Term::iri("http://example.org/obs/o1");
+        // Stripping only the city value leaves a complete observation with
+        // an unbound city: tombstone the old row, re-append the survivor.
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(o1.clone(), iri("lv/city"), member("c1"))));
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), 6, "old row dead, survivor re-appended");
+        assert_eq!(refreshed.live_row_count(), 5);
+        assert_eq!(refreshed.tombstoned_rows(), 1);
+        assert_eq!(refreshed.stats().rows, 5);
+        assert_eq!(refreshed.stats().observations_seen, 5);
+        assert_eq!(refreshed.stats().rows_dropped, 0);
+        assert!(refreshed.is_observation(&o1));
+        let column = refreshed.dimension_column(&iri("dim/city")).unwrap();
+        assert_eq!(column.code(5), NO_MEMBER, "the stripped dimension is unbound");
+        assert_matches_rebuild(&endpoint, &refreshed);
+        // o1's 10 leaves every city roll-up (no city binding joins)...
+        let output = execute(&refreshed, &rollup_to_country()).unwrap();
+        assert!(!output
+            .cells
+            .iter()
+            .any(|c| c.coordinates == vec![member("K1"), member("m1")]));
+        // ... but still counts when the city dimension is sliced away.
+        let sliced = CubeQuery {
+            slices: vec![iri("dim/city")],
+            ..CubeQuery::default()
+        };
+        let output = execute(&refreshed, &sliced).unwrap();
+        let m1 = output
+            .cells
+            .iter()
+            .find(|c| c.coordinates == vec![member("m1")])
+            .unwrap();
+        assert_eq!(m1.values[0], Some(Term::integer(115)), "10 + 5 + 100");
+    }
+
+    #[test]
+    fn per_triple_whole_removal_drops_then_refuses() {
+        // Removing a whole observation one triple at a time: the first
+        // single-triple delta applies as a partial removal that *drops*
+        // the fragment; the next delta touches a dropped observation and
+        // refuses — so callers still batch whole removals through
+        // `Store::remove_all` for a clean one-step tombstone.
         let (endpoint, cube, epoch) = tracked();
         let o3 = Term::iri("http://example.org/obs/o3");
         for triple in [
@@ -928,7 +1096,53 @@ mod tests {
             assert!(endpoint.store().remove(&triple));
         }
         let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert_eq!(refusal(error).kind, RefusalKind::PartialObservationRemoval);
+        assert_eq!(refusal(error).kind, RefusalKind::DroppedObservationMutated);
+    }
+
+    #[test]
+    fn removal_of_an_unmaterialized_duplicate_value_refuses() {
+        // o1 carries TWO city values in the store; the build materialized
+        // one of them. Removing the *other* invalidates the frozen choice
+        // (a fresh build could now read a different value), so the delta
+        // refuses as a mutation.
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let o1 = Term::iri("http://example.org/obs/o1");
+        endpoint
+            .insert_triples(&[Triple::new(o1.clone(), iri("lv/city"), member("c2"))])
+            .unwrap();
+        endpoint.enable_change_tracking();
+        let epoch = endpoint.epoch();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        let row = cube.observations.row_of(&o1).expect("o1 materialized");
+        let column = cube.dimension_column(&iri("dim/city")).unwrap();
+        let materialized = column.dictionary.term(column.code(row)).clone();
+        let other = if materialized == member("c1") {
+            member("c2")
+        } else {
+            member("c1")
+        };
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(o1.clone(), iri("lv/city"), other)));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        let refusal_a = refusal(error);
+        assert_eq!(refusal_a.kind, RefusalKind::ObservationMutated);
+        assert!(refusal_a.detail.contains("never materialized"), "{refusal_a}");
+
+        // Removing the *materialized* value of the duplicated slot must
+        // refuse too: the surviving duplicate is what a fresh build would
+        // now pick, and only a rebuild can see it.
+        let epoch = endpoint.epoch();
+        assert!(endpoint
+            .store()
+            .remove(&Triple::new(o1, iri("lv/city"), materialized)));
+        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
+        let refusal_b = refusal(error);
+        assert_eq!(refusal_b.kind, RefusalKind::ObservationMutated);
+        assert!(refusal_b.detail.contains("several values"), "{refusal_b}");
+        // Rebuilding (what the catalog does on refusal) restores lockstep.
+        let rebuilt = MaterializedCube::from_endpoint(&endpoint, cube.schema()).unwrap();
+        assert_eq!(rebuilt.row_count(), 5, "o1 survives with the other value");
     }
 
     #[test]
@@ -1042,9 +1256,11 @@ mod tests {
     }
 
     #[test]
-    fn appends_to_float_measure_columns_force_a_rebuild() {
-        // A decimal-measure cube: appending would sum floats in a
-        // different order than a rebuild, so the delta path refuses.
+    fn appends_to_float_measure_columns_apply_in_place() {
+        // Previously refused as NonIntegralAppend: appending would have
+        // summed floats in a different order than a rebuild. With the
+        // order-independent compensated summator the append replays
+        // bit-identically, on any thread count.
         let city = iri("lv/city");
         let value = iri("measure/value");
         let mut builder = ::qb::QbDatasetBuilder::new(iri("ds"), iri("dsd"))
@@ -1074,17 +1290,37 @@ mod tests {
         endpoint.enable_change_tracking();
         let epoch = endpoint.epoch();
         let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
-        let node = Term::iri("http://example.org/obs/f2");
-        endpoint
-            .insert_triples(&[
-                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
-                Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
-                Triple::new(node.clone(), city, member("c1")),
-                Triple::new(node, value, Literal::decimal(2.5)),
-            ])
-            .unwrap();
-        let error = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap_err();
-        assert_eq!(refusal(error).kind, RefusalKind::NonIntegralAppend);
+        // Adversarial decimal appends, one delta each: cancellation-heavy
+        // magnitudes whose naive left-to-right sum depends on the order.
+        for (serial, measure_value) in
+            [2.5, 0.1, 0.2, 1e15, 0.3, -1e15, 0.30000000000000004, -0.7]
+                .into_iter()
+                .enumerate()
+        {
+            let node = Term::iri(format!("http://example.org/obs/f{}", serial + 2));
+            endpoint
+                .insert_triples(&[
+                    Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                    Triple::new(node.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+                    Triple::new(node.clone(), city.clone(), member("c1")),
+                    Triple::new(node, value.clone(), Literal::decimal(measure_value)),
+                ])
+                .unwrap();
+        }
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.row_count(), 9);
+        // Bit-identical to a from-scratch rebuild, for any thread count.
+        let rebuilt = MaterializedCube::from_endpoint(&endpoint, refreshed.schema()).unwrap();
+        let reference =
+            crate::executor::execute_with_threads(&rebuilt, &CubeQuery::default(), 1).unwrap();
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                crate::executor::execute_with_threads(&refreshed, &CubeQuery::default(), threads)
+                    .unwrap(),
+                reference,
+                "float delta-applied cube diverges from a rebuild at {threads} threads"
+            );
+        }
     }
 
     #[test]

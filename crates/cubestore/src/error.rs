@@ -24,12 +24,14 @@ pub enum RefusalKind {
     /// A member declaration collided with a term already frozen in the
     /// fact columns or reachable in the hierarchy.
     MemberConflict,
-    /// An already-materialized observation gained or lost a relevant
-    /// triple (type, dataset link, dimension or measure value).
+    /// An already-materialized observation *gained* a relevant triple
+    /// (dimension or measure value), or a removal targeted a value of it
+    /// the build never materialized (a duplicate the store held) — either
+    /// way its frozen row can no longer be trusted. Removals of the
+    /// materialized values themselves are delta-appliable: the row is
+    /// tombstoned and the surviving fragment re-classified (see the
+    /// decision table in the [`crate::delta`] module docs).
     ObservationMutated,
-    /// A removal covered only part of a materialized observation's
-    /// triples; only whole-observation removals tombstone.
-    PartialObservationRemoval,
     /// A previously dropped (incomplete) observation gained or lost
     /// triples — a fresh build might now classify it differently.
     DroppedObservationMutated,
@@ -39,9 +41,6 @@ pub enum RefusalKind {
     /// A new observation carried several values for one dimension or
     /// measure, or a non-literal measure value.
     MalformedObservation,
-    /// An append would extend a non-integral measure column, whose
-    /// accumulation order could differ from a rebuild in the last ulp.
-    NonIntegralAppend,
     /// An attribute value conflicted with the one already materialized.
     AttributeConflict,
     /// An attribute value of a materialized member was removed.
@@ -54,18 +53,22 @@ pub enum RefusalKind {
 
 impl RefusalKind {
     /// Every refusal kind, for exhaustive enumeration in tests and docs.
-    pub const ALL: [RefusalKind; 15] = [
+    ///
+    /// Two historical kinds are gone, lifted into the delta path:
+    /// `NonIntegralAppend` (float aggregation is order-independent now —
+    /// compensated summation — so float appends replay exactly) and
+    /// `PartialObservationRemoval` (partial removals tombstone the row and
+    /// re-classify the surviving fragment instead of rebuilding).
+    pub const ALL: [RefusalKind; 13] = [
         RefusalKind::SchemaStructure,
         RefusalKind::RollupLinkAdded,
         RefusalKind::RollupLinkRemoved,
         RefusalKind::MemberRemoved,
         RefusalKind::MemberConflict,
         RefusalKind::ObservationMutated,
-        RefusalKind::PartialObservationRemoval,
         RefusalKind::DroppedObservationMutated,
         RefusalKind::IncompleteObservation,
         RefusalKind::MalformedObservation,
-        RefusalKind::NonIntegralAppend,
         RefusalKind::AttributeConflict,
         RefusalKind::AttributeRemoved,
         RefusalKind::UnknownMemberAttribute,
@@ -81,11 +84,9 @@ impl RefusalKind {
             RefusalKind::MemberRemoved => "member-removed",
             RefusalKind::MemberConflict => "member-conflict",
             RefusalKind::ObservationMutated => "observation-mutated",
-            RefusalKind::PartialObservationRemoval => "partial-observation-removal",
             RefusalKind::DroppedObservationMutated => "dropped-observation-mutated",
             RefusalKind::IncompleteObservation => "incomplete-observation",
             RefusalKind::MalformedObservation => "malformed-observation",
-            RefusalKind::NonIntegralAppend => "non-integral-append",
             RefusalKind::AttributeConflict => "attribute-conflict",
             RefusalKind::AttributeRemoved => "attribute-removed",
             RefusalKind::UnknownMemberAttribute => "unknown-member-attribute",

@@ -7,9 +7,16 @@
 //! `qb4o:memberOf`-anchored navigation (precomputed into roll-up maps),
 //! attribute dices keep the generated query's inner-join semantics (a
 //! member with no attribute value is dropped even under `OR`), comparisons
-//! reuse [`sparql::compare_terms`], and aggregate values reproduce the
-//! SPARQL engine's typing rules (integer sums stay integers, averages are
-//! decimals, MIN/MAX return input terms).
+//! reuse [`sparql::compare_terms`], and aggregate values are accumulated
+//! through the same order-independent [`sparql::NumericSum`] the SPARQL
+//! engine uses (integers exactly in `i128`, floats through a compensated
+//! two-sum expansion), with identical typing rules (integer sums stay
+//! integers, averages are decimals, MIN/MAX return input terms).
+//!
+//! Because the sums are order-independent, the scan may be chunked across
+//! any number of worker threads — and the delta path may append rows in an
+//! order a rebuild would not produce — without moving any aggregate by even
+//! an ulp.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -19,7 +26,7 @@ use sparql::ast::CmpOp;
 use sparql::compare_terms;
 
 use crate::build::MaterializedCube;
-use crate::columns::{DimensionColumn, MeasureColumn};
+use crate::columns::{DimensionColumn, MeasureColumn, MeasureValue, MeasureVector};
 use crate::dictionary::{MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 use crate::error::CubeStoreError;
 use crate::hierarchy::{LevelIndex, RollupMap};
@@ -135,11 +142,11 @@ const PARALLEL_SCAN_THRESHOLD: usize = 16_384;
 ///
 /// Large cubes are scanned on multiple threads (one chunk of the row range
 /// per worker, partial groups merged at the end); the thread count comes
-/// from [`std::thread::available_parallelism`]. Parallelism is only used
-/// when every measure vector is integral, because summing floats in chunk
-/// order could differ from the SPARQL engine's row order in the last ulp —
-/// integer sums within `f64`'s exact range are order-independent, so the
-/// bit-compatibility guarantee holds on any thread count.
+/// from [`std::thread::available_parallelism`]. Every measure type
+/// parallelizes: the accumulators are order-independent
+/// ([`sparql::NumericSum`] — exact for integers, correctly rounded
+/// compensated summation for floats), so the bit-compatibility guarantee
+/// holds on any thread count and any chunk partitioning.
 pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput, CubeStoreError> {
     let threads = if cube.row_count() >= PARALLEL_SCAN_THRESHOLD {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -272,12 +279,10 @@ fn scan(
     // the rows the tombstone bitmap marks dead. Chunk ranges stay over
     // physical row ids — liveness is checked per row inside the chunk.
     let tombstones = cube.tombstones();
-    // Float accumulation is order-sensitive; only integral measure vectors
-    // keep chunked sums bit-identical to the sequential row order.
-    let order_independent = measures
-        .iter()
-        .all(|m| matches!(m.data, crate::columns::MeasureVector::Integer(_)));
-    let workers = if order_independent { threads.max(1).min(rows.max(1)) } else { 1 };
+    // Chunked accumulation is order-independent for every measure type
+    // (compensated float sums included), so the caller's thread count is
+    // honored unconditionally.
+    let workers = threads.max(1).min(rows.max(1));
     if workers <= 1 {
         return scan_range(axes, filters, measures, tombstones, 0..rows);
     }
@@ -358,21 +363,28 @@ fn scan_range(
             .entry(key)
             .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
         for (acc, measure) in accs.iter_mut().zip(measures) {
-            acc.update(measure.data.value(row));
+            acc.update(&measure.data, row);
         }
     }
     Ok(groups)
 }
 
 /// One measure accumulator: everything the five QB4OLAP aggregate
-/// functions need, updated in a single pass.
+/// functions need, updated in a single pass. SUM/AVG accumulate through
+/// [`sparql::NumericSum`] — the same order-independent accumulator the
+/// SPARQL engine's aggregates use — so chunk order, append order and
+/// thread count cannot move the result by an ulp. MIN/MAX additionally
+/// track integer-vector extremes as exact `i64`s (the `f64` view rounds
+/// above 2⁵³).
 #[derive(Debug, Clone)]
 struct MeasureAcc {
     count: usize,
-    sum: f64,
-    /// Every value so far was integral — the SPARQL engine's SUM stays an
-    /// `xsd:integer` exactly in that case.
-    all_integral: bool,
+    sum: sparql::NumericSum,
+    /// Exact extremes of an [`MeasureVector::Integer`] vector.
+    min_int: i64,
+    max_int: i64,
+    /// Extremes of a float vector (every stored `f64` is one of the input
+    /// values, so the reconstruction via `term_for` is exact).
     min: f64,
     max: f64,
 }
@@ -381,8 +393,9 @@ impl Default for MeasureAcc {
     fn default() -> Self {
         MeasureAcc {
             count: 0,
-            sum: 0.0,
-            all_integral: true,
+            sum: sparql::NumericSum::new(),
+            min_int: i64::MAX,
+            max_int: i64::MIN,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -391,27 +404,40 @@ impl Default for MeasureAcc {
 
 impl MeasureAcc {
     /// Folds another chunk's accumulator into this one (multi-threaded
-    /// scan). Exact for integral data; the scan only parallelizes then.
+    /// scan). Exact for every measure type.
     fn merge(&mut self, other: &MeasureAcc) {
         self.count += other.count;
-        self.sum += other.sum;
-        self.all_integral &= other.all_integral;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.sum.merge(&other.sum);
+        self.min_int = self.min_int.min(other.min_int);
+        self.max_int = self.max_int.max(other.max_int);
+        self.min = float_min(self.min, other.min);
+        self.max = float_max(self.max, other.max);
     }
 
     #[inline]
-    fn update(&mut self, value: f64) {
+    fn update(&mut self, data: &MeasureVector, row: usize) {
         self.count += 1;
-        self.sum += value;
-        if value.fract() != 0.0 {
-            self.all_integral = false;
+        // SUM/AVG inputs are routed exactly as the SPARQL engine routes
+        // the corresponding literal (see `MeasureVector::numeric_at`).
+        let routed = data.numeric_at(row);
+        match routed {
+            MeasureValue::Integer(value) => self.sum.add_integer(value),
+            MeasureValue::Float(value) => self.sum.add_float(value),
         }
-        if value < self.min {
-            self.min = value;
-        }
-        if value > self.max {
-            self.max = value;
+        // MIN/MAX compare within the vector's own value space (a float
+        // vector's value may have routed integer for the sum above).
+        match data {
+            MeasureVector::Integer(_) => {
+                if let MeasureValue::Integer(value) = routed {
+                    self.min_int = self.min_int.min(value);
+                    self.max_int = self.max_int.max(value);
+                }
+            }
+            MeasureVector::Decimal(_) | MeasureVector::Double(_) => {
+                let value = data.value(row);
+                self.min = float_min(self.min, value);
+                self.max = float_max(self.max, value);
+            }
         }
     }
 
@@ -420,19 +446,44 @@ impl MeasureAcc {
     fn aggregate(&self, measure: &MeasureColumn) -> Term {
         match measure.aggregate {
             AggregateFunction::Count => Term::Literal(Literal::integer(self.count as i64)),
-            AggregateFunction::Sum => {
-                if self.all_integral && self.sum.abs() < 9.0e15 {
-                    Term::Literal(Literal::integer(self.sum as i64))
-                } else {
-                    Term::Literal(Literal::decimal(self.sum))
-                }
-            }
+            AggregateFunction::Sum => self.sum.sum_term(),
             AggregateFunction::Avg => {
-                Term::Literal(Literal::decimal(self.sum / self.count as f64))
+                Term::Literal(Literal::decimal(self.sum.value() / self.count as f64))
             }
-            AggregateFunction::Min => measure.data.term_for(self.min),
-            AggregateFunction::Max => measure.data.term_for(self.max),
+            AggregateFunction::Min => match measure.data {
+                MeasureVector::Integer(_) => Term::Literal(Literal::integer(self.min_int)),
+                _ => measure.data.term_for(self.min),
+            },
+            AggregateFunction::Max => match measure.data {
+                MeasureVector::Integer(_) => Term::Literal(Literal::integer(self.max_int)),
+                _ => measure.data.term_for(self.max),
+            },
         }
+    }
+}
+
+/// MIN with a deterministic signed-zero tie-break (`-0.0 < 0.0`):
+/// `f64::min(-0.0, 0.0)` may return either operand, which would make the
+/// winning term depend on scan order / chunk partitioning. Treating the
+/// negative zero as strictly smaller matches the SPARQL engine's MIN,
+/// which falls back to the lexical ordering (`"-0.0" < "0.0"`) when the
+/// numeric comparison ties.
+#[inline]
+fn float_min(a: f64, b: f64) -> f64 {
+    if b < a || (b == a && b.is_sign_negative()) {
+        b
+    } else {
+        a
+    }
+}
+
+/// MAX with the mirror tie-break (`0.0 > -0.0`); see [`float_min`].
+#[inline]
+fn float_max(a: f64, b: f64) -> f64 {
+    if b > a || (b == a && b.is_sign_positive()) {
+        b
+    } else {
+        a
     }
 }
 
@@ -583,5 +634,24 @@ fn eval_measure_filter(
                 .as_ref()
                 .and_then(|aggregate| compare_terms(aggregate, *op, value)))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Signed zeros must pick a deterministic winner in every order and
+    /// partitioning — `f64::min(-0.0, 0.0)` is allowed to return either,
+    /// which would leak scan order into MIN/MAX terms.
+    #[test]
+    fn float_extremes_break_signed_zero_ties_deterministically() {
+        for (a, b) in [(0.0f64, -0.0f64), (-0.0, 0.0)] {
+            assert!(float_min(a, b).is_sign_negative());
+            assert!(float_max(a, b).is_sign_positive());
+        }
+        assert_eq!(float_min(1.0, -2.0), -2.0);
+        assert_eq!(float_max(f64::NEG_INFINITY, -0.0), -0.0);
+        assert_eq!(float_min(f64::INFINITY, 0.5), 0.5);
     }
 }

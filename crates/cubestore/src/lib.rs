@@ -42,10 +42,17 @@
 //!   maps, a layered observation index), so
 //!   [`build::MaterializedCube::apply_delta`] clones only what a delta
 //!   actually extends;
-//! * observation *removals* are applied by tombstoning the row
-//!   ([`tombstone::Tombstones`]) — the executor skips dead rows — and the
-//!   catalog compacts (re-materializes) once the live-row fraction drops
-//!   below [`catalog::COMPACTION_LIVE_FRACTION`];
+//! * observation *removals* — whole or partial — are applied by
+//!   tombstoning the row ([`tombstone::Tombstones`]; a partial removal
+//!   additionally re-classifies the surviving fragment like a fresh
+//!   build would) — the executor skips dead rows — and the catalog
+//!   compacts (re-materializes) once the live-row fraction drops below
+//!   [`catalog::COMPACTION_LIVE_FRACTION`];
+//! * aggregation is **order-independent** ([`sparql::NumericSum`]: exact
+//!   `i128` integer sums plus correctly rounded compensated float sums,
+//!   shared with the SPARQL engine), so appends of *any* measure type —
+//!   floats included — replay bit-identically to a rebuild, and the row
+//!   scan chunks across threads for every measure type;
 //! * everything the delta classifier cannot replay bit-identically
 //!   refuses with a typed [`error::DeltaRefusal`] and falls back to a
 //!   rebuild whose [`catalog::RebuildReason`] lands in the
@@ -74,7 +81,7 @@ pub use build::{BuildStats, MaterializedCube};
 pub use catalog::{
     CubeCatalog, MaintenanceReport, MaintenanceStrategy, RebuildReason, COMPACTION_LIVE_FRACTION,
 };
-pub use columns::{DimensionColumn, MeasureColumn, MeasureVector};
+pub use columns::{DimensionColumn, MeasureColumn, MeasureValue, MeasureVector};
 pub use cowvec::CowVec;
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 pub use error::{CubeStoreError, DeltaRefusal, RefusalKind};

@@ -5,9 +5,13 @@
 //! later row (and invalidate the observation → row index). Instead the row
 //! stays physically present and is marked dead here; the executor's scan
 //! skips dead rows, so query results are identical to a rebuild without
-//! the removed observation. Dead rows still occupy memory, so the catalog
-//! compacts (re-materializes) a cube once its live-row fraction drops
-//! below [`crate::catalog::COMPACTION_LIVE_FRACTION`].
+//! the removed observation. *Partial* removals tombstone through the same
+//! bitmap: the old row dies, and — when the surviving fragment is still a
+//! complete observation — a replacement row is appended at the column
+//! tail (see the [`crate::delta`] decision table). Dead rows still occupy
+//! memory, so the catalog compacts (re-materializes) a cube once its
+//! live-row fraction drops below
+//! [`crate::catalog::COMPACTION_LIVE_FRACTION`].
 //!
 //! The bit storage is `Arc`-shared between a cube and its delta-refreshed
 //! clones: a refresh that removes nothing shares the bitmap outright, and

@@ -57,6 +57,12 @@ pub struct EurostatConfig {
     /// Whether to emit `owl:sameAs` links from citizenship members to the
     /// synthetic DBpedia graph (needed for the external-enrichment demo).
     pub dbpedia_links: bool,
+    /// Emit `xsd:decimal` measure values (quarter-step rates, the
+    /// Eurostat-style float-heavy shape) instead of `xsd:integer` counts.
+    /// Exercises the columnar engine's float path end to end: the measure
+    /// vector materializes as `Decimal` and delta appends must replay
+    /// float aggregation bit-identically (EXPERIMENTS.md §E14).
+    pub decimal_measures: bool,
     /// Link noise for quasi-FD experiments.
     pub noise: NoiseConfig,
 }
@@ -68,6 +74,7 @@ impl Default for EurostatConfig {
             seed: 42,
             code_list_links: true,
             dbpedia_links: true,
+            decimal_measures: false,
             noise: NoiseConfig::default(),
         }
     }
@@ -247,10 +254,17 @@ pub fn generate(config: &EurostatConfig) -> GeneratedDataset {
         observation
             .dimensions
             .insert(eurostat_property::asyl_app(), asyl_app_member(app_code));
-        observation.measures.insert(
-            sdmx_measure::obs_value(),
-            Term::Literal(Literal::integer(rng.gen_range(0..=500))),
-        );
+        let measure_value = if config.decimal_measures {
+            // Quarter-step decimal rates: exactly representable in f64, so
+            // the canonical lexical form round-trips through the columnar
+            // encoding.
+            Literal::decimal(rng.gen_range(0..=2_000i64) as f64 / 4.0)
+        } else {
+            Literal::integer(rng.gen_range(0..=500))
+        };
+        observation
+            .measures
+            .insert(sdmx_measure::obs_value(), Term::Literal(measure_value));
         builder = builder.observation(observation);
     }
 

@@ -673,6 +673,66 @@ mod tests {
     }
 
     #[test]
+    fn catalog_backed_summary_tracks_partial_removals() {
+        // Partial-observation removals are delta-appliable too, and they
+        // split into two accounting classes the summary must mirror: a
+        // measure strip leaves the fragment dataset-linked (counted by the
+        // SPARQL listing → still counted by the summary), a dataset unlink
+        // makes it invisible (dropped from both counts).
+        use rdf::vocab::{qb, sdmx_measure};
+
+        let (endpoint, dataset) = enriched_endpoint(120);
+        let catalog = std::sync::Arc::new(cubestore::CubeCatalog::new());
+        let explorer =
+            CubeExplorer::open_with_catalog(&endpoint, &dataset, catalog.clone()).unwrap();
+        assert_eq!(explorer.summary().unwrap().observations, 120);
+
+        let nodes: Vec<rdf::Term> = endpoint
+            .select(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 SELECT ?o WHERE { ?o a qb:Observation } ORDER BY ?o LIMIT 2",
+            )
+            .unwrap()
+            .rows
+            .iter()
+            .filter_map(|r| r.first().cloned().flatten())
+            .collect();
+
+        // Measure strip: the fragment stays dataset-linked, so the listing
+        // (COUNT of ?obs qb:dataSet ?ds) still counts it.
+        let removed = endpoint.store().remove_matching(
+            Some(&nodes[0]),
+            Some(&sdmx_measure::obs_value()),
+            None,
+        );
+        assert_eq!(removed.len(), 1);
+        let summary = explorer.summary().unwrap();
+        assert_eq!(summary.observations, 120, "still dataset-linked");
+        let report = catalog.last_report(&dataset).unwrap();
+        assert_eq!(report.strategy, cubestore::MaintenanceStrategy::Delta);
+        assert_eq!(report.rows_removed, 1, "the row itself was tombstoned");
+
+        // Dataset unlink: gone from both counts.
+        let removed =
+            endpoint
+                .store()
+                .remove_matching(Some(&nodes[1]), Some(&qb::data_set()), None);
+        assert_eq!(removed.len(), 1);
+        let summary = explorer.summary().unwrap();
+        assert_eq!(summary.observations, 119, "unlinked fragment uncounted");
+        assert_eq!(
+            catalog.last_report(&dataset).unwrap().strategy,
+            cubestore::MaintenanceStrategy::Delta
+        );
+        let listed = list_cubes(&endpoint)
+            .unwrap()
+            .into_iter()
+            .find(|c| c.dataset == dataset)
+            .unwrap();
+        assert_eq!(summary, listed, "columns and SPARQL listing agree");
+    }
+
+    #[test]
     fn qb_errors_map_to_the_schema_variant() {
         let error: ExplorerError = qb::QbError::NotFound("d".into()).into();
         assert!(matches!(error, ExplorerError::Schema(_)), "{error}");

@@ -233,10 +233,18 @@ pub fn load_observations(
             .or_insert_with(|| Observation::new(obs.clone()));
         match dsd.component(property).map(|c| c.kind) {
             Some(ComponentKind::Dimension) => {
-                entry.dimensions.insert(property.clone(), v.clone());
+                if let Some(previous) = entry.dimensions.insert(property.clone(), v.clone()) {
+                    if previous != *v {
+                        entry.multivalued.insert(property.clone());
+                    }
+                }
             }
             Some(ComponentKind::Measure) => {
-                entry.measures.insert(property.clone(), v.clone());
+                if let Some(previous) = entry.measures.insert(property.clone(), v.clone()) {
+                    if previous != *v {
+                        entry.multivalued.insert(property.clone());
+                    }
+                }
             }
             Some(ComponentKind::Attribute) => {
                 entry.attributes.insert(property.clone(), v.clone());
@@ -387,6 +395,34 @@ mod tests {
         }
         let limited = load_observations(&endpoint, &dataset, &structure, Some(2)).unwrap();
         assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn load_observations_flags_multivalued_slots() {
+        let (endpoint, dataset, dsd) = endpoint_with_tiny_cube();
+        // Give obs0 a second, different destination and a duplicate
+        // (identical) citizenship triple: only the former is multi-valued.
+        endpoint
+            .insert_triples(&[rdf::Triple::new(
+                Term::iri("http://example.org/obs0"),
+                eurostat_property::geo(),
+                Term::iri("http://example.org/dic/geo#AT"),
+            )])
+            .unwrap();
+        let structure = load_dsd(&endpoint, &dsd).unwrap();
+        let observations = load_observations(&endpoint, &dataset, &structure, None).unwrap();
+        let obs0 = observations
+            .iter()
+            .find(|o| o.node == Term::iri("http://example.org/obs0"))
+            .unwrap();
+        assert_eq!(
+            obs0.multivalued.iter().collect::<Vec<_>>(),
+            vec![&eurostat_property::geo()]
+        );
+        assert!(observations
+            .iter()
+            .filter(|o| o.node != obs0.node)
+            .all(|o| o.multivalued.is_empty()));
     }
 
     #[test]

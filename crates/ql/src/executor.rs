@@ -252,7 +252,11 @@ mod tests {
     /// Builds an endpoint with a small generated dataset, runs the demo
     /// enrichment on it and returns the endpoint + dataset IRI.
     fn enriched_endpoint(observations: usize) -> (LocalEndpoint, Iri) {
-        let (endpoint, data) = load_demo_endpoint(&EurostatConfig::small(observations));
+        enriched_endpoint_with(&EurostatConfig::small(observations))
+    }
+
+    fn enriched_endpoint_with(config: &EurostatConfig) -> (LocalEndpoint, Iri) {
+        let (endpoint, data) = load_demo_endpoint(config);
         let config = EnrichmentConfig::default()
             .name_dimension(
                 eurostat_property::citizen(),
@@ -487,6 +491,84 @@ mod tests {
         assert_eq!(reports[0].strategy, MaintenanceStrategy::Fresh);
         assert_eq!(reports[1].strategy, MaintenanceStrategy::Delta);
         assert_eq!(reports[1].rows_appended, 1);
+    }
+
+    #[test]
+    fn float_measure_cube_refreshes_via_deltas_and_matches_sparql() {
+        use cubestore::MaintenanceStrategy;
+        use rdf::vocab::{qb, rdf as rdfv, sdmx_measure};
+        use rdf::{Literal, Term, Triple};
+
+        // A float-heavy (xsd:decimal) dataset, the Eurostat rate/index
+        // shape: appends and partial removals must refresh the served
+        // columns via the delta path — both were rebuild-only before the
+        // order-independent summator — and stay cell-identical to SPARQL.
+        let (endpoint, dataset) = enriched_endpoint_with(&EurostatConfig {
+            decimal_measures: true,
+            ..EurostatConfig::small(300)
+        });
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let prepared = module
+            .prepare(&datagen::workload::rollup_citizenship_to_continent())
+            .unwrap();
+        module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+
+        let node = Term::iri("http://example.org/obs/float-late");
+        endpoint
+            .insert_triples(&[
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::Iri(dataset.clone())),
+                Triple::new(
+                    node.clone(),
+                    eurostat_property::citizen(),
+                    datagen::eurostat::citizen_member("SY"),
+                ),
+                Triple::new(node, sdmx_measure::obs_value(), Literal::decimal(123.25)),
+            ])
+            .unwrap();
+        let columnar = module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+        let sparql_cube = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+        assert_eq!(columnar, sparql_cube, "float append left stale/divergent cells");
+        let report = module.maintenance_reports().last().cloned().unwrap();
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Delta,
+            "a float append must refresh via the delta path: {report:?}"
+        );
+        assert_eq!(report.rows_appended, 1);
+
+        // Strip one observation's measure value (a partial removal): the
+        // fragment is dropped and the row tombstoned, still no rebuild.
+        let victim = endpoint
+            .select(&format!(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 SELECT ?o WHERE {{ ?o a qb:Observation ; qb:dataSet <{}> }} ORDER BY ?o LIMIT 1",
+                dataset.as_str()
+            ))
+            .unwrap()
+            .get(0, "o")
+            .cloned()
+            .unwrap();
+        let removed = endpoint
+            .store()
+            .remove_matching(Some(&victim), Some(&sdmx_measure::obs_value()), None);
+        assert_eq!(removed.len(), 1);
+        let columnar = module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+        let sparql_cube = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+        assert_eq!(columnar, sparql_cube, "partial removal left stale/divergent cells");
+        let report = module.maintenance_reports().last().cloned().unwrap();
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Delta,
+            "a partial removal must refresh via the delta path: {report:?}"
+        );
+        assert_eq!(report.rows_removed, 1);
     }
 
     #[test]

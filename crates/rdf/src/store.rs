@@ -344,6 +344,37 @@ impl Store {
         count
     }
 
+    /// Removes every default-graph triple matching the pattern (`None` =
+    /// wildcard) as **one** mutation — one epoch bump and, with the change
+    /// log enabled, one [`StoreDelta`] — and returns the removed triples.
+    ///
+    /// This is the race-free form of the `triples_matching` + `remove_all`
+    /// idiom: the match and the removal happen under a single write lock,
+    /// so no concurrent mutation can slip between them. Like
+    /// [`Store::remove_all`], the single-delta batching is what lets the
+    /// columnar cube catalog absorb the removal in O(delta) — a whole
+    /// observation (`subject` pattern) tombstones in one step, and a
+    /// partial pattern (e.g. one measure property of one subject) arrives
+    /// as one partial-removal delta instead of several.
+    pub fn remove_matching(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let mut inner = self.inner.write();
+        let matched = inner
+            .default_graph
+            .triples_matching(subject, predicate, object);
+        for triple in &matched {
+            inner.default_graph.remove(triple);
+        }
+        if !matched.is_empty() {
+            inner.commit(None, Vec::new(), matched.clone());
+        }
+        matched
+    }
+
     /// True if the default graph contains the triple.
     pub fn contains(&self, triple: &Triple) -> bool {
         self.inner.read().default_graph.contains(triple)
@@ -681,6 +712,36 @@ mod tests {
         // A batch removing nothing is a no-op: no epoch bump, no delta.
         assert_eq!(store.remove_all(&batch[..3]), 0);
         assert_eq!(store.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn remove_matching_batches_one_delta_per_pattern() {
+        let store = Store::new();
+        let subject = Term::iri("http://s");
+        let p1 = Iri::new("http://p1");
+        let p2 = Iri::new("http://p2");
+        store.insert(&Triple::new(subject.clone(), p1.clone(), Literal::integer(1)));
+        store.insert(&Triple::new(subject.clone(), p1.clone(), Literal::integer(2)));
+        store.insert(&Triple::new(subject.clone(), p2.clone(), Literal::integer(3)));
+        store.insert(&Triple::new(Term::iri("http://other"), p1.clone(), Literal::integer(4)));
+        store.enable_change_log();
+        let epoch = store.epoch();
+
+        // One predicate of one subject: both values go in one delta.
+        let removed = store.remove_matching(Some(&subject), Some(&p1), None);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(store.epoch(), epoch + 1, "one pattern = one epoch step");
+        let deltas = store.deltas_since(epoch).expect("covered");
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].removed, removed);
+        assert_eq!(store.len(), 2);
+
+        // Whole subject: the rest of its triples in one more delta.
+        assert_eq!(store.remove_matching(Some(&subject), None, None).len(), 1);
+        // A pattern matching nothing is a no-op: no epoch bump, no delta.
+        assert!(store.remove_matching(Some(&subject), None, None).is_empty());
+        assert_eq!(store.epoch(), epoch + 2);
+        assert_eq!(store.len(), 1, "unrelated subjects untouched");
     }
 
     #[test]

@@ -750,30 +750,33 @@ impl<'g> Evaluator<'g> {
         match agg.function {
             AggregateFunction::Count => Some(Term::Literal(Literal::integer(values.len() as i64))),
             AggregateFunction::Sum => {
-                let mut sum = 0.0;
-                let mut all_integers = true;
+                // Order-independent accumulation (integers exactly, floats
+                // through the compensated expansion): the result depends
+                // only on the multiset of values, so the columnar engine —
+                // which scans the same values in a different (chunked,
+                // append-reordered) sequence through the same NumericSum —
+                // stays bit-identical.
+                let mut sum = crate::numeric::NumericSum::new();
                 for v in &values {
-                    let n = numeric_value(v)?;
-                    if n.fract() != 0.0 {
-                        all_integers = false;
+                    if !sum.add_term(v) {
+                        return None;
                     }
-                    sum += n;
                 }
-                Some(if all_integers && sum.abs() < 9.0e15 {
-                    Term::Literal(Literal::integer(sum as i64))
-                } else {
-                    Term::Literal(Literal::decimal(sum))
-                })
+                Some(sum.sum_term())
             }
             AggregateFunction::Avg => {
                 if values.is_empty() {
                     return Some(Term::Literal(Literal::integer(0)));
                 }
-                let mut sum = 0.0;
+                let mut sum = crate::numeric::NumericSum::new();
                 for v in &values {
-                    sum += numeric_value(v)?;
+                    if !sum.add_term(v) {
+                        return None;
+                    }
                 }
-                Some(Term::Literal(Literal::decimal(sum / values.len() as f64)))
+                Some(Term::Literal(Literal::decimal(
+                    sum.value() / values.len() as f64,
+                )))
             }
             AggregateFunction::Min => values.into_iter().min(),
             AggregateFunction::Max => values.into_iter().max(),

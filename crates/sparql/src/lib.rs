@@ -42,6 +42,7 @@ pub mod ast;
 pub mod endpoint;
 pub mod error;
 pub mod eval;
+pub mod numeric;
 pub mod parser;
 pub mod pretty;
 pub mod results;
@@ -51,6 +52,7 @@ pub use ast::{Query, SelectQuery, Variable};
 pub use endpoint::{Endpoint, LocalEndpoint};
 pub use error::SparqlError;
 pub use eval::{compare_terms, evaluate_query, evaluate_select};
+pub use numeric::{CompensatedSum, NumericSum};
 pub use parser::{parse_query, parse_select};
 pub use pretty::{query_to_string, select_to_string};
 pub use results::{QueryResults, Solutions};

@@ -407,6 +407,509 @@ fn interleaved_mutations_keep_catalog_and_sparql_in_lockstep() {
     );
 }
 
+mod mutation_fuzzer {
+    //! The mutation-sequence differential fuzzer: one seeded `StdRng`
+    //! drives a long random sequence of interleaved pure-data mutations —
+    //! integer and **float** observation appends, brand-new members,
+    //! whole- and **partial**-observation removals (measure strips,
+    //! dataset unlinks, dimension strips) — against **one** `Store`
+    //! carrying two datasets (the integer demo cube plus a float-measure
+    //! cube), and after *every* step asserts
+    //!
+    //! * the catalog refreshed both cubes via the **delta** path (any
+    //!   `Rebuild`/`Compaction` strategy fails the run — every mutation in
+    //!   the sequence is one PR 5 made delta-appliable), and
+    //! * catalog-served columnar results stay **bit-identical** to fresh
+    //!   SPARQL evaluation, for the integer workload queries and for the
+    //!   float cube's SUM/AVG aggregates (periodically also across scan
+    //!   thread counts 1/2/8 and against the explorer's SPARQL oracles).
+    //!
+    //! `QB2OLAP_FUZZ_STEPS` / `QB2OLAP_FUZZ_SEED` override the defaults
+    //! for longer local soaks; ci.sh pins the fixed-seed smoke run.
+
+    use std::collections::{BTreeMap, BTreeSet};
+
+    use qb2olap::cubestore::{
+        execute_with_threads, CubeCatalog, CubeQuery, MaintenanceStrategy, MaterializedCube,
+    };
+    use qb2olap::{Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
+    use qb4olap::{
+        AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
+        LevelComponent, MeasureSpec,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rdf::vocab::{qb, rdf as rdfv, sdmx_measure};
+    use rdf::{Iri, Literal, Term, Triple};
+
+    use super::{demo_tool, observation_nodes};
+
+    fn firi(suffix: &str) -> Iri {
+        Iri::new(format!("http://example.org/float/{suffix}"))
+    }
+
+    fn fmember(suffix: &str) -> Term {
+        Term::iri(format!("http://example.org/float/member/{suffix}"))
+    }
+
+    /// A quarter-step decimal: exactly representable, canonical lexical
+    /// form round-trips through the columnar encoding.
+    fn quarters(rng: &mut StdRng) -> Literal {
+        Literal::decimal(rng.gen_range(-4_000..=4_000i64) as f64 / 4.0)
+    }
+
+    /// Loads a small float-measure dataset (city → country hierarchy, two
+    /// decimal measures: a SUM rate and an AVG index) into the demo store
+    /// and returns its QB4OLAP schema. No labels: the fuzzer keeps every
+    /// mutation delta-appliable for *both* cubes, and attribute values for
+    /// members unknown to the other cube would refuse.
+    fn load_float_dataset(tool: &Qb2Olap, rng: &mut StdRng) -> CubeSchema {
+        let city = firi("lv/city");
+        let country = firi("lv/country");
+        let rate = firi("measure/rate");
+        let index = firi("measure/index");
+
+        let mut builder = ::qb::QbDatasetBuilder::new(firi("ds"), firi("dsd"))
+            .dimension(city.clone())
+            .measure(rate.clone())
+            .measure(index.clone());
+        for i in 0..24 {
+            let mut obs = ::qb::Observation::new(Term::iri(format!(
+                "http://example.org/float/obs/init{i}"
+            )));
+            obs.dimensions.insert(city.clone(), fmember(&format!("fc{}", i % 8)));
+            obs.measures
+                .insert(rate.clone(), Term::Literal(quarters(rng)));
+            obs.measures
+                .insert(index.clone(), Term::Literal(quarters(rng)));
+            builder = builder.observation(obs);
+        }
+        let (_, mut triples) = builder.build();
+        for i in 0..8 {
+            triples.push(qb4olap::member_of_triple(&fmember(&format!("fc{i}")), &city));
+            triples.push(qb4olap::rollup_triple(
+                &fmember(&format!("fc{i}")),
+                &fmember(&format!("FK{}", i % 3)),
+            ));
+        }
+        for k in 0..3 {
+            triples.push(qb4olap::member_of_triple(&fmember(&format!("FK{k}")), &country));
+        }
+        tool.endpoint().insert_triples(&triples).unwrap();
+
+        let mut schema = CubeSchema::new(firi("dsdQB4O"), firi("ds"));
+        let mut hierarchy = Hierarchy::new(firi("hier/city"));
+        hierarchy.levels = vec![city.clone(), country.clone()];
+        hierarchy.steps = vec![HierarchyStep {
+            child: city.clone(),
+            parent: country,
+            cardinality: Cardinality::ManyToOne,
+        }];
+        let mut dimension = Dimension::new(firi("dim/city"));
+        dimension.hierarchies.push(hierarchy);
+        schema.dimensions.push(dimension);
+        schema.level_components.push(LevelComponent {
+            level: city,
+            cardinality: Cardinality::ManyToOne,
+            dimension: Some(firi("dim/city")),
+        });
+        schema.measures.push(MeasureSpec {
+            property: rate,
+            aggregate: AggregateFunction::Sum,
+        });
+        schema.measures.push(MeasureSpec {
+            property: index,
+            aggregate: AggregateFunction::Avg,
+        });
+        schema
+    }
+
+    /// The float cube's SPARQL oracle: per-city SUM(rate) / AVG(index)
+    /// over bottom-level members, compared **term-for-term** (bit-identical
+    /// lexical forms) with the catalog-served columnar cells.
+    fn assert_float_lockstep(tool: &Qb2Olap, catalog: &CubeCatalog, schema: &CubeSchema, step: usize) {
+        let cube = catalog.serve(tool.endpoint(), schema).unwrap();
+        let output = execute_with_threads(&cube, &CubeQuery::default(), 1).unwrap();
+        let solutions = tool
+            .endpoint()
+            .select(&format!(
+                "PREFIX qb: <http://purl.org/linked-data/cube#>
+                 PREFIX qb4o: <http://purl.org/qb4olap/cubes#>
+                 SELECT ?c (SUM(?v) AS ?sum) (AVG(?w) AS ?avg) WHERE {{
+                   ?o a qb:Observation ; qb:dataSet <{}> ;
+                      <{}> ?c ; <{}> ?v ; <{}> ?w .
+                   ?c qb4o:memberOf <{}> .
+                 }} GROUP BY ?c",
+                firi("ds").as_str(),
+                firi("lv/city").as_str(),
+                firi("measure/rate").as_str(),
+                firi("measure/index").as_str(),
+                firi("lv/city").as_str(),
+            ))
+            .unwrap();
+        let mut oracle: BTreeMap<Term, (Term, Term)> = BTreeMap::new();
+        for i in 0..solutions.len() {
+            let city = solutions.get(i, "c").cloned().unwrap();
+            let sum = solutions.get(i, "sum").cloned().unwrap();
+            let avg = solutions.get(i, "avg").cloned().unwrap();
+            oracle.insert(city, (sum, avg));
+        }
+        assert_eq!(
+            output.cells.len(),
+            oracle.len(),
+            "float cube cell count diverges from SPARQL after step {step}"
+        );
+        for cell in &output.cells {
+            let (sum, avg) = oracle
+                .get(&cell.coordinates[0])
+                .unwrap_or_else(|| panic!("extra columnar cell {:?} at step {step}", cell.coordinates));
+            assert_eq!(
+                cell.values[0].as_ref(),
+                Some(sum),
+                "float SUM diverges from SPARQL for {:?} after step {step}",
+                cell.coordinates
+            );
+            assert_eq!(
+                cell.values[1].as_ref(),
+                Some(avg),
+                "float AVG diverges from SPARQL for {:?} after step {step}",
+                cell.coordinates
+            );
+        }
+    }
+
+    /// Every refresh so far took the delta path (the first build reports
+    /// `Fresh`; anything else fails the run).
+    fn assert_delta_only(catalog: &CubeCatalog, dataset: &Iri, step: usize) {
+        let report = catalog.last_report(dataset).expect("dataset served");
+        assert!(
+            matches!(
+                report.strategy,
+                MaintenanceStrategy::Delta | MaintenanceStrategy::Fresh
+            ),
+            "unexpected {:?} refresh of <{}> at step {step}: {:?}",
+            report.strategy,
+            dataset.as_str(),
+            report.reason
+        );
+    }
+
+    #[test]
+    fn mutation_sequence_fuzzer_keeps_catalog_and_sparql_in_lockstep() {
+        let steps: usize = std::env::var("QB2OLAP_FUZZ_STEPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        let seed: u64 = std::env::var("QB2OLAP_FUZZ_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xE14_5EED);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let (tool, dataset) = demo_tool(250);
+        // The float dataset's QB structure must be in the store *before*
+        // the first materialization: structure triples are schema-level and
+        // would (correctly) force a rebuild if they arrived as a delta.
+        let float_schema = load_float_dataset(&tool, &mut rng);
+        let float_dataset = float_schema.dataset.clone();
+        let catalog = tool.catalog().clone();
+        let querying = tool.querying(&dataset).unwrap();
+        querying.materialize().unwrap();
+        catalog.serve(tool.endpoint(), &float_schema).unwrap();
+        let explorer = tool.explorer(&dataset).unwrap();
+
+        let citizen_level = rdf::vocab::eurostat_property::citizen();
+        let continent_level = rdf::vocab::demo_schema::continent();
+        let demo_levels: Vec<(Iri, Vec<Term>)> = [
+            citizen_level.clone(),
+            rdf::vocab::eurostat_property::geo(),
+            rdf::vocab::sdmx_dimension::ref_period(),
+            rdf::vocab::eurostat_property::age(),
+            rdf::vocab::eurostat_property::sex(),
+            rdf::vocab::eurostat_property::asyl_app(),
+        ]
+        .into_iter()
+        .map(|level| {
+            let members = qb4olap::members_of_level(tool.endpoint(), &level).unwrap();
+            assert!(!members.is_empty());
+            (level, members)
+        })
+        .collect();
+        let continents = qb4olap::members_of_level(tool.endpoint(), &continent_level).unwrap();
+        let workload: Vec<(&str, String)> = datagen::workload::bench_queries();
+
+        // Observations whose fragments are *dropped* (partially removed)
+        // may not be touched again without forcing a rebuild; the fuzzer
+        // mirrors the decision table and steers around them.
+        let mut forbidden: BTreeSet<Term> = BTreeSet::new();
+        let mut next_obs = 0usize;
+        let mut next_member = 0usize;
+        let mut op_counts = [0usize; 9];
+
+        let demo_observation = |rng: &mut StdRng, serial: usize| -> Vec<Triple> {
+            let node = Term::iri(format!("http://example.org/fuzz/obs{serial}"));
+            let mut batch = vec![
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::Iri(dataset.clone())),
+                Triple::new(
+                    node.clone(),
+                    sdmx_measure::obs_value(),
+                    Literal::integer(rng.gen_range(1..500)),
+                ),
+            ];
+            for (level, members) in &demo_levels {
+                let member = members[rng.gen_range(0..members.len())].clone();
+                batch.push(Triple::new(node.clone(), level.clone(), member));
+            }
+            batch
+        };
+
+        let live_victims = |tool: &Qb2Olap, dataset: &Iri, forbidden: &BTreeSet<Term>| -> Vec<Term> {
+            observation_nodes(tool, dataset)
+                .into_iter()
+                .filter(|node| !forbidden.contains(node))
+                .collect()
+        };
+
+        let float_observation = |rng: &mut StdRng, city: Term, serial: usize| -> Vec<Triple> {
+            let node = Term::iri(format!("http://example.org/float/fuzz/obs{serial}"));
+            vec![
+                Triple::new(node.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+                Triple::new(node.clone(), qb::data_set(), Term::Iri(firi("ds"))),
+                Triple::new(node.clone(), firi("lv/city"), city),
+                Triple::new(node.clone(), firi("measure/rate"), quarters(rng)),
+                Triple::new(node, firi("measure/index"), quarters(rng)),
+            ]
+        };
+
+        for step in 0..steps {
+            let op = rng.gen_range(0..9u32);
+            op_counts[op as usize] += 1;
+            match op {
+                // Integer observation appends (1–3 per batch).
+                0 => {
+                    let mut batch = Vec::new();
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        batch.extend(demo_observation(&mut rng, next_obs));
+                        next_obs += 1;
+                    }
+                    tool.endpoint().insert_triples(&batch).unwrap();
+                }
+                // A brand-new citizenship member (declared, linked into the
+                // hierarchy) plus an observation referencing it.
+                1 => {
+                    let member =
+                        Term::iri(format!("http://example.org/fuzz/citizen{next_member}"));
+                    let continent = continents[rng.gen_range(0..continents.len())].clone();
+                    let mut batch = vec![
+                        qb4olap::member_of_triple(&member, &citizen_level),
+                        qb4olap::rollup_triple(&member, &continent),
+                    ];
+                    let mut obs = demo_observation(&mut rng, next_obs);
+                    next_obs += 1;
+                    next_member += 1;
+                    // Rebind the citizenship dimension to the new member.
+                    obs.retain(|t| t.predicate != citizen_level);
+                    obs.push(Triple::new(obs[0].subject.clone(), citizen_level.clone(), member));
+                    batch.extend(obs);
+                    tool.endpoint().insert_triples(&batch).unwrap();
+                }
+                // Whole-observation removal (one batch = one delta).
+                2 => {
+                    let victims = live_victims(&tool, &dataset, &forbidden);
+                    if victims.len() > 150 {
+                        let victim = &victims[rng.gen_range(0..victims.len())];
+                        let removed = tool
+                            .endpoint()
+                            .store()
+                            .remove_matching(Some(victim), None, None);
+                        assert!(removed.len() >= 4);
+                    }
+                }
+                // Partial removal: strip the measure value → the fragment
+                // is *dropped*, the row tombstoned, no rebuild.
+                3 => {
+                    let victims = live_victims(&tool, &dataset, &forbidden);
+                    if victims.len() > 150 {
+                        let victim = victims[rng.gen_range(0..victims.len())].clone();
+                        let removed = tool.endpoint().store().remove_matching(
+                            Some(&victim),
+                            Some(&sdmx_measure::obs_value()),
+                            None,
+                        );
+                        assert_eq!(removed.len(), 1);
+                        forbidden.insert(victim);
+                    }
+                }
+                // Partial removal: strip the dataset link → the fragment is
+                // invisible to a fresh build.
+                4 => {
+                    let victims = live_victims(&tool, &dataset, &forbidden);
+                    if victims.len() > 150 {
+                        let victim = victims[rng.gen_range(0..victims.len())].clone();
+                        let removed = tool.endpoint().store().remove_matching(
+                            Some(&victim),
+                            Some(&qb::data_set()),
+                            None,
+                        );
+                        assert_eq!(removed.len(), 1);
+                        forbidden.insert(victim);
+                    }
+                }
+                // Partial removal: strip one dimension value → the
+                // surviving (still complete) row is re-appended with that
+                // dimension unbound.
+                5 => {
+                    let victims = live_victims(&tool, &dataset, &forbidden);
+                    if !victims.is_empty() {
+                        let victim = victims[rng.gen_range(0..victims.len())].clone();
+                        // Any of the five non-citizenship dimensions.
+                        let (level, _) = &demo_levels[rng.gen_range(1..demo_levels.len())];
+                        tool.endpoint()
+                            .store()
+                            .remove_matching(Some(&victim), Some(level), None);
+                    }
+                }
+                // Float observation appends (the lifted NonIntegralAppend).
+                6 => {
+                    let mut batch = Vec::new();
+                    for _ in 0..rng.gen_range(1..=2usize) {
+                        let city = fmember(&format!("fc{}", rng.gen_range(0..8)));
+                        batch.extend(float_observation(&mut rng, city, next_obs));
+                        next_obs += 1;
+                    }
+                    tool.endpoint().insert_triples(&batch).unwrap();
+                }
+                // A new float-cube member + observation.
+                7 => {
+                    let member = fmember(&format!("fuzz{next_member}"));
+                    next_member += 1;
+                    let mut batch = vec![
+                        qb4olap::member_of_triple(&member, &firi("lv/city")),
+                        qb4olap::rollup_triple(&member, &fmember(&format!("FK{}", rng.gen_range(0..3)))),
+                    ];
+                    batch.extend(float_observation(&mut rng, member, next_obs));
+                    next_obs += 1;
+                    tool.endpoint().insert_triples(&batch).unwrap();
+                }
+                // Float removals: whole observation, or a one-measure strip
+                // that drops the fragment.
+                _ => {
+                    let victims = live_victims(&tool, &float_dataset, &forbidden);
+                    if victims.len() > 20 {
+                        let victim = victims[rng.gen_range(0..victims.len())].clone();
+                        if rng.gen_range(0..2) == 0 {
+                            assert!(
+                                tool.endpoint()
+                                    .store()
+                                    .remove_matching(Some(&victim), None, None)
+                                    .len()
+                                    >= 5
+                            );
+                        } else {
+                            let removed = tool.endpoint().store().remove_matching(
+                                Some(&victim),
+                                Some(&firi("measure/index")),
+                                None,
+                            );
+                            assert_eq!(removed.len(), 1);
+                            forbidden.insert(victim);
+                        }
+                    }
+                }
+            }
+
+            // Both cubes must absorb the step via the delta path...
+            querying.materialize().unwrap();
+            catalog.serve(tool.endpoint(), &float_schema).unwrap();
+            assert_delta_only(&catalog, &dataset, step);
+            assert_delta_only(&catalog, &float_dataset, step);
+
+            // ... and stay in lockstep with fresh SPARQL evaluation: one
+            // rotating workload query per step, the float aggregates every
+            // step, the full battery periodically.
+            let heavy = step % 25 == 24;
+            let checks: Vec<&(&str, String)> = if heavy {
+                workload.iter().collect()
+            } else {
+                vec![&workload[step % workload.len()]]
+            };
+            for (name, text) in checks {
+                let prepared = querying.prepare(text).unwrap();
+                let sparql_cube = querying.execute(&prepared, SparqlVariant::Direct).unwrap();
+                let columnar_cube = querying
+                    .execute(&prepared, ExecutionBackend::Columnar)
+                    .unwrap();
+                assert_eq!(
+                    sparql_cube, columnar_cube,
+                    "backends diverge for '{name}' after fuzz step {step} (seed {seed})"
+                );
+            }
+            assert_float_lockstep(&tool, &catalog, &float_schema, step);
+            if heavy {
+                // Thread-count sweep on the float cube: chunked compensated
+                // sums must be bit-identical at 1/2/8 workers.
+                let cube = catalog.serve(tool.endpoint(), &float_schema).unwrap();
+                let reference = execute_with_threads(&cube, &CubeQuery::default(), 1).unwrap();
+                for threads in [2usize, 8] {
+                    assert_eq!(
+                        execute_with_threads(&cube, &CubeQuery::default(), threads).unwrap(),
+                        reference,
+                        "float scan diverges at {threads} threads after step {step}"
+                    );
+                }
+                // Catalog-served exploration matches its SPARQL oracle.
+                assert_eq!(
+                    explorer.members(&citizen_level).unwrap(),
+                    explorer.members_via_sparql(&citizen_level).unwrap()
+                );
+                assert_eq!(
+                    explorer
+                        .rollup_edges(&citizen_level, &continent_level)
+                        .unwrap(),
+                    explorer
+                        .rollup_edges_via_sparql(&citizen_level, &continent_level)
+                        .unwrap()
+                );
+                // The delta-refreshed demo cube still matches a
+                // from-scratch materialization, physically: same live rows.
+                let served = querying.materialize().unwrap();
+                let rebuilt =
+                    MaterializedCube::from_endpoint(tool.endpoint(), querying.schema()).unwrap();
+                assert_eq!(served.live_row_count(), rebuilt.row_count());
+                assert_eq!(
+                    served.stats().observations_seen,
+                    rebuilt.stats().observations_seen
+                );
+            }
+        }
+
+        // The sequence exercised every mutation class and never rebuilt.
+        assert!(
+            op_counts.iter().all(|&count| count > 0),
+            "seed {seed} did not exercise every op in {steps} steps: {op_counts:?}"
+        );
+        for ds in [&dataset, &float_dataset] {
+            let reports = catalog.reports(ds);
+            assert!(
+                reports
+                    .iter()
+                    .all(|r| matches!(
+                        r.strategy,
+                        MaintenanceStrategy::Delta | MaintenanceStrategy::Fresh
+                    )),
+                "<{}> saw a non-delta refresh: {reports:?}",
+                ds.as_str()
+            );
+            assert!(
+                reports.iter().any(|r| r.rows_removed > 0),
+                "<{}> absorbed no removal via tombstones",
+                ds.as_str()
+            );
+        }
+    }
+}
+
 /// The tombstone/compaction gate: seeded whole-observation removals are
 /// absorbed as tombstones until the live-row fraction crosses the
 /// compaction threshold, at which point the catalog re-materializes — and
