@@ -32,6 +32,25 @@ cargo test --release -q -p qb2olap-suite --test integration_backends -- \
 QB2OLAP_FUZZ_STEPS=200 cargo test --release -q -p qb2olap-suite --test integration_backends -- \
     mutation_sequence_fuzzer_keeps_catalog_and_sparql_in_lockstep
 
+# The qlsmith gate, pinned by name and seed: 500 grammar-covering QL
+# programs (every pipeline-step variant, every aggregate function, dice
+# trees over strings/numbers/IRIs) run through all three execution
+# backends, and 500 grammar-covering SPARQL SELECTs run through the parsed
+# and the pretty-printed evaluation path — bit-identical results required,
+# with store mutations interleaved every ten queries so the campaign also
+# covers delta-refreshed, tombstoned and rebuild-fallback catalog states.
+# The coverage recorders fail the run if any grammar production was never
+# generated, and the harness self-test proves a seeded mismatch is caught,
+# shrunk to a one-statement corpus file and replayed.
+QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
+    cargo test --release -q -p qb2olap-suite --test integration_qlsmith
+
+# The regression corpus replays green, pinned by name so a corpus file
+# that stops parsing or starts diverging fails the gate even if the
+# campaign above is ever quarantined.
+cargo test --release -q -p qb2olap-suite --test integration_qlsmith -- \
+    committed_corpus_replays_green
+
 # Release-mode repro smoke: the experiment harness must run end to end
 # (E11 re-checks backend parity at this scale; E12 re-checks incremental
 # maintenance — the delta path must be taken for pure appends, parity must
@@ -60,6 +79,7 @@ done
 grep -q 'ARCHITECTURE.md' README.md
 grep -q 'E13' EXPERIMENTS.md
 grep -q 'E14' EXPERIMENTS.md
+grep -q 'E15' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

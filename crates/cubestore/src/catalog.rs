@@ -601,4 +601,78 @@ mod tests {
         let report = catalog.last_report(&schema.dataset).unwrap();
         assert_eq!(report.strategy, MaintenanceStrategy::Fresh);
     }
+
+    #[test]
+    fn conservative_snapshot_endpoint_pins_the_first_build() {
+        use sparql::ConservativeEndpoint;
+
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let conservative = ConservativeEndpoint::new(endpoint);
+        let catalog = CubeCatalog::new();
+
+        let first = catalog.serve(&conservative, &schema).unwrap();
+        assert_eq!(first.row_count(), 5);
+        assert_eq!(
+            catalog.last_report(&schema.dataset).unwrap().strategy,
+            MaintenanceStrategy::Fresh
+        );
+
+        // Mutate through the wrapper: the store really moves, but the
+        // snapshot-mode epoch stays 0, so the catalog must keep serving
+        // the original build — never a delta, never a rebuild.
+        conservative
+            .insert_triples(&observation_triples("o6", "c1", "m1", 3, 3))
+            .unwrap();
+        assert!(conservative.inner().epoch() > 0, "the store itself moved");
+
+        let second = catalog.serve(&conservative, &schema).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "pinned to the first build");
+        assert_eq!(second.row_count(), 5, "the mutation stays invisible");
+        assert_eq!(
+            catalog.reports(&schema.dataset).len(),
+            1,
+            "no refresh was ever attempted"
+        );
+    }
+
+    #[test]
+    fn conservative_epoch_endpoint_degrades_to_rebuild_per_change() {
+        use sparql::ConservativeEndpoint;
+
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let conservative = ConservativeEndpoint::with_epochs(endpoint);
+        let catalog = CubeCatalog::new();
+        catalog.serve(&conservative, &schema).unwrap();
+
+        // Two separate mutations, two serves: every epoch change must
+        // degrade to a change-log-gap rebuild — the wrapper reports
+        // movement but never surfaces deltas.
+        for (round, obs) in [("o6", 6usize), ("o7", 7)] {
+            conservative
+                .insert_triples(&observation_triples(round, "c2", "m2", 2, 2))
+                .unwrap();
+            let fresh = catalog.serve(&conservative, &schema).unwrap();
+            assert_eq!(fresh.row_count(), obs, "the rebuild sees every row");
+            let report = catalog.last_report(&schema.dataset).unwrap();
+            assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+            assert_eq!(report.reason, Some(RebuildReason::ChangeLogGap));
+            assert_eq!(report.deltas_applied, 0);
+
+            // Degraded, not wrong: the rebuilt cube matches a from-scratch
+            // materialization of the same store.
+            let scratch =
+                MaterializedCube::from_endpoint(&conservative, &schema).unwrap();
+            assert_eq!(
+                execute(&fresh, &CubeQuery::default()).unwrap(),
+                execute(&scratch, &CubeQuery::default()).unwrap()
+            );
+        }
+        assert!(
+            catalog
+                .reports(&schema.dataset)
+                .iter()
+                .all(|r| r.strategy != MaintenanceStrategy::Delta),
+            "the delta path must be unreachable through a conservative endpoint"
+        );
+    }
 }

@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use qb4olap::AggregateFunction;
 use rdf::{Iri, Literal, Term};
 use sparql::ast::CmpOp;
+use sparql::numeric::{float_max, float_min};
 use sparql::compare_terms;
 
 use crate::build::MaterializedCube;
@@ -459,31 +460,6 @@ impl MeasureAcc {
                 _ => measure.data.term_for(self.max),
             },
         }
-    }
-}
-
-/// MIN with a deterministic signed-zero tie-break (`-0.0 < 0.0`):
-/// `f64::min(-0.0, 0.0)` may return either operand, which would make the
-/// winning term depend on scan order / chunk partitioning. Treating the
-/// negative zero as strictly smaller matches the SPARQL engine's MIN,
-/// which falls back to the lexical ordering (`"-0.0" < "0.0"`) when the
-/// numeric comparison ties.
-#[inline]
-fn float_min(a: f64, b: f64) -> f64 {
-    if b < a || (b == a && b.is_sign_negative()) {
-        b
-    } else {
-        a
-    }
-}
-
-/// MAX with the mirror tie-break (`0.0 > -0.0`); see [`float_min`].
-#[inline]
-fn float_max(a: f64, b: f64) -> f64 {
-    if b > a || (b == a && b.is_sign_positive()) {
-        b
-    } else {
-        a
     }
 }
 

@@ -75,6 +75,8 @@ pub mod error;
 pub mod executor;
 pub mod hierarchy;
 pub mod observations;
+#[cfg(test)]
+mod refusal_suite;
 pub mod tombstone;
 
 pub use build::{BuildStats, MaterializedCube};

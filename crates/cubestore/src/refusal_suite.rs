@@ -1,0 +1,321 @@
+//! The refusal suite: one minimal triggering delta per [`RefusalKind`],
+//! proving (a) the classifier reports exactly that kind with a meaningful
+//! detail, and (b) the catalog's fallback rebuild restores parity with a
+//! from-scratch materialization — and with what SPARQL sees — on the
+//! mutated store.
+//!
+//! The kind → trigger mapping is an exhaustive `match`: adding a
+//! fourteenth refusal kind fails compilation here until its minimal
+//! trigger (and expected detail) is written down.
+
+use qb4olap::AggregateFunction;
+use rdf::vocab::{qb, qb4o, rdf as rdfv, rdfs};
+use rdf::{Literal, Term, Triple};
+use sparql::{Endpoint, LocalEndpoint};
+
+use crate::catalog::{CubeCatalog, MaintenanceStrategy, RebuildReason};
+use crate::executor::{execute, CubeQuery};
+use crate::testutil::{fixture, iri, member};
+use crate::{MaterializedCube, RefusalKind};
+
+/// One refusal scenario: optional store state established *before* the
+/// first build, the minimal refused mutation, and the detail fragment the
+/// refusal must carry.
+struct Trigger {
+    /// Store preparation applied before the first `serve` (e.g. seeding a
+    /// dropped observation the build must have classified).
+    setup: fn(&LocalEndpoint),
+    /// The minimal mutation whose delta the classifier must refuse.
+    mutate: fn(&LocalEndpoint),
+    /// A fragment the refusal's human-readable detail must contain.
+    detail_fragment: &'static str,
+}
+
+fn obs(name: &str) -> Term {
+    Term::iri(format!("http://example.org/obs/{name}"))
+}
+
+fn no_setup(_: &LocalEndpoint) {}
+
+/// The minimal trigger for each refusal kind. Wildcard-free on purpose.
+fn trigger_for(kind: RefusalKind) -> Trigger {
+    match kind {
+        RefusalKind::SchemaStructure => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        Term::Iri(iri("dsdQB4O")),
+                        qb4o::has_level(),
+                        Term::Iri(iri("lv/quarter")),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "schema/hierarchy triple inserted",
+        },
+        RefusalKind::RollupLinkAdded => Trigger {
+            setup: no_setup,
+            // c3 is the ragged city frozen into the fact columns; giving it
+            // a country after the build invalidates its roll-up entries.
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[qb4olap::rollup_triple(&member("c3"), &member("K1"))])
+                    .unwrap();
+            },
+            detail_fragment: "roll-up link added",
+        },
+        RefusalKind::RollupLinkRemoved => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                assert!(endpoint
+                    .store()
+                    .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
+            },
+            detail_fragment: "roll-up link removed",
+        },
+        RefusalKind::MemberRemoved => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                assert!(endpoint
+                    .store()
+                    .remove(&qb4olap::member_of_triple(&member("m1"), &iri("lv/month"))));
+            },
+            detail_fragment: "removed from level",
+        },
+        RefusalKind::MemberConflict => Trigger {
+            setup: no_setup,
+            // c1 already sits in the city fact column; declaring it a month
+            // member would have changed the build's roll-up maps.
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[qb4olap::member_of_triple(&member("c1"), &iri("lv/month"))])
+                    .unwrap();
+            },
+            detail_fragment: "already present in the fact columns",
+        },
+        RefusalKind::ObservationMutated => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        obs("o1"),
+                        iri("measure/value"),
+                        Literal::integer(99),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "gained a measure value",
+        },
+        RefusalKind::DroppedObservationMutated => Trigger {
+            // Seed an incomplete observation the first build *drops* (no
+            // score measure) — then complete it after the build.
+            setup: |endpoint| {
+                endpoint
+                    .insert_triples(&[
+                        Triple::new(obs("bad"), rdfv::type_(), Term::Iri(qb::observation())),
+                        Triple::new(obs("bad"), qb::data_set(), Term::Iri(iri("ds"))),
+                        Triple::new(obs("bad"), iri("lv/city"), member("c1")),
+                        Triple::new(obs("bad"), iri("lv/month"), member("m1")),
+                        Triple::new(obs("bad"), iri("measure/value"), Literal::integer(1)),
+                    ])
+                    .unwrap();
+            },
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        obs("bad"),
+                        iri("measure/score"),
+                        Literal::integer(2),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "dropped observation",
+        },
+        RefusalKind::IncompleteObservation => Trigger {
+            setup: no_setup,
+            // A brand-new observation missing one measure, in one batch.
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[
+                        Triple::new(obs("o9"), rdfv::type_(), Term::Iri(qb::observation())),
+                        Triple::new(obs("o9"), qb::data_set(), Term::Iri(iri("ds"))),
+                        Triple::new(obs("o9"), iri("lv/city"), member("c1")),
+                        Triple::new(obs("o9"), iri("lv/month"), member("m1")),
+                        Triple::new(obs("o9"), iri("measure/value"), Literal::integer(5)),
+                    ])
+                    .unwrap();
+            },
+            detail_fragment: "missing measure",
+        },
+        RefusalKind::MalformedObservation => Trigger {
+            setup: no_setup,
+            // Complete, but with two city values: a fresh build must pick
+            // one, and which one depends on build order.
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[
+                        Triple::new(obs("o9"), rdfv::type_(), Term::Iri(qb::observation())),
+                        Triple::new(obs("o9"), qb::data_set(), Term::Iri(iri("ds"))),
+                        Triple::new(obs("o9"), iri("lv/city"), member("c1")),
+                        Triple::new(obs("o9"), iri("lv/city"), member("c2")),
+                        Triple::new(obs("o9"), iri("lv/month"), member("m1")),
+                        Triple::new(obs("o9"), iri("measure/value"), Literal::integer(5)),
+                        Triple::new(obs("o9"), iri("measure/score"), Literal::integer(6)),
+                    ])
+                    .unwrap();
+            },
+            detail_fragment: "several values for dimension",
+        },
+        RefusalKind::AttributeConflict => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[qb4olap::attribute_triple(
+                        &member("K1"),
+                        &iri("attr/countryName"),
+                        &Term::Literal(Literal::string("Zeta")),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "second value for attribute",
+        },
+        RefusalKind::AttributeRemoved => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                assert!(endpoint.store().remove(&qb4olap::attribute_triple(
+                    &member("K1"),
+                    &iri("attr/countryName"),
+                    &Term::Literal(Literal::string("Alpha")),
+                )));
+            },
+            detail_fragment: "attribute value removed",
+        },
+        RefusalKind::UnknownMemberAttribute => Trigger {
+            setup: no_setup,
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[qb4olap::attribute_triple(
+                        &member("K9"),
+                        &iri("attr/countryName"),
+                        &Term::Literal(Literal::string("Nine")),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "unknown member",
+        },
+        RefusalKind::DatasetLabelChanged => Trigger {
+            setup: |endpoint| {
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        Term::Iri(iri("ds")),
+                        rdfs::label(),
+                        Literal::string("Fixture cube"),
+                    )])
+                    .unwrap();
+            },
+            mutate: |endpoint| {
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        Term::Iri(iri("ds")),
+                        rdfs::label(),
+                        Literal::string("Renamed cube"),
+                    )])
+                    .unwrap();
+            },
+            detail_fragment: "dataset label changed",
+        },
+    }
+}
+
+/// Observations SPARQL sees as complete (typed, linked, every dimension
+/// and measure bound), counted over the live store.
+fn sparql_complete_observations(endpoint: &LocalEndpoint) -> usize {
+    endpoint
+        .select(
+            "SELECT DISTINCT ?o WHERE { \
+               ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                  <http://purl.org/linked-data/cube#Observation> . \
+               ?o <http://purl.org/linked-data/cube#dataSet> <http://example.org/ds> . \
+               ?o <http://example.org/lv/city> ?c . \
+               ?o <http://example.org/lv/month> ?m . \
+               ?o <http://example.org/measure/value> ?v . \
+               ?o <http://example.org/measure/score> ?s . }",
+        )
+        .expect("the parity count query evaluates")
+        .rows
+        .len()
+}
+
+#[test]
+fn every_refusal_kind_has_a_minimal_trigger_and_a_clean_rebuild() {
+    for kind in RefusalKind::ALL {
+        let trigger = trigger_for(kind);
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        (trigger.setup)(&endpoint);
+        let catalog = CubeCatalog::new();
+        catalog.serve(&endpoint, &schema).unwrap();
+
+        (trigger.mutate)(&endpoint);
+        let rebuilt = catalog.serve(&endpoint, &schema).unwrap();
+
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Rebuild,
+            "{kind}: the refused delta must fall back to a rebuild"
+        );
+        let Some(RebuildReason::DeltaRefused(refusal)) = report.reason else {
+            panic!("{kind}: expected a delta refusal, got {:?}", report.reason);
+        };
+        assert_eq!(refusal.kind, kind, "the classifier reports the exact kind");
+        assert!(
+            refusal.detail.contains(trigger.detail_fragment),
+            "{kind}: detail {:?} should mention {:?}",
+            refusal.detail,
+            trigger.detail_fragment
+        );
+        assert!(
+            refusal.to_string().contains(kind.name()),
+            "the rendered refusal names its kind"
+        );
+
+        // Parity: the fallback result is bit-identical to a from-scratch
+        // materialization of the mutated store…
+        let scratch = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(
+            execute(&rebuilt, &CubeQuery::default()).unwrap(),
+            execute(&scratch, &CubeQuery::default()).unwrap(),
+            "{kind}: rebuilt cube must equal a fresh materialization"
+        );
+        // …and its live rows agree with what SPARQL counts as complete
+        // observations on the same store.
+        assert_eq!(
+            rebuilt.live_row_count(),
+            sparql_complete_observations(&endpoint),
+            "{kind}: rebuilt cube must serve exactly the rows SPARQL sees"
+        );
+    }
+}
+
+#[test]
+fn refused_serves_leave_no_delta_strategy_in_the_reports() {
+    for kind in RefusalKind::ALL {
+        let trigger = trigger_for(kind);
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        (trigger.setup)(&endpoint);
+        let catalog = CubeCatalog::new();
+        catalog.serve(&endpoint, &schema).unwrap();
+        (trigger.mutate)(&endpoint);
+        catalog.serve(&endpoint, &schema).unwrap();
+        let strategies: Vec<MaintenanceStrategy> = catalog
+            .reports(&schema.dataset)
+            .iter()
+            .map(|r| r.strategy)
+            .collect();
+        assert_eq!(
+            strategies,
+            vec![MaintenanceStrategy::Fresh, MaintenanceStrategy::Rebuild],
+            "{kind}: exactly one fresh build and one refusal-rebuild"
+        );
+    }
+}

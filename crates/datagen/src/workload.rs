@@ -8,6 +8,23 @@
 //! `schema:year`, and the attributes `schema:continentName` and
 //! `schema:countryName`.
 
+/// Continent-name constants for generated attribute dices: the four real
+/// continents of the demo data plus one that matches nothing, so generated
+/// workloads probe both hit and miss paths.
+pub const CONTINENT_NAMES: &[&str] = &["Africa", "Asia", "Europe", "America", "Atlantis"];
+
+/// Country-name constants for generated attribute dices, again with one
+/// guaranteed miss.
+pub const COUNTRY_NAMES: &[&str] = &["France", "Germany", "Sweden", "Hungary", "Nowhere"];
+
+/// Draws one string from a name pool — the shared sampling idiom of the
+/// workload generator and downstream fuzz harnesses (`qlsmith` mixes these
+/// pools into its dice constants as plausible-but-foreign values).
+pub fn sample_name(rng: &mut rand::rngs::StdRng, pool: &[&'static str]) -> &'static str {
+    use rand::Rng;
+    pool[rng.gen_range(0..pool.len())]
+}
+
 /// The QL prologue shared by all workload queries.
 pub const PROLOGUE: &str = "\
 PREFIX data: <http://eurostat.linked-statistics.org/data/>;
@@ -125,9 +142,6 @@ pub fn bench_queries() -> Vec<(&'static str, String)> {
 pub fn generated_queries(seed: u64, count: usize) -> Vec<(String, String)> {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
-    const CONTINENT_NAMES: &[&str] = &["Africa", "Asia", "Europe", "America", "Atlantis"];
-    const COUNTRY_NAMES: &[&str] = &["France", "Germany", "Sweden", "Hungary", "Nowhere"];
-
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries = Vec::with_capacity(count);
     for index in 0..count {
@@ -222,14 +236,14 @@ pub fn generated_queries(seed: u64, count: usize) -> Vec<(String, String)> {
         // Dices (the grammar puts them at the end). Attribute dices must
         // target the dimension's *result* level.
         if citizenship_target == Some("schema:continent") && rng.gen_bool(0.6) {
-            let name = CONTINENT_NAMES[rng.gen_range(0..CONTINENT_NAMES.len())];
+            let name = sample_name(&mut rng, CONTINENT_NAMES);
             let op = if rng.gen_bool(0.8) { "=" } else { "!=" };
             operations.push(format!(
                 "DICE (@, schema:citizenshipDim|schema:continent|schema:continentName {op} \"{name}\")"
             ));
         }
         if !sliced[1] && destination_target.is_none() && rng.gen_bool(0.4) {
-            let name = COUNTRY_NAMES[rng.gen_range(0..COUNTRY_NAMES.len())];
+            let name = sample_name(&mut rng, COUNTRY_NAMES);
             operations.push(format!(
                 "DICE (@, schema:destinationDim|property:geo|schema:countryName = \"{name}\")"
             ));

@@ -1,0 +1,187 @@
+//! The differential oracle: every QL program runs through **every**
+//! execution backend, every SPARQL query through the parsed *and* the
+//! text path, and the results must be bit-identical.
+
+use ql::{ExecutionBackend, QlError, QueryingModule, ResultCube, SparqlVariant};
+use sparql::ast::{Query, SelectQuery};
+use sparql::pretty::query_to_string;
+use sparql::{Endpoint, SparqlError};
+
+/// The three execution backends the oracle compares, with display labels.
+pub const BACKENDS: [(&str, ExecutionBackend); 3] = [
+    ("sparql-direct", ExecutionBackend::Sparql(SparqlVariant::Direct)),
+    (
+        "sparql-alternative",
+        ExecutionBackend::Sparql(SparqlVariant::Alternative),
+    ),
+    ("columnar", ExecutionBackend::Columnar),
+];
+
+/// Evaluates one QL program text through every backend.
+///
+/// A trait so the shrinker's self-test can wrap the real oracle with an
+/// intentionally faulty one.
+pub trait QlOracle {
+    /// Executes the program on every backend, returning `(label, result)`
+    /// pairs with canonically sorted cells.
+    fn evaluate(&self, ql_text: &str) -> Result<Vec<(&'static str, ResultCube)>, QlError>;
+}
+
+/// The real oracle: a [`QueryingModule`] over a live endpoint + schema.
+pub struct ModuleOracle<'e> {
+    module: &'e QueryingModule<'e>,
+}
+
+impl<'e> ModuleOracle<'e> {
+    /// Wraps a querying module.
+    pub fn new(module: &'e QueryingModule<'e>) -> Self {
+        ModuleOracle { module }
+    }
+}
+
+impl QlOracle for ModuleOracle<'_> {
+    fn evaluate(&self, ql_text: &str) -> Result<Vec<(&'static str, ResultCube)>, QlError> {
+        let prepared = self.module.prepare(ql_text)?;
+        let mut results = Vec::with_capacity(BACKENDS.len());
+        for (label, backend) in BACKENDS {
+            let mut cube = self.module.execute(&prepared, backend)?;
+            cube.sort_cells();
+            results.push((label, cube));
+        }
+        Ok(results)
+    }
+}
+
+/// A backend disagreement on one QL program.
+#[derive(Debug, Clone)]
+pub struct QlMismatch {
+    /// The program text that exposed the disagreement.
+    pub ql_text: String,
+    /// The first backend of the disagreeing pair.
+    pub left: &'static str,
+    /// The second backend of the disagreeing pair.
+    pub right: &'static str,
+    /// A short human-readable description of the first difference.
+    pub detail: String,
+}
+
+/// First difference between two sorted result cubes, if any.
+fn first_difference(a: &ResultCube, b: &ResultCube) -> Option<String> {
+    if a.axes != b.axes {
+        return Some(format!("axes differ: {:?} vs {:?}", a.axes, b.axes));
+    }
+    if a.measures != b.measures {
+        return Some(format!(
+            "measures differ: {:?} vs {:?}",
+            a.measures, b.measures
+        ));
+    }
+    if a.cells.len() != b.cells.len() {
+        return Some(format!("{} cells vs {} cells", a.cells.len(), b.cells.len()));
+    }
+    for (i, (ca, cb)) in a.cells.iter().zip(&b.cells).enumerate() {
+        if ca != cb {
+            return Some(format!("cell {i}: {ca:?} vs {cb:?}"));
+        }
+    }
+    None
+}
+
+/// Runs one program through the oracle and checks all backends agree.
+///
+/// `Ok(None)` means agreement; `Ok(Some(mismatch))` is a reportable
+/// disagreement; `Err` means the (well-formed, by construction) program
+/// failed to execute at all — itself a bug worth surfacing loudly.
+pub fn check_program(
+    oracle: &dyn QlOracle,
+    ql_text: &str,
+) -> Result<Option<QlMismatch>, QlError> {
+    let results = oracle.evaluate(ql_text)?;
+    let (base_label, base) = &results[0];
+    for (label, cube) in &results[1..] {
+        if let Some(detail) = first_difference(base, cube) {
+            return Ok(Some(QlMismatch {
+                ql_text: ql_text.to_string(),
+                left: base_label,
+                right: label,
+                detail,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// A SPARQL path disagreement: direct AST evaluation vs the pretty-printed
+/// text round-trip.
+#[derive(Debug, Clone)]
+pub struct SparqlMismatch {
+    /// The query rendered as text.
+    pub sparql_text: String,
+    /// What differed.
+    pub detail: String,
+}
+
+/// Executes one generated SELECT query through both endpoint paths — the
+/// parsed AST (`select_parsed`) and the pretty-printed text (`select`) —
+/// and checks the outcomes agree: identical solutions, or both errors.
+pub fn check_select(endpoint: &dyn Endpoint, query: &SelectQuery) -> Option<SparqlMismatch> {
+    let wrapped = Query::Select(query.clone());
+    let text = query_to_string(&wrapped);
+    let via_ast = endpoint.select_parsed(&wrapped);
+    let via_text = endpoint.select(&text);
+    match (via_ast, via_text) {
+        (Ok(a), Ok(b)) => {
+            if a == b {
+                None
+            } else {
+                Some(SparqlMismatch {
+                    sparql_text: text,
+                    detail: format!(
+                        "parsed path returned {} solutions, text path {}",
+                        a.len(),
+                        b.len()
+                    ),
+                })
+            }
+        }
+        (Err(_), Err(_)) => None,
+        (Ok(_), Err(e)) => Some(SparqlMismatch {
+            sparql_text: text,
+            detail: format!("parsed path succeeded, text path failed: {e}"),
+        }),
+        (Err(e), Ok(_)) => Some(SparqlMismatch {
+            sparql_text: text,
+            detail: format!("text path succeeded, parsed path failed: {e}"),
+        }),
+    }
+}
+
+/// Convenience: the error type both endpoint paths share.
+pub type SparqlResult<T> = Result<T, SparqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::fuzz_cube;
+    use crate::ql_gen::QlGenerator;
+    use crate::universe::SchemaUniverse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backends_agree_on_generated_programs() {
+        let cube = fuzz_cube();
+        let universe = SchemaUniverse::from_endpoint(&cube.endpoint, &cube.schema).unwrap();
+        let generator = QlGenerator::new(&universe, &cube.schema);
+        let module = QueryingModule::with_schema(&cube.endpoint, cube.schema.clone());
+        let oracle = ModuleOracle::new(&module);
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for spotlight in 0..40 {
+            let program = generator.generate(&mut rng, spotlight);
+            let text = program.to_ql_string();
+            let verdict = check_program(&oracle, &text)
+                .unwrap_or_else(|e| panic!("execution failed: {e:?}\n{text}"));
+            assert!(verdict.is_none(), "mismatch: {verdict:?}");
+        }
+    }
+}

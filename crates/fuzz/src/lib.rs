@@ -1,0 +1,89 @@
+//! `qlsmith` — grammar-driven dual-language differential fuzzing for the
+//! QB2OLAP pipeline.
+//!
+//! Modeled on the role `sparql-smith` plays for Oxigraph: a seeded,
+//! reproducible generator that walks the **entire** grammar of both query
+//! languages the suite speaks and feeds a differential oracle.
+//!
+//! * [`fixture`] builds the fuzz cube — a deterministic QB4OLAP dataset
+//!   with ragged hierarchies, all five aggregate functions over integer
+//!   *and* float measures, and attribute values of every dice-constant
+//!   type.
+//! * [`universe`] introspects a live cube (endpoint + schema) into the
+//!   member/level/attribute tables the generators sample from, which is
+//!   why ~100% of generated queries are well-formed.
+//! * [`ql_gen`] generates QL pipeline programs covering every
+//!   [`ql::ast`] production; [`sparql_gen`] generates SPARQL SELECT
+//!   queries covering every [`sparql::ast`] production.
+//! * [`diff`] executes each program through every execution backend (and
+//!   each SPARQL query through the parsed *and* text paths) and asserts
+//!   bit-identical results.
+//! * [`shrink`] greedily minimizes a mismatching program; [`corpus`]
+//!   persists minimized programs as self-contained regression files.
+//!
+//! # Environment knobs
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `QB2OLAP_FUZZ_SEED` | `0xE155EED` | Campaign RNG seed |
+//! | `QB2OLAP_FUZZ_PROGRAMS` | `120` | QL programs per campaign |
+//! | `QB2OLAP_FUZZ_QUERIES` | `120` | SPARQL queries per campaign |
+//!
+//! CI pins the seed and raises the counts to 500/500 (see `ci.sh`).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod fixture;
+pub mod pool;
+pub mod ql_gen;
+pub mod shrink;
+pub mod sparql_gen;
+pub mod universe;
+
+/// Reads a `u64` campaign knob from the environment (decimal, or hex with a
+/// `0x` prefix), falling back to `default` when unset or unparsable.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(text) => {
+            let text = text.trim();
+            let parsed = if let Some(hex) = text.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                text.parse()
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
+/// The campaign seed: `QB2OLAP_FUZZ_SEED` or `0xE155EED`.
+pub fn campaign_seed() -> u64 {
+    env_u64("QB2OLAP_FUZZ_SEED", 0xE15_5EED)
+}
+
+/// QL programs per campaign: `QB2OLAP_FUZZ_PROGRAMS` or 120.
+pub fn campaign_programs() -> usize {
+    env_u64("QB2OLAP_FUZZ_PROGRAMS", 120) as usize
+}
+
+/// SPARQL queries per campaign: `QB2OLAP_FUZZ_QUERIES` or 120.
+pub fn campaign_queries() -> usize {
+    env_u64("QB2OLAP_FUZZ_QUERIES", 120) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_knobs_parse_decimal_and_hex() {
+        assert_eq!(super::env_u64("QB2OLAP_FUZZ_NO_SUCH_KNOB", 7), 7);
+        std::env::set_var("QB2OLAP_FUZZ_TEST_KNOB_A", "42");
+        std::env::set_var("QB2OLAP_FUZZ_TEST_KNOB_B", "0xff");
+        std::env::set_var("QB2OLAP_FUZZ_TEST_KNOB_C", "nonsense");
+        assert_eq!(super::env_u64("QB2OLAP_FUZZ_TEST_KNOB_A", 7), 42);
+        assert_eq!(super::env_u64("QB2OLAP_FUZZ_TEST_KNOB_B", 7), 255);
+        assert_eq!(super::env_u64("QB2OLAP_FUZZ_TEST_KNOB_C", 7), 7);
+    }
+}

@@ -1,0 +1,103 @@
+//! The fuzzer's value pool: the numeric edge cases every campaign must
+//! push through the aggregation and comparison paths.
+//!
+//! The pool deliberately over-weights the values that have historically
+//! broken float determinism — signed zeros (MIN/MAX tie-breaks), subnormals
+//! (compensated-sum underflow), `f64::MAX` (overflow at the summation rim)
+//! and `i64::MAX`-adjacent integers (exact-vs-`f64` comparison divergence).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Float edge cases for MIN/MAX measure columns and dice constants. Every
+/// value renders in plain decimal notation (Rust's `Display` never emits an
+/// exponent), so each one survives the QL text round-trip.
+pub const FLOAT_EXTREMES: [f64; 10] = [
+    0.0,
+    -0.0,
+    f64::MAX,
+    -f64::MAX,
+    5e-324,  // smallest positive subnormal
+    -5e-324, // largest negative subnormal
+    1.5,
+    -2.25,
+    100.0,
+    -0.75,
+];
+
+/// Integer edge cases: the `i64` rim, where `f64` rounding collapses
+/// adjacent values, plus unremarkable small numbers.
+pub const INT_EXTREMES: [i64; 10] = [
+    i64::MAX,
+    i64::MAX - 1,
+    i64::MIN + 2,
+    i64::MIN + 3,
+    0,
+    -1,
+    1,
+    7,
+    -360,
+    4096,
+];
+
+/// Draws one float from [`FLOAT_EXTREMES`].
+pub fn float_extreme(rng: &mut StdRng) -> f64 {
+    FLOAT_EXTREMES[rng.gen_range(0..FLOAT_EXTREMES.len())]
+}
+
+/// Draws one integer from [`INT_EXTREMES`].
+pub fn int_extreme(rng: &mut StdRng) -> i64 {
+    INT_EXTREMES[rng.gen_range(0..INT_EXTREMES.len())]
+}
+
+/// A bounded decimal in quarter steps — safe for SUM/AVG columns, where an
+/// `f64::MAX` would overflow the compensated sum to infinity.
+pub fn bounded_decimal(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-4_000..=4_000i64) as f64 / 4.0
+}
+
+/// A numeric constant for a QL dice comparison: usually a small value near
+/// the data, sometimes an extreme. Everything returned here renders without
+/// an exponent, so `QlProgram::to_ql_string` output re-parses.
+pub fn dice_number(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..6u8) {
+        0 => float_extreme(rng),
+        1 => int_extreme(rng) as f64,
+        _ => bounded_decimal(rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// The satellite contract: the pool must contain `-0.0`, `f64::MAX`,
+    /// subnormals, and `i64::MAX`-adjacent integers.
+    #[test]
+    fn pool_contains_the_required_edge_cases() {
+        assert!(FLOAT_EXTREMES
+            .iter()
+            .any(|v| *v == 0.0 && v.is_sign_negative()));
+        assert!(FLOAT_EXTREMES.contains(&f64::MAX));
+        assert!(FLOAT_EXTREMES
+            .iter()
+            .any(|v| v.is_subnormal() && *v > 0.0));
+        assert!(INT_EXTREMES.contains(&i64::MAX));
+        assert!(INT_EXTREMES.contains(&(i64::MAX - 1)));
+    }
+
+    /// Every pool value must survive `format!("{}")` → `parse::<f64>()`
+    /// bit-for-bit — the QL text round-trip the differential driver takes.
+    #[test]
+    fn pool_values_round_trip_through_plain_decimal_text() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = dice_number(&mut rng);
+            let text = format!("{v}");
+            assert!(!text.contains('e') && !text.contains('E'), "{text}");
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+}

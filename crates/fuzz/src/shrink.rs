@@ -1,0 +1,195 @@
+//! The greedy shrinker: given a program whose behaviour is "interesting"
+//! (a backend mismatch, usually), delete pipeline steps and simplify dice
+//! predicates until no smaller program stays interesting.
+//!
+//! Candidate moves, tried to a fixpoint:
+//!
+//! 1. delete one statement and re-chain the rest (the first surviving
+//!    statement reads the dataset again, targets are renumbered), and
+//! 2. replace one `AND` / `OR` node of a dice condition with one of its
+//!    children.
+//!
+//! A candidate is accepted only if it still passes `ql::simplify` (so the
+//! minimized program stays well-formed) **and** the `interesting`
+//! predicate still fires on its rendered text.
+
+use qb4olap::CubeSchema;
+use ql::ast::{DiceCondition, QlOperation, QlProgram};
+
+use crate::ql_gen::assemble;
+
+/// All programs one deletion/simplification step smaller than `program`.
+fn candidates(program: &QlProgram) -> Vec<QlProgram> {
+    let Some(dataset) = program.dataset().cloned() else {
+        return Vec::new();
+    };
+    let ops: Vec<QlOperation> = program
+        .statements
+        .iter()
+        .map(|s| s.operation.clone())
+        .collect();
+    let mut out = Vec::new();
+
+    // Move 1: drop one statement.
+    if ops.len() > 1 {
+        for skip in 0..ops.len() {
+            let rest: Vec<QlOperation> = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, op)| op.clone())
+                .collect();
+            out.push(assemble(dataset.clone(), rest));
+        }
+    }
+
+    // Move 2: shrink one dice condition tree.
+    for (i, op) in ops.iter().enumerate() {
+        if let QlOperation::Dice { condition, .. } = op {
+            for reduced in condition_reductions(condition) {
+                let mut next = ops.clone();
+                next[i] = QlOperation::Dice {
+                    cube: op.input().clone(),
+                    condition: reduced,
+                };
+                out.push(assemble(dataset.clone(), next));
+            }
+        }
+    }
+    out
+}
+
+/// All conditions one step smaller: each `AND`/`OR` node replaced by one
+/// child, at any depth.
+fn condition_reductions(condition: &DiceCondition) -> Vec<DiceCondition> {
+    match condition {
+        DiceCondition::Comparison { .. } => Vec::new(),
+        DiceCondition::And(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            for ra in condition_reductions(a) {
+                out.push(DiceCondition::And(Box::new(ra), b.clone()));
+            }
+            for rb in condition_reductions(b) {
+                out.push(DiceCondition::And(a.clone(), Box::new(rb)));
+            }
+            out
+        }
+        DiceCondition::Or(a, b) => {
+            let mut out = vec![(**a).clone(), (**b).clone()];
+            for ra in condition_reductions(a) {
+                out.push(DiceCondition::Or(Box::new(ra), b.clone()));
+            }
+            for rb in condition_reductions(b) {
+                out.push(DiceCondition::Or(a.clone(), Box::new(rb)));
+            }
+            out
+        }
+    }
+}
+
+/// Greedily minimizes `program` while `interesting(rendered text)` holds.
+///
+/// The input program itself must be interesting; the result is a local
+/// minimum — every one-step-smaller candidate is either ill-formed or no
+/// longer interesting.
+pub fn shrink_ql(
+    program: &QlProgram,
+    schema: &CubeSchema,
+    mut interesting: impl FnMut(&str) -> bool,
+) -> QlProgram {
+    let mut current = program.clone();
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if ql::simplify(&candidate, schema).is_err() {
+                continue;
+            }
+            if interesting(&candidate.to_ql_string()) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::{firi, fuzz_cube};
+    use ql::ast::{CubeRef, DiceOp, DiceOperand, DiceValue};
+
+    fn dice(op: DiceOp, n: f64) -> QlOperation {
+        QlOperation::Dice {
+            cube: CubeRef::Variable(String::new()),
+            condition: DiceCondition::Comparison {
+                operand: DiceOperand::Measure(firi("m/int_sum")),
+                op,
+                value: DiceValue::Number(n),
+            },
+        }
+    }
+
+    #[test]
+    fn shrinker_reaches_the_minimal_trigger() {
+        let cube = fuzz_cube();
+        // A 4-step program; only the Ne dice is "interesting".
+        let program = assemble(
+            firi("ds"),
+            vec![
+                QlOperation::Slice {
+                    cube: CubeRef::Variable(String::new()),
+                    dimension: firi("dim/cat"),
+                },
+                QlOperation::Rollup {
+                    cube: CubeRef::Variable(String::new()),
+                    dimension: firi("dim/geo"),
+                    level: firi("lv/country"),
+                },
+                dice(DiceOp::Gt, 1.0),
+                dice(DiceOp::Ne, 7.0),
+            ],
+        );
+        let minimal = shrink_ql(&program, &cube.schema, |text| text.contains("!="));
+        assert_eq!(minimal.statements.len(), 1, "{}", minimal.to_ql_string());
+        assert!(minimal.to_ql_string().contains("!="));
+        assert!(ql::simplify(&minimal, &cube.schema).is_ok());
+    }
+
+    #[test]
+    fn shrinker_simplifies_condition_trees() {
+        let cube = fuzz_cube();
+        let tree = DiceCondition::And(
+            Box::new(DiceCondition::Or(
+                Box::new(DiceCondition::Comparison {
+                    operand: DiceOperand::Measure(firi("m/int_sum")),
+                    op: DiceOp::Ne,
+                    value: DiceValue::Number(7.0),
+                }),
+                Box::new(DiceCondition::Comparison {
+                    operand: DiceOperand::Measure(firi("m/float_avg")),
+                    op: DiceOp::Lt,
+                    value: DiceValue::Number(2.0),
+                }),
+            )),
+            Box::new(DiceCondition::Comparison {
+                operand: DiceOperand::Measure(firi("m/int_max")),
+                op: DiceOp::Ge,
+                value: DiceValue::Number(0.0),
+            }),
+        );
+        let program = assemble(
+            firi("ds"),
+            vec![QlOperation::Dice {
+                cube: CubeRef::Variable(String::new()),
+                condition: tree,
+            }],
+        );
+        let minimal = shrink_ql(&program, &cube.schema, |text| text.contains("!="));
+        let rendered = minimal.to_ql_string();
+        assert!(rendered.contains("!="), "{rendered}");
+        assert!(
+            !rendered.contains("AND") && !rendered.contains("OR"),
+            "connectors must shrink away: {rendered}"
+        );
+    }
+}

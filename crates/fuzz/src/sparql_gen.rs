@@ -1,0 +1,775 @@
+//! The SPARQL SELECT generator: a seeded walk of the **entire**
+//! [`sparql::ast`] SELECT grammar over a QB cube's data graph.
+//!
+//! Every query keeps a well-formed core — observations of the dataset with
+//! a dimension member and a measure value — and layers spotlighted
+//! productions on top: one of the nine pattern elements, one of the
+//! thirteen expression forms, one of the twenty-two scalar functions
+//! (arity-correct by an exhaustive table), one of the seven aggregates,
+//! plus the solution modifiers (`DISTINCT`, `GROUP BY`, `HAVING`,
+//! `ORDER BY`, `LIMIT`, `OFFSET`). The spotlight index cycles through the
+//! production tables, so full grammar coverage needs only
+//! `lcm`-of-table-sizes many queries, not luck.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rdf::vocab::{qb, qb4o, skos, xsd};
+use rdf::{Literal, Term};
+use sparql::ast::{
+    AggregateExpr, AggregateFunction, ArithOp, CmpOp, Expression, Function, GroupGraphPattern,
+    OrderCondition, PatternElement, Projection, SelectItem, SelectQuery, TriplePattern, Variable,
+};
+use sparql::testutil::{
+    aggregate_index, arith_op_index, call, cmp, cmp_op_index, constant, function_index, group,
+    ALL_AGGREGATES, ALL_ARITH_OPS, ALL_CMP_OPS, ALL_FUNCTIONS,
+};
+
+use crate::universe::SchemaUniverse;
+
+/// The seeded SPARQL generator over one cube's data graph.
+pub struct SparqlGenerator<'a> {
+    universe: &'a SchemaUniverse,
+}
+
+impl<'a> SparqlGenerator<'a> {
+    /// Creates a generator for a cube.
+    pub fn new(universe: &'a SchemaUniverse) -> Self {
+        SparqlGenerator { universe }
+    }
+
+    /// Generates one SELECT query; `spotlight` (the campaign index)
+    /// cycles the featured productions.
+    pub fn generate(&self, rng: &mut StdRng, spotlight: usize) -> SelectQuery {
+        let mut query = SelectQuery::new();
+        let dim = &self.universe.dimensions[spotlight % self.universe.dimensions.len()];
+        let bottom = &dim.levels[0];
+        let (measure, _) = &self.universe.measures[spotlight % self.universe.measures.len()];
+
+        // The well-formed core: dataset observations with one member and
+        // one measure binding.
+        query.pattern.push_triple(TriplePattern::new(
+            Variable::new("obs"),
+            qb::data_set(),
+            Term::Iri(self.universe.dataset.clone()),
+        ));
+        query.pattern.push_triple(TriplePattern::new(
+            Variable::new("obs"),
+            bottom.level.clone(),
+            Variable::new("mem"),
+        ));
+        query.pattern.push_triple(TriplePattern::new(
+            Variable::new("obs"),
+            measure.clone(),
+            Variable::new("v"),
+        ));
+
+        // Featured pattern element (9 variants).
+        let element = self.featured_element(rng, spotlight, dim);
+        query.pattern.elements.push(element);
+
+        // Featured scalar function, arity-correct (22 variants).
+        query
+            .pattern
+            .push_filter(function_showcase(ALL_FUNCTIONS[spotlight % ALL_FUNCTIONS.len()]));
+
+        // Featured expression form (13 variants).
+        if spotlight % 13 != 9 {
+            let expr = self.featured_expression(rng, spotlight, dim);
+            query.pattern.push_filter(expr);
+        }
+
+        // A comparison and an arithmetic showcase so the operator tables
+        // fill quickly: FILTER(?v <op> (?v <arith> 1) …) stays true-ish.
+        let arith_op = ALL_ARITH_OPS[spotlight % ALL_ARITH_OPS.len()];
+        let cmp_op = ALL_CMP_OPS[spotlight % ALL_CMP_OPS.len()];
+        query.pattern.elements.push(sparql::testutil::bind(
+            sparql::testutil::arith(
+                Expression::var("v"),
+                arith_op,
+                constant(Literal::integer(2)),
+            ),
+            "calc",
+        ));
+        query.pattern.push_filter(Expression::Or(
+            Box::new(cmp(
+                Expression::var("v"),
+                cmp_op,
+                constant(Literal::integer(rng.gen_range(-50..=50i64))),
+            )),
+            Box::new(cmp(
+                Expression::var("v"),
+                CmpOp::Le,
+                Expression::var("v"),
+            )),
+        ));
+
+        // Solution modifiers; aggregated shape on even spotlights
+        // (featured-expression 9 — Aggregate — always aggregates).
+        if spotlight.is_multiple_of(2) || spotlight % 13 == 9 {
+            let function = ALL_AGGREGATES[spotlight % ALL_AGGREGATES.len()];
+            let agg = AggregateExpr {
+                function,
+                distinct: spotlight.is_multiple_of(4),
+                expr: match function {
+                    AggregateFunction::Count if spotlight.is_multiple_of(3) => None, // COUNT(*)
+                    AggregateFunction::GroupConcat => {
+                        Some(Box::new(call(Function::Str, vec![Expression::var("v")])))
+                    }
+                    _ => Some(Box::new(Expression::var("v"))),
+                },
+            };
+            query.projection = Projection::Items(vec![
+                SelectItem::Var(Variable::new("mem")),
+                SelectItem::Expr {
+                    expr: Expression::Aggregate(agg),
+                    alias: Variable::new("a"),
+                },
+            ]);
+            query.group_by = vec![Expression::var("mem")];
+            if spotlight.is_multiple_of(3) {
+                query.having = vec![cmp(
+                    Expression::Aggregate(AggregateExpr {
+                        function: AggregateFunction::Count,
+                        distinct: false,
+                        expr: Some(Box::new(Expression::var("v"))),
+                    }),
+                    CmpOp::Ge,
+                    constant(Literal::integer(0)),
+                )];
+            }
+            query.order_by = vec![OrderCondition {
+                expr: Expression::var("mem"),
+                descending: spotlight.is_multiple_of(8),
+            }];
+        } else {
+            if spotlight % 6 == 1 {
+                query.distinct = true;
+            }
+            if spotlight % 5 == 1 {
+                query.projection = Projection::Items(vec![
+                    SelectItem::Var(Variable::new("obs")),
+                    SelectItem::Var(Variable::new("mem")),
+                    SelectItem::Expr {
+                        expr: sparql::testutil::arith(
+                            Expression::var("v"),
+                            ArithOp::Add,
+                            constant(Literal::integer(1)),
+                        ),
+                        alias: Variable::new("vplus"),
+                    },
+                ]);
+            }
+            query.order_by = vec![
+                OrderCondition {
+                    expr: Expression::var("obs"),
+                    descending: false,
+                },
+                OrderCondition {
+                    expr: Expression::var("v"),
+                    descending: spotlight % 8 == 3,
+                },
+            ];
+        }
+        if spotlight.is_multiple_of(5) {
+            query.limit = Some(1 + spotlight % 40);
+        }
+        if spotlight.is_multiple_of(10) {
+            query.offset = Some(spotlight % 7);
+        }
+        query
+    }
+
+    /// One of the nine [`PatternElement`] variants, spotlight-indexed.
+    fn featured_element(
+        &self,
+        rng: &mut StdRng,
+        spotlight: usize,
+        dim: &crate::universe::DimensionInfo,
+    ) -> PatternElement {
+        let bottom = &dim.levels[0];
+        let sample_member = |rng: &mut StdRng| -> Term {
+            bottom.members[rng.gen_range(0..bottom.members.len())].clone()
+        };
+        match spotlight % 9 {
+            0 => PatternElement::Triple(TriplePattern::new(
+                Variable::new("mem"),
+                qb4o::member_of(),
+                Term::Iri(bottom.level.clone()),
+            )),
+            1 => PatternElement::Filter(cmp(
+                call(Function::Str, vec![Expression::var("mem")]),
+                CmpOp::Ne,
+                constant(Literal::string("")),
+            )),
+            2 => PatternElement::Optional(group(vec![PatternElement::Triple(TriplePattern::new(
+                Variable::new("mem"),
+                skos::broader(),
+                Variable::new("parent"),
+            ))])),
+            3 => {
+                let other = &self.universe.dimensions
+                    [(spotlight / 9 + 1) % self.universe.dimensions.len()];
+                PatternElement::Union(
+                    group(vec![PatternElement::Triple(TriplePattern::new(
+                        Variable::new("obs"),
+                        bottom.level.clone(),
+                        Variable::new("u"),
+                    ))]),
+                    group(vec![PatternElement::Triple(TriplePattern::new(
+                        Variable::new("obs"),
+                        other.levels[0].level.clone(),
+                        Variable::new("u"),
+                    ))]),
+                )
+            }
+            4 => PatternElement::Minus(group(vec![PatternElement::Triple(TriplePattern::new(
+                Variable::new("obs"),
+                bottom.level.clone(),
+                sample_member(rng),
+            ))])),
+            5 => sparql::testutil::bind(
+                call(Function::Str, vec![Expression::var("mem")]),
+                "memstr",
+            ),
+            6 => {
+                let rows = vec![
+                    vec![Some(sample_member(rng))],
+                    vec![Some(sample_member(rng))],
+                    vec![None], // UNDEF
+                ];
+                PatternElement::Values {
+                    vars: vec![Variable::new("mem")],
+                    rows,
+                }
+            }
+            7 => {
+                let mut sub = SelectQuery::new();
+                sub.projection = Projection::Items(vec![SelectItem::Var(Variable::new("obs"))]);
+                sub.pattern.push_triple(TriplePattern::new(
+                    Variable::new("obs"),
+                    qb::data_set(),
+                    Term::Iri(self.universe.dataset.clone()),
+                ));
+                PatternElement::SubSelect(Box::new(sub))
+            }
+            _ => PatternElement::Group(group(vec![PatternElement::Triple(TriplePattern::new(
+                Variable::new("mem"),
+                qb4o::member_of(),
+                Term::Iri(bottom.level.clone()),
+            ))])),
+        }
+    }
+
+    /// One of the thirteen [`Expression`] variants as a filter expression.
+    /// Variant 9 (`Aggregate`) is handled by the caller via the projection.
+    fn featured_expression(
+        &self,
+        rng: &mut StdRng,
+        spotlight: usize,
+        dim: &crate::universe::DimensionInfo,
+    ) -> Expression {
+        let bottom = &dim.levels[0];
+        let member = bottom.members[rng.gen_range(0..bottom.members.len())].clone();
+        match spotlight % 13 {
+            0 => cmp(
+                Expression::var("v"),
+                CmpOp::Le,
+                Expression::var("v"),
+            ),
+            1 => cmp(
+                constant(Literal::integer(1)),
+                CmpOp::Le,
+                constant(Literal::integer(2)),
+            ),
+            2 => Expression::Not(Box::new(cmp(
+                Expression::var("v"),
+                CmpOp::Gt,
+                Expression::var("v"),
+            ))),
+            3 => Expression::And(
+                Box::new(cmp(
+                    Expression::var("v"),
+                    CmpOp::Le,
+                    Expression::var("v"),
+                )),
+                Box::new(call(Function::Bound, vec![Expression::var("mem")])),
+            ),
+            4 => Expression::Or(
+                Box::new(cmp(
+                    Expression::var("v"),
+                    CmpOp::Gt,
+                    constant(Literal::integer(0)),
+                )),
+                Box::new(cmp(
+                    Expression::var("v"),
+                    CmpOp::Le,
+                    constant(Literal::integer(0)),
+                )),
+            ),
+            5 => cmp(
+                Expression::var("v"),
+                ALL_CMP_OPS[(spotlight / 13) % ALL_CMP_OPS.len()],
+                constant(Literal::integer(rng.gen_range(-20..=20i64))),
+            ),
+            6 => cmp(
+                sparql::testutil::arith(
+                    Expression::var("v"),
+                    ALL_ARITH_OPS[(spotlight / 13) % ALL_ARITH_OPS.len()],
+                    constant(Literal::integer(3)),
+                ),
+                CmpOp::Ge,
+                Expression::var("v"),
+            ),
+            7 => cmp(
+                Expression::Neg(Box::new(Expression::var("v"))),
+                CmpOp::Le,
+                constant(Literal::integer(i64::MAX)),
+            ),
+            8 => call(
+                Function::Contains,
+                vec![
+                    call(Function::Str, vec![Expression::var("mem")]),
+                    constant(Literal::string("member")),
+                ],
+            ),
+            9 => unreachable!("Aggregate is staged via the projection"),
+            10 => Expression::In(
+                Box::new(Expression::var("mem")),
+                vec![constant(member), constant(Term::iri("http://qlsmith.example/nonexistent"))],
+            ),
+            11 => Expression::Exists(Box::new(group(vec![PatternElement::Triple(
+                TriplePattern::new(
+                    Variable::new("mem"),
+                    qb4o::member_of(),
+                    Term::Iri(bottom.level.clone()),
+                ),
+            )]))),
+            _ => Expression::NotExists(Box::new(group(vec![PatternElement::Triple(
+                TriplePattern::new(
+                    Variable::new("mem"),
+                    skos::broader(),
+                    Variable::new("ghost"),
+                ),
+            )]))),
+        }
+    }
+}
+
+/// A boolean filter expression exercising `function`, with the right arity
+/// and argument types. The `match` is wildcard-free: a new built-in cannot
+/// be added to the AST without teaching the fuzzer how to call it.
+fn function_showcase(function: Function) -> Expression {
+    let mem_str = || call(Function::Str, vec![Expression::var("mem")]);
+    match function {
+        Function::Str => cmp(mem_str(), CmpOp::Ne, constant(Literal::string(""))),
+        Function::Lang => cmp(
+            call(Function::Lang, vec![Expression::var("v")]),
+            CmpOp::Eq,
+            constant(Literal::string("")),
+        ),
+        Function::Datatype => cmp(
+            call(Function::Datatype, vec![Expression::var("mem")]),
+            CmpOp::Ne,
+            constant(Term::Iri(xsd::string())),
+        ),
+        Function::Bound => call(Function::Bound, vec![Expression::var("v")]),
+        Function::IsIri => call(Function::IsIri, vec![Expression::var("mem")]),
+        Function::IsLiteral => Expression::Not(Box::new(call(
+            Function::IsLiteral,
+            vec![Expression::var("mem")],
+        ))),
+        Function::IsBlank => Expression::Not(Box::new(call(
+            Function::IsBlank,
+            vec![Expression::var("mem")],
+        ))),
+        Function::Regex => call(
+            Function::Regex,
+            vec![mem_str(), constant(Literal::string("member"))],
+        ),
+        Function::Contains => call(
+            Function::Contains,
+            vec![mem_str(), constant(Literal::string("qlsmith"))],
+        ),
+        Function::StrStarts => call(
+            Function::StrStarts,
+            vec![mem_str(), constant(Literal::string("http"))],
+        ),
+        Function::StrEnds => Expression::Not(Box::new(call(
+            Function::StrEnds,
+            vec![mem_str(), constant(Literal::string("zzz"))],
+        ))),
+        Function::UCase => cmp(
+            call(Function::UCase, vec![mem_str()]),
+            CmpOp::Ne,
+            constant(Literal::string("")),
+        ),
+        Function::LCase => cmp(
+            call(Function::LCase, vec![mem_str()]),
+            CmpOp::Ne,
+            constant(Literal::string("")),
+        ),
+        Function::StrLen => cmp(
+            call(Function::StrLen, vec![mem_str()]),
+            CmpOp::Gt,
+            constant(Literal::integer(0)),
+        ),
+        Function::Concat => cmp(
+            call(
+                Function::Concat,
+                vec![mem_str(), constant(Literal::string("-x"))],
+            ),
+            CmpOp::Ne,
+            constant(Literal::string("-x")),
+        ),
+        Function::Abs => cmp(
+            call(Function::Abs, vec![Expression::var("v")]),
+            CmpOp::Ge,
+            constant(Literal::integer(0)),
+        ),
+        Function::Year => cmp(
+            call(Function::Year, vec![Expression::var("v")]),
+            CmpOp::Ge,
+            constant(Literal::integer(0)),
+        ),
+        Function::Month => cmp(
+            call(Function::Month, vec![Expression::var("v")]),
+            CmpOp::Ge,
+            constant(Literal::integer(0)),
+        ),
+        Function::If => cmp(
+            call(
+                Function::If,
+                vec![
+                    cmp(Expression::var("v"), CmpOp::Ge, constant(Literal::integer(0))),
+                    constant(Literal::integer(1)),
+                    constant(Literal::integer(2)),
+                ],
+            ),
+            CmpOp::Ge,
+            constant(Literal::integer(1)),
+        ),
+        Function::Coalesce => cmp(
+            call(
+                Function::Coalesce,
+                vec![Expression::var("v"), constant(Literal::integer(0))],
+            ),
+            CmpOp::Le,
+            Expression::var("v"),
+        ),
+        Function::Iri => cmp(
+            call(Function::Iri, vec![mem_str()]),
+            CmpOp::Eq,
+            Expression::var("mem"),
+        ),
+        Function::SameTerm => call(
+            Function::SameTerm,
+            vec![Expression::var("mem"), Expression::var("mem")],
+        ),
+    }
+}
+
+/// Coverage recorder over the whole SELECT grammar: wildcard-free matches
+/// for every production the generator must reach.
+#[derive(Debug, Default, Clone)]
+pub struct SparqlCoverage {
+    elements: [bool; 9],
+    expressions: [bool; 13],
+    functions: [bool; 22],
+    aggregates: [bool; 7],
+    cmp_ops: [bool; 6],
+    arith_ops: [bool; 4],
+    wildcard: bool,
+    items: bool,
+    expr_item: bool,
+    distinct: bool,
+    group_by: bool,
+    having: bool,
+    order_by: bool,
+    descending: bool,
+    limit: bool,
+    offset: bool,
+}
+
+impl SparqlCoverage {
+    /// Records every production a query exercises.
+    pub fn record(&mut self, query: &SelectQuery) {
+        if query.distinct {
+            self.distinct = true;
+        }
+        match &query.projection {
+            Projection::Wildcard => self.wildcard = true,
+            Projection::Items(items) => {
+                self.items = true;
+                for item in items {
+                    match item {
+                        SelectItem::Var(_) => {}
+                        SelectItem::Expr { expr, .. } => {
+                            self.expr_item = true;
+                            self.record_expression(expr);
+                        }
+                    }
+                }
+            }
+        }
+        self.record_pattern(&query.pattern);
+        if !query.group_by.is_empty() {
+            self.group_by = true;
+            for expr in &query.group_by {
+                self.record_expression(expr);
+            }
+        }
+        if !query.having.is_empty() {
+            self.having = true;
+            for expr in &query.having {
+                self.record_expression(expr);
+            }
+        }
+        if !query.order_by.is_empty() {
+            self.order_by = true;
+            for cond in &query.order_by {
+                if cond.descending {
+                    self.descending = true;
+                }
+                self.record_expression(&cond.expr);
+            }
+        }
+        if query.limit.is_some() {
+            self.limit = true;
+        }
+        if query.offset.is_some() {
+            self.offset = true;
+        }
+    }
+
+    fn record_pattern(&mut self, pattern: &GroupGraphPattern) {
+        for element in &pattern.elements {
+            match element {
+                PatternElement::Triple(_) => self.elements[0] = true,
+                PatternElement::Filter(expr) => {
+                    self.elements[1] = true;
+                    self.record_expression(expr);
+                }
+                PatternElement::Optional(g) => {
+                    self.elements[2] = true;
+                    self.record_pattern(g);
+                }
+                PatternElement::Union(a, b) => {
+                    self.elements[3] = true;
+                    self.record_pattern(a);
+                    self.record_pattern(b);
+                }
+                PatternElement::Minus(g) => {
+                    self.elements[4] = true;
+                    self.record_pattern(g);
+                }
+                PatternElement::Bind { expr, .. } => {
+                    self.elements[5] = true;
+                    self.record_expression(expr);
+                }
+                PatternElement::Values { .. } => self.elements[6] = true,
+                PatternElement::SubSelect(sub) => {
+                    self.elements[7] = true;
+                    self.record(sub);
+                }
+                PatternElement::Group(g) => {
+                    self.elements[8] = true;
+                    self.record_pattern(g);
+                }
+            }
+        }
+    }
+
+    fn record_expression(&mut self, expr: &Expression) {
+        match expr {
+            Expression::Var(_) => self.expressions[0] = true,
+            Expression::Constant(_) => self.expressions[1] = true,
+            Expression::Not(inner) => {
+                self.expressions[2] = true;
+                self.record_expression(inner);
+            }
+            Expression::And(a, b) => {
+                self.expressions[3] = true;
+                self.record_expression(a);
+                self.record_expression(b);
+            }
+            Expression::Or(a, b) => {
+                self.expressions[4] = true;
+                self.record_expression(a);
+                self.record_expression(b);
+            }
+            Expression::Compare(a, op, b) => {
+                self.expressions[5] = true;
+                self.cmp_ops[cmp_op_index(*op)] = true;
+                self.record_expression(a);
+                self.record_expression(b);
+            }
+            Expression::Arithmetic(a, op, b) => {
+                self.expressions[6] = true;
+                self.arith_ops[arith_op_index(*op)] = true;
+                self.record_expression(a);
+                self.record_expression(b);
+            }
+            Expression::Neg(inner) => {
+                self.expressions[7] = true;
+                self.record_expression(inner);
+            }
+            Expression::Call(function, args) => {
+                self.expressions[8] = true;
+                self.functions[function_index(*function)] = true;
+                for arg in args {
+                    self.record_expression(arg);
+                }
+            }
+            Expression::Aggregate(agg) => {
+                self.expressions[9] = true;
+                self.aggregates[aggregate_index(agg.function)] = true;
+                if let Some(inner) = &agg.expr {
+                    self.record_expression(inner);
+                }
+            }
+            Expression::In(subject, list) => {
+                self.expressions[10] = true;
+                self.record_expression(subject);
+                for item in list {
+                    self.record_expression(item);
+                }
+            }
+            Expression::Exists(g) => {
+                self.expressions[11] = true;
+                self.record_pattern(g);
+            }
+            Expression::NotExists(g) => {
+                self.expressions[12] = true;
+                self.record_pattern(g);
+            }
+        }
+    }
+
+    /// The productions not yet exercised — the campaign asserts this is
+    /// empty.
+    pub fn missing(&self) -> Vec<String> {
+        const ELEMENTS: [&str; 9] = [
+            "PatternElement::Triple",
+            "PatternElement::Filter",
+            "PatternElement::Optional",
+            "PatternElement::Union",
+            "PatternElement::Minus",
+            "PatternElement::Bind",
+            "PatternElement::Values",
+            "PatternElement::SubSelect",
+            "PatternElement::Group",
+        ];
+        const EXPRESSIONS: [&str; 13] = [
+            "Expression::Var",
+            "Expression::Constant",
+            "Expression::Not",
+            "Expression::And",
+            "Expression::Or",
+            "Expression::Compare",
+            "Expression::Arithmetic",
+            "Expression::Neg",
+            "Expression::Call",
+            "Expression::Aggregate",
+            "Expression::In",
+            "Expression::Exists",
+            "Expression::NotExists",
+        ];
+        let mut out = Vec::new();
+        for (hit, name) in self.elements.iter().zip(ELEMENTS) {
+            if !hit {
+                out.push(name.to_string());
+            }
+        }
+        for (hit, name) in self.expressions.iter().zip(EXPRESSIONS) {
+            if !hit {
+                out.push(name.to_string());
+            }
+        }
+        for (i, hit) in self.functions.iter().enumerate() {
+            if !hit {
+                out.push(format!("Function::{}", ALL_FUNCTIONS[i].as_str()));
+            }
+        }
+        for (i, hit) in self.aggregates.iter().enumerate() {
+            if !hit {
+                out.push(format!("Aggregate::{}", ALL_AGGREGATES[i].as_str()));
+            }
+        }
+        for (i, hit) in self.cmp_ops.iter().enumerate() {
+            if !hit {
+                out.push(format!("CmpOp#{i}"));
+            }
+        }
+        for (i, hit) in self.arith_ops.iter().enumerate() {
+            if !hit {
+                out.push(format!("ArithOp#{i}"));
+            }
+        }
+        for (hit, name) in [
+            (self.wildcard, "Projection::Wildcard"),
+            (self.items, "Projection::Items"),
+            (self.expr_item, "SelectItem::Expr"),
+            (self.distinct, "DISTINCT"),
+            (self.group_by, "GROUP BY"),
+            (self.having, "HAVING"),
+            (self.order_by, "ORDER BY"),
+            (self.descending, "ORDER BY … DESC"),
+            (self.limit, "LIMIT"),
+            (self.offset, "OFFSET"),
+        ] {
+            if !hit {
+                out.push(name.to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::check_select;
+    use crate::fixture::fuzz_cube;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_queries_cover_the_select_grammar() {
+        let cube = fuzz_cube();
+        let universe = SchemaUniverse::from_endpoint(&cube.endpoint, &cube.schema).unwrap();
+        let generator = SparqlGenerator::new(&universe);
+        let mut rng = StdRng::seed_from_u64(0x5E1ECF);
+        let mut coverage = SparqlCoverage::default();
+        for spotlight in 0..300 {
+            coverage.record(&generator.generate(&mut rng, spotlight));
+        }
+        assert_eq!(coverage.missing(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn both_endpoint_paths_agree_on_generated_queries() {
+        let cube = fuzz_cube();
+        let universe = SchemaUniverse::from_endpoint(&cube.endpoint, &cube.schema).unwrap();
+        let generator = SparqlGenerator::new(&universe);
+        let mut rng = StdRng::seed_from_u64(0xACC0);
+        for spotlight in 0..60 {
+            let query = generator.generate(&mut rng, spotlight);
+            let mismatch = check_select(&cube.endpoint, &query);
+            assert!(mismatch.is_none(), "paths disagree: {mismatch:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cube = fuzz_cube();
+        let universe = SchemaUniverse::from_endpoint(&cube.endpoint, &cube.schema).unwrap();
+        let generator = SparqlGenerator::new(&universe);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for spotlight in 0..25 {
+            assert_eq!(
+                generator.generate(&mut a, spotlight),
+                generator.generate(&mut b, spotlight)
+            );
+        }
+    }
+}

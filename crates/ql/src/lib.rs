@@ -31,8 +31,8 @@ pub mod translate;
 
 pub use cubestore;
 
-#[cfg(test)]
-pub(crate) mod testutil;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
 
 pub use ast::{
     CubeRef, DiceCondition, DiceOp, DiceOperand, DiceValue, QlOperation, QlProgram, QlStatement,

@@ -1,4 +1,5 @@
-//! Test fixtures shared by the unit tests of this crate.
+//! Test fixtures shared by the unit tests of this crate and, behind the
+//! `testutil` feature, by downstream test harnesses (the qlsmith fuzzer).
 
 use qb4olap::{
     AggregateFunction, Cardinality, CubeSchema, Dimension, Hierarchy, HierarchyStep,
@@ -10,7 +11,7 @@ use rdf::Iri;
 /// The schema produced by the demo enrichment: the four dimensions used in
 /// Mary's query (citizenship, destination, time, applicant type) plus age
 /// and sex, with the paper's names.
-pub(crate) fn demo_cube_schema() -> CubeSchema {
+pub fn demo_cube_schema() -> CubeSchema {
     let mut schema = CubeSchema::new(
         demo_schema::term("migr_asyappctzmQB4O"),
         eurostat_data::migr_asyappctzm(),

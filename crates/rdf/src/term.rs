@@ -261,7 +261,19 @@ impl Ord for Literal {
     fn cmp(&self, other: &Self) -> Ordering {
         // Order numerically where possible so that e.g. "9" < "10" for
         // xsd:integer literals; fall back to lexicographic ordering.
-        if let (Some(a), Some(b)) = (self.as_double(), other.as_double()) {
+        //
+        // When both sides parse as `i64`, compare exactly: going through
+        // `f64` loses precision above 2^53, and the lexicographic fallback
+        // then picks the numerically *wrong* winner for adjacent huge
+        // negative integers ("-…06" sorts before "-…05" by bytes). MIN/MAX
+        // over i64::MAX-adjacent values must agree with the columnar
+        // engine's exact integer path.
+        if let (Some(a), Some(b)) = (self.as_integer(), other.as_integer()) {
+            let ord = a.cmp(&b);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        } else if let (Some(a), Some(b)) = (self.as_double(), other.as_double()) {
             if let Some(ord) = a.partial_cmp(&b) {
                 if ord != Ordering::Equal {
                     return ord;
@@ -508,6 +520,21 @@ mod tests {
         let a = Literal::integer(9);
         let b = Literal::integer(10);
         assert!(a < b, "numeric literals must order numerically");
+    }
+
+    #[test]
+    fn huge_adjacent_integers_order_exactly() {
+        // Above 2^53 the f64 round-trip collapses adjacent integers; the
+        // byte-wise fallback then sorts "-…06" before "-…05", the wrong
+        // numeric order. The comparison must stay exact over all of i64.
+        let lo = Literal::integer(i64::MIN + 2);
+        let hi = Literal::integer(i64::MIN + 3);
+        assert!(lo < hi);
+        let lo = Literal::integer(i64::MAX - 1);
+        let hi = Literal::integer(i64::MAX);
+        assert!(lo < hi);
+        // Signed zeros still fall back to the lexical tie-break.
+        assert!(Literal::decimal(-0.0) < Literal::decimal(0.0));
     }
 
     #[test]

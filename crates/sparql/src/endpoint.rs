@@ -173,6 +173,99 @@ impl Endpoint for LocalEndpoint {
     }
 }
 
+/// An endpoint wrapper that reports the **least capable** change-tracking
+/// contract a remote SPARQL endpoint could offer.
+///
+/// A real HTTP endpoint (Virtuoso in the paper's deployment) has no store
+/// epochs and no delta log. Until such a client exists, this wrapper lets
+/// every epoch-aware consumer — most importantly the columnar cube catalog —
+/// prove it degrades gracefully when the answers it relies on disappear:
+///
+/// * **snapshot mode** ([`ConservativeEndpoint::new`]): `epoch()` is pinned
+///   to `0` and [`Endpoint::deltas_since`] always answers `None`, exactly
+///   the trait defaults. Consumers must treat the endpoint as an immutable
+///   snapshot — derived state is built once and never invalidated.
+/// * **epoch-only mode** ([`ConservativeEndpoint::with_epochs`]): `epoch()`
+///   forwards to the inner endpoint but `deltas_since` still answers
+///   `None`, the shape of an endpoint that can say *that* something changed
+///   but not *what*. Consumers must fall back to a full rebuild on every
+///   epoch change — never stale, never panicking, never pretending a delta
+///   path exists.
+///
+/// [`Endpoint::enable_change_tracking`] is a no-op in both modes: asking a
+/// conservative endpoint to record mutations must not quietly upgrade its
+/// contract.
+#[derive(Debug, Clone)]
+pub struct ConservativeEndpoint<E> {
+    inner: E,
+    forward_epochs: bool,
+}
+
+impl<E: Endpoint> ConservativeEndpoint<E> {
+    /// Wraps `inner` in snapshot mode: `epoch()` is always `0` and deltas
+    /// are never available.
+    pub fn new(inner: E) -> Self {
+        ConservativeEndpoint {
+            inner,
+            forward_epochs: false,
+        }
+    }
+
+    /// Wraps `inner` in epoch-only mode: `epoch()` forwards, deltas stay
+    /// unavailable.
+    pub fn with_epochs(inner: E) -> Self {
+        ConservativeEndpoint {
+            inner,
+            forward_epochs: true,
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Endpoint> Endpoint for ConservativeEndpoint<E> {
+    fn query(&self, sparql: &str) -> Result<QueryResults, SparqlError> {
+        self.inner.query(sparql)
+    }
+
+    fn query_parsed(&self, query: &Query) -> Result<QueryResults, SparqlError> {
+        self.inner.query_parsed(query)
+    }
+
+    fn insert_triples(&self, triples: &[Triple]) -> Result<usize, SparqlError> {
+        self.inner.insert_triples(triples)
+    }
+
+    fn insert_triples_named(&self, graph: &Iri, triples: &[Triple]) -> Result<usize, SparqlError> {
+        self.inner.insert_triples_named(graph, triples)
+    }
+
+    fn triple_count(&self) -> usize {
+        self.inner.triple_count()
+    }
+
+    fn epoch(&self) -> u64 {
+        if self.forward_epochs {
+            self.inner.epoch()
+        } else {
+            0
+        }
+    }
+
+    fn deltas_since(&self, _since: u64) -> Option<Vec<StoreDelta>> {
+        // Deliberately not forwarded: the whole point of the wrapper is
+        // that the delta log is never available.
+        None
+    }
+
+    fn enable_change_tracking(&self) {
+        // Deliberately a no-op — see the type-level docs.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +380,42 @@ mod tests {
         let deltas = ep.deltas_since(tracked_from).expect("tracked");
         assert_eq!(deltas.len(), 1);
         assert_eq!(deltas[0].inserted, vec![triple]);
+    }
+
+    #[test]
+    fn conservative_snapshot_mode_pins_epoch_zero() {
+        let ep = ConservativeEndpoint::new(endpoint());
+        assert!(ep.inner().epoch() > 0, "inner endpoint has real epochs");
+        assert_eq!(ep.epoch(), 0);
+        ep.enable_change_tracking(); // must NOT upgrade the contract
+        ep.insert_triples(&[Triple::new(
+            Term::iri("http://example.org/d"),
+            Iri::new("http://example.org/value"),
+            Literal::integer(4),
+        )])
+        .unwrap();
+        assert_eq!(ep.epoch(), 0, "mutations never surface as epoch changes");
+        assert_eq!(ep.deltas_since(0), None);
+        // Queries still flow through to the wrapped endpoint.
+        let solutions = ep
+            .select("PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:value 4 }")
+            .unwrap();
+        assert_eq!(solutions.len(), 1);
+    }
+
+    #[test]
+    fn conservative_epoch_mode_reports_changes_but_never_deltas() {
+        let ep = ConservativeEndpoint::with_epochs(endpoint());
+        ep.enable_change_tracking(); // no-op: the inner log stays off
+        let before = ep.epoch();
+        assert!(before > 0, "epoch-only mode forwards the inner epoch");
+        ep.insert_triples(&[Triple::new(
+            Term::iri("http://example.org/d"),
+            Iri::new("http://example.org/value"),
+            Literal::integer(4),
+        )])
+        .unwrap();
+        assert!(ep.epoch() > before, "the change is visible…");
+        assert_eq!(ep.deltas_since(before), None, "…but never explainable");
     }
 }

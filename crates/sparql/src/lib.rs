@@ -46,13 +46,15 @@ pub mod numeric;
 pub mod parser;
 pub mod pretty;
 pub mod results;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
 pub mod token;
 
 pub use ast::{Query, SelectQuery, Variable};
-pub use endpoint::{Endpoint, LocalEndpoint};
+pub use endpoint::{ConservativeEndpoint, Endpoint, LocalEndpoint};
 pub use error::SparqlError;
 pub use eval::{compare_terms, evaluate_query, evaluate_select};
-pub use numeric::{CompensatedSum, NumericSum};
+pub use numeric::{float_max, float_min, CompensatedSum, NumericSum};
 pub use parser::{parse_query, parse_select};
 pub use pretty::{query_to_string, select_to_string};
 pub use results::{QueryResults, Solutions};

@@ -241,6 +241,33 @@ impl NumericSum {
     }
 }
 
+/// MIN with a deterministic signed-zero tie-break (`-0.0 < 0.0`):
+/// `f64::min(-0.0, 0.0)` may return either operand, which would make the
+/// winning value depend on scan order / chunk partitioning. Treating the
+/// negative zero as strictly smaller matches the engine's term-level MIN,
+/// which falls back to the lexical ordering (`"-0" < "0"`) when the
+/// numeric comparison ties — so every consumer (the SPARQL aggregate path
+/// and the columnar measure scan in `cubestore`) picks the same winning
+/// term regardless of visit order.
+#[inline]
+pub fn float_min(a: f64, b: f64) -> f64 {
+    if b < a || (b == a && b.is_sign_negative()) {
+        b
+    } else {
+        a
+    }
+}
+
+/// MAX with the mirror tie-break (`0.0 > -0.0`); see [`float_min`].
+#[inline]
+pub fn float_max(a: f64, b: f64) -> f64 {
+    if b > a || (b == a && b.is_sign_positive()) {
+        b
+    } else {
+        a
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +280,57 @@ mod tests {
             sum.add(v);
         }
         sum.value()
+    }
+
+    #[test]
+    fn float_min_max_break_signed_zero_ties_deterministically() {
+        // Both argument orders must agree: `f64::min(-0.0, 0.0)` is allowed
+        // to return either operand, which would leak visit order.
+        for (a, b) in [(0.0f64, -0.0f64), (-0.0, 0.0)] {
+            assert!(float_min(a, b).is_sign_negative());
+            assert!(float_max(a, b).is_sign_positive());
+        }
+        // Plain ordering still wins over the tie-break.
+        assert_eq!(float_min(1.0, -2.0), -2.0);
+        assert_eq!(float_max(1.0, -2.0), 1.0);
+        // Infinities and extremes pass through untouched.
+        assert_eq!(float_max(f64::NEG_INFINITY, -0.0), -0.0);
+        assert_eq!(float_min(f64::INFINITY, 0.5), 0.5);
+        assert_eq!(float_max(f64::MAX, 1.0), f64::MAX);
+        assert_eq!(float_min(-f64::MAX, f64::MAX), -f64::MAX);
+        // Subnormals order correctly against zero and each other.
+        let tiny = 5e-324f64;
+        assert_eq!(float_min(tiny, 0.0), 0.0);
+        assert_eq!(float_max(tiny, 0.0), tiny);
+        assert_eq!(float_min(-tiny, tiny), -tiny);
+        assert_eq!(float_max(-tiny, -0.0), -0.0);
+    }
+
+    #[test]
+    fn float_min_max_are_merge_order_independent() {
+        // Reducing a value set in any chunking / order must yield the same
+        // bits — the property the columnar chunked scan relies on.
+        let values = [0.0f64, -0.0, 5e-324, -5e-324, f64::MAX, -f64::MAX, 2.5];
+        let reduce = |order: &[usize]| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for &i in order {
+                min = float_min(min, values[i]);
+                max = float_max(max, values[i]);
+            }
+            (min, max)
+        };
+        let forward: Vec<usize> = (0..values.len()).collect();
+        let reverse: Vec<usize> = (0..values.len()).rev().collect();
+        let rotated: Vec<usize> = (0..values.len()).map(|i| (i + 3) % values.len()).collect();
+        let expected = reduce(&forward);
+        for order in [&reverse, &rotated] {
+            let got = reduce(order);
+            assert_eq!(got.0.to_bits(), expected.0.to_bits());
+            assert_eq!(got.1.to_bits(), expected.1.to_bits());
+        }
+        assert_eq!(expected.0.to_bits(), (-f64::MAX).to_bits());
+        assert_eq!(expected.1.to_bits(), f64::MAX.to_bits());
     }
 
     #[test]

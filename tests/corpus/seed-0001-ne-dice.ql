@@ -1,0 +1,6 @@
+# qlsmith regression
+# seed: 0xe155eed
+# note: harness self-test shape — a lone != dice over the integer SUM measure
+
+QUERY
+$C1 := DICE (<http://qlsmith.example/ds>, <http://qlsmith.example/m/int_sum> != 7);

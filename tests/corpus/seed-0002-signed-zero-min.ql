@@ -1,0 +1,10 @@
+# qlsmith regression
+# seed: 0xe155eed
+# note: MIN over a float measure whose pool holds -0.0/+0.0 ties; guards the
+# sign-normalizing tie-break in sparql::numeric::float_min (an earlier draft
+# let the scan order pick the winning zero, so backends with different row
+# orders disagreed on the sign bit)
+
+QUERY
+$C1 := ROLLUP (<http://qlsmith.example/ds>, <http://qlsmith.example/dim/geo>, <http://qlsmith.example/lv/country>);
+$C2 := DICE ($C1, <http://qlsmith.example/m/float_min> <= 0);

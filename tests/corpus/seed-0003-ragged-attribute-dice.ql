@@ -1,0 +1,9 @@
+# qlsmith regression
+# seed: 0xe155eed
+# note: roll-up to the ragged continent level (country K2 has no continent)
+# followed by a string-attribute dice at the target level; guards the
+# ragged-member drop semantics agreeing across all three backends
+
+QUERY
+$C1 := ROLLUP (<http://qlsmith.example/ds>, <http://qlsmith.example/dim/geo>, <http://qlsmith.example/lv/continent>);
+$C2 := DICE ($C1, <http://qlsmith.example/dim/geo>|<http://qlsmith.example/lv/continent>|<http://qlsmith.example/attr/continentCode> = "AF");
