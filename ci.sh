@@ -45,6 +45,13 @@ QB2OLAP_FUZZ_STEPS=200 cargo test --release -q -p qb2olap-suite --test integrati
 QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
     cargo test --release -q -p qb2olap-suite --test integration_qlsmith
 
+# The observability gates, pinned by name: the explain-smoke test (an
+# EXPLAIN ANALYZE profile must name every pipeline step with timings and
+# row counts on both backends) and the metrics-invariant test (a
+# delta-only mutation run must report `catalog.refresh.delta > 0` and
+# `catalog.refresh.rebuild == 0` through the metrics snapshot alone).
+cargo test --release -q -p qb2olap-suite --test integration_obs
+
 # The regression corpus replays green, pinned by name so a corpus file
 # that stops parsing or starts diverging fails the gate even if the
 # campaign above is ever quarantined.
@@ -67,6 +74,10 @@ cargo run --release -p qb2olap_bench --bin repro -- e13 --observations 4000 > /d
 # columnar results bit-identical to SPARQL and the chunked float scan
 # bit-identical across worker counts.
 cargo run --release -p qb2olap_bench --bin repro -- e14 --observations 4000 > /dev/null
+# E16 additionally asserts: instrumented execution (collecting subscriber,
+# traced profile) returns cells bit-identical to the uninstrumented scan,
+# and the facade's EXPLAIN renders every pipeline step on both backends.
+cargo run --release -p qb2olap_bench --bin repro -- e16 --observations 4000 > /dev/null
 
 # Documentation cross-references resolve: every local *.md file mentioned
 # in the top-level docs exists, and the architecture map is linked from
@@ -80,6 +91,7 @@ grep -q 'ARCHITECTURE.md' README.md
 grep -q 'E13' EXPERIMENTS.md
 grep -q 'E14' EXPERIMENTS.md
 grep -q 'E15' EXPERIMENTS.md
+grep -q 'E16' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -1,0 +1,64 @@
+//! E16 — observability overhead: the same E7-scale columnar scan executed
+//! three ways: with no subscriber installed (the production default —
+//! span guards are inert, no clock reads), with a collecting subscriber
+//! recording the span tree, and through the traced path that builds a
+//! full [`obs::ExecutionProfile`]. The no-op-vs-collecting gap is the
+//! price of *observing*; the traced entry is the price of `explain`.
+//!
+//! The default scale is the paper's 80,000 observations; set
+//! `QB2OLAP_BENCH_OBSERVATIONS` to run smaller.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb2olap::cubestore::{execute, execute_traced, CubeQuery};
+use qb2olap::Qb2Olap;
+use qb2olap_bench::demo_cube;
+use rdf::vocab::demo_schema;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80_000usize);
+    let cube = demo_cube(observations);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let materialized = querying.materialize().expect("materialization succeeds");
+
+    // The same representative full-scan roll-up the `backends` bench
+    // measures, so E11 and E16 numbers are directly comparable.
+    let scan_query = CubeQuery {
+        slices: vec![
+            demo_schema::destination_dim(),
+            demo_schema::time_dim(),
+            demo_schema::term("ageDim"),
+            demo_schema::term("sexDim"),
+            demo_schema::asylapp_dim(),
+        ],
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+
+    let mut group = c.benchmark_group(format!("obs_overhead/{observations}"));
+    group.sample_size(10);
+    group.bench_function("scan_noop_subscriber", |b| {
+        b.iter(|| execute(&materialized, &scan_query).unwrap());
+    });
+    let collector = Arc::new(obs::CollectingSubscriber::new());
+    group.bench_function("scan_collecting_subscriber", |b| {
+        b.iter(|| {
+            obs::with_subscriber(collector.clone(), || {
+                execute(&materialized, &scan_query).unwrap()
+            })
+        });
+    });
+    group.bench_function("scan_traced_profile", |b| {
+        b.iter(|| execute_traced(&materialized, &scan_query).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E14).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E16).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e14] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e16] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -115,6 +115,9 @@ fn main() {
     }
     if run("e14", &experiment) {
         rows.extend(e14_float_and_partial_removal_maintenance(observations));
+    }
+    if run("e16", &experiment) {
+        rows.extend(e16_observability_overhead(observations));
     }
 
     if as_json {
@@ -1144,5 +1147,169 @@ fn e14_float_and_partial_removal_maintenance(observations: usize) -> Vec<Measure
             millis(stats.median),
         ));
     }
+    rows
+}
+
+/// E16: observability overhead — the same representative full-scan
+/// roll-up executed three ways: with no subscriber installed (the
+/// production default; span guards are inert and never read the clock),
+/// under a collecting subscriber recording the span tree, and through
+/// the traced path that builds a full `EXPLAIN ANALYZE` profile. The
+/// no-op-vs-collecting gap is the cost of *observing*; the traced entry
+/// is the cost of `explain`. Ends with an explain smoke (the rendered
+/// profile must name the scan) and snapshot-derived counter rows.
+fn e16_observability_overhead(observations: usize) -> Vec<Measurement> {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use qb2olap::cubestore::{execute, execute_traced, CubeQuery};
+    use rdf::vocab::demo_schema;
+
+    const RUNS: usize = 9;
+    let parameters = format!("observations={observations}");
+    let cube = demo_cube_with(&datagen::EurostatConfig::small(observations));
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let materialized = querying.materialize().expect("materialization");
+
+    // The same scan the `backends`/`obs_overhead` benches measure, so
+    // E11 and E16 numbers are directly comparable.
+    let scan_query = CubeQuery {
+        slices: vec![
+            demo_schema::destination_dim(),
+            demo_schema::time_dim(),
+            demo_schema::term("ageDim"),
+            demo_schema::term("sexDim"),
+            demo_schema::asylapp_dim(),
+        ],
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+
+    let mut rows = Vec::new();
+
+    // Instrumentation must never change results: the three paths agree
+    // cell-for-cell before any timing is reported.
+    let reference = execute(&materialized, &scan_query).expect("scan");
+    let observed = obs::with_subscriber(Arc::new(obs::CollectingSubscriber::new()), || {
+        execute(&materialized, &scan_query).expect("scan")
+    });
+    assert_eq!(
+        reference, observed,
+        "E16: a collecting subscriber changed the scan result"
+    );
+    let (traced, _profile, _stats) = execute_traced(&materialized, &scan_query).expect("scan");
+    assert_eq!(reference, traced, "E16: the traced path changed the scan result");
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "instrumented_results_identical",
+        1.0,
+    ));
+
+    let noop_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| timed(|| execute(&materialized, &scan_query).expect("scan")).1)
+        .collect();
+    let noop = criterion::Stats::from_durations(&noop_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_noop_median_ms",
+        millis(noop.median),
+    ));
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_noop_mad_ms",
+        millis(noop.mad),
+    ));
+
+    let collector = Arc::new(obs::CollectingSubscriber::new());
+    let collecting_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| {
+            timed(|| {
+                obs::with_subscriber(collector.clone(), || {
+                    execute(&materialized, &scan_query).expect("scan")
+                })
+            })
+            .1
+        })
+        .collect();
+    assert!(
+        collector.completed().contains(&"cubestore.scan"),
+        "E16: the collecting subscriber must see the scan span"
+    );
+    let collecting = criterion::Stats::from_durations(&collecting_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_collecting_median_ms",
+        millis(collecting.median),
+    ));
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_collecting_mad_ms",
+        millis(collecting.mad),
+    ));
+
+    let traced_samples: Vec<std::time::Duration> = (0..RUNS)
+        .map(|_| timed(|| execute_traced(&materialized, &scan_query).expect("scan")).1)
+        .collect();
+    let traced_stats = criterion::Stats::from_durations(&traced_samples).expect("samples");
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_traced_median_ms",
+        millis(traced_stats.median),
+    ));
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "scan_traced_mad_ms",
+        millis(traced_stats.mad),
+    ));
+    if noop.median.as_nanos() > 0 {
+        rows.push(Measurement::new(
+            "E16",
+            &parameters,
+            "collecting_over_noop_ratio",
+            collecting.median.as_secs_f64() / noop.median.as_secs_f64(),
+        ));
+    }
+
+    // Explain smoke: the facade's EXPLAIN must render both backends and
+    // name the physical scan step (CI aborts on a broken profile).
+    let explained = tool
+        .explain(&cube.dataset, &datagen::workload::mary_query())
+        .expect("explain");
+    assert!(
+        explained.contains("EXPLAIN ANALYZE (backend=sparql:direct")
+            && explained.contains("EXPLAIN ANALYZE (backend=columnar")
+            && explained.contains("scan"),
+        "E16: explain output is missing a backend or the scan step:\n{explained}"
+    );
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "explain_renders_both_backends",
+        1.0,
+    ));
+
+    // The shared registry saw all of the above; report the scan volume
+    // straight from the snapshot so the counters are part of the record.
+    let snapshot = tool.metrics();
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "metric_scan_rows_total",
+        snapshot.counter("cubestore.scan.rows") as f64,
+    ));
+    rows.push(Measurement::new(
+        "E16",
+        &parameters,
+        "metric_ql_executions",
+        (snapshot.counter("ql.execute.sparql") + snapshot.counter("ql.execute.columnar")) as f64,
+    ));
     rows
 }

@@ -46,6 +46,7 @@ pub use cubestore;
 pub use datagen;
 pub use enrichment;
 pub use explorer;
+pub use obs;
 pub use qb;
 pub use qb4olap;
 pub use ql;
@@ -54,6 +55,7 @@ pub use sparql;
 
 pub use enrichment::{EnrichmentConfig, EnrichmentSession, EnrichmentStats};
 pub use explorer::{CubeExplorer, CubeSummary};
+pub use obs::{ExecutionProfile, MetricsSnapshot};
 pub use ql::{ExecutionBackend, QueryingModule, ResultCube, SparqlVariant};
 pub use sparql::{Endpoint, LocalEndpoint};
 
@@ -135,6 +137,22 @@ impl Qb2Olap {
     pub fn list_cubes(&self) -> Result<Vec<CubeSummary>, explorer::ExplorerError> {
         explorer::list_cubes(&self.endpoint)
     }
+
+    /// A point-in-time snapshot of every metric the tool's modules have
+    /// recorded — catalog maintenance decisions and refusals, scan totals,
+    /// query executions, explorer navigation. Render it with
+    /// [`MetricsSnapshot::render_text`] or serialize with
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.catalog.metrics().snapshot()
+    }
+
+    /// EXPLAIN ANALYZE for a QL query on `dataset`: prepares the query once
+    /// and renders the logical plan, per-step timings and row counts for
+    /// **both** backends (direct SPARQL and columnar) side by side.
+    pub fn explain(&self, dataset: &Iri, ql_text: &str) -> Result<String, ql::QlError> {
+        self.querying(dataset)?.explain(ql_text)
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +205,27 @@ mod tests {
             &materialized,
             &tool.catalog().peek(&cube.dataset).unwrap()
         ));
+    }
+
+    #[test]
+    fn facade_surfaces_metrics_and_explain() {
+        let cube = demo::setup_demo_cube(&datagen::EurostatConfig::small(150)).unwrap();
+        let tool = Qb2Olap::new(cube.endpoint.clone());
+
+        let explained = tool
+            .explain(&cube.dataset, &datagen::workload::mary_query())
+            .unwrap();
+        assert!(explained.contains("EXPLAIN ANALYZE (backend=sparql:direct"));
+        assert!(explained.contains("EXPLAIN ANALYZE (backend=columnar"));
+
+        let snapshot = tool.metrics();
+        assert_eq!(snapshot.counter("catalog.refresh.fresh"), 1);
+        assert_eq!(snapshot.counter("ql.execute.sparql"), 1);
+        assert_eq!(snapshot.counter("ql.execute.columnar"), 1);
+        assert!(snapshot.counter("cubestore.scan.rows") > 0);
+        let rendered = snapshot.render_text();
+        assert!(rendered.contains("catalog.refresh.fresh"));
+        assert!(snapshot.to_json().contains("\"counters\""));
     }
 
     #[test]

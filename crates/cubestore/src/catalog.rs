@@ -10,11 +10,12 @@
 //! to a full re-materialization otherwise. Every refresh decision, reason
 //! and timing is recorded as a [`MaintenanceReport`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use obs::MetricsRegistry;
 use parking_lot::Mutex;
 use qb4olap::CubeSchema;
 use rdf::Iri;
@@ -39,6 +40,19 @@ pub enum MaintenanceStrategy {
     /// live-fraction threshold ([`COMPACTION_LIVE_FRACTION`]), so the
     /// catalog re-materialized to reclaim the dead rows.
     Compaction,
+}
+
+impl MaintenanceStrategy {
+    /// The strategy's stable lowercase name — the suffix of its
+    /// `catalog.refresh.<name>` registry counter.
+    pub fn name(self) -> &'static str {
+        match self {
+            MaintenanceStrategy::Fresh => "fresh",
+            MaintenanceStrategy::Delta => "delta",
+            MaintenanceStrategy::Rebuild => "rebuild",
+            MaintenanceStrategy::Compaction => "compaction",
+        }
+    }
 }
 
 /// Why a refresh re-materialized instead of (or after) replaying deltas.
@@ -125,20 +139,62 @@ fn needs_compaction(cube: &MaterializedCube) -> bool {
         && (cube.live_row_count() as f64) < (cube.row_count() as f64) * COMPACTION_LIVE_FRACTION
 }
 
-/// Maintenance reports retained per dataset.
-const REPORT_CAPACITY: usize = 64;
+/// A bounded ring of the most recent maintenance reports for one
+/// dataset: pushing at capacity evicts the oldest report in O(1)
+/// (previously a `Vec::remove(0)` front-shift on every refresh past the
+/// 64th).
+#[derive(Debug, Clone, Default)]
+pub struct ReportLog {
+    reports: VecDeque<MaintenanceReport>,
+}
+
+impl ReportLog {
+    /// Reports retained per dataset.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a report, evicting the oldest once [`Self::CAPACITY`] is
+    /// reached.
+    pub fn push(&mut self, report: MaintenanceReport) {
+        if self.reports.len() == Self::CAPACITY {
+            self.reports.pop_front();
+        }
+        self.reports.push_back(report);
+    }
+
+    /// Number of retained reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// The most recent report.
+    pub fn last(&self) -> Option<&MaintenanceReport> {
+        self.reports.back()
+    }
+
+    /// The retained reports, oldest first.
+    pub fn to_vec(&self) -> Vec<MaintenanceReport> {
+        self.reports.iter().cloned().collect()
+    }
+}
 
 struct CatalogEntry {
     cube: Arc<MaterializedCube>,
     epoch: u64,
-    reports: Vec<MaintenanceReport>,
+    reports: ReportLog,
 }
 
 impl CatalogEntry {
     fn record(&mut self, report: MaintenanceReport) {
-        if self.reports.len() == REPORT_CAPACITY {
-            self.reports.remove(0);
-        }
         self.reports.push(report);
     }
 }
@@ -158,12 +214,61 @@ type EntrySlot = Arc<Mutex<Option<CatalogEntry>>>;
 #[derive(Default)]
 pub struct CubeCatalog {
     inner: Mutex<BTreeMap<Iri, EntrySlot>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl CubeCatalog {
-    /// Creates an empty catalog.
+    /// Creates an empty catalog with its own metrics registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty catalog reporting into an existing registry.
+    pub fn with_metrics(metrics: Arc<MetricsRegistry>) -> Self {
+        Self {
+            inner: Mutex::default(),
+            metrics,
+        }
+    }
+
+    /// The registry every serve/refresh decision reports into. The
+    /// querying module and explorer of the same tool instance share it,
+    /// so one snapshot covers the whole serve path.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Records one maintenance decision into the registry: a
+    /// per-strategy counter, the refusal kind when a refused delta forced
+    /// a rebuild, refresh latency, per-field totals, and the live-row
+    /// fraction of the cube now being served.
+    fn observe_report(&self, report: &MaintenanceReport, cube: &MaterializedCube) {
+        self.metrics
+            .counter(&format!("catalog.refresh.{}", report.strategy.name()))
+            .inc();
+        if let Some(RebuildReason::DeltaRefused(refusal)) = &report.reason {
+            self.metrics
+                .counter(&format!("catalog.refusal.{}", refusal.kind.name()))
+                .inc();
+        }
+        self.metrics
+            .histogram("catalog.refresh.duration_ns")
+            .record_duration(report.duration);
+        self.metrics
+            .counter("catalog.refresh.deltas_applied")
+            .add(report.deltas_applied as u64);
+        self.metrics
+            .counter("catalog.refresh.rows_appended")
+            .add(report.rows_appended as u64);
+        self.metrics
+            .counter("catalog.refresh.rows_removed")
+            .add(report.rows_removed as u64);
+        let live_fraction = if cube.row_count() == 0 {
+            1.0
+        } else {
+            cube.live_row_count() as f64 / cube.row_count() as f64
+        };
+        self.metrics.gauge("catalog.live_fraction").set(live_fraction);
     }
 
     /// Returns the up-to-date cube for `schema`'s dataset, materializing or
@@ -179,12 +284,15 @@ impl CubeCatalog {
         endpoint: &dyn Endpoint,
         schema: &CubeSchema,
     ) -> Result<Arc<MaterializedCube>, CubeStoreError> {
+        let _serve_span = obs::span("catalog.serve");
+        self.metrics.counter("catalog.serve.calls").inc();
         let slot = self.slot(&schema.dataset);
         let mut guard = slot.lock();
         match guard.as_mut() {
             Some(entry) => {
                 let now = endpoint.epoch();
                 if entry.epoch == now {
+                    self.metrics.counter("catalog.serve.hits").inc();
                     return Ok(entry.cube.clone());
                 }
                 let started = Instant::now();
@@ -200,7 +308,11 @@ impl CubeCatalog {
                             // the last recorded delta (mutations racing in
                             // after `now` was read are replayed next time).
                             let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
-                            match entry.cube.apply_delta(&deltas) {
+                            let replay = {
+                                let _replay_span = obs::span("catalog.delta-replay");
+                                entry.cube.apply_delta(&deltas)
+                            };
+                            match replay {
                                 Ok(cube) if needs_compaction(&cube) => {
                                     // The delta applied, but the tombstones
                                     // it (and earlier refreshes) left now
@@ -210,7 +322,10 @@ impl CubeCatalog {
                                         live_rows: cube.live_row_count(),
                                         total_rows: cube.row_count(),
                                     };
-                                    let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                                    let rebuilt = {
+                                        let _rebuild_span = obs::span("catalog.rebuild");
+                                        MaterializedCube::from_endpoint(endpoint, schema)?
+                                    };
                                     (
                                         rebuilt,
                                         MaintenanceStrategy::Compaction,
@@ -229,7 +344,10 @@ impl CubeCatalog {
                                         }
                                         other => RebuildReason::Error(other.to_string()),
                                     };
-                                    let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                                    let rebuilt = {
+                                        let _rebuild_span = obs::span("catalog.rebuild");
+                                        MaterializedCube::from_endpoint(endpoint, schema)?
+                                    };
                                     (
                                         rebuilt,
                                         MaintenanceStrategy::Rebuild,
@@ -241,7 +359,10 @@ impl CubeCatalog {
                             }
                         }
                         None => {
-                            let rebuilt = MaterializedCube::from_endpoint(endpoint, schema)?;
+                            let rebuilt = {
+                                let _rebuild_span = obs::span("catalog.rebuild");
+                                MaterializedCube::from_endpoint(endpoint, schema)?
+                            };
                             (
                                 rebuilt,
                                 MaintenanceStrategy::Rebuild,
@@ -267,7 +388,7 @@ impl CubeCatalog {
                 };
                 entry.cube = cube.clone();
                 entry.epoch = to_epoch;
-                entry.record(MaintenanceReport {
+                let report = MaintenanceReport {
                     dataset: schema.dataset.clone(),
                     strategy,
                     reason,
@@ -278,7 +399,9 @@ impl CubeCatalog {
                     rows_appended,
                     rows_removed,
                     members_added: member_total(&cube).saturating_sub(old_members),
-                });
+                };
+                self.observe_report(&report, &cube);
+                entry.record(report);
                 Ok(cube)
             }
             None => {
@@ -290,7 +413,10 @@ impl CubeCatalog {
                 endpoint.enable_change_tracking();
                 let epoch = endpoint.epoch();
                 let started = Instant::now();
-                let cube = Arc::new(MaterializedCube::from_endpoint(endpoint, schema)?);
+                let cube = {
+                    let _build_span = obs::span("catalog.fresh-build");
+                    Arc::new(MaterializedCube::from_endpoint(endpoint, schema)?)
+                };
                 let report = MaintenanceReport {
                     dataset: schema.dataset.clone(),
                     strategy: MaintenanceStrategy::Fresh,
@@ -303,10 +429,13 @@ impl CubeCatalog {
                     rows_removed: 0,
                     members_added: member_total(&cube),
                 };
+                self.observe_report(&report, &cube);
+                let mut reports = ReportLog::new();
+                reports.push(report);
                 *guard = Some(CatalogEntry {
                     cube: cube.clone(),
                     epoch,
-                    reports: vec![report],
+                    reports,
                 });
                 Ok(cube)
             }
@@ -324,10 +453,11 @@ impl CubeCatalog {
         self.inner.lock().get(dataset).cloned()
     }
 
-    /// The maintenance history of a dataset (oldest first, capped).
+    /// The maintenance history of a dataset (oldest first, capped at
+    /// [`ReportLog::CAPACITY`]).
     pub fn reports(&self, dataset: &Iri) -> Vec<MaintenanceReport> {
         self.existing_slot(dataset)
-            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.reports.clone()))
+            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.reports.to_vec()))
             .unwrap_or_default()
     }
 
@@ -589,6 +719,136 @@ mod tests {
         assert_eq!(fresh.tombstoned_rows(), 0);
         let output = execute(&fresh, &CubeQuery::default()).unwrap();
         assert_eq!(output.cells.len(), 2);
+    }
+
+    fn dummy_report(from_epoch: u64) -> MaintenanceReport {
+        MaintenanceReport {
+            dataset: iri("dataset/sales"),
+            strategy: MaintenanceStrategy::Delta,
+            reason: None,
+            duration: Duration::from_micros(from_epoch),
+            from_epoch,
+            to_epoch: from_epoch + 1,
+            deltas_applied: 1,
+            rows_appended: 1,
+            rows_removed: 0,
+            members_added: 0,
+        }
+    }
+
+    #[test]
+    fn report_log_evicts_oldest_first_at_capacity() {
+        let mut log = ReportLog::new();
+        assert!(log.is_empty());
+        let overflow = 10;
+        for epoch in 0..(ReportLog::CAPACITY + overflow) as u64 {
+            log.push(dummy_report(epoch));
+        }
+        assert_eq!(log.len(), ReportLog::CAPACITY, "capped at capacity");
+        let reports = log.to_vec();
+        assert_eq!(
+            reports.first().unwrap().from_epoch,
+            overflow as u64,
+            "the oldest reports were evicted first"
+        );
+        assert_eq!(
+            reports.last().unwrap().from_epoch,
+            (ReportLog::CAPACITY + overflow - 1) as u64,
+            "the newest report is retained"
+        );
+        assert_eq!(log.last().unwrap().from_epoch, reports.last().unwrap().from_epoch);
+        // Order inside the ring is strictly oldest → newest.
+        assert!(reports.windows(2).all(|w| w[0].from_epoch + 1 == w[1].from_epoch));
+    }
+
+    #[test]
+    fn serve_report_retention_is_capped_via_the_ring() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        for round in 0..(ReportLog::CAPACITY + 5) {
+            endpoint
+                .insert_triples(&observation_triples(
+                    &format!("ring{round}"),
+                    "c1",
+                    "m1",
+                    1,
+                    1,
+                ))
+                .unwrap();
+            catalog.serve(&endpoint, &schema).unwrap();
+        }
+        let reports = catalog.reports(&schema.dataset);
+        assert_eq!(reports.len(), ReportLog::CAPACITY);
+        // All retained refreshes are the appends — the Fresh build aged out.
+        assert!(reports.iter().all(|r| r.strategy == MaintenanceStrategy::Delta));
+    }
+
+    #[test]
+    fn serve_decisions_feed_the_metrics_registry() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Delta append, then a refused delta (cut roll-up link) → rebuild.
+        endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+        catalog.serve(&endpoint, &schema).unwrap();
+        assert!(endpoint
+            .store()
+            .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
+        catalog.serve(&endpoint, &schema).unwrap();
+        // Unchanged serve → hit.
+        catalog.serve(&endpoint, &schema).unwrap();
+
+        let snapshot = catalog.metrics().snapshot();
+        assert_eq!(snapshot.counter("catalog.refresh.fresh"), 1);
+        assert_eq!(snapshot.counter("catalog.refresh.delta"), 1);
+        assert_eq!(snapshot.counter("catalog.refresh.rebuild"), 1);
+        assert_eq!(snapshot.counter("catalog.refresh.compaction"), 0);
+        assert_eq!(snapshot.counter("catalog.refusal.rollup-link-removed"), 1);
+        assert_eq!(snapshot.counter("catalog.serve.calls"), 4);
+        assert_eq!(snapshot.counter("catalog.serve.hits"), 1);
+        assert_eq!(snapshot.gauge("catalog.live_fraction"), Some(1.0));
+        let refresh = snapshot.histogram("catalog.refresh.duration_ns").unwrap();
+        assert_eq!(refresh.count, 3, "fresh + delta + rebuild all timed");
+    }
+
+    #[test]
+    fn serve_emits_a_nested_span_tree() {
+        let collector = Arc::new(obs::CollectingSubscriber::new());
+        obs::with_subscriber(collector.clone(), || {
+            let (endpoint, schema, catalog) = setup();
+            catalog.serve(&endpoint, &schema).unwrap();
+            endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+            catalog.serve(&endpoint, &schema).unwrap();
+            endpoint.store().disable_change_log();
+            endpoint.insert_triples(&observation_triples("o7", "c2", "m2", 2, 2)).unwrap();
+            catalog.serve(&endpoint, &schema).unwrap();
+        });
+        // The builds issue SPARQL queries, so sparql.parse/sparql.evaluate
+        // spans appear nested (depth 2) under the build spans; the catalog
+        // layer of the tree is what this test pins down.
+        let records = collector.records();
+        assert!(
+            records
+                .iter()
+                .any(|r| r.name.starts_with("sparql.") && r.depth == 2),
+            "endpoint spans nest under the build spans"
+        );
+        let spans: Vec<(&str, usize)> = records
+            .iter()
+            .filter(|r| r.name.starts_with("catalog."))
+            .map(|r| (r.name, r.depth))
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("catalog.serve", 0),
+                ("catalog.fresh-build", 1),
+                ("catalog.serve", 0),
+                ("catalog.delta-replay", 1),
+                ("catalog.serve", 0),
+                ("catalog.rebuild", 1),
+            ],
+            "each serve span contains its refresh-path span"
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! an ulp.
 
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
+use obs::{Counter, ExecutionProfile};
 use qb4olap::AggregateFunction;
 use rdf::{Iri, Literal, Term};
 use sparql::ast::CmpOp;
@@ -139,6 +141,111 @@ pub struct QueryOutput {
 /// costs more than it saves on small cubes).
 const PARALLEL_SCAN_THRESHOLD: usize = 16_384;
 
+/// Totals observed by one columnar execution, summed exactly across the
+/// scan's worker chunks (each worker accumulates locally and flushes its
+/// chunk totals into shared atomic counters once, so any thread count and
+/// any chunk partitioning produce the same numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Physical rows visited (live + tombstoned).
+    pub rows_scanned: u64,
+    /// Rows skipped because the tombstone bitmap marked them dead.
+    pub tombstones_skipped: u64,
+    /// Live rows dropped because an axis had no member or no roll-up
+    /// target for the row's bottom member (ragged hierarchy).
+    pub rows_no_member: u64,
+    /// Live rows dropped by a member (dice) filter.
+    pub rows_filtered: u64,
+    /// Rows that reached a measure accumulator.
+    pub rows_aggregated: u64,
+    /// Bottom-code → target-member roll-up map lookups performed.
+    pub rollup_lookups: u64,
+    /// Member-id → term dictionary lookups performed while building the
+    /// output coordinates.
+    pub dictionary_lookups: u64,
+    /// Worker chunks the scan was split into.
+    pub scan_chunks: u64,
+}
+
+impl ScanStats {
+    /// Adds the stats to a metrics registry under `cubestore.scan.*`.
+    pub fn record_into(&self, metrics: &obs::MetricsRegistry) {
+        metrics.counter("cubestore.scan.runs").inc();
+        metrics.counter("cubestore.scan.rows").add(self.rows_scanned);
+        metrics
+            .counter("cubestore.scan.tombstones_skipped")
+            .add(self.tombstones_skipped);
+        metrics
+            .counter("cubestore.scan.rows_no_member")
+            .add(self.rows_no_member);
+        metrics
+            .counter("cubestore.scan.rows_filtered")
+            .add(self.rows_filtered);
+        metrics
+            .counter("cubestore.scan.rows_aggregated")
+            .add(self.rows_aggregated);
+        metrics
+            .counter("cubestore.scan.rollup_lookups")
+            .add(self.rollup_lookups);
+        metrics
+            .counter("cubestore.scan.dictionary_lookups")
+            .add(self.dictionary_lookups);
+        metrics.counter("cubestore.scan.chunks").add(self.scan_chunks);
+    }
+
+    /// Copies the stats into an execution profile's counter map.
+    pub fn fill_profile(&self, profile: &mut ExecutionProfile) {
+        profile.add_counter("rows_scanned", self.rows_scanned);
+        profile.add_counter("tombstones_skipped", self.tombstones_skipped);
+        profile.add_counter("rows_no_member", self.rows_no_member);
+        profile.add_counter("rows_filtered", self.rows_filtered);
+        profile.add_counter("rows_aggregated", self.rows_aggregated);
+        profile.add_counter("rollup_lookups", self.rollup_lookups);
+        profile.add_counter("dictionary_lookups", self.dictionary_lookups);
+        profile.add_counter("scan_chunks", self.scan_chunks);
+    }
+}
+
+/// The scan-side totals as shared atomic counters: one instance is shared
+/// by every worker of one scan, each flushing its local chunk totals with
+/// a single `add` per field — the adds are atomic, so concurrent flushes
+/// from any number of chunks sum exactly.
+#[derive(Debug, Default)]
+struct SharedScanStats {
+    rows_scanned: Counter,
+    tombstones_skipped: Counter,
+    rows_no_member: Counter,
+    rows_filtered: Counter,
+    rows_aggregated: Counter,
+    rollup_lookups: Counter,
+    scan_chunks: Counter,
+}
+
+impl SharedScanStats {
+    fn flush(&self, local: &ScanStats) {
+        self.rows_scanned.add(local.rows_scanned);
+        self.tombstones_skipped.add(local.tombstones_skipped);
+        self.rows_no_member.add(local.rows_no_member);
+        self.rows_filtered.add(local.rows_filtered);
+        self.rows_aggregated.add(local.rows_aggregated);
+        self.rollup_lookups.add(local.rollup_lookups);
+        self.scan_chunks.add(local.scan_chunks);
+    }
+
+    fn snapshot(&self) -> ScanStats {
+        ScanStats {
+            rows_scanned: self.rows_scanned.get(),
+            tombstones_skipped: self.tombstones_skipped.get(),
+            rows_no_member: self.rows_no_member.get(),
+            rows_filtered: self.rows_filtered.get(),
+            rows_aggregated: self.rows_aggregated.get(),
+            rollup_lookups: self.rollup_lookups.get(),
+            dictionary_lookups: 0,
+            scan_chunks: self.scan_chunks.get(),
+        }
+    }
+}
+
 /// Executes a columnar query against a materialized cube.
 ///
 /// Large cubes are scanned on multiple threads (one chunk of the row range
@@ -149,12 +256,18 @@ const PARALLEL_SCAN_THRESHOLD: usize = 16_384;
 /// compensated summation for floats), so the bit-compatibility guarantee
 /// holds on any thread count and any chunk partitioning.
 pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput, CubeStoreError> {
-    let threads = if cube.row_count() >= PARALLEL_SCAN_THRESHOLD {
+    execute_with_threads(cube, query, auto_scan_threads(cube))
+}
+
+/// The scan thread count [`execute`] picks for a cube: all available
+/// cores once the cube is large enough to amortize spawning workers,
+/// one below that.
+pub fn auto_scan_threads(cube: &MaterializedCube) -> usize {
+    if cube.row_count() >= PARALLEL_SCAN_THRESHOLD {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         1
-    };
-    execute_with_threads(cube, query, threads)
+    }
 }
 
 /// [`execute`] with an explicit scan thread count (1 = the sequential
@@ -165,6 +278,118 @@ pub fn execute_with_threads(
     query: &CubeQuery,
     threads: usize,
 ) -> Result<QueryOutput, CubeStoreError> {
+    execute_with_stats(cube, query, threads).map(|(output, _)| output)
+}
+
+/// [`execute_with_threads`] also returning the scan-side totals. The
+/// stats are accumulated per worker chunk and flushed into shared atomic
+/// counters, so they are exact on any thread count.
+pub fn execute_with_stats(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+    threads: usize,
+) -> Result<(QueryOutput, ScanStats), CubeStoreError> {
+    let _execute_span = obs::span("cubestore.execute");
+    let axes = plan_axes(cube, query)?;
+    let compiled_filters = compile_filters(query, &axes)?;
+    let measures = cube.measure_columns();
+    let (groups, mut stats) = {
+        let _scan_span = obs::span("cubestore.scan");
+        scan(cube, &axes, &compiled_filters, measures, threads)?
+    };
+    let cells = aggregate_cells(groups, &axes, measures, query, &mut stats)?;
+    Ok((assemble(&axes, measures, cells), stats))
+}
+
+/// [`execute`] with per-phase timings: returns the query output together
+/// with an [`ExecutionProfile`] naming every execution phase (plan,
+/// filter compilation, scan, aggregation) with wall-clock durations, row
+/// counts and the scan counters. This is the columnar half of the QL
+/// layer's `explain`.
+pub fn execute_traced(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
+    execute_traced_with_threads(cube, query, auto_scan_threads(cube))
+}
+
+/// [`execute_traced`] with an explicit scan thread count.
+pub fn execute_traced_with_threads(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+    threads: usize,
+) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
+    let _execute_span = obs::span("cubestore.execute");
+    let total_started = Instant::now();
+    let mut profile = ExecutionProfile::new("columnar");
+    for slice in &query.slices {
+        profile.push_plan(format!("SLICE dimension=<{}>", slice.as_str()));
+    }
+
+    let started = Instant::now();
+    let axes = plan_axes(cube, query)?;
+    for axis in &axes {
+        profile.push_plan(format!(
+            "AXIS dimension=<{}> level=<{}>",
+            axis.column.dimension.as_str(),
+            axis.rollup.target_level.as_str()
+        ));
+    }
+    for _ in &query.member_filters {
+        profile.push_plan("DICE member-filter".to_string());
+    }
+    for _ in &query.measure_filters {
+        profile.push_plan("DICE measure-filter (HAVING)".to_string());
+    }
+    profile.push_step(
+        "plan-axes",
+        started.elapsed(),
+        Some(axes.len() as u64),
+        "",
+    );
+
+    let started = Instant::now();
+    let compiled_filters = compile_filters(query, &axes)?;
+    profile.push_step(
+        "compile-filters",
+        started.elapsed(),
+        Some(compiled_filters.len() as u64),
+        "",
+    );
+
+    let measures = cube.measure_columns();
+    let started = Instant::now();
+    let (groups, mut stats) = {
+        let _scan_span = obs::span("cubestore.scan");
+        scan(cube, &axes, &compiled_filters, measures, threads)?
+    };
+    profile.push_step(
+        "scan",
+        started.elapsed(),
+        Some(stats.rows_scanned),
+        format!("threads={threads} chunks={}", stats.scan_chunks),
+    );
+
+    let started = Instant::now();
+    let cells = aggregate_cells(groups, &axes, measures, query, &mut stats)?;
+    profile.push_step(
+        "aggregate",
+        started.elapsed(),
+        Some(cells.len() as u64),
+        "HAVING + sort",
+    );
+
+    stats.fill_profile(&mut profile);
+    profile.total = total_started.elapsed();
+    Ok((assemble(&axes, measures, cells), profile, stats))
+}
+
+/// Plans the kept axes in schema order (the same order the SPARQL
+/// translator plans them in).
+fn plan_axes<'c>(
+    cube: &'c MaterializedCube,
+    query: &CubeQuery,
+) -> Result<Vec<AxisPlan<'c>>, CubeStoreError> {
     for slice in &query.slices {
         if cube.dimension_column(slice).is_none() {
             return Err(CubeStoreError::Query(format!(
@@ -173,9 +398,6 @@ pub fn execute_with_threads(
             )));
         }
     }
-
-    // Plan the kept axes in schema order (the same order the SPARQL
-    // translator plans them in).
     let mut axes: Vec<AxisPlan> = Vec::new();
     for dimension in &cube.schema().dimensions {
         if query.slices.contains(&dimension.iri) {
@@ -204,21 +426,30 @@ pub fn execute_with_threads(
             level_index,
         });
     }
+    Ok(axes)
+}
 
-    // Compile the member filters into per-member truth tables.
-    let compiled_filters: Vec<CompiledFilter> = query
+/// Compiles the member filters into per-member truth tables.
+fn compile_filters(
+    query: &CubeQuery,
+    axes: &[AxisPlan<'_>],
+) -> Result<Vec<CompiledFilter>, CubeStoreError> {
+    query
         .member_filters
         .iter()
-        .map(|filter| compile_filter(filter, &axes))
-        .collect::<Result<_, _>>()?;
+        .map(|filter| compile_filter(filter, axes))
+        .collect()
+}
 
-    // Row scan: map each fact row to its axis coordinates, apply the member
-    // filters, and accumulate the measures per coordinate group — chunked
-    // across worker threads when the cube is large enough.
-    let measures = cube.measure_columns();
-    let groups = scan(cube, &axes, &compiled_filters, measures, threads)?;
-
-    // Aggregate each group and apply the measure filters (HAVING).
+/// Aggregates each scanned group, applies the measure filters (HAVING),
+/// resolves the coordinate terms and sorts the cells canonically.
+fn aggregate_cells(
+    groups: ScanGroups,
+    axes: &[AxisPlan<'_>],
+    measures: &[MeasureColumn],
+    query: &CubeQuery,
+    stats: &mut ScanStats,
+) -> Result<Vec<OutputCell>, CubeStoreError> {
     let mut cells: Vec<OutputCell> = Vec::with_capacity(groups.len());
     'groups: for (key, accs) in groups {
         let values: Vec<Option<Term>> = accs
@@ -232,9 +463,10 @@ pub fn execute_with_threads(
                 continue 'groups;
             }
         }
+        stats.dictionary_lookups += key.len() as u64;
         let coordinates = key
             .iter()
-            .zip(&axes)
+            .zip(axes)
             .map(|(&code, axis)| axis.level_index.dictionary.term(code).clone())
             .collect();
         cells.push(OutputCell {
@@ -243,8 +475,16 @@ pub fn execute_with_threads(
         });
     }
     cells.sort_by(|a, b| a.coordinates.cmp(&b.coordinates));
+    Ok(cells)
+}
 
-    Ok(QueryOutput {
+/// Assembles the output envelope around the sorted cells.
+fn assemble(
+    axes: &[AxisPlan<'_>],
+    measures: &[MeasureColumn],
+    cells: Vec<OutputCell>,
+) -> QueryOutput {
+    QueryOutput {
         axes: axes
             .iter()
             .map(|axis| AxisSpec {
@@ -254,7 +494,7 @@ pub fn execute_with_threads(
             .collect(),
         measures: measures.iter().map(|m| m.property.clone()).collect(),
         cells,
-    })
+    }
 }
 
 struct AxisPlan<'c> {
@@ -274,18 +514,20 @@ fn scan(
     filters: &[CompiledFilter],
     measures: &[MeasureColumn],
     threads: usize,
-) -> Result<ScanGroups, CubeStoreError> {
+) -> Result<(ScanGroups, ScanStats), CubeStoreError> {
     let rows = cube.row_count();
     // Removed observations stay physically present; the scan must skip
     // the rows the tombstone bitmap marks dead. Chunk ranges stay over
     // physical row ids — liveness is checked per row inside the chunk.
     let tombstones = cube.tombstones();
+    let shared = SharedScanStats::default();
     // Chunked accumulation is order-independent for every measure type
     // (compensated float sums included), so the caller's thread count is
     // honored unconditionally.
     let workers = threads.max(1).min(rows.max(1));
     if workers <= 1 {
-        return scan_range(axes, filters, measures, tombstones, 0..rows);
+        let groups = scan_range(axes, filters, measures, tombstones, 0..rows, &shared)?;
+        return Ok((groups, shared.snapshot()));
     }
     let chunk = rows.div_ceil(workers);
     let partials: Vec<Result<ScanGroups, CubeStoreError>> =
@@ -294,7 +536,10 @@ fn scan(
                 .map(|worker| {
                     let start = worker * chunk;
                     let end = ((worker + 1) * chunk).min(rows);
-                    scope.spawn(move || scan_range(axes, filters, measures, tombstones, start..end))
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        scan_range(axes, filters, measures, tombstones, start..end, shared)
+                    })
                 })
                 .collect();
             handles
@@ -317,34 +562,47 @@ fn scan(
             }
         }
     }
-    Ok(groups)
+    Ok((groups, shared.snapshot()))
 }
 
-/// The sequential scan over one chunk of the row range.
+/// The sequential scan over one chunk of the row range. Chunk totals are
+/// accumulated in plain locals and flushed into `shared` once at the end
+/// of the chunk — one atomic add per field, exact under concurrency.
 fn scan_range(
     axes: &[AxisPlan<'_>],
     filters: &[CompiledFilter],
     measures: &[MeasureColumn],
     tombstones: &Tombstones,
     rows: std::ops::Range<usize>,
+    shared: &SharedScanStats,
 ) -> Result<ScanGroups, CubeStoreError> {
     let mut groups: ScanGroups = HashMap::new();
+    let mut local = ScanStats {
+        scan_chunks: 1,
+        ..ScanStats::default()
+    };
     let check_tombstones = !tombstones.is_empty();
     'rows: for row in rows {
+        local.rows_scanned += 1;
         if check_tombstones && tombstones.is_dead(row) {
+            local.tombstones_skipped += 1;
             continue;
         }
         let mut key = Vec::with_capacity(axes.len());
         for axis in axes {
             let bottom = axis.column.code(row);
             if bottom == NO_MEMBER {
+                local.rows_no_member += 1;
                 continue 'rows;
             }
+            local.rollup_lookups += 1;
             let target = axis.rollup.target(bottom);
             if target == NO_MEMBER {
+                local.rows_no_member += 1;
                 continue 'rows;
             }
             if target == AMBIGUOUS_MEMBER {
+                shared.flush(&local);
                 return Err(CubeStoreError::Unsupported(format!(
                     "member {} of dimension <{}> rolls up to several members of level <{}> \
                      (non-functional roll-up); use the SPARQL backend",
@@ -357,9 +615,11 @@ fn scan_range(
         }
         for filter in filters {
             if !filter.keeps(&key) {
+                local.rows_filtered += 1;
                 continue 'rows;
             }
         }
+        local.rows_aggregated += 1;
         let accs = groups
             .entry(key)
             .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
@@ -367,6 +627,7 @@ fn scan_range(
             acc.update(&measure.data, row);
         }
     }
+    shared.flush(&local);
     Ok(groups)
 }
 
@@ -617,6 +878,89 @@ fn eval_measure_filter(
 mod tests {
     use super::*;
 
+    use qb4olap::AggregateFunction;
+
+    use crate::testutil::{fixture, iri, observation_triples};
+
+    fn traced_fixture_cube(extra_rows: usize) -> MaterializedCube {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        for row in 0..extra_rows {
+            sparql::Endpoint::insert_triples(
+                &endpoint,
+                &observation_triples(&format!("x{row}"), "c1", "m1", 1, 1),
+            )
+            .unwrap();
+        }
+        MaterializedCube::from_endpoint(&endpoint, &schema).unwrap()
+    }
+
+    #[test]
+    fn chunked_scan_counters_sum_exactly_on_any_thread_count() {
+        let cube = traced_fixture_cube(95); // 100 live rows
+        let rollups = BTreeMap::from([(iri("dim/city"), iri("lv/country"))]);
+        let query = CubeQuery {
+            rollups,
+            ..CubeQuery::default()
+        };
+        let (baseline, sequential) = execute_with_stats(&cube, &query, 1).unwrap();
+        assert_eq!(sequential.rows_scanned, 100);
+        // o4 sits on the ragged city c3 (no country), so the roll-up
+        // drops exactly one row before aggregation.
+        assert_eq!(sequential.rows_no_member, 1);
+        assert_eq!(sequential.rows_aggregated, 99);
+        assert_eq!(sequential.scan_chunks, 1);
+        for threads in [2, 3, 8, 64] {
+            let (output, stats) = execute_with_stats(&cube, &query, threads).unwrap();
+            assert_eq!(output, baseline, "results identical at {threads} threads");
+            assert_eq!(
+                stats.rows_scanned, sequential.rows_scanned,
+                "concurrent chunk flushes sum exactly at {threads} threads"
+            );
+            assert_eq!(stats.rows_aggregated, sequential.rows_aggregated);
+            assert_eq!(stats.rollup_lookups, sequential.rollup_lookups);
+            assert_eq!(stats.tombstones_skipped, 0);
+            assert_eq!(stats.scan_chunks, threads.min(cube.row_count()) as u64);
+        }
+    }
+
+    #[test]
+    fn traced_execution_profiles_every_phase() {
+        let cube = traced_fixture_cube(0);
+        let query = CubeQuery {
+            slices: vec![iri("dim/month")],
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        };
+        let (output, profile, _stats) = execute_traced_with_threads(&cube, &query, 2).unwrap();
+        assert_eq!(output, execute(&cube, &query).unwrap(), "tracing is free of effects");
+        assert_eq!(profile.backend, "columnar");
+        assert_eq!(
+            profile.step_names(),
+            vec!["plan-axes", "compile-filters", "scan", "aggregate"]
+        );
+        assert!(profile.plan.iter().any(|l| l.starts_with("SLICE")));
+        assert!(profile.plan.iter().any(|l| l.starts_with("AXIS")));
+        assert_eq!(profile.counter("rows_scanned"), 5);
+        assert_eq!(profile.counter("rows_aggregated"), 4, "the ragged row drops");
+        assert_eq!(profile.counter("rows_no_member"), 1);
+        assert!(profile.counter("dictionary_lookups") > 0);
+        let rendered = profile.render();
+        assert!(rendered.contains("backend=columnar"), "{rendered}");
+        assert!(rendered.contains("scan"), "{rendered}");
+    }
+
+    #[test]
+    fn scan_stats_feed_a_metrics_registry() {
+        let cube = traced_fixture_cube(0);
+        let registry = obs::MetricsRegistry::new();
+        let (_, stats) = execute_with_stats(&cube, &CubeQuery::default(), 1).unwrap();
+        stats.record_into(&registry);
+        stats.record_into(&registry);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("cubestore.scan.runs"), 2);
+        assert_eq!(snapshot.counter("cubestore.scan.rows"), 10);
+    }
+
     /// Signed zeros must pick a deterministic winner in every order and
     /// partitioning — `f64::min(-0.0, 0.0)` is allowed to return either,
     /// which would leak scan order into MIN/MAX terms.
@@ -631,3 +975,4 @@ mod tests {
         assert_eq!(float_min(f64::INFINITY, 0.5), 0.5);
     }
 }
+

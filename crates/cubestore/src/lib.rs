@@ -81,15 +81,17 @@ pub mod tombstone;
 
 pub use build::{BuildStats, MaterializedCube};
 pub use catalog::{
-    CubeCatalog, MaintenanceReport, MaintenanceStrategy, RebuildReason, COMPACTION_LIVE_FRACTION,
+    CubeCatalog, MaintenanceReport, MaintenanceStrategy, RebuildReason, ReportLog,
+    COMPACTION_LIVE_FRACTION,
 };
 pub use columns::{DimensionColumn, MeasureColumn, MeasureValue, MeasureVector};
 pub use cowvec::CowVec;
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 pub use error::{CubeStoreError, DeltaRefusal, RefusalKind};
 pub use executor::{
-    execute, execute_with_threads, AxisSpec, CubeQuery, MeasureFilter, MemberFilter,
-    MemberPredicate, OutputCell, QueryOutput,
+    auto_scan_threads, execute, execute_traced, execute_traced_with_threads,
+    execute_with_stats, execute_with_threads, AxisSpec, CubeQuery, MeasureFilter, MemberFilter,
+    MemberPredicate, OutputCell, QueryOutput, ScanStats,
 };
 pub use hierarchy::{LevelIndex, RollupMap};
 pub use observations::ObservationIndex;

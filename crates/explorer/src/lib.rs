@@ -139,6 +139,9 @@ pub struct CubeExplorer<'e> {
     /// When set, member navigation is served from the catalog's live
     /// columnar cube instead of per-step SPARQL.
     catalog: Option<Arc<CubeCatalog>>,
+    /// Per-operation counters (`explorer.<op>`): the catalog's shared
+    /// registry when catalog-backed, a private one otherwise.
+    metrics: Arc<obs::MetricsRegistry>,
 }
 
 impl<'e> CubeExplorer<'e> {
@@ -151,6 +154,7 @@ impl<'e> CubeExplorer<'e> {
             endpoint,
             schema,
             catalog: None,
+            metrics: Arc::new(obs::MetricsRegistry::default()),
         })
     }
 
@@ -164,10 +168,12 @@ impl<'e> CubeExplorer<'e> {
         catalog: Arc<CubeCatalog>,
     ) -> Result<Self, ExplorerError> {
         let schema = qb4olap::schema_from_endpoint(endpoint, dataset)?;
+        let metrics = catalog.metrics().clone();
         Ok(CubeExplorer {
             endpoint,
             schema,
             catalog: Some(catalog),
+            metrics,
         })
     }
 
@@ -177,12 +183,24 @@ impl<'e> CubeExplorer<'e> {
             endpoint,
             schema,
             catalog: None,
+            metrics: Arc::new(obs::MetricsRegistry::default()),
         }
     }
 
     /// The cube schema.
     pub fn schema(&self) -> &CubeSchema {
         &self.schema
+    }
+
+    /// The metrics registry this explorer's per-operation counters live in
+    /// (shared with the catalog when catalog-backed).
+    pub fn metrics(&self) -> &Arc<obs::MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Counts one navigation operation under `explorer.<op>`.
+    fn count_op(&self, op: &str) {
+        self.metrics.counter(&format!("explorer.{op}")).inc();
     }
 
     /// True if navigation is served from the columnar catalog.
@@ -201,6 +219,7 @@ impl<'e> CubeExplorer<'e> {
     /// A summary of this cube (the entry the cube chooser displays). Served
     /// from the catalog's columns when available.
     pub fn summary(&self) -> Result<CubeSummary, ExplorerError> {
+        self.count_op("summary");
         if let Some(cube) = self.cube()? {
             return Ok(CubeSummary {
                 dataset: self.schema.dataset.clone(),
@@ -231,6 +250,7 @@ impl<'e> CubeExplorer<'e> {
     /// catalog's columns when available, in the same order the SPARQL
     /// oracle returns ([`Self::members_via_sparql`]).
     pub fn members(&self, level: &Iri) -> Result<Vec<MemberInfo>, ExplorerError> {
+        self.count_op("members");
         if let Some(cube) = self.cube()? {
             if let Some(index) = cube.level(level) {
                 let mut members: Vec<Term> =
@@ -253,6 +273,7 @@ impl<'e> CubeExplorer<'e> {
     /// The members of a level resolved through SPARQL — the paper's
     /// navigation and the differential oracle for the columnar path.
     pub fn members_via_sparql(&self, level: &Iri) -> Result<Vec<MemberInfo>, ExplorerError> {
+        self.count_op("members_via_sparql");
         let members = members_of_level(self.endpoint, level)?;
         let mut out = Vec::with_capacity(members.len());
         for member in members {
@@ -266,6 +287,7 @@ impl<'e> CubeExplorer<'e> {
 
     /// Number of members of a level (from columns when catalog-backed).
     pub fn member_count(&self, level: &Iri) -> Result<usize, ExplorerError> {
+        self.count_op("member_count");
         if let Some(cube) = self.cube()? {
             if let Some(index) = cube.level(level) {
                 return Ok(index.member_count());
@@ -276,11 +298,13 @@ impl<'e> CubeExplorer<'e> {
 
     /// Number of members of a level, counted on the endpoint (the oracle).
     pub fn member_count_via_sparql(&self, level: &Iri) -> Result<usize, ExplorerError> {
+        self.count_op("member_count_via_sparql");
         Ok(member_count(self.endpoint, level)?)
     }
 
     /// The display label of a member (its `rdfs:label` or IRI local name).
     pub fn label_of(&self, member: &Term) -> Result<String, ExplorerError> {
+        self.count_op("label_of");
         if let Term::Iri(iri) = member {
             // ORDER BY ?l pins which label wins for multi-labeled members,
             // matching the first-value-wins label store the columnar path
@@ -308,6 +332,7 @@ impl<'e> CubeExplorer<'e> {
         &self,
         dimension: &Iri,
     ) -> Result<BTreeMap<Iri, Vec<MemberInfo>>, ExplorerError> {
+        self.count_op("cluster_by_level");
         let levels: Vec<Iri> = self
             .schema
             .dimension(dimension)
@@ -328,6 +353,7 @@ impl<'e> CubeExplorer<'e> {
         child_level: &Iri,
         parent_level: &Iri,
     ) -> Result<Vec<(MemberInfo, MemberInfo)>, ExplorerError> {
+        self.count_op("rollup_edges");
         if let Some(cube) = self.cube()? {
             if let (Some(child_index), Some(parent_index)) =
                 (cube.level(child_level), cube.level(parent_level))
@@ -367,6 +393,7 @@ impl<'e> CubeExplorer<'e> {
         child_level: &Iri,
         parent_level: &Iri,
     ) -> Result<Vec<(MemberInfo, MemberInfo)>, ExplorerError> {
+        self.count_op("rollup_edges_via_sparql");
         let pairs = rollup_pairs(self.endpoint, child_level, parent_level)?;
         let mut out = Vec::with_capacity(pairs.len());
         for (child, parent) in pairs {
@@ -387,6 +414,7 @@ impl<'e> CubeExplorer<'e> {
     /// Renders the cube structure as a tree (the Figure 4 view: dimensions,
     /// hierarchies, levels, attributes, member counts).
     pub fn schema_tree(&self) -> Result<String, ExplorerError> {
+        self.count_op("schema_tree");
         let mut out = String::new();
         out.push_str(&format!(
             "Cube <{}> (QB4OLAP DSD <{}>)\n",
@@ -427,6 +455,7 @@ impl<'e> CubeExplorer<'e> {
     /// relationships as edges) in Graphviz DOT format — the data behind the
     /// Figure 5 visualisation.
     pub fn instance_graph_dot(&self, dimension: &Iri) -> Result<String, ExplorerError> {
+        self.count_op("instance_graph_dot");
         let mut out = String::new();
         out.push_str("digraph rollups {\n  rankdir=BT;\n");
         let Some(dim) = self.schema.dimension(dimension) else {
@@ -747,6 +776,40 @@ mod tests {
         let generated = datagen::generate(&datagen::EurostatConfig::small(10));
         endpoint.insert_triples(&generated.triples).unwrap();
         assert!(CubeExplorer::open(&endpoint, &generated.dataset).is_err());
+    }
+
+    #[test]
+    fn navigation_operations_are_counted_in_the_shared_registry() {
+        let (endpoint, dataset) = enriched_endpoint(80);
+        let catalog = Arc::new(CubeCatalog::new());
+        let explorer =
+            CubeExplorer::open_with_catalog(&endpoint, &dataset, catalog.clone()).unwrap();
+        explorer.summary().unwrap();
+        explorer.members(&eurostat_property::citizen()).unwrap();
+        explorer.members(&eurostat_property::citizen()).unwrap();
+        explorer
+            .member_count(&eurostat_property::citizen())
+            .unwrap();
+        explorer.schema_tree().unwrap();
+
+        // The explorer shares the catalog's registry, so its per-operation
+        // counters sit next to the catalog.* metrics of the serve calls the
+        // navigation triggered.
+        let snapshot = catalog.metrics().snapshot();
+        assert_eq!(snapshot.counter("explorer.summary"), 1);
+        assert_eq!(snapshot.counter("explorer.members"), 2);
+        assert!(snapshot.counter("explorer.member_count") >= 1);
+        assert_eq!(snapshot.counter("explorer.schema_tree"), 1);
+        assert_eq!(snapshot.counter("catalog.refresh.fresh"), 1);
+        assert!(snapshot.counter("catalog.serve.calls") >= 4);
+
+        // A plain (SPARQL-only) explorer gets a private registry.
+        let plain = CubeExplorer::open(&endpoint, &dataset).unwrap();
+        plain.members(&eurostat_property::citizen()).unwrap();
+        let snapshot = plain.metrics().snapshot();
+        assert_eq!(snapshot.counter("explorer.members"), 1);
+        assert_eq!(snapshot.counter("explorer.members_via_sparql"), 1);
+        assert_eq!(snapshot.counter("catalog.serve.calls"), 0);
     }
 
     #[test]

@@ -74,8 +74,43 @@ pub fn campaign_queries() -> usize {
     env_u64("QB2OLAP_FUZZ_QUERIES", 120) as usize
 }
 
+/// Turns a grammar-production display name (e.g. `QlOperation::Slice` or
+/// `ORDER BY … DESC`) into a metric counter key under `prefix`: lowercased,
+/// with every non-alphanumeric run collapsed to a single dash.
+pub fn production_metric_key(prefix: &str, production: &str) -> String {
+    let mut key = String::with_capacity(prefix.len() + production.len());
+    key.push_str(prefix);
+    for c in production.chars() {
+        if c.is_ascii_alphanumeric() {
+            key.push(c.to_ascii_lowercase());
+        } else if key.len() > prefix.len() && !key.ends_with('-') {
+            key.push('-');
+        }
+    }
+    while key.ends_with('-') {
+        key.pop();
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn production_keys_are_dotted_lowercase_kebab() {
+        assert_eq!(
+            super::production_metric_key("fuzz.ql.production.", "QlOperation::Slice"),
+            "fuzz.ql.production.qloperation-slice"
+        );
+        assert_eq!(
+            super::production_metric_key("fuzz.sparql.production.", "ORDER BY … DESC"),
+            "fuzz.sparql.production.order-by-desc"
+        );
+        assert_eq!(
+            super::production_metric_key("p.", "CmpOp#3"),
+            "p.cmpop-3"
+        );
+    }
+
     #[test]
     fn env_knobs_parse_decimal_and_hex() {
         assert_eq!(super::env_u64("QB2OLAP_FUZZ_NO_SUCH_KNOB", 7), 7);

@@ -481,40 +481,88 @@ pub fn assemble(dataset: Iri, ops: Vec<QlOperation>) -> QlProgram {
     }
 }
 
-/// Grammar-coverage recorder: one flag per `ql::ast` production, set by
+/// Every `ql::ast` production the generator must reach, by display name.
+pub const ALL_QL_PRODUCTIONS: [&str; 25] = [
+    "QlOperation::Slice",
+    "QlOperation::Rollup",
+    "QlOperation::Drilldown",
+    "QlOperation::Dice",
+    "CubeRef::Dataset",
+    "CubeRef::Variable",
+    "DiceCondition::Comparison",
+    "DiceCondition::And",
+    "DiceCondition::Or",
+    "DiceOperand::Attribute",
+    "DiceOperand::Measure",
+    "DiceValue::String",
+    "DiceValue::Number",
+    "DiceValue::Iri",
+    "DiceOp::Eq",
+    "DiceOp::Ne",
+    "DiceOp::Lt",
+    "DiceOp::Le",
+    "DiceOp::Gt",
+    "DiceOp::Ge",
+    "AggregateFunction::Sum",
+    "AggregateFunction::Avg",
+    "AggregateFunction::Count",
+    "AggregateFunction::Min",
+    "AggregateFunction::Max",
+];
+
+/// Grammar-coverage recorder: one counter per `ql::ast` production
+/// (`fuzz.ql.production.*` in an [`obs::MetricsRegistry`]), incremented by
 /// wildcard-free `match`es (the compile-time exhaustiveness guarantee the
-/// CI gate relies on).
-#[derive(Debug, Default, Clone)]
+/// CI gate relies on). [`GrammarCoverage::missing`] reads a metrics
+/// snapshot, so a campaign's end-of-run gate and any external dashboard
+/// see the same per-production hit counts.
+#[derive(Debug, Clone)]
 pub struct GrammarCoverage {
-    slice: bool,
-    rollup: bool,
-    drilldown: bool,
-    dice: bool,
-    dataset_ref: bool,
-    variable_ref: bool,
-    comparison: bool,
-    and: bool,
-    or: bool,
-    attribute_operand: bool,
-    measure_operand: bool,
-    value_string: bool,
-    value_number: bool,
-    value_iri: bool,
-    dice_ops: [bool; 6],
-    aggregates: [bool; 5],
+    registry: std::sync::Arc<obs::MetricsRegistry>,
+}
+
+impl Default for GrammarCoverage {
+    fn default() -> Self {
+        GrammarCoverage::new(std::sync::Arc::new(obs::MetricsRegistry::default()))
+    }
 }
 
 impl GrammarCoverage {
+    /// The counter-name prefix of every QL production counter.
+    pub const PREFIX: &'static str = "fuzz.ql.production.";
+
+    /// A recorder whose counters live in `registry` (share one to merge
+    /// coverage across campaign shards).
+    pub fn new(registry: std::sync::Arc<obs::MetricsRegistry>) -> Self {
+        GrammarCoverage { registry }
+    }
+
+    /// The registry backing the per-production counters.
+    pub fn registry(&self) -> &std::sync::Arc<obs::MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the per-production hit counts.
+    pub fn snapshot(&self) -> obs::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    fn hit(&mut self, production: &str) {
+        self.registry
+            .counter(&crate::production_metric_key(Self::PREFIX, production))
+            .inc();
+    }
+
     /// Records every production a program exercises.
     pub fn record(&mut self, program: &QlProgram) {
         for statement in &program.statements {
             self.record_cube_ref(statement.operation.input());
             match &statement.operation {
-                QlOperation::Slice { .. } => self.slice = true,
-                QlOperation::Rollup { .. } => self.rollup = true,
-                QlOperation::Drilldown { .. } => self.drilldown = true,
+                QlOperation::Slice { .. } => self.hit("QlOperation::Slice"),
+                QlOperation::Rollup { .. } => self.hit("QlOperation::Rollup"),
+                QlOperation::Drilldown { .. } => self.hit("QlOperation::Drilldown"),
                 QlOperation::Dice { condition, .. } => {
-                    self.dice = true;
+                    self.hit("QlOperation::Dice");
                     self.record_condition(condition);
                 }
             }
@@ -523,33 +571,40 @@ impl GrammarCoverage {
 
     fn record_cube_ref(&mut self, cube: &CubeRef) {
         match cube {
-            CubeRef::Dataset(_) => self.dataset_ref = true,
-            CubeRef::Variable(_) => self.variable_ref = true,
+            CubeRef::Dataset(_) => self.hit("CubeRef::Dataset"),
+            CubeRef::Variable(_) => self.hit("CubeRef::Variable"),
         }
     }
 
     fn record_condition(&mut self, condition: &DiceCondition) {
         match condition {
             DiceCondition::Comparison { operand, op, value } => {
-                self.comparison = true;
-                self.dice_ops[dice_op_index(*op)] = true;
+                self.hit("DiceCondition::Comparison");
+                self.hit(match op {
+                    DiceOp::Eq => "DiceOp::Eq",
+                    DiceOp::Ne => "DiceOp::Ne",
+                    DiceOp::Lt => "DiceOp::Lt",
+                    DiceOp::Le => "DiceOp::Le",
+                    DiceOp::Gt => "DiceOp::Gt",
+                    DiceOp::Ge => "DiceOp::Ge",
+                });
                 match operand {
-                    DiceOperand::Attribute { .. } => self.attribute_operand = true,
-                    DiceOperand::Measure(_) => self.measure_operand = true,
+                    DiceOperand::Attribute { .. } => self.hit("DiceOperand::Attribute"),
+                    DiceOperand::Measure(_) => self.hit("DiceOperand::Measure"),
                 }
                 match value {
-                    DiceValue::String(_) => self.value_string = true,
-                    DiceValue::Number(_) => self.value_number = true,
-                    DiceValue::Iri(_) => self.value_iri = true,
+                    DiceValue::String(_) => self.hit("DiceValue::String"),
+                    DiceValue::Number(_) => self.hit("DiceValue::Number"),
+                    DiceValue::Iri(_) => self.hit("DiceValue::Iri"),
                 }
             }
             DiceCondition::And(a, b) => {
-                self.and = true;
+                self.hit("DiceCondition::And");
                 self.record_condition(a);
                 self.record_condition(b);
             }
             DiceCondition::Or(a, b) => {
-                self.or = true;
+                self.hit("DiceCondition::Or");
                 self.record_condition(a);
                 self.record_condition(b);
             }
@@ -560,64 +615,31 @@ impl GrammarCoverage {
     /// fixture declares all five, over integer *and* float columns).
     pub fn record_aggregates(&mut self, universe: &SchemaUniverse) {
         for (_, aggregate) in &universe.measures {
-            let index = match aggregate {
-                AggregateFunction::Sum => 0,
-                AggregateFunction::Avg => 1,
-                AggregateFunction::Count => 2,
-                AggregateFunction::Min => 3,
-                AggregateFunction::Max => 4,
-            };
-            self.aggregates[index] = true;
+            self.hit(match aggregate {
+                AggregateFunction::Sum => "AggregateFunction::Sum",
+                AggregateFunction::Avg => "AggregateFunction::Avg",
+                AggregateFunction::Count => "AggregateFunction::Count",
+                AggregateFunction::Min => "AggregateFunction::Min",
+                AggregateFunction::Max => "AggregateFunction::Max",
+            });
         }
     }
 
     /// The productions not yet exercised — the campaign asserts this is
     /// empty.
     pub fn missing(&self) -> Vec<&'static str> {
-        let mut out = Vec::new();
-        let mut need = |hit: bool, name: &'static str| {
-            if !hit {
-                out.push(name);
-            }
-        };
-        need(self.slice, "QlOperation::Slice");
-        need(self.rollup, "QlOperation::Rollup");
-        need(self.drilldown, "QlOperation::Drilldown");
-        need(self.dice, "QlOperation::Dice");
-        need(self.dataset_ref, "CubeRef::Dataset");
-        need(self.variable_ref, "CubeRef::Variable");
-        need(self.comparison, "DiceCondition::Comparison");
-        need(self.and, "DiceCondition::And");
-        need(self.or, "DiceCondition::Or");
-        need(self.attribute_operand, "DiceOperand::Attribute");
-        need(self.measure_operand, "DiceOperand::Measure");
-        need(self.value_string, "DiceValue::String");
-        need(self.value_number, "DiceValue::Number");
-        need(self.value_iri, "DiceValue::Iri");
-        for (i, hit) in self.dice_ops.iter().enumerate() {
-            if !hit {
-                out.push(match i {
-                    0 => "DiceOp::Eq",
-                    1 => "DiceOp::Ne",
-                    2 => "DiceOp::Lt",
-                    3 => "DiceOp::Le",
-                    4 => "DiceOp::Gt",
-                    _ => "DiceOp::Ge",
-                });
-            }
-        }
-        for (i, hit) in self.aggregates.iter().enumerate() {
-            if !hit {
-                out.push(match i {
-                    0 => "AggregateFunction::Sum",
-                    1 => "AggregateFunction::Avg",
-                    2 => "AggregateFunction::Count",
-                    3 => "AggregateFunction::Min",
-                    _ => "AggregateFunction::Max",
-                });
-            }
-        }
-        out
+        Self::missing_in(&self.snapshot())
+    }
+
+    /// The productions whose counters are zero in `snapshot` — how the
+    /// campaign's end-of-run gate reads the recorder.
+    pub fn missing_in(snapshot: &obs::MetricsSnapshot) -> Vec<&'static str> {
+        ALL_QL_PRODUCTIONS
+            .into_iter()
+            .filter(|production| {
+                snapshot.counter(&crate::production_metric_key(Self::PREFIX, production)) == 0
+            })
+            .collect()
     }
 }
 

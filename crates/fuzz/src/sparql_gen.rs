@@ -20,8 +20,8 @@ use sparql::ast::{
     OrderCondition, PatternElement, Projection, SelectItem, SelectQuery, TriplePattern, Variable,
 };
 use sparql::testutil::{
-    aggregate_index, arith_op_index, call, cmp, cmp_op_index, constant, function_index, group,
-    ALL_AGGREGATES, ALL_ARITH_OPS, ALL_CMP_OPS, ALL_FUNCTIONS,
+    arith_op_index, call, cmp, cmp_op_index, constant, group, ALL_AGGREGATES, ALL_ARITH_OPS,
+    ALL_CMP_OPS, ALL_FUNCTIONS,
 };
 
 use crate::universe::SchemaUniverse;
@@ -468,43 +468,111 @@ fn function_showcase(function: Function) -> Expression {
     }
 }
 
-/// Coverage recorder over the whole SELECT grammar: wildcard-free matches
-/// for every production the generator must reach.
-#[derive(Debug, Default, Clone)]
+/// The fixed-name SELECT grammar productions (pattern elements, expression
+/// kinds, query-level clauses); operator and function productions are
+/// enumerated from the `sparql::testutil` tables.
+const SELECT_PRODUCTIONS: [&str; 32] = [
+    "PatternElement::Triple",
+    "PatternElement::Filter",
+    "PatternElement::Optional",
+    "PatternElement::Union",
+    "PatternElement::Minus",
+    "PatternElement::Bind",
+    "PatternElement::Values",
+    "PatternElement::SubSelect",
+    "PatternElement::Group",
+    "Expression::Var",
+    "Expression::Constant",
+    "Expression::Not",
+    "Expression::And",
+    "Expression::Or",
+    "Expression::Compare",
+    "Expression::Arithmetic",
+    "Expression::Neg",
+    "Expression::Call",
+    "Expression::Aggregate",
+    "Expression::In",
+    "Expression::Exists",
+    "Expression::NotExists",
+    "Projection::Wildcard",
+    "Projection::Items",
+    "SelectItem::Expr",
+    "DISTINCT",
+    "GROUP BY",
+    "HAVING",
+    "ORDER BY",
+    "ORDER BY … DESC",
+    "LIMIT",
+    "OFFSET",
+];
+
+/// Every SELECT grammar production the generator must reach, by display
+/// name.
+pub fn all_select_productions() -> Vec<String> {
+    let mut out: Vec<String> = SELECT_PRODUCTIONS.iter().map(|s| s.to_string()).collect();
+    out.extend(ALL_FUNCTIONS.iter().map(|f| format!("Function::{}", f.as_str())));
+    out.extend(ALL_AGGREGATES.iter().map(|a| format!("Aggregate::{}", a.as_str())));
+    out.extend((0..ALL_CMP_OPS.len()).map(|i| format!("CmpOp#{i}")));
+    out.extend((0..ALL_ARITH_OPS.len()).map(|i| format!("ArithOp#{i}")));
+    out
+}
+
+/// Coverage recorder over the whole SELECT grammar: one counter per
+/// production (`fuzz.sparql.production.*` in an [`obs::MetricsRegistry`]),
+/// incremented by wildcard-free matches. [`SparqlCoverage::missing`] reads
+/// a metrics snapshot, the same per-production hit counts the campaign's
+/// end-of-run gate and any external dashboard see.
+#[derive(Debug, Clone)]
 pub struct SparqlCoverage {
-    elements: [bool; 9],
-    expressions: [bool; 13],
-    functions: [bool; 22],
-    aggregates: [bool; 7],
-    cmp_ops: [bool; 6],
-    arith_ops: [bool; 4],
-    wildcard: bool,
-    items: bool,
-    expr_item: bool,
-    distinct: bool,
-    group_by: bool,
-    having: bool,
-    order_by: bool,
-    descending: bool,
-    limit: bool,
-    offset: bool,
+    registry: std::sync::Arc<obs::MetricsRegistry>,
+}
+
+impl Default for SparqlCoverage {
+    fn default() -> Self {
+        SparqlCoverage::new(std::sync::Arc::new(obs::MetricsRegistry::default()))
+    }
 }
 
 impl SparqlCoverage {
+    /// The counter-name prefix of every SELECT production counter.
+    pub const PREFIX: &'static str = "fuzz.sparql.production.";
+
+    /// A recorder whose counters live in `registry` (share one to merge
+    /// coverage across campaign shards).
+    pub fn new(registry: std::sync::Arc<obs::MetricsRegistry>) -> Self {
+        SparqlCoverage { registry }
+    }
+
+    /// The registry backing the per-production counters.
+    pub fn registry(&self) -> &std::sync::Arc<obs::MetricsRegistry> {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the per-production hit counts.
+    pub fn snapshot(&self) -> obs::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    fn hit(&mut self, production: &str) {
+        self.registry
+            .counter(&crate::production_metric_key(Self::PREFIX, production))
+            .inc();
+    }
+
     /// Records every production a query exercises.
     pub fn record(&mut self, query: &SelectQuery) {
         if query.distinct {
-            self.distinct = true;
+            self.hit("DISTINCT");
         }
         match &query.projection {
-            Projection::Wildcard => self.wildcard = true,
+            Projection::Wildcard => self.hit("Projection::Wildcard"),
             Projection::Items(items) => {
-                self.items = true;
+                self.hit("Projection::Items");
                 for item in items {
                     match item {
                         SelectItem::Var(_) => {}
                         SelectItem::Expr { expr, .. } => {
-                            self.expr_item = true;
+                            self.hit("SelectItem::Expr");
                             self.record_expression(expr);
                         }
                     }
@@ -513,66 +581,66 @@ impl SparqlCoverage {
         }
         self.record_pattern(&query.pattern);
         if !query.group_by.is_empty() {
-            self.group_by = true;
+            self.hit("GROUP BY");
             for expr in &query.group_by {
                 self.record_expression(expr);
             }
         }
         if !query.having.is_empty() {
-            self.having = true;
+            self.hit("HAVING");
             for expr in &query.having {
                 self.record_expression(expr);
             }
         }
         if !query.order_by.is_empty() {
-            self.order_by = true;
+            self.hit("ORDER BY");
             for cond in &query.order_by {
                 if cond.descending {
-                    self.descending = true;
+                    self.hit("ORDER BY … DESC");
                 }
                 self.record_expression(&cond.expr);
             }
         }
         if query.limit.is_some() {
-            self.limit = true;
+            self.hit("LIMIT");
         }
         if query.offset.is_some() {
-            self.offset = true;
+            self.hit("OFFSET");
         }
     }
 
     fn record_pattern(&mut self, pattern: &GroupGraphPattern) {
         for element in &pattern.elements {
             match element {
-                PatternElement::Triple(_) => self.elements[0] = true,
+                PatternElement::Triple(_) => self.hit("PatternElement::Triple"),
                 PatternElement::Filter(expr) => {
-                    self.elements[1] = true;
+                    self.hit("PatternElement::Filter");
                     self.record_expression(expr);
                 }
                 PatternElement::Optional(g) => {
-                    self.elements[2] = true;
+                    self.hit("PatternElement::Optional");
                     self.record_pattern(g);
                 }
                 PatternElement::Union(a, b) => {
-                    self.elements[3] = true;
+                    self.hit("PatternElement::Union");
                     self.record_pattern(a);
                     self.record_pattern(b);
                 }
                 PatternElement::Minus(g) => {
-                    self.elements[4] = true;
+                    self.hit("PatternElement::Minus");
                     self.record_pattern(g);
                 }
                 PatternElement::Bind { expr, .. } => {
-                    self.elements[5] = true;
+                    self.hit("PatternElement::Bind");
                     self.record_expression(expr);
                 }
-                PatternElement::Values { .. } => self.elements[6] = true,
+                PatternElement::Values { .. } => self.hit("PatternElement::Values"),
                 PatternElement::SubSelect(sub) => {
-                    self.elements[7] = true;
+                    self.hit("PatternElement::SubSelect");
                     self.record(sub);
                 }
                 PatternElement::Group(g) => {
-                    self.elements[8] = true;
+                    self.hit("PatternElement::Group");
                     self.record_pattern(g);
                 }
             }
@@ -581,65 +649,65 @@ impl SparqlCoverage {
 
     fn record_expression(&mut self, expr: &Expression) {
         match expr {
-            Expression::Var(_) => self.expressions[0] = true,
-            Expression::Constant(_) => self.expressions[1] = true,
+            Expression::Var(_) => self.hit("Expression::Var"),
+            Expression::Constant(_) => self.hit("Expression::Constant"),
             Expression::Not(inner) => {
-                self.expressions[2] = true;
+                self.hit("Expression::Not");
                 self.record_expression(inner);
             }
             Expression::And(a, b) => {
-                self.expressions[3] = true;
+                self.hit("Expression::And");
                 self.record_expression(a);
                 self.record_expression(b);
             }
             Expression::Or(a, b) => {
-                self.expressions[4] = true;
+                self.hit("Expression::Or");
                 self.record_expression(a);
                 self.record_expression(b);
             }
             Expression::Compare(a, op, b) => {
-                self.expressions[5] = true;
-                self.cmp_ops[cmp_op_index(*op)] = true;
+                self.hit("Expression::Compare");
+                self.hit(&format!("CmpOp#{}", cmp_op_index(*op)));
                 self.record_expression(a);
                 self.record_expression(b);
             }
             Expression::Arithmetic(a, op, b) => {
-                self.expressions[6] = true;
-                self.arith_ops[arith_op_index(*op)] = true;
+                self.hit("Expression::Arithmetic");
+                self.hit(&format!("ArithOp#{}", arith_op_index(*op)));
                 self.record_expression(a);
                 self.record_expression(b);
             }
             Expression::Neg(inner) => {
-                self.expressions[7] = true;
+                self.hit("Expression::Neg");
                 self.record_expression(inner);
             }
             Expression::Call(function, args) => {
-                self.expressions[8] = true;
-                self.functions[function_index(*function)] = true;
+                self.hit("Expression::Call");
+                self.hit(&format!("Function::{}", function.as_str()));
                 for arg in args {
                     self.record_expression(arg);
                 }
             }
             Expression::Aggregate(agg) => {
-                self.expressions[9] = true;
-                self.aggregates[aggregate_index(agg.function)] = true;
+                self.hit("Expression::Aggregate");
+                self.hit(&format!("Aggregate::{}", agg.function.as_str()));
                 if let Some(inner) = &agg.expr {
                     self.record_expression(inner);
                 }
             }
             Expression::In(subject, list) => {
-                self.expressions[10] = true;
+                self.hit("Expression::In");
                 self.record_expression(subject);
                 for item in list {
                     self.record_expression(item);
                 }
             }
             Expression::Exists(g) => {
-                self.expressions[11] = true;
+                self.hit("Expression::Exists");
                 self.record_pattern(g);
             }
             Expression::NotExists(g) => {
-                self.expressions[12] = true;
+                self.hit("Expression::NotExists");
                 self.record_pattern(g);
             }
         }
@@ -648,80 +716,18 @@ impl SparqlCoverage {
     /// The productions not yet exercised — the campaign asserts this is
     /// empty.
     pub fn missing(&self) -> Vec<String> {
-        const ELEMENTS: [&str; 9] = [
-            "PatternElement::Triple",
-            "PatternElement::Filter",
-            "PatternElement::Optional",
-            "PatternElement::Union",
-            "PatternElement::Minus",
-            "PatternElement::Bind",
-            "PatternElement::Values",
-            "PatternElement::SubSelect",
-            "PatternElement::Group",
-        ];
-        const EXPRESSIONS: [&str; 13] = [
-            "Expression::Var",
-            "Expression::Constant",
-            "Expression::Not",
-            "Expression::And",
-            "Expression::Or",
-            "Expression::Compare",
-            "Expression::Arithmetic",
-            "Expression::Neg",
-            "Expression::Call",
-            "Expression::Aggregate",
-            "Expression::In",
-            "Expression::Exists",
-            "Expression::NotExists",
-        ];
-        let mut out = Vec::new();
-        for (hit, name) in self.elements.iter().zip(ELEMENTS) {
-            if !hit {
-                out.push(name.to_string());
-            }
-        }
-        for (hit, name) in self.expressions.iter().zip(EXPRESSIONS) {
-            if !hit {
-                out.push(name.to_string());
-            }
-        }
-        for (i, hit) in self.functions.iter().enumerate() {
-            if !hit {
-                out.push(format!("Function::{}", ALL_FUNCTIONS[i].as_str()));
-            }
-        }
-        for (i, hit) in self.aggregates.iter().enumerate() {
-            if !hit {
-                out.push(format!("Aggregate::{}", ALL_AGGREGATES[i].as_str()));
-            }
-        }
-        for (i, hit) in self.cmp_ops.iter().enumerate() {
-            if !hit {
-                out.push(format!("CmpOp#{i}"));
-            }
-        }
-        for (i, hit) in self.arith_ops.iter().enumerate() {
-            if !hit {
-                out.push(format!("ArithOp#{i}"));
-            }
-        }
-        for (hit, name) in [
-            (self.wildcard, "Projection::Wildcard"),
-            (self.items, "Projection::Items"),
-            (self.expr_item, "SelectItem::Expr"),
-            (self.distinct, "DISTINCT"),
-            (self.group_by, "GROUP BY"),
-            (self.having, "HAVING"),
-            (self.order_by, "ORDER BY"),
-            (self.descending, "ORDER BY … DESC"),
-            (self.limit, "LIMIT"),
-            (self.offset, "OFFSET"),
-        ] {
-            if !hit {
-                out.push(name.to_string());
-            }
-        }
-        out
+        Self::missing_in(&self.snapshot())
+    }
+
+    /// The productions whose counters are zero in `snapshot` — how the
+    /// campaign's end-of-run gate reads the recorder.
+    pub fn missing_in(snapshot: &obs::MetricsSnapshot) -> Vec<String> {
+        all_select_productions()
+            .into_iter()
+            .filter(|production| {
+                snapshot.counter(&crate::production_metric_key(Self::PREFIX, production)) == 0
+            })
+            .collect()
     }
 }
 

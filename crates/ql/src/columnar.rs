@@ -125,14 +125,53 @@ fn measure_filter(condition: &DiceCondition) -> Result<MeasureFilter, QlError> {
 
 /// Runs a prepared query on the materialized cube and assembles the result
 /// with the *same* axes and measure variables as the SPARQL translation, so
-/// the two backends produce comparable (identical) cubes.
+/// the two backends produce comparable (identical) cubes. Also returns the
+/// scan totals so the caller can feed the metrics registry.
 pub(crate) fn execute_columnar(
     cube: &MaterializedCube,
     prepared: &PreparedQuery,
-) -> Result<ResultCube, QlError> {
+) -> Result<(ResultCube, cubestore::ScanStats), QlError> {
     let query = to_cube_query(&prepared.pipeline)?;
-    let output = cubestore::execute(cube, &query)?;
+    let (output, stats) =
+        cubestore::execute_with_stats(cube, &query, cubestore::auto_scan_threads(cube))?;
+    Ok((assemble_result(output, prepared)?, stats))
+}
 
+/// [`execute_columnar`] with per-phase timings: the cubestore execution
+/// profile plus the lowering and result-assembly phases on top.
+pub(crate) fn execute_columnar_traced(
+    cube: &MaterializedCube,
+    prepared: &PreparedQuery,
+) -> Result<(ResultCube, obs::ExecutionProfile, cubestore::ScanStats), QlError> {
+    let started = std::time::Instant::now();
+    let query = to_cube_query(&prepared.pipeline)?;
+    let lower = started.elapsed();
+    let (output, mut profile, stats) = cubestore::execute_traced(cube, &query)?;
+    profile.steps.insert(
+        0,
+        obs::ProfileStep {
+            name: "lower-pipeline".to_string(),
+            duration: lower,
+            rows: None,
+            detail: String::new(),
+        },
+    );
+    let started = std::time::Instant::now();
+    let result = assemble_result(output, prepared)?;
+    profile.push_step(
+        "assemble-cube",
+        started.elapsed(),
+        Some(result.cells.len() as u64),
+        "",
+    );
+    Ok((result, profile, stats))
+}
+
+/// Validates the axis alignment and builds the sorted result cube.
+fn assemble_result(
+    output: cubestore::QueryOutput,
+    prepared: &PreparedQuery,
+) -> Result<ResultCube, QlError> {
     // Both planners walk the schema dimensions in order, so the axes must
     // line up; anything else means the materialization is out of sync with
     // the schema the query was prepared against.

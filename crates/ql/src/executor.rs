@@ -176,6 +176,7 @@ impl<'e> QueryingModule<'e> {
     /// prepared query carries the default backend; override it with
     /// [`PreparedQuery::with_backend`] or pick one per [`Self::execute`].
     pub fn prepare(&self, ql_text: &str) -> Result<PreparedQuery, QlError> {
+        let _span = obs::span("ql.prepare");
         let program = parse_ql(ql_text)?;
         let (pipeline, report) = simplify(&program, &self.schema)?;
         let translation = translate(&pipeline, &self.schema)?;
@@ -195,21 +196,129 @@ impl<'e> QueryingModule<'e> {
         prepared: &PreparedQuery,
         backend: impl Into<ExecutionBackend>,
     ) -> Result<ResultCube, QlError> {
-        match backend.into() {
+        let _span = obs::span("ql.execute");
+        let metrics = self.catalog.metrics();
+        let started = Instant::now();
+        let cube = match backend.into() {
             ExecutionBackend::Sparql(variant) => {
+                metrics.counter("ql.execute.sparql").inc();
                 let sparql_text = prepared.sparql(variant);
                 let solutions = self.endpoint.select(&sparql_text)?;
-                Ok(ResultCube::from_solutions(
+                ResultCube::from_solutions(
                     prepared.translation.axes.clone(),
                     prepared.translation.measures.clone(),
                     &solutions,
-                ))
+                )
             }
             ExecutionBackend::Columnar => {
-                let cube = self.materialize()?;
-                columnar::execute_columnar(&cube, prepared)
+                metrics.counter("ql.execute.columnar").inc();
+                let materialized = self.materialize()?;
+                let (cube, stats) = columnar::execute_columnar(&materialized, prepared)?;
+                stats.record_into(metrics);
+                cube
             }
-        }
+        };
+        metrics
+            .histogram("ql.execute.duration_ns")
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(cube)
+    }
+
+    /// [`Self::execute`] with an EXPLAIN-style [`obs::ExecutionProfile`]:
+    /// the logical plan (one line per pipeline operation, plus the backend's
+    /// physical plan) and per-step timings with row counts.
+    pub fn execute_profiled(
+        &self,
+        prepared: &PreparedQuery,
+        backend: impl Into<ExecutionBackend>,
+    ) -> Result<(ResultCube, obs::ExecutionProfile), QlError> {
+        let _span = obs::span("ql.execute");
+        let metrics = self.catalog.metrics();
+        let total = Instant::now();
+        let (cube, mut profile) = match backend.into() {
+            ExecutionBackend::Sparql(variant) => {
+                metrics.counter("ql.execute.sparql").inc();
+                let name = match variant {
+                    SparqlVariant::Direct => "sparql:direct",
+                    SparqlVariant::Alternative => "sparql:alternative",
+                };
+                let mut profile = obs::ExecutionProfile::new(name);
+                for line in prepared.pipeline.plan_lines() {
+                    profile.push_plan(&line);
+                }
+                let started = Instant::now();
+                let sparql_text = prepared.sparql(variant);
+                profile.push_step(
+                    "translate-sparql",
+                    started.elapsed(),
+                    Some(sparql_text.lines().count() as u64),
+                    "generated query lines",
+                );
+                let started = Instant::now();
+                let solutions = self.endpoint.select(&sparql_text)?;
+                profile.push_step("select", started.elapsed(), Some(solutions.len() as u64), "");
+                let started = Instant::now();
+                let cube = ResultCube::from_solutions(
+                    prepared.translation.axes.clone(),
+                    prepared.translation.measures.clone(),
+                    &solutions,
+                );
+                profile.push_step(
+                    "assemble-cube",
+                    started.elapsed(),
+                    Some(cube.cells.len() as u64),
+                    "",
+                );
+                profile.add_counter("solutions", solutions.len() as u64);
+                (cube, profile)
+            }
+            ExecutionBackend::Columnar => {
+                metrics.counter("ql.execute.columnar").inc();
+                let started = Instant::now();
+                let materialized = self.materialize()?;
+                let materialize = started.elapsed();
+                let (cube, inner, stats) =
+                    columnar::execute_columnar_traced(&materialized, prepared)?;
+                stats.record_into(metrics);
+                let mut profile = obs::ExecutionProfile::new(&inner.backend);
+                for line in prepared.pipeline.plan_lines() {
+                    profile.push_plan(&line);
+                }
+                for line in &inner.plan {
+                    profile.push_plan(line);
+                }
+                profile.push_step(
+                    "materialize",
+                    materialize,
+                    Some(materialized.row_count() as u64),
+                    "catalog-served cube rows",
+                );
+                profile.steps.extend(inner.steps);
+                profile.counters = inner.counters;
+                (cube, profile)
+            }
+        };
+        profile.total = total.elapsed();
+        metrics
+            .histogram("ql.execute.duration_ns")
+            .record(profile.total.as_nanos() as u64);
+        Ok((cube, profile))
+    }
+
+    /// Prepares `ql_text` and renders EXPLAIN ANALYZE output for **both**
+    /// backends (the direct SPARQL variant and the columnar engine), so the
+    /// plans and timings can be compared side by side.
+    pub fn explain(&self, ql_text: &str) -> Result<String, QlError> {
+        let prepared = self.prepare(ql_text)?;
+        let (_, sparql_profile) =
+            self.execute_profiled(&prepared, SparqlVariant::Direct)?;
+        let (_, columnar_profile) =
+            self.execute_profiled(&prepared, ExecutionBackend::Columnar)?;
+        Ok(format!(
+            "{}\n{}",
+            sparql_profile.render(),
+            columnar_profile.render()
+        ))
     }
 
     /// Convenience: full workflow (parse → simplify → translate → execute
@@ -569,6 +678,122 @@ mod tests {
             "a partial removal must refresh via the delta path: {report:?}"
         );
         assert_eq!(report.rows_removed, 1);
+    }
+
+    #[test]
+    fn profiled_execution_names_every_step_on_both_backends() {
+        let (endpoint, dataset) = enriched_endpoint(300);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let prepared = module.prepare(&datagen::workload::mary_query()).unwrap();
+        let plain = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+
+        let (sparql_cube, sparql_profile) = module
+            .execute_profiled(&prepared, SparqlVariant::Direct)
+            .unwrap();
+        assert_eq!(sparql_cube, plain, "profiling must not change the result");
+        assert_eq!(sparql_profile.backend, "sparql:direct");
+        assert_eq!(
+            sparql_profile.step_names(),
+            vec!["translate-sparql", "select", "assemble-cube"]
+        );
+        assert_eq!(
+            sparql_profile.plan.len(),
+            prepared.pipeline.operation_count(),
+            "one logical plan line per pipeline operation"
+        );
+        assert!(sparql_profile.total >= sparql_profile.steps_total());
+
+        let (columnar_cube, columnar_profile) = module
+            .execute_profiled(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+        assert_eq!(columnar_cube, plain, "backends agree under profiling");
+        assert_eq!(columnar_profile.backend, "columnar");
+        assert_eq!(
+            columnar_profile.step_names(),
+            vec![
+                "materialize",
+                "lower-pipeline",
+                "plan-axes",
+                "compile-filters",
+                "scan",
+                "aggregate",
+                "assemble-cube"
+            ]
+        );
+        assert!(
+            columnar_profile.plan.len() > prepared.pipeline.operation_count(),
+            "logical plan lines plus the physical cubestore plan"
+        );
+        assert!(columnar_profile.counter("rows_scanned") > 0);
+
+        // Every step renders with its row count in the EXPLAIN output.
+        let rendered = columnar_profile.render();
+        assert!(rendered.contains("EXPLAIN ANALYZE (backend=columnar"));
+        assert!(rendered.contains("scan"));
+        assert!(rendered.contains("rows="));
+    }
+
+    #[test]
+    fn explain_renders_both_backends_side_by_side() {
+        let (endpoint, dataset) = enriched_endpoint(200);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let explained = module.explain(&datagen::workload::mary_query()).unwrap();
+        assert!(explained.contains("EXPLAIN ANALYZE (backend=sparql:direct"));
+        assert!(explained.contains("EXPLAIN ANALYZE (backend=columnar"));
+        assert!(explained.contains("SLICE dimension=<"));
+    }
+
+    #[test]
+    fn executions_feed_the_shared_metrics_registry() {
+        let (endpoint, dataset) = enriched_endpoint(200);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let prepared = module.prepare(&datagen::workload::mary_query()).unwrap();
+        module.execute(&prepared, SparqlVariant::Direct).unwrap();
+        module.execute(&prepared, SparqlVariant::Alternative).unwrap();
+        module
+            .execute(&prepared, ExecutionBackend::Columnar)
+            .unwrap();
+        let snapshot = module.catalog().metrics().snapshot();
+        assert_eq!(snapshot.counter("ql.execute.sparql"), 2);
+        assert_eq!(snapshot.counter("ql.execute.columnar"), 1);
+        assert!(snapshot.counter("cubestore.scan.rows") > 0);
+        let durations = snapshot.histogram("ql.execute.duration_ns").unwrap();
+        assert_eq!(durations.count, 3);
+    }
+
+    #[test]
+    fn collecting_subscriber_never_changes_results() {
+        // Differential check: the exact same executions with a collecting
+        // subscriber installed and with the no-op subscriber must return
+        // bit-identical cubes — observability is passive.
+        let (endpoint, dataset) = enriched_endpoint(300);
+        let module = QueryingModule::for_dataset(&endpoint, &dataset).unwrap();
+        let collector = Arc::new(obs::CollectingSubscriber::new());
+        for (name, text) in datagen::workload::bench_queries() {
+            let prepared = module.prepare(&text).unwrap();
+            let quiet_sparql = module.execute(&prepared, SparqlVariant::Direct).unwrap();
+            let quiet_columnar = module
+                .execute(&prepared, ExecutionBackend::Columnar)
+                .unwrap();
+            let (observed_sparql, observed_columnar) =
+                obs::with_subscriber(collector.clone(), || {
+                    (
+                        module.execute(&prepared, SparqlVariant::Direct).unwrap(),
+                        module
+                            .execute(&prepared, ExecutionBackend::Columnar)
+                            .unwrap(),
+                    )
+                });
+            assert_eq!(quiet_sparql, observed_sparql, "sparql diverged for '{name}'");
+            assert_eq!(
+                quiet_columnar, observed_columnar,
+                "columnar diverged for '{name}'"
+            );
+        }
+        assert!(
+            collector.completed().contains(&"ql.execute"),
+            "the subscriber observed the executions"
+        );
     }
 
     #[test]

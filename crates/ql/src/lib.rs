@@ -30,6 +30,7 @@ pub mod reference;
 pub mod translate;
 
 pub use cubestore;
+pub use obs;
 
 #[cfg(any(test, feature = "testutil"))]
 pub mod testutil;

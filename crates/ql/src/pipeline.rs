@@ -52,6 +52,27 @@ impl QueryPipeline {
         self.slices.len() + self.rollups.len() + self.dices.len()
     }
 
+    /// One logical-plan line per pipeline step, in execution order
+    /// (slices, roll-ups, dices) — the `plan:` section of an execution
+    /// profile. Exactly [`Self::operation_count`] lines.
+    pub fn plan_lines(&self) -> Vec<String> {
+        let mut lines = Vec::with_capacity(self.operation_count());
+        for dimension in &self.slices {
+            lines.push(format!("SLICE dimension=<{}>", dimension.as_str()));
+        }
+        for (dimension, level) in &self.rollups {
+            lines.push(format!(
+                "ROLLUP dimension=<{}> level=<{}>",
+                dimension.as_str(),
+                level.as_str()
+            ));
+        }
+        for dice in &self.dices {
+            lines.push(format!("DICE comparisons={}", dice.comparisons().len()));
+        }
+        lines
+    }
+
     /// Renders the pipeline as a canonical QL program (slices first, then
     /// roll-ups, then dices), mirroring what the Querying module shows after
     /// simplification.

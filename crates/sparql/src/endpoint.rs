@@ -137,13 +137,18 @@ impl LocalEndpoint {
 impl Endpoint for LocalEndpoint {
     fn query(&self, sparql: &str) -> Result<QueryResults, SparqlError> {
         self.queries_executed.fetch_add(1, Ordering::Relaxed);
-        let parsed = parse_query(sparql)?;
+        let parsed = {
+            let _parse_span = obs::span("sparql.parse");
+            parse_query(sparql)?
+        };
+        let _eval_span = obs::span("sparql.evaluate");
         self.store
             .with_default_graph(|graph| evaluate_query(graph, &parsed))
     }
 
     fn query_parsed(&self, query: &Query) -> Result<QueryResults, SparqlError> {
         self.queries_executed.fetch_add(1, Ordering::Relaxed);
+        let _eval_span = obs::span("sparql.evaluate");
         self.store
             .with_default_graph(|graph| evaluate_query(graph, query))
     }

@@ -68,10 +68,20 @@ fn ql_campaign_is_bit_identical_across_backends_and_mutations() {
         );
     }
 
+    // The campaign ends with a per-production metrics snapshot
+    // (`fuzz.ql.production.*` counters): the grammar gate reads hit counts
+    // from it, not from recorder-internal state.
+    let snapshot = coverage.snapshot();
     assert_eq!(
-        coverage.missing(),
+        GrammarCoverage::missing_in(&snapshot),
         Vec::<&'static str>::new(),
-        "the campaign must touch every QL grammar production"
+        "the campaign must touch every QL grammar production:\n{}",
+        snapshot.render_text()
+    );
+    assert!(
+        snapshot.counter("fuzz.ql.production.qloperation-slice") >= 1
+            && snapshot.counter("fuzz.ql.production.diceop-ne") >= 1,
+        "per-production hit counts are readable from the snapshot"
     );
 
     // The campaign really ran against mid-mutation-sequence states: the
@@ -119,10 +129,16 @@ fn sparql_campaign_text_and_parsed_paths_agree() {
         );
     }
 
+    let snapshot = coverage.snapshot();
     assert_eq!(
-        coverage.missing(),
+        SparqlCoverage::missing_in(&snapshot),
         Vec::<String>::new(),
-        "the campaign must touch every SELECT grammar production"
+        "the campaign must touch every SELECT grammar production:\n{}",
+        snapshot.render_text()
+    );
+    assert!(
+        snapshot.counter("fuzz.sparql.production.patternelement-triple") >= 1,
+        "per-production hit counts are readable from the snapshot"
     );
 }
 
