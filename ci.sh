@@ -47,10 +47,28 @@ QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
 
 # The observability gates, pinned by name: the explain-smoke test (an
 # EXPLAIN ANALYZE profile must name every pipeline step with timings and
-# row counts on both backends) and the metrics-invariant test (a
+# row counts on both backends), the metrics-invariant test (a
 # delta-only mutation run must report `catalog.refresh.delta > 0` and
-# `catalog.refresh.rebuild == 0` through the metrics snapshot alone).
+# `catalog.refresh.rebuild == 0` through the metrics snapshot alone),
+# and the pruning-visibility test (a selective dice's query profile must
+# report `segments_pruned > 0` and a SEGMENTS plan line, a full
+# roll-up's exactly zero).
 cargo test --release -q -p qb2olap-suite --test integration_obs
+
+# The zone-map pruning differential gate: a query battery covering every
+# branch of the segment-pruning decision (full scans, clustered leaf /
+# mid-level / unclustered dices, slices, roll-ups, HAVING) must return
+# bit-identical cubes with pruning on and off, at one worker and at
+# several, with monotone segment counters — and the process-wide
+# QB2OLAP_NO_PRUNE kill switch must be invisible in QL results.
+cargo test --release -q -p qb2olap-suite --test integration_pruning
+
+# The same qlsmith campaign with the pruning kill switch thrown: 500
+# grammar-covering QL programs through all three backends must stay
+# bit-identical when every columnar scan runs unpruned, so the pruner
+# cannot hide a divergence anywhere in the grammar.
+QB2OLAP_NO_PRUNE=1 QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
+    cargo test --release -q -p qb2olap-suite --test integration_qlsmith
 
 # The regression corpus replays green, pinned by name so a corpus file
 # that stops parsing or starts diverging fails the gate even if the
@@ -78,6 +96,11 @@ cargo run --release -p qb2olap_bench --bin repro -- e14 --observations 4000 > /d
 # traced profile) returns cells bit-identical to the uninstrumented scan,
 # and the facade's EXPLAIN renders every pipeline step on both backends.
 cargo run --release -p qb2olap_bench --bin repro -- e16 --observations 4000 > /dev/null
+# E17 additionally asserts: pruned scans return cells bit-identical to
+# unpruned ones at 1 and auto worker counts for every query shape.
+# 12000 observations = 3 sealed segments, so the smoke run actually
+# prunes (4000 rows would fit one segment and prune nothing).
+cargo run --release -p qb2olap_bench --bin repro -- e17 --observations 12000 > /dev/null
 
 # Documentation cross-references resolve: every local *.md file mentioned
 # in the top-level docs exists, and the architecture map is linked from
@@ -92,6 +115,7 @@ grep -q 'E13' EXPERIMENTS.md
 grep -q 'E14' EXPERIMENTS.md
 grep -q 'E15' EXPERIMENTS.md
 grep -q 'E16' EXPERIMENTS.md
+grep -q 'E17' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

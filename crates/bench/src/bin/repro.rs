@@ -1,9 +1,9 @@
 //! Experiment-reproduction harness: regenerates the measurements behind every
-//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E16).
+//! figure/claim of the paper (see EXPERIMENTS.md for the index E1–E17).
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e16] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e17] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -118,6 +118,9 @@ fn main() {
     }
     if run("e16", &experiment) {
         rows.extend(e16_observability_overhead(observations));
+    }
+    if run("e17", &experiment) {
+        rows.extend(e17_zone_map_pruning(observations));
     }
 
     if as_json {
@@ -1311,5 +1314,188 @@ fn e16_observability_overhead(observations: usize) -> Vec<Measurement> {
         "metric_ql_executions",
         (snapshot.counter("ql.execute.sparql") + snapshot.counter("ql.execute.columnar")) as f64,
     ));
+    rows
+}
+
+/// E17: zone-map segment pruning on the time-ordered generator layout —
+/// rows scanned and scan wall time for selective dices at the leaf
+/// (month), middle (year) and top (continent) of the hierarchies, against
+/// the full roll-up, with pruning on and off. Every pruned run is first
+/// checked cell-for-cell against the unpruned single-threaded scan; at
+/// the paper's 80k scale the leaf dice must touch < 10% of the live rows.
+fn e17_zone_map_pruning(observations: usize) -> Vec<Measurement> {
+    use std::collections::BTreeMap;
+
+    use qb2olap::cubestore::{
+        auto_scan_threads, execute_with_options, CubeQuery, ExecOptions, MemberFilter,
+        MemberPredicate,
+    };
+    use rdf::vocab::{demo_schema, rdfs, sdmx_dimension};
+    use sparql::ast::CmpOp;
+
+    const RUNS: usize = 9;
+    let parameters = format!("observations={observations}");
+    let config = datagen::EurostatConfig {
+        observations,
+        time_ordered: true,
+        ..Default::default()
+    };
+    let cube = demo_cube_with(&config);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let materialized = querying.materialize().expect("materialization");
+    materialized
+        .verify_zone_invariants()
+        .expect("E17: zone maps verify");
+    let live_rows = materialized.live_row_count();
+    let threads = auto_scan_threads(&materialized);
+
+    let dice = |dimension: rdf::Iri, level: rdf::Iri, attribute: rdf::Iri, value: &str| {
+        MemberFilter::Compare {
+            dimension,
+            level,
+            attribute,
+            predicate: MemberPredicate::Str {
+                op: CmpOp::Eq,
+                value: value.to_string(),
+            },
+        }
+    };
+    let queries: Vec<(&str, CubeQuery)> = vec![
+        (
+            "leaf-month-dice",
+            CubeQuery {
+                member_filters: vec![dice(
+                    demo_schema::time_dim(),
+                    sdmx_dimension::ref_period(),
+                    rdfs::label(),
+                    "2013-01",
+                )],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "mid-year-dice",
+            CubeQuery {
+                rollups: BTreeMap::from([(demo_schema::time_dim(), demo_schema::year())]),
+                member_filters: vec![dice(
+                    demo_schema::time_dim(),
+                    demo_schema::year(),
+                    rdfs::label(),
+                    "2014",
+                )],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "top-continent-dice",
+            CubeQuery {
+                rollups: BTreeMap::from([(
+                    demo_schema::citizenship_dim(),
+                    demo_schema::continent(),
+                )]),
+                member_filters: vec![dice(
+                    demo_schema::citizenship_dim(),
+                    demo_schema::continent(),
+                    demo_schema::continent_name(),
+                    "Africa",
+                )],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "full-rollup",
+            CubeQuery {
+                rollups: BTreeMap::from([
+                    (demo_schema::citizenship_dim(), demo_schema::continent()),
+                    (demo_schema::time_dim(), demo_schema::year()),
+                ]),
+                ..CubeQuery::default()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    rows.push(Measurement::new("E17", &parameters, "live_rows", live_rows as f64));
+    rows.push(Measurement::new("E17", &parameters, "scan_threads", threads as f64));
+    for (name, query) in &queries {
+        let pruned = ExecOptions { threads, prune: true };
+        let unpruned = ExecOptions { threads, prune: false };
+
+        // Correctness gate: pruned output is bit-identical to the unpruned
+        // single-threaded reference, at one worker and at the auto count.
+        let (reference, full_stats) = execute_with_options(
+            &materialized,
+            query,
+            ExecOptions { threads: 1, prune: false },
+        )
+        .expect("unpruned scan");
+        for options in [pruned, unpruned, ExecOptions { threads: 1, prune: true }] {
+            let (output, _) =
+                execute_with_options(&materialized, query, options).expect("scan");
+            assert_eq!(output, reference, "E17: pruning changed the result of '{name}'");
+        }
+        let (_, pruned_stats) =
+            execute_with_options(&materialized, query, pruned).expect("pruned scan");
+        let fraction = pruned_stats.rows_scanned as f64 / (live_rows as f64).max(1.0);
+        if *name == "leaf-month-dice" && observations >= 80_000 {
+            assert!(
+                fraction < 0.10,
+                "E17: the leaf dice scanned {fraction:.3} of the live rows at paper scale"
+            );
+        }
+
+        let params = format!("{parameters} query={name}");
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "rows_scanned_pruned",
+            pruned_stats.rows_scanned as f64,
+        ));
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "rows_scanned_full",
+            full_stats.rows_scanned as f64,
+        ));
+        rows.push(Measurement::new("E17", &params, "scanned_fraction", fraction));
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "segments_total",
+            pruned_stats.segments_total as f64,
+        ));
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "segments_pruned",
+            pruned_stats.segments_pruned as f64,
+        ));
+
+        let pruned_samples: Vec<std::time::Duration> = (0..RUNS)
+            .map(|_| {
+                timed(|| execute_with_options(&materialized, query, pruned).expect("scan")).1
+            })
+            .collect();
+        let pruned_time = criterion::Stats::from_durations(&pruned_samples).expect("samples");
+        let full_samples: Vec<std::time::Duration> = (0..RUNS)
+            .map(|_| {
+                timed(|| execute_with_options(&materialized, query, unpruned).expect("scan")).1
+            })
+            .collect();
+        let full_time = criterion::Stats::from_durations(&full_samples).expect("samples");
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "execute_pruned_median_ms",
+            millis(pruned_time.median),
+        ));
+        rows.push(Measurement::new(
+            "E17",
+            &params,
+            "execute_full_median_ms",
+            millis(full_time.median),
+        ));
+    }
     rows
 }

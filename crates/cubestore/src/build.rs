@@ -19,6 +19,7 @@ use crate::error::CubeStoreError;
 use crate::hierarchy::{LevelIndex, RollupMap};
 use crate::observations::ObservationIndex;
 use crate::tombstone::Tombstones;
+use crate::zonemap::ZoneMaps;
 
 /// Counters describing what one materialization did, kept up to date by
 /// incremental maintenance (appends increment, tombstoned removals
@@ -94,6 +95,10 @@ pub struct MaterializedCube {
     pub(crate) dataset_label: Option<String>,
     /// Dead-row bitmap; rows it marks are skipped by every scan.
     pub(crate) tombstones: Tombstones,
+    /// Per-segment pruning metadata (distinct member codes per dimension,
+    /// min/max per measure), built here and extended under
+    /// [`MaterializedCube::apply_delta`].
+    pub(crate) zones: ZoneMaps,
     pub(crate) stats: BuildStats,
 }
 
@@ -137,6 +142,23 @@ impl MaterializedCube {
     /// The dead-row bitmap (scans must skip the rows it marks).
     pub(crate) fn tombstones(&self) -> &Tombstones {
         &self.tombstones
+    }
+
+    /// The per-segment zone maps (the executor's pruning metadata).
+    pub(crate) fn zone_maps(&self) -> &ZoneMaps {
+        &self.zones
+    }
+
+    /// Checks every zone-map invariant against the actual column contents
+    /// and the tombstone bitmap: exact distinct-code sets per (dimension,
+    /// segment), exact min/max per (measure, segment), and per-segment
+    /// dead counts that re-count from the bitmap. `Err` carries the first
+    /// violation found. Exposed so lifecycle tests (build → delta-append →
+    /// tombstone → compaction) can assert the maps stay sound at every
+    /// step.
+    pub fn verify_zone_invariants(&self) -> Result<(), String> {
+        self.zones
+            .verify(&self.dimensions, &self.measures, self.row_count, &self.tombstones)
     }
 
     /// The column of a dimension, if the schema declares it.
@@ -473,6 +495,8 @@ impl Builder<'_> {
         }
         stats.rollup_maps = rollups.len();
 
+        let zones = ZoneMaps::build(&dimensions, &measures, row_count);
+
         Ok(MaterializedCube {
             schema: Arc::new(self.schema.clone()),
             row_count,
@@ -486,6 +510,7 @@ impl Builder<'_> {
             broader: Arc::new(broader),
             dataset_label,
             tombstones: Tombstones::new(),
+            zones,
             stats,
         })
     }

@@ -129,7 +129,10 @@ pub struct MaintenanceReport {
 /// The live-row fraction below which a delta-refreshed cube is compacted
 /// (re-materialized) instead of served: once more than half the physical
 /// rows are tombstones, the scan skips more than it reads and the memory
-/// overhead of the dead rows exceeds the live data.
+/// overhead of the dead rows exceeds the live data. Compaction goes
+/// through [`MaterializedCube::from_endpoint`], so the per-segment zone
+/// maps are rebuilt from the surviving rows — dead rows' member codes and
+/// min/max bounds (which deltas deliberately never loosen) drop out here.
 pub const COMPACTION_LIVE_FRACTION: f64 = 0.5;
 
 /// True if the cube has accumulated enough tombstones to warrant
@@ -717,6 +720,10 @@ mod tests {
         // The compacted cube is dense again: no tombstones, 2 physical rows.
         assert_eq!(fresh.row_count(), 2);
         assert_eq!(fresh.tombstoned_rows(), 0);
+        // Compaction rebuilds the zone maps from scratch: they cover only
+        // the surviving rows and pass the exact-recomputation checker.
+        fresh.verify_zone_invariants().unwrap();
+        assert_eq!(fresh.zone_maps().rows(), 2);
         let output = execute(&fresh, &CubeQuery::default()).unwrap();
         assert_eq!(output.cells.len(), 2);
     }

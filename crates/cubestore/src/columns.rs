@@ -59,6 +59,14 @@ impl DimensionColumn {
         self.codes.iter().copied()
     }
 
+    /// The contiguous codes of one [`crate::cowvec::SEGMENT_LEN`]-row
+    /// column segment (see [`CowVec::segment_slice`]), for segment-granular
+    /// scans. Panics on a segment past the tail.
+    #[inline]
+    pub fn code_segment(&self, segment: usize) -> &[MemberId] {
+        self.codes.segment_slice(segment)
+    }
+
     /// Number of physical rows (tombstoned rows included).
     pub fn len(&self) -> usize {
         self.codes.len()

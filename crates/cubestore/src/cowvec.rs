@@ -116,6 +116,27 @@ impl<T> CowVec<T> {
     pub fn segment_count(&self) -> usize {
         self.segments.len()
     }
+
+    /// The contiguous elements of `segment`: a sealed segment's full
+    /// [`SEGMENT_LEN`] elements, or the (possibly shorter) tail for
+    /// `segment == segment_count()`. Lets segment-granular consumers (zone
+    /// building, segment scans) read a whole segment as one slice instead
+    /// of [`SEGMENT_LEN`] `get` calls.
+    ///
+    /// # Panics
+    /// Panics if `segment > segment_count()`, or if it names an empty tail.
+    #[inline]
+    pub fn segment_slice(&self, segment: usize) -> &[T] {
+        if segment < self.segments.len() {
+            &self.segments[segment]
+        } else {
+            assert!(
+                segment == self.segments.len() && !self.tail.is_empty(),
+                "segment {segment} out of range"
+            );
+            &self.tail
+        }
+    }
 }
 
 impl<T> FromIterator<T> for CowVec<T> {
@@ -179,6 +200,22 @@ mod tests {
         assert_eq!(clone.len(), n + 1);
         assert_eq!(original.len(), n);
         assert_eq!(*clone.get(n), 999);
+    }
+
+    #[test]
+    fn segment_slice_views_sealed_segments_and_the_tail() {
+        let n = SEGMENT_LEN + 5;
+        let v: CowVec<usize> = (0..n).collect();
+        assert_eq!(v.segment_slice(0).len(), SEGMENT_LEN);
+        assert_eq!(v.segment_slice(0)[17], 17);
+        assert_eq!(v.segment_slice(1), &[SEGMENT_LEN, SEGMENT_LEN + 1, SEGMENT_LEN + 2, SEGMENT_LEN + 3, SEGMENT_LEN + 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn segment_slice_past_the_tail_panics() {
+        let v: CowVec<u32> = (0..10).collect();
+        v.segment_slice(1);
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl MaterializedCube {
             }
             apply_one(&mut cube, &context, delta)?;
         }
+        // Extend the zone maps over whatever rows the deltas appended
+        // (observation appends and partial-removal re-appends alike):
+        // O(appended rows), touching only each map's tail entries. A
+        // tombstone-only delta appends nothing, so the maps are untouched —
+        // zone sets are never loosened by removals (a dead row's codes
+        // staying recorded costs precision, not soundness).
+        let mut zones = std::mem::take(&mut cube.zones);
+        zones.extend(&cube.dimensions, &cube.measures, cube.row_count);
+        cube.zones = zones;
         Ok(cube)
     }
 }
@@ -1471,5 +1480,123 @@ mod tests {
                 level.as_str()
             );
         }
+    }
+
+    /// Removes the fixture's o4 observation (the only row bound to city
+    /// `c3`) through the endpoint so the next delta tombstones it.
+    fn remove_o4(endpoint: &LocalEndpoint) {
+        let o4 = Term::iri("http://example.org/obs/o4");
+        let removed = endpoint.store().remove_all(&[
+            Triple::new(o4.clone(), rdfv::type_(), Term::Iri(qb::observation())),
+            Triple::new(o4.clone(), qb::data_set(), Term::iri("http://example.org/ds")),
+            Triple::new(o4.clone(), iri("lv/city"), member("c3")),
+            Triple::new(o4.clone(), iri("lv/month"), member("m1")),
+            Triple::new(o4.clone(), iri("measure/value"), Literal::integer(100)),
+            Triple::new(o4.clone(), iri("measure/score"), Literal::integer(9)),
+        ]);
+        assert_eq!(removed, 6);
+    }
+
+    /// A pure append extends only the tail segment's zone entries; the
+    /// code sets of already-sealed segments are not touched.
+    #[test]
+    fn append_deltas_extend_only_the_tail_zone_entries() {
+        let (endpoint, cube, epoch) = tracked();
+        // Enough appended rows to seal segment 0 (the fixture holds 5).
+        // Names are zero-padded so node order matches append order.
+        let mut triples = Vec::new();
+        for i in 0..crate::cowvec::SEGMENT_LEN {
+            triples.extend(observation_triples(&format!("a{i:06}"), "c1", "m1", 1, 1));
+        }
+        endpoint.insert_triples(&triples).unwrap();
+        let sealed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        sealed.verify_zone_invariants().unwrap();
+        assert_eq!(sealed.zone_maps().segment_count(), 2);
+        let frozen: Vec<Vec<_>> = (0..sealed.dimensions.len())
+            .map(|d| sealed.zone_maps().dimension_codes(d, 0).unwrap().collect())
+            .collect();
+
+        let epoch = endpoint.epoch();
+        endpoint
+            .insert_triples(&observation_triples("b000000", "c3", "m2", 2, 2))
+            .unwrap();
+        let extended = sealed.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        extended.verify_zone_invariants().unwrap();
+        for (d, codes) in frozen.iter().enumerate() {
+            let after: Vec<_> = extended
+                .zone_maps()
+                .dimension_codes(d, 0)
+                .unwrap()
+                .collect();
+            assert_eq!(&after, codes, "sealed zone sets must not change on append");
+        }
+        // The tail previously held only `c1` rows; the appended `c3` row
+        // widens it to two codes.
+        let city = extended
+            .dimensions
+            .iter()
+            .position(|d| d.dimension == iri("dim/city"))
+            .unwrap();
+        let tail: Vec<_> = extended
+            .zone_maps()
+            .dimension_codes(city, 1)
+            .unwrap()
+            .collect();
+        assert_eq!(tail.len(), 2, "tail zone gains the new row's member code");
+        assert_matches_rebuild(&endpoint, &extended);
+    }
+
+    /// A tombstone-only delta leaves every zone entry exactly as it was:
+    /// the dead row's codes stay recorded (zones never loosen), and the
+    /// invariant checker still accepts the cube.
+    #[test]
+    fn tombstone_only_deltas_never_loosen_zone_entries() {
+        let (endpoint, cube, epoch) = tracked();
+        let before: Vec<Vec<_>> = (0..cube.dimensions.len())
+            .map(|d| cube.zone_maps().dimension_codes(d, 0).unwrap().collect())
+            .collect();
+        remove_o4(&endpoint);
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        assert_eq!(refreshed.tombstoned_rows(), 1);
+        refreshed.verify_zone_invariants().unwrap();
+        assert_eq!(refreshed.zone_maps().rows(), 5, "zones still cover the dead row");
+        for (d, codes) in before.iter().enumerate() {
+            let after: Vec<_> = refreshed
+                .zone_maps()
+                .dimension_codes(d, 0)
+                .unwrap()
+                .collect();
+            assert_eq!(&after, codes, "tombstone-only deltas keep zone sets intact");
+        }
+    }
+
+    /// Compaction re-materializes from the endpoint, so the rebuilt cube's
+    /// zone maps cover only live rows and drop codes that existed solely in
+    /// tombstoned rows.
+    #[test]
+    fn compaction_rebuild_regenerates_zone_maps_from_live_rows() {
+        let (endpoint, cube, epoch) = tracked();
+        let city = cube
+            .dimensions
+            .iter()
+            .position(|d| d.dimension == iri("dim/city"))
+            .unwrap();
+        remove_o4(&endpoint);
+        let refreshed = cube.apply_delta(&deltas_after(&endpoint, epoch)).unwrap();
+        refreshed.verify_zone_invariants().unwrap();
+        // The delta-applied cube still lists the dead row's city code.
+        assert_eq!(
+            refreshed.zone_maps().dimension_codes(city, 0).unwrap().count(),
+            3
+        );
+        let rebuilt = MaterializedCube::from_endpoint(&endpoint, cube.schema()).unwrap();
+        assert_eq!(rebuilt.row_count(), 4);
+        rebuilt.verify_zone_invariants().unwrap();
+        assert_eq!(rebuilt.zone_maps().rows(), 4);
+        assert_eq!(
+            rebuilt.zone_maps().dimension_codes(city, 0).unwrap().count(),
+            2,
+            "the rebuilt zones no longer mention the compacted-away member"
+        );
     }
 }

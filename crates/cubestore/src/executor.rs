@@ -17,6 +17,16 @@
 //! any number of worker threads — and the delta path may append rows in an
 //! order a rebuild would not produce — without moving any aggregate by even
 //! an ulp.
+//!
+//! The unit of both parallelism and pruning is the sealed
+//! [`SEGMENT_LEN`]-row column segment: before any worker spawns, the scan
+//! classifies every segment against the cube's [`ZoneMaps`] (and the
+//! tombstone bitmap's per-segment dead counts), skipping segments that are
+//! provably irrelevant to the query or fully dead, and the surviving
+//! segments *are* the work queue — workers pull whole segments, so stats
+//! flushes and compensated-sum partials align with segment boundaries and
+//! the result is bit-identical to the unpruned scan at any worker count
+//! (`QB2OLAP_NO_PRUNE=1` force-disables pruning for differential runs).
 
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -30,10 +40,12 @@ use sparql::compare_terms;
 
 use crate::build::MaterializedCube;
 use crate::columns::{DimensionColumn, MeasureColumn, MeasureValue, MeasureVector};
+use crate::cowvec::SEGMENT_LEN;
 use crate::dictionary::{MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 use crate::error::CubeStoreError;
 use crate::hierarchy::{LevelIndex, RollupMap};
 use crate::tombstone::Tombstones;
+use crate::zonemap::ZoneMaps;
 
 /// How a dice comparison reads the attribute value, mirroring the two
 /// shapes the QL → SPARQL translator emits.
@@ -165,6 +177,13 @@ pub struct ScanStats {
     pub dictionary_lookups: u64,
     /// Worker chunks the scan was split into.
     pub scan_chunks: u64,
+    /// Column segments the cube's physical row space spans.
+    pub segments_total: u64,
+    /// Segments skipped because the zone maps proved no row in them could
+    /// reach an accumulator.
+    pub segments_pruned: u64,
+    /// Segments skipped because every one of their rows was tombstoned.
+    pub segments_dead: u64,
 }
 
 impl ScanStats {
@@ -191,6 +210,15 @@ impl ScanStats {
             .counter("cubestore.scan.dictionary_lookups")
             .add(self.dictionary_lookups);
         metrics.counter("cubestore.scan.chunks").add(self.scan_chunks);
+        metrics
+            .counter("cubestore.scan.segments_total")
+            .add(self.segments_total);
+        metrics
+            .counter("cubestore.scan.segments_pruned")
+            .add(self.segments_pruned);
+        metrics
+            .counter("cubestore.scan.segments_dead")
+            .add(self.segments_dead);
     }
 
     /// Copies the stats into an execution profile's counter map.
@@ -203,6 +231,9 @@ impl ScanStats {
         profile.add_counter("rollup_lookups", self.rollup_lookups);
         profile.add_counter("dictionary_lookups", self.dictionary_lookups);
         profile.add_counter("scan_chunks", self.scan_chunks);
+        profile.add_counter("segments_total", self.segments_total);
+        profile.add_counter("segments_pruned", self.segments_pruned);
+        profile.add_counter("segments_dead", self.segments_dead);
     }
 }
 
@@ -242,15 +273,20 @@ impl SharedScanStats {
             rollup_lookups: self.rollup_lookups.get(),
             dictionary_lookups: 0,
             scan_chunks: self.scan_chunks.get(),
+            // Segment classification happens before any worker spawns;
+            // `scan` fills these from its own (single-threaded) counts.
+            segments_total: 0,
+            segments_pruned: 0,
+            segments_dead: 0,
         }
     }
 }
 
 /// Executes a columnar query against a materialized cube.
 ///
-/// Large cubes are scanned on multiple threads (one chunk of the row range
-/// per worker, partial groups merged at the end); the thread count comes
-/// from [`std::thread::available_parallelism`]. Every measure type
+/// Large cubes are scanned on multiple threads (the surviving segments
+/// distributed over the workers, partial groups merged at the end); the
+/// thread count comes from [`std::thread::available_parallelism`]. Every measure type
 /// parallelizes: the accumulators are order-independent
 /// ([`sparql::NumericSum`] — exact for integers, correctly rounded
 /// compensated summation for floats), so the bit-compatibility guarantee
@@ -261,12 +297,56 @@ pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput
 
 /// The scan thread count [`execute`] picks for a cube: all available
 /// cores once the cube is large enough to amortize spawning workers,
-/// one below that.
+/// one below that. "Large enough" counts **live** rows: a
+/// heavily-tombstoned cube near the compaction threshold does far less
+/// work than its physical row count suggests, and spawning a full worker
+/// fleet for it costs more than the scan saves.
 pub fn auto_scan_threads(cube: &MaterializedCube) -> usize {
-    if cube.row_count() >= PARALLEL_SCAN_THRESHOLD {
+    if cube.live_row_count() >= PARALLEL_SCAN_THRESHOLD {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
         1
+    }
+}
+
+/// True unless the `QB2OLAP_NO_PRUNE` environment variable force-disables
+/// zone-map segment pruning (any non-empty value other than `0`). The
+/// knob exists for differential runs: pruned and unpruned executions must
+/// produce bit-identical outputs, and CI pins that by running the same
+/// workloads both ways.
+pub fn pruning_enabled() -> bool {
+    !std::env::var("QB2OLAP_NO_PRUNE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Per-execution knobs: the scan worker count and whether zone-map
+/// segment pruning runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Scan worker threads (1 = the sequential scan). The effective count
+    /// never exceeds the number of surviving segments.
+    pub threads: usize,
+    /// Whether zone maps may prune segments before the scan. Pruning never
+    /// changes results or error behavior — disabling it (or setting
+    /// `QB2OLAP_NO_PRUNE`) only makes the scan visit every segment.
+    pub prune: bool,
+}
+
+impl ExecOptions {
+    /// What [`execute`] uses: automatic thread count for the cube, pruning
+    /// unless [`pruning_enabled`] says otherwise.
+    pub fn auto(cube: &MaterializedCube) -> Self {
+        ExecOptions {
+            threads: auto_scan_threads(cube),
+            prune: pruning_enabled(),
+        }
+    }
+
+    /// An explicit thread count, pruning from the environment.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            prune: pruning_enabled(),
+        }
     }
 }
 
@@ -289,13 +369,24 @@ pub fn execute_with_stats(
     query: &CubeQuery,
     threads: usize,
 ) -> Result<(QueryOutput, ScanStats), CubeStoreError> {
+    execute_with_options(cube, query, ExecOptions::with_threads(threads))
+}
+
+/// The fully-parameterized entry point: explicit thread count *and*
+/// explicit pruning switch (the differential gate runs the same query
+/// with `prune` on and off and asserts bit-identical outputs).
+pub fn execute_with_options(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+    options: ExecOptions,
+) -> Result<(QueryOutput, ScanStats), CubeStoreError> {
     let _execute_span = obs::span("cubestore.execute");
     let axes = plan_axes(cube, query)?;
     let compiled_filters = compile_filters(query, &axes)?;
     let measures = cube.measure_columns();
     let (groups, mut stats) = {
         let _scan_span = obs::span("cubestore.scan");
-        scan(cube, &axes, &compiled_filters, measures, threads)?
+        scan(cube, &axes, &compiled_filters, measures, options)?
     };
     let cells = aggregate_cells(groups, &axes, measures, query, &mut stats)?;
     Ok((assemble(&axes, measures, cells), stats))
@@ -310,7 +401,7 @@ pub fn execute_traced(
     cube: &MaterializedCube,
     query: &CubeQuery,
 ) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
-    execute_traced_with_threads(cube, query, auto_scan_threads(cube))
+    execute_traced_with_options(cube, query, ExecOptions::auto(cube))
 }
 
 /// [`execute_traced`] with an explicit scan thread count.
@@ -318,6 +409,15 @@ pub fn execute_traced_with_threads(
     cube: &MaterializedCube,
     query: &CubeQuery,
     threads: usize,
+) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
+    execute_traced_with_options(cube, query, ExecOptions::with_threads(threads))
+}
+
+/// [`execute_traced`] with explicit [`ExecOptions`].
+pub fn execute_traced_with_options(
+    cube: &MaterializedCube,
+    query: &CubeQuery,
+    options: ExecOptions,
 ) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
     let _execute_span = obs::span("cubestore.execute");
     let total_started = Instant::now();
@@ -361,13 +461,20 @@ pub fn execute_traced_with_threads(
     let started = Instant::now();
     let (groups, mut stats) = {
         let _scan_span = obs::span("cubestore.scan");
-        scan(cube, &axes, &compiled_filters, measures, threads)?
+        scan(cube, &axes, &compiled_filters, measures, options)?
     };
+    profile.push_plan(format!(
+        "SEGMENTS total={} pruned={} dead={}",
+        stats.segments_total, stats.segments_pruned, stats.segments_dead
+    ));
     profile.push_step(
         "scan",
         started.elapsed(),
         Some(stats.rows_scanned),
-        format!("threads={threads} chunks={}", stats.scan_chunks),
+        format!(
+            "threads={} chunks={} segments_pruned={}",
+            options.threads, stats.scan_chunks, stats.segments_pruned
+        ),
     );
 
     let started = Instant::now();
@@ -399,7 +506,7 @@ fn plan_axes<'c>(
         }
     }
     let mut axes: Vec<AxisPlan> = Vec::new();
-    for dimension in &cube.schema().dimensions {
+    for (dim_index, dimension) in cube.schema().dimensions.iter().enumerate() {
         if query.slices.contains(&dimension.iri) {
             continue;
         }
@@ -424,6 +531,7 @@ fn plan_axes<'c>(
             column,
             rollup,
             level_index,
+            dim_index,
         });
     }
     Ok(axes)
@@ -501,79 +609,188 @@ struct AxisPlan<'c> {
     column: &'c DimensionColumn,
     rollup: &'c RollupMap,
     level_index: &'c LevelIndex,
+    /// The dimension's position in schema (= column = zone-map) order,
+    /// for zone lookups during segment classification.
+    dim_index: usize,
 }
 
 /// Partial aggregation state: coordinate key → one accumulator per measure.
 type ScanGroups = HashMap<Vec<MemberId>, Vec<MeasureAcc>>;
 
-/// Scans the fact rows, dispatching to the chunked multi-threaded scan when
-/// the caller asked for more than one worker and the data permits it.
+/// One surviving segment of the physical row space — the scan's unit of
+/// work. `dead` caches the segment's tombstone count so workers elide the
+/// per-row liveness check in fully-live segments.
+struct SegmentSpan {
+    start: usize,
+    end: usize,
+    dead: usize,
+}
+
+/// True if the zone maps prove that skipping `segment` entirely cannot
+/// change the scan's result *or* its error behavior.
+///
+/// The proof walks the axes in scan order; for each axis the segment's
+/// zone set (the exact distinct bottom codes present) is lifted through
+/// the axis's roll-up map:
+///
+/// * a code lifting to [`AMBIGUOUS_MEMBER`] makes the segment unprunable
+///   immediately — the unpruned scan may reach that row and refuse the
+///   whole query, and pruning must preserve that refusal. Later axes and
+///   filters are not consulted: the unpruned scan would error *before*
+///   them;
+/// * if no code of the zone lifts to a live member, every row of the
+///   segment drops at (or before) this axis — and since no earlier axis
+///   saw an ambiguous code, the unpruned scan drops them silently too, so
+///   the segment prunes.
+///
+/// Only when every axis passes clean are the member filters consulted: a
+/// filter that no combination of the lifted per-axis possibilities can
+/// satisfy prunes the segment (see [`filter_possible`]).
+fn segment_prunable(
+    zones: &ZoneMaps,
+    segment: usize,
+    axes: &[AxisPlan<'_>],
+    filters: &[CompiledFilter],
+) -> bool {
+    let mut lifted: Vec<Vec<MemberId>> = Vec::with_capacity(axes.len());
+    for axis in axes {
+        let Some(codes) = zones.dimension_codes(axis.dim_index, segment) else {
+            // Zone maps out of sync with the columns: never prune.
+            return false;
+        };
+        let mut live: Vec<MemberId> = Vec::new();
+        for code in codes {
+            if code == NO_MEMBER {
+                continue;
+            }
+            let target = axis.rollup.target(code);
+            if target == AMBIGUOUS_MEMBER {
+                return false;
+            }
+            if target != NO_MEMBER {
+                live.push(target);
+            }
+        }
+        if live.is_empty() {
+            return true;
+        }
+        lifted.push(live);
+    }
+    filters.iter().any(|filter| !filter_possible(filter, &lifted))
+}
+
+/// True if *some* coordinate drawn from the per-axis lifted possibilities
+/// could satisfy the filter. The check over-approximates per axis (an
+/// `And` possible on each side separately may not be jointly satisfiable
+/// by one row) — the sound direction, since a segment is pruned only when
+/// the filter is im*possible*. Any row the unpruned scan keeps has
+/// `joins && eval == Some(true)`, and its per-axis members are all in
+/// `lifted`, so a kept row witnesses possibility for every filter.
+fn filter_possible(filter: &CompiledFilter, lifted: &[Vec<MemberId>]) -> bool {
+    match filter {
+        CompiledFilter::Compare { axis, table } => lifted[*axis].iter().any(|&member| {
+            table.get(member as usize).copied().flatten().flatten() == Some(true)
+        }),
+        CompiledFilter::And(a, b) => filter_possible(a, lifted) && filter_possible(b, lifted),
+        CompiledFilter::Or(a, b) => filter_possible(a, lifted) || filter_possible(b, lifted),
+    }
+}
+
+/// Scans the fact rows: classifies every column segment against the zone
+/// maps and the per-segment tombstone counts, then distributes the
+/// *surviving* segments over the workers. Pruning happens before any
+/// thread spawns, workers pull whole segments, and accumulation is
+/// order-independent for every measure type (compensated float sums
+/// included), so results are bit-identical to the unpruned scan at any
+/// worker count.
 fn scan(
     cube: &MaterializedCube,
     axes: &[AxisPlan<'_>],
     filters: &[CompiledFilter],
     measures: &[MeasureColumn],
-    threads: usize,
+    options: ExecOptions,
 ) -> Result<(ScanGroups, ScanStats), CubeStoreError> {
     let rows = cube.row_count();
-    // Removed observations stay physically present; the scan must skip
-    // the rows the tombstone bitmap marks dead. Chunk ranges stay over
-    // physical row ids — liveness is checked per row inside the chunk.
     let tombstones = cube.tombstones();
-    let shared = SharedScanStats::default();
-    // Chunked accumulation is order-independent for every measure type
-    // (compensated float sums included), so the caller's thread count is
-    // honored unconditionally.
-    let workers = threads.max(1).min(rows.max(1));
-    if workers <= 1 {
-        let groups = scan_range(axes, filters, measures, tombstones, 0..rows, &shared)?;
-        return Ok((groups, shared.snapshot()));
+    let zones = cube.zone_maps();
+
+    let segments_total = rows.div_ceil(SEGMENT_LEN);
+    let mut segments_dead = 0u64;
+    let mut segments_pruned = 0u64;
+    let mut spans: Vec<SegmentSpan> = Vec::with_capacity(segments_total);
+    for segment in 0..segments_total {
+        let start = segment * SEGMENT_LEN;
+        let end = ((segment + 1) * SEGMENT_LEN).min(rows);
+        let dead = tombstones.dead_in_segment(segment).min(end - start);
+        if dead == end - start {
+            segments_dead += 1;
+            continue;
+        }
+        if options.prune && segment_prunable(zones, segment, axes, filters) {
+            segments_pruned += 1;
+            continue;
+        }
+        spans.push(SegmentSpan { start, end, dead });
     }
-    let chunk = rows.div_ceil(workers);
-    let partials: Vec<Result<ScanGroups, CubeStoreError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|worker| {
-                    let start = worker * chunk;
-                    let end = ((worker + 1) * chunk).min(rows);
-                    let shared = &shared;
-                    scope.spawn(move || {
-                        scan_range(axes, filters, measures, tombstones, start..end, shared)
+
+    let shared = SharedScanStats::default();
+    let workers = options.threads.max(1).min(spans.len().max(1));
+    let groups = if workers <= 1 {
+        scan_spans(axes, filters, measures, tombstones, &spans, &shared)?
+    } else {
+        let partials: Vec<Result<ScanGroups, CubeStoreError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        // Balanced contiguous slices of the surviving
+                        // segments; never empty since workers <= spans.
+                        let slice =
+                            &spans[worker * spans.len() / workers..(worker + 1) * spans.len() / workers];
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            scan_spans(axes, filters, measures, tombstones, slice, shared)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("scan worker panicked"))
-                .collect()
-        });
-    let mut groups: ScanGroups = HashMap::new();
-    for partial in partials {
-        for (key, accs) in partial? {
-            match groups.entry(key) {
-                std::collections::hash_map::Entry::Vacant(vacant) => {
-                    vacant.insert(accs);
-                }
-                std::collections::hash_map::Entry::Occupied(mut occupied) => {
-                    for (merged, acc) in occupied.get_mut().iter_mut().zip(&accs) {
-                        merged.merge(acc);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("scan worker panicked"))
+                    .collect()
+            });
+        let mut groups: ScanGroups = HashMap::new();
+        for partial in partials {
+            for (key, accs) in partial? {
+                match groups.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(vacant) => {
+                        vacant.insert(accs);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                        for (merged, acc) in occupied.get_mut().iter_mut().zip(&accs) {
+                            merged.merge(acc);
+                        }
                     }
                 }
             }
         }
-    }
-    Ok((groups, shared.snapshot()))
+        groups
+    };
+    let mut stats = shared.snapshot();
+    stats.segments_total = segments_total as u64;
+    stats.segments_pruned = segments_pruned;
+    stats.segments_dead = segments_dead;
+    Ok((groups, stats))
 }
 
-/// The sequential scan over one chunk of the row range. Chunk totals are
-/// accumulated in plain locals and flushed into `shared` once at the end
-/// of the chunk — one atomic add per field, exact under concurrency.
-fn scan_range(
+/// The sequential scan over one worker's segment spans. Worker totals are
+/// accumulated in plain locals and flushed into `shared` once at the end —
+/// one atomic add per field, exact under concurrency — so the flush
+/// boundaries align with segment boundaries no matter the worker count.
+fn scan_spans(
     axes: &[AxisPlan<'_>],
     filters: &[CompiledFilter],
     measures: &[MeasureColumn],
     tombstones: &Tombstones,
-    rows: std::ops::Range<usize>,
+    spans: &[SegmentSpan],
     shared: &SharedScanStats,
 ) -> Result<ScanGroups, CubeStoreError> {
     let mut groups: ScanGroups = HashMap::new();
@@ -581,50 +798,54 @@ fn scan_range(
         scan_chunks: 1,
         ..ScanStats::default()
     };
-    let check_tombstones = !tombstones.is_empty();
-    'rows: for row in rows {
-        local.rows_scanned += 1;
-        if check_tombstones && tombstones.is_dead(row) {
-            local.tombstones_skipped += 1;
-            continue;
-        }
-        let mut key = Vec::with_capacity(axes.len());
-        for axis in axes {
-            let bottom = axis.column.code(row);
-            if bottom == NO_MEMBER {
-                local.rows_no_member += 1;
-                continue 'rows;
+    for span in spans {
+        // The per-segment dead count lets a fully-live segment skip the
+        // bitmap entirely even when other segments have tombstones.
+        let check_tombstones = span.dead > 0;
+        'rows: for row in span.start..span.end {
+            local.rows_scanned += 1;
+            if check_tombstones && tombstones.is_dead(row) {
+                local.tombstones_skipped += 1;
+                continue;
             }
-            local.rollup_lookups += 1;
-            let target = axis.rollup.target(bottom);
-            if target == NO_MEMBER {
-                local.rows_no_member += 1;
-                continue 'rows;
+            let mut key = Vec::with_capacity(axes.len());
+            for axis in axes {
+                let bottom = axis.column.code(row);
+                if bottom == NO_MEMBER {
+                    local.rows_no_member += 1;
+                    continue 'rows;
+                }
+                local.rollup_lookups += 1;
+                let target = axis.rollup.target(bottom);
+                if target == NO_MEMBER {
+                    local.rows_no_member += 1;
+                    continue 'rows;
+                }
+                if target == AMBIGUOUS_MEMBER {
+                    shared.flush(&local);
+                    return Err(CubeStoreError::Unsupported(format!(
+                        "member {} of dimension <{}> rolls up to several members of level <{}> \
+                         (non-functional roll-up); use the SPARQL backend",
+                        axis.column.dictionary.term(bottom),
+                        axis.column.dimension.as_str(),
+                        axis.rollup.target_level.as_str()
+                    )));
+                }
+                key.push(target);
             }
-            if target == AMBIGUOUS_MEMBER {
-                shared.flush(&local);
-                return Err(CubeStoreError::Unsupported(format!(
-                    "member {} of dimension <{}> rolls up to several members of level <{}> \
-                     (non-functional roll-up); use the SPARQL backend",
-                    axis.column.dictionary.term(bottom),
-                    axis.column.dimension.as_str(),
-                    axis.rollup.target_level.as_str()
-                )));
+            for filter in filters {
+                if !filter.keeps(&key) {
+                    local.rows_filtered += 1;
+                    continue 'rows;
+                }
             }
-            key.push(target);
-        }
-        for filter in filters {
-            if !filter.keeps(&key) {
-                local.rows_filtered += 1;
-                continue 'rows;
+            local.rows_aggregated += 1;
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
+            for (acc, measure) in accs.iter_mut().zip(measures) {
+                acc.update(&measure.data, row);
             }
-        }
-        local.rows_aggregated += 1;
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| vec![MeasureAcc::default(); measures.len()]);
-        for (acc, measure) in accs.iter_mut().zip(measures) {
-            acc.update(&measure.data, row);
         }
     }
     shared.flush(&local);
@@ -879,8 +1100,9 @@ mod tests {
     use super::*;
 
     use qb4olap::AggregateFunction;
+    use rdf::StoreDelta;
 
-    use crate::testutil::{fixture, iri, observation_triples};
+    use crate::testutil::{fixture, iri, member, observation_triples};
 
     fn traced_fixture_cube(extra_rows: usize) -> MaterializedCube {
         let (endpoint, schema) = fixture(AggregateFunction::Sum);
@@ -919,7 +1141,10 @@ mod tests {
             assert_eq!(stats.rows_aggregated, sequential.rows_aggregated);
             assert_eq!(stats.rollup_lookups, sequential.rollup_lookups);
             assert_eq!(stats.tombstones_skipped, 0);
-            assert_eq!(stats.scan_chunks, threads.min(cube.row_count()) as u64);
+            // 100 rows fit one segment, and a worker pulls whole segments.
+            assert_eq!(stats.scan_chunks, 1);
+            assert_eq!(stats.segments_total, 1);
+            assert_eq!(stats.segments_pruned, 0);
         }
     }
 
@@ -959,6 +1184,202 @@ mod tests {
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counter("cubestore.scan.runs"), 2);
         assert_eq!(snapshot.counter("cubestore.scan.rows"), 10);
+    }
+
+    /// Extends the 5-row fixture cube with one delta appending phases of
+    /// complete observations `(count, city)` — segment-scale cubes with no
+    /// SPARQL materialization cost.
+    fn segmented_cube(phases: &[(usize, &str)]) -> MaterializedCube {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        let mut inserted = Vec::new();
+        let mut row = 0usize;
+        for &(count, city) in phases {
+            for _ in 0..count {
+                // Zero-padded: the delta path appends observations in node
+                // order, and phase boundaries must map to row boundaries.
+                inserted.extend(observation_triples(&format!("a{row:06}"), city, "m1", 1, 1));
+                row += 1;
+            }
+        }
+        let delta = StoreDelta {
+            epoch: 1,
+            graph: None,
+            inserted,
+            removed: Vec::new(),
+        };
+        cube.apply_delta(&[delta]).unwrap()
+    }
+
+    fn country_name_dice(value: &str) -> MemberFilter {
+        MemberFilter::Compare {
+            dimension: iri("dim/city"),
+            level: iri("lv/country"),
+            attribute: iri("attr/countryName"),
+            predicate: MemberPredicate::Str {
+                op: CmpOp::Eq,
+                value: value.to_string(),
+            },
+        }
+    }
+
+    fn rollup_query() -> CubeQuery {
+        CubeQuery {
+            rollups: BTreeMap::from([(iri("dim/city"), iri("lv/country"))]),
+            ..CubeQuery::default()
+        }
+    }
+
+    #[test]
+    fn zone_maps_prune_segments_without_changing_results() {
+        // Rows 0..5 are the fixture (cities c1,c1,c2,c3,c2); rows 5..8192
+        // are all c2, so the sealed segment 1 holds ONLY c2 rows; rows
+        // 8192..9197 are c1. Only c1 rolls up to the "Alpha" country.
+        let cube = segmented_cube(&[(SEGMENT_LEN * 2 - 5, "c2"), (1005, "c1")]);
+        assert_eq!(cube.row_count(), SEGMENT_LEN * 2 + 1005);
+        cube.verify_zone_invariants().unwrap();
+
+        let mut alpha_dice = rollup_query();
+        alpha_dice.member_filters = vec![country_name_dice("Alpha")];
+
+        let (baseline, full) = execute_with_options(
+            &cube,
+            &alpha_dice,
+            ExecOptions { threads: 1, prune: false },
+        )
+        .unwrap();
+        assert_eq!(full.segments_pruned, 0, "pruning off visits everything");
+        assert_eq!(full.segments_total, 3);
+        assert_eq!(full.rows_scanned, cube.row_count() as u64);
+
+        for threads in [1, 4] {
+            let (output, stats) = execute_with_options(
+                &cube,
+                &alpha_dice,
+                ExecOptions { threads, prune: true },
+            )
+            .unwrap();
+            assert_eq!(output, baseline, "pruned output diverged at {threads} threads");
+            assert_eq!(stats.segments_total, 3);
+            assert_eq!(stats.segments_pruned, 1, "the all-c2 sealed segment");
+            assert!(stats.segments_pruned <= stats.segments_total);
+            assert_eq!(
+                stats.rows_scanned,
+                (cube.row_count() - SEGMENT_LEN) as u64,
+                "the pruned segment's rows were never visited"
+            );
+        }
+        // Two surviving segments → at most two whole-segment workers.
+        let (_, stats) = execute_with_options(
+            &cube,
+            &alpha_dice,
+            ExecOptions { threads: 4, prune: true },
+        )
+        .unwrap();
+        assert_eq!(stats.scan_chunks, 2);
+
+        // A dice no country satisfies prunes every segment: zero rows
+        // visited, same (empty) output as the full scan that filters
+        // every row away.
+        let mut nothing_dice = rollup_query();
+        nothing_dice.member_filters = vec![country_name_dice("Zeta")];
+        let (pruned_empty, stats) = execute_with_options(
+            &cube,
+            &nothing_dice,
+            ExecOptions { threads: 4, prune: true },
+        )
+        .unwrap();
+        let (full_empty, _) = execute_with_options(
+            &cube,
+            &nothing_dice,
+            ExecOptions { threads: 4, prune: false },
+        )
+        .unwrap();
+        assert_eq!(pruned_empty, full_empty);
+        assert!(pruned_empty.cells.is_empty());
+        assert_eq!(stats.segments_pruned, 3);
+        assert_eq!(stats.rows_scanned, 0);
+
+        // Without member filters nothing is provably irrelevant (every
+        // segment has rows that roll up somewhere live).
+        let (_, stats) = execute_with_options(
+            &cube,
+            &rollup_query(),
+            ExecOptions { threads: 4, prune: true },
+        )
+        .unwrap();
+        assert_eq!(stats.segments_pruned, 0);
+    }
+
+    #[test]
+    fn pruning_preserves_ambiguous_rollup_refusals() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        sparql::Endpoint::insert_triples(
+            &endpoint,
+            &[qb4olap::rollup_triple(&member("c1"), &member("K2"))],
+        )
+        .unwrap();
+        let cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        // The dice is impossible (no country is named "Zeta"), but the
+        // unpruned scan refuses the query *before* filters run: c1 lifts
+        // ambiguously during key construction. Pruning on filter grounds
+        // would mask that refusal, so the ambiguous zone code must make
+        // the segment unprunable.
+        let mut query = rollup_query();
+        query.member_filters = vec![country_name_dice("Zeta")];
+        for prune in [false, true] {
+            let error = execute_with_options(
+                &cube,
+                &query,
+                ExecOptions { threads: 1, prune },
+            )
+            .unwrap_err();
+            assert!(matches!(error, CubeStoreError::Unsupported(_)), "{error}");
+        }
+    }
+
+    #[test]
+    fn fully_dead_segments_skip_without_touching_the_bitmap() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let mut cube = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        for row in 0..cube.row_count() {
+            assert!(cube.tombstones.kill(row));
+        }
+        cube.verify_zone_invariants().unwrap();
+        let (output, stats) = execute_with_stats(&cube, &rollup_query(), 1).unwrap();
+        assert!(output.cells.is_empty());
+        assert_eq!(stats.segments_dead, 1);
+        assert_eq!(stats.rows_scanned, 0);
+        assert_eq!(stats.tombstones_skipped, 0, "the bitmap was never consulted");
+    }
+
+    #[test]
+    fn auto_scan_threads_sizes_from_live_rows() {
+        let mut cube = segmented_cube(&[(PARALLEL_SCAN_THRESHOLD - 5, "c1")]);
+        assert_eq!(cube.row_count(), PARALLEL_SCAN_THRESHOLD);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(auto_scan_threads(&cube), cores);
+        // Tombstone just under half the cube — the heavily-tombstoned
+        // state right before the catalog compacts. The physical row count
+        // still clears the parallel threshold; the live count does not,
+        // and thread sizing must follow the work actually left.
+        for row in 0..PARALLEL_SCAN_THRESHOLD / 2 {
+            assert!(cube.tombstones.kill(row));
+        }
+        assert!(cube.row_count() >= PARALLEL_SCAN_THRESHOLD);
+        assert!(cube.live_row_count() < PARALLEL_SCAN_THRESHOLD);
+        assert_eq!(auto_scan_threads(&cube), 1);
+        cube.verify_zone_invariants().unwrap();
+    }
+
+    #[test]
+    fn pruning_is_enabled_by_default() {
+        // CI reruns the differential campaigns with QB2OLAP_NO_PRUNE=1 at
+        // the process level; inside an ordinary test run the knob is
+        // absent and pruning is on.
+        if std::env::var_os("QB2OLAP_NO_PRUNE").is_none() {
+            assert!(pruning_enabled());
+        }
     }
 
     /// Signed zeros must pick a deterministic winner in every order and

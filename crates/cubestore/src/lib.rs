@@ -78,6 +78,7 @@ pub mod observations;
 #[cfg(test)]
 mod refusal_suite;
 pub mod tombstone;
+pub mod zonemap;
 
 pub use build::{BuildStats, MaterializedCube};
 pub use catalog::{
@@ -89,13 +90,15 @@ pub use cowvec::CowVec;
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 pub use error::{CubeStoreError, DeltaRefusal, RefusalKind};
 pub use executor::{
-    auto_scan_threads, execute, execute_traced, execute_traced_with_threads,
-    execute_with_stats, execute_with_threads, AxisSpec, CubeQuery, MeasureFilter, MemberFilter,
+    auto_scan_threads, execute, execute_traced, execute_traced_with_options,
+    execute_traced_with_threads, execute_with_options, execute_with_stats, execute_with_threads,
+    pruning_enabled, AxisSpec, CubeQuery, ExecOptions, MeasureFilter, MemberFilter,
     MemberPredicate, OutputCell, QueryOutput, ScanStats,
 };
 pub use hierarchy::{LevelIndex, RollupMap};
 pub use observations::ObservationIndex;
 pub use tombstone::Tombstones;
+pub use zonemap::ZoneMaps;
 
 /// Shared fixtures for the crate's unit tests (the build/executor tests in
 /// this module plus the delta/catalog tests in their own modules).

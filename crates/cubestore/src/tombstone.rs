@@ -20,6 +20,8 @@
 
 use std::sync::Arc;
 
+use crate::cowvec::SEGMENT_LEN;
+
 /// A copy-on-write bitmap marking dead (removed) fact rows.
 ///
 /// Rows beyond the bitmap's allocated words are implicitly live, so pure
@@ -31,6 +33,11 @@ pub struct Tombstones {
     words: Arc<Vec<u64>>,
     /// Number of set bits, kept so live-row accounting is O(1).
     dead: usize,
+    /// Dead rows per [`SEGMENT_LEN`]-row column segment, so the executor
+    /// can skip a fully-dead segment (or elide per-row liveness checks in
+    /// a fully-live one) without touching the bitmap. Indexed by
+    /// `row / SEGMENT_LEN`, lazily grown like `words`.
+    segment_dead: Arc<Vec<u32>>,
 }
 
 impl Tombstones {
@@ -58,6 +65,16 @@ impl Tombstones {
         self.dead
     }
 
+    /// Number of tombstoned rows inside column segment `segment`
+    /// (rows `segment * SEGMENT_LEN ..`). Segments past the counters are
+    /// implicitly fully live, mirroring `words`.
+    #[inline]
+    pub fn dead_in_segment(&self, segment: usize) -> usize {
+        self.segment_dead
+            .get(segment)
+            .map_or(0, |&count| count as usize)
+    }
+
     /// Marks `row` dead. Returns `false` (and changes nothing) if the row
     /// was already dead. Clones the shared words at most once per refresh.
     pub fn kill(&mut self, row: usize) -> bool {
@@ -69,6 +86,12 @@ impl Tombstones {
             words.resize(row / 64 + 1, 0);
         }
         words[row / 64] |= 1 << (row % 64);
+        let segment = row / SEGMENT_LEN;
+        let segment_dead = Arc::make_mut(&mut self.segment_dead);
+        if segment_dead.len() <= segment {
+            segment_dead.resize(segment + 1, 0);
+        }
+        segment_dead[segment] += 1;
         self.dead += 1;
         true
     }
@@ -91,6 +114,26 @@ mod tests {
         assert!(t.is_dead(3) && t.is_dead(64) && t.is_dead(200));
         assert!(!t.is_dead(4) && !t.is_dead(63) && !t.is_dead(201));
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn per_segment_dead_counts_track_kills() {
+        let mut t = Tombstones::new();
+        assert_eq!(t.dead_in_segment(0), 0);
+        assert_eq!(t.dead_in_segment(99), 0, "past the counters = fully live");
+        t.kill(0);
+        t.kill(SEGMENT_LEN - 1);
+        t.kill(SEGMENT_LEN);
+        t.kill(SEGMENT_LEN * 3 + 7);
+        assert!(!t.kill(0), "double kill does not double count");
+        assert_eq!(t.dead_in_segment(0), 2);
+        assert_eq!(t.dead_in_segment(1), 1);
+        assert_eq!(t.dead_in_segment(2), 0);
+        assert_eq!(t.dead_in_segment(3), 1);
+        assert_eq!(
+            (0..4).map(|s| t.dead_in_segment(s)).sum::<usize>(),
+            t.dead_rows()
+        );
     }
 
     #[test]

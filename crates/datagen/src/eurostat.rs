@@ -63,6 +63,13 @@ pub struct EurostatConfig {
     /// vector materializes as `Decimal` and delta appends must replay
     /// float aggregation bit-identically (EXPERIMENTS.md §E14).
     pub decimal_measures: bool,
+    /// Lay observations out in time-major order (all of month one, then
+    /// month two, …) instead of striding the whole combination space.
+    /// Real Eurostat dumps arrive month by month, which clusters each
+    /// reference period into a handful of row segments — the layout the
+    /// zone-map pruning experiment measures (EXPERIMENTS.md §E17). The
+    /// default `false` keeps the historical shuffled layout byte for byte.
+    pub time_ordered: bool,
     /// Link noise for quasi-FD experiments.
     pub noise: NoiseConfig,
 }
@@ -75,6 +82,7 @@ impl Default for EurostatConfig {
             code_list_links: true,
             dbpedia_links: true,
             decimal_measures: false,
+            time_ordered: false,
             noise: NoiseConfig::default(),
         }
     }
@@ -222,9 +230,31 @@ pub fn generate(config: &EurostatConfig) -> GeneratedDataset {
     // generated subset is spread over all dimension values while every
     // observation keeps a distinct dimension combination (no IC violations).
     let stride = coprime_stride(total_combinations);
+    // In time-major order the month is the slow axis and only the five
+    // other dimensions stride: month `m` owns rows
+    // `[m * per_month, (m + 1) * per_month)`, so any single reference
+    // period lands in a contiguous run of row segments. Distinctness
+    // still holds because `per_month <= total_other` and the stride is
+    // coprime with `total_other`.
+    let other_radixes = [
+        CITIZEN_COUNTRIES.len(),
+        GEO_COUNTRIES.len(),
+        AGE_CLASSES.len(),
+        SEXES.len(),
+        ASYL_APP_TYPES.len(),
+    ];
+    let total_other: usize = other_radixes.iter().product();
+    let other_stride = coprime_stride(total_other);
+    let per_month = observation_count.div_ceil(months.len()).max(1);
     for i in 0..observation_count {
-        let index = (i * stride) % total_combinations;
-        let [ci, gi, ti, ai, si, pi] = decompose(index, &radixes);
+        let [ci, gi, ti, ai, si, pi] = if config.time_ordered {
+            let ti = i / per_month;
+            let other = (i % per_month) * other_stride % total_other;
+            let [ci, gi, ai, si, pi] = decompose(other, &other_radixes);
+            [ci, gi, ti, ai, si, pi]
+        } else {
+            decompose((i * stride) % total_combinations, &radixes)
+        };
         let (citizen_code, ..) = CITIZEN_COUNTRIES[ci];
         let (geo_code, ..) = GEO_COUNTRIES[gi];
         let (year, month) = months[ti];
@@ -417,8 +447,8 @@ pub fn same_as_link(code: &str, name: &str) -> Triple {
     )
 }
 
-fn decompose(mut index: usize, radixes: &[usize; 6]) -> [usize; 6] {
-    let mut out = [0usize; 6];
+fn decompose<const N: usize>(mut index: usize, radixes: &[usize; N]) -> [usize; N] {
+    let mut out = [0usize; N];
     for (slot, radix) in out.iter_mut().zip(radixes.iter()) {
         *slot = index % radix;
         index /= radix;
@@ -538,6 +568,46 @@ mod tests {
             conflicting,
             (0.1f64 * CITIZEN_COUNTRIES.len() as f64).round() as usize
         );
+    }
+
+    #[test]
+    fn time_ordered_layout_clusters_months_and_keeps_combinations_distinct() {
+        let config = EurostatConfig {
+            observations: 2_400,
+            time_ordered: true,
+            ..Default::default()
+        };
+        let data = generate(&config);
+        assert_eq!(data.observation_count, 2_400);
+        let graph = Graph::from_triples(data.triples.clone());
+        // Month m owns the contiguous run of rows [m*100, (m+1)*100).
+        let months = demo_months();
+        let per_month = 2_400usize.div_ceil(months.len());
+        for i in [0usize, 99, 100, 1234, 2399] {
+            let node = Term::Iri(eurostat_data::term(&format!("migr_asyappctzm/obs{i:06}")));
+            let (year, month) = months[i / per_month];
+            assert_eq!(
+                graph.object(&node, &sdmx_dimension::ref_period()),
+                Some(time_member(year, month)),
+                "row {i} must carry its slot's month"
+            );
+        }
+        // Distinctness is preserved (no IC violations).
+        let mut combos = std::collections::BTreeSet::new();
+        for obs in graph.subjects_of_type(&rdf::vocab::qb::observation()) {
+            let key = (
+                graph.object(&obs, &sdmx_dimension::ref_period()),
+                graph.object(&obs, &eurostat_property::citizen()),
+                graph.object(&obs, &eurostat_property::geo()),
+                graph.object(&obs, &eurostat_property::age()),
+                graph.object(&obs, &eurostat_property::sex()),
+                graph.object(&obs, &eurostat_property::asyl_app()),
+            );
+            assert!(combos.insert(key), "duplicate dimension combination");
+        }
+        // The default layout is untouched by the new knob.
+        let shuffled = generate(&EurostatConfig::small(2_400));
+        assert_ne!(shuffled.triples, data.triples);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //!   rebuilds *through the metrics snapshot* (`catalog.refresh.rebuild`),
 //!   not by scraping maintenance reports, so the counters themselves are
 //!   part of the contract.
+//! * **pruning-visibility** — zone-map segment pruning must be observable
+//!   through the query profile alone: a selective dice reports
+//!   `segments_pruned > 0`, a full roll-up reports exactly zero, and the
+//!   plan carries a `SEGMENTS` line.
 
 use qb2olap::{Endpoint, ExecutionBackend, Qb2Olap, SparqlVariant};
 use rdf::vocab::{eurostat_property, qb, rdf as rdfv, sdmx_measure};
@@ -66,6 +70,65 @@ fn explain_smoke_profiles_every_pipeline_step_on_both_backends() {
     assert!(explained.contains("SLICE dimension=<"));
     assert!(explained.contains("rows="));
     assert!(explained.contains("scan"));
+}
+
+#[test]
+fn query_profiles_expose_segment_pruning_through_the_profile_alone() {
+    let cube = qb2olap::demo::setup_demo_cube(&datagen::EurostatConfig::small(400)).unwrap();
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).unwrap();
+
+    // A dice on a continent that does not exist: the zone maps prove every
+    // segment irrelevant, so the scan visits nothing — and the profile
+    // says so without any access to the executor internals.
+    let atlantis = "PREFIX data: <http://eurostat.linked-statistics.org/data/>;
+PREFIX schema: <http://www.fing.edu.uy/inco/cubes/schemas/migr_asyapp#>;
+QUERY
+$C1 := ROLLUP (data:migr_asyappctzm, schema:citizenshipDim, schema:continent);
+$C2 := DICE ($C1, schema:citizenshipDim|schema:continent|schema:continentName = \"Atlantis\");
+";
+    let prepared = querying.prepare(atlantis).unwrap();
+    let (result, profile) = querying
+        .execute_profiled(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert!(result.is_empty(), "no observation is Atlantean");
+    assert!(
+        profile.counter("segments_pruned") >= 1,
+        "a selective dice must prune:\n{:?}",
+        profile.counters
+    );
+    assert!(
+        profile.counter("segments_pruned") + profile.counter("segments_dead")
+            <= profile.counter("segments_total"),
+        "segment counters must stay monotone:\n{:?}",
+        profile.counters
+    );
+    assert_eq!(profile.counter("rows_scanned"), 0, "pruned segments are never read");
+    assert!(
+        profile.plan.iter().any(|line| line.starts_with("SEGMENTS ")),
+        "the plan carries the segment summary:\n{:?}",
+        profile.plan
+    );
+
+    // A full roll-up with no dice cannot prune anything.
+    let prepared = querying
+        .prepare(&datagen::workload::totals_by_citizenship())
+        .unwrap();
+    let (_, profile) = querying
+        .execute_profiled(&prepared, ExecutionBackend::Columnar)
+        .unwrap();
+    assert_eq!(
+        profile.counter("segments_pruned"),
+        0,
+        "nothing to prune without a dice:\n{:?}",
+        profile.counters
+    );
+    assert!(profile.counter("segments_total") >= 1);
+
+    // The same facts flow into the process-wide metrics registry.
+    let snapshot = tool.metrics();
+    assert!(snapshot.counter("cubestore.scan.segments_total") >= 2);
+    assert!(snapshot.counter("cubestore.scan.segments_pruned") >= 1);
 }
 
 #[test]

@@ -1,0 +1,277 @@
+//! The zone-map pruning differential gate (EXPERIMENTS.md §E17 support).
+//!
+//! Pruning must be invisible in results and visible only in the scan
+//! counters: every query in the battery returns *bit-identical* cubes with
+//! pruning on and off, at one worker and at several, while the counters
+//! stay monotone (`segments_pruned + segments_dead <= segments_total`,
+//! pruned scans never read more rows than unpruned ones) and collapse to
+//! zero when pruning is disabled. The battery runs on the time-ordered
+//! generator layout, where a leaf-month dice provably skips whole
+//! segments.
+//!
+//! These tests drive the switch through `ExecOptions`, so they hold under
+//! any environment; the process-wide `QB2OLAP_NO_PRUNE` knob has its own
+//! test below, and ci.sh additionally reruns the qlsmith campaign and this
+//! suite with the knob set.
+
+use std::collections::BTreeMap;
+
+use cubestore::{
+    execute_with_options, CubeQuery, ExecOptions, MemberFilter, MemberPredicate, MeasureFilter,
+};
+use qb2olap::{demo, ExecutionBackend, Qb2Olap};
+use rdf::vocab::{demo_schema, rdfs, sdmx_dimension};
+use sparql::ast::CmpOp;
+
+/// A dice comparing a level attribute's string form with a constant.
+fn attribute_dice(dimension: rdf::Iri, level: rdf::Iri, attribute: rdf::Iri, value: &str) -> MemberFilter {
+    MemberFilter::Compare {
+        dimension,
+        level,
+        attribute,
+        predicate: MemberPredicate::Str {
+            op: CmpOp::Eq,
+            value: value.to_string(),
+        },
+    }
+}
+
+/// The query battery: full scans, clustered and unclustered dices, slices,
+/// roll-ups and a HAVING filter — enough shapes to cover every branch of
+/// the segment-pruning decision (`segment_prunable`).
+fn query_battery() -> Vec<(&'static str, CubeQuery)> {
+    let time_dim = demo_schema::time_dim();
+    let month = sdmx_dimension::ref_period();
+    let year = demo_schema::year();
+    let citizenship = demo_schema::citizenship_dim();
+    let continent = demo_schema::continent();
+    vec![
+        ("bottom-level cube", CubeQuery::default()),
+        (
+            "full rollup, no dice",
+            CubeQuery {
+                rollups: BTreeMap::from([
+                    (citizenship.clone(), continent.clone()),
+                    (time_dim.clone(), year.clone()),
+                ]),
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "leaf month dice (clustered)",
+            CubeQuery {
+                member_filters: vec![attribute_dice(
+                    time_dim.clone(),
+                    month.clone(),
+                    rdfs::label(),
+                    "2013-01",
+                )],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "mid-level year dice",
+            CubeQuery {
+                rollups: BTreeMap::from([(time_dim.clone(), year.clone())]),
+                member_filters: vec![attribute_dice(time_dim.clone(), year, rdfs::label(), "2014")],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "continent dice (unclustered)",
+            CubeQuery {
+                rollups: BTreeMap::from([(citizenship.clone(), continent.clone())]),
+                member_filters: vec![attribute_dice(
+                    citizenship,
+                    continent,
+                    demo_schema::continent_name(),
+                    "Africa",
+                )],
+                ..CubeQuery::default()
+            },
+        ),
+        (
+            "slice + leaf dice + having",
+            CubeQuery {
+                slices: vec![demo_schema::term("sexDim"), demo_schema::term("ageDim")],
+                member_filters: vec![attribute_dice(
+                    time_dim,
+                    month,
+                    rdfs::label(),
+                    "2013-02",
+                )],
+                measure_filters: vec![MeasureFilter::Compare {
+                    measure: rdf::vocab::sdmx_measure::obs_value(),
+                    op: CmpOp::Gt,
+                    value: rdf::Term::Literal(rdf::Literal::integer(0)),
+                }],
+                ..CubeQuery::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn battery_is_bit_identical_with_pruning_on_and_off_at_any_worker_count() {
+    // 12k time-ordered observations ≈ 3 segments, month "2013-01" fully
+    // inside segment 0.
+    let config = datagen::EurostatConfig {
+        observations: 12_000,
+        time_ordered: true,
+        ..Default::default()
+    };
+    let demo = demo::setup_demo_cube(&config).unwrap();
+    let tool = Qb2Olap::new(demo.endpoint.clone());
+    let querying = tool.querying(&demo.dataset).unwrap();
+    let cube = querying.materialize().unwrap();
+    cube.verify_zone_invariants().unwrap();
+    let live_rows = cube.live_row_count() as u64;
+
+    for (name, query) in query_battery() {
+        let (baseline, unpruned) = execute_with_options(
+            &cube,
+            &query,
+            ExecOptions {
+                threads: 1,
+                prune: false,
+            },
+        )
+        .unwrap_or_else(|e| panic!("'{name}' failed unpruned: {e}"));
+        assert_eq!(unpruned.segments_pruned, 0, "'{name}': pruning was disabled");
+        assert_eq!(unpruned.rows_scanned, live_rows, "'{name}': unpruned scans all live rows");
+
+        for threads in [1usize, 4] {
+            for prune in [false, true] {
+                let (output, stats) =
+                    execute_with_options(&cube, &query, ExecOptions { threads, prune })
+                        .unwrap_or_else(|e| {
+                            panic!("'{name}' failed at {threads} threads, prune={prune}: {e}")
+                        });
+                assert_eq!(
+                    output, baseline,
+                    "'{name}' diverges at {threads} threads, prune={prune}"
+                );
+                // Monotone sanity on the segment counters.
+                assert!(
+                    stats.segments_pruned + stats.segments_dead <= stats.segments_total,
+                    "'{name}': pruned {} + dead {} > total {}",
+                    stats.segments_pruned,
+                    stats.segments_dead,
+                    stats.segments_total
+                );
+                assert!(
+                    stats.rows_scanned <= unpruned.rows_scanned,
+                    "'{name}': pruning increased rows scanned"
+                );
+                if !prune {
+                    assert_eq!(stats.segments_pruned, 0, "'{name}': prune=false still pruned");
+                }
+            }
+        }
+    }
+
+    // The clustered leaf dice actually exercises the pruner: on the
+    // time-ordered layout the first month lives entirely in segment 0, so
+    // the other segments are skipped and the scan touches a fraction of
+    // the live rows.
+    let (_, query) = query_battery().swap_remove(2);
+    let (_, stats) = execute_with_options(
+        &cube,
+        &query,
+        ExecOptions {
+            threads: 1,
+            prune: true,
+        },
+    )
+    .unwrap();
+    assert!(stats.segments_total >= 3, "expected a multi-segment cube");
+    assert!(
+        stats.segments_pruned >= stats.segments_total - 1,
+        "leaf dice pruned {} of {} segments",
+        stats.segments_pruned,
+        stats.segments_total
+    );
+    assert!(
+        stats.rows_scanned < live_rows / 2,
+        "leaf dice scanned {} of {live_rows} live rows",
+        stats.rows_scanned
+    );
+
+    // A full-rollup query with no dice prunes nothing.
+    let (_, query) = query_battery().swap_remove(1);
+    let (_, stats) = execute_with_options(
+        &cube,
+        &query,
+        ExecOptions {
+            threads: 1,
+            prune: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(stats.segments_pruned, 0, "nothing to prune without a dice");
+}
+
+/// The process-wide kill switch: `QB2OLAP_NO_PRUNE` turns pruning off for
+/// every execution that does not pass explicit options — and doing so must
+/// not change a single cell of the QL workload. The QL layer reaches the
+/// scan through `ExecOptions::with_threads`, which reads the knob.
+///
+/// This is the only test in the binary that touches the environment; the
+/// battery above uses explicit `ExecOptions` precisely so it cannot race
+/// with this one.
+#[test]
+fn the_no_prune_knob_is_invisible_in_ql_results() {
+    let saved = std::env::var_os("QB2OLAP_NO_PRUNE");
+    std::env::remove_var("QB2OLAP_NO_PRUNE");
+    assert!(cubestore::pruning_enabled());
+
+    let demo = demo::setup_demo_cube(&datagen::EurostatConfig {
+        observations: 6_000,
+        time_ordered: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let tool = Qb2Olap::new(demo.endpoint.clone());
+    let querying = tool.querying(&demo.dataset).unwrap();
+
+    let mut workload: Vec<(String, String)> = datagen::workload::bench_queries()
+        .into_iter()
+        .map(|(name, text)| (name.to_string(), text))
+        .collect();
+    workload.extend(datagen::workload::generated_queries(17, 12));
+
+    let run_all = || -> Vec<qb2olap::ResultCube> {
+        workload
+            .iter()
+            .map(|(name, text)| {
+                let prepared = querying
+                    .prepare(text)
+                    .unwrap_or_else(|e| panic!("'{name}' failed to prepare: {e}"));
+                querying
+                    .execute(&prepared, ExecutionBackend::Columnar)
+                    .unwrap_or_else(|e| panic!("'{name}' failed on the columnar backend: {e}"))
+            })
+            .collect()
+    };
+
+    let pruned = run_all();
+    std::env::set_var("QB2OLAP_NO_PRUNE", "1");
+    assert!(!cubestore::pruning_enabled());
+    let unpruned = run_all();
+    // `0` and the empty string mean "leave pruning on".
+    std::env::set_var("QB2OLAP_NO_PRUNE", "0");
+    assert!(cubestore::pruning_enabled());
+    std::env::set_var("QB2OLAP_NO_PRUNE", "");
+    assert!(cubestore::pruning_enabled());
+    match saved {
+        Some(value) => std::env::set_var("QB2OLAP_NO_PRUNE", value),
+        None => std::env::remove_var("QB2OLAP_NO_PRUNE"),
+    }
+
+    for (((name, _), with), without) in workload.iter().zip(&pruned).zip(&unpruned) {
+        assert_eq!(
+            with, without,
+            "'{name}' changed under QB2OLAP_NO_PRUNE=1"
+        );
+    }
+}
