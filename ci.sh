@@ -70,6 +70,21 @@ cargo test --release -q -p qb2olap-suite --test integration_pruning
 QB2OLAP_NO_PRUNE=1 QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
     cargo test --release -q -p qb2olap-suite --test integration_qlsmith
 
+# The overlay consistency gates: the concurrency stress test (N readers
+# racing a mutating writer and the background fold threads, every pinned
+# snapshot checked bit-identical against a scratch materialization at
+# exactly its epoch), the slow-fold regression test (a structural rebuild
+# taking hundreds of milliseconds must never push concurrent snapshot
+# serving past pin cost), and the QB2OLAP_NO_OVERLAY kill switch
+# (snapshot serving degrades to the blocking path, bit-identically).
+cargo test --release -q -p qb2olap-suite --test integration_overlay
+
+# The same qlsmith campaign with the overlay kill switch thrown: the
+# columnar-overlay oracle leg then runs through the blocking serve, so all
+# four backends must still agree on every generated program.
+QB2OLAP_NO_OVERLAY=1 QB2OLAP_FUZZ_SEED=0xE155EED QB2OLAP_FUZZ_PROGRAMS=500 QB2OLAP_FUZZ_QUERIES=500 \
+    cargo test --release -q -p qb2olap-suite --test integration_qlsmith
+
 # The regression corpus replays green, pinned by name so a corpus file
 # that stops parsing or starts diverging fails the gate even if the
 # campaign above is ever quarantined.
@@ -101,6 +116,11 @@ cargo run --release -p qb2olap_bench --bin repro -- e16 --observations 4000 > /d
 # 12000 observations = 3 sealed segments, so the smoke run actually
 # prunes (4000 rows would fit one segment and prune nothing).
 cargo run --release -p qb2olap_bench --bin repro -- e17 --observations 12000 > /dev/null
+# E18 additionally asserts: a forced structural rebuild folds on a
+# background thread while snapshot reads keep flowing — read p99 during
+# the fold within 10x the idle p99, every in-flight read stale-but-
+# consistent, and the settled pin landing the new epoch.
+cargo run --release -p qb2olap_bench --bin repro -- e18 --observations 12000 > /dev/null
 
 # Documentation cross-references resolve: every local *.md file mentioned
 # in the top-level docs exists, and the architecture map is linked from
@@ -116,6 +136,7 @@ grep -q 'E14' EXPERIMENTS.md
 grep -q 'E15' EXPERIMENTS.md
 grep -q 'E16' EXPERIMENTS.md
 grep -q 'E17' EXPERIMENTS.md
+grep -q 'E18' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -1,0 +1,97 @@
+//! E18 — non-blocking serving: snapshot pins and full reads (pin + roll-up
+//! query) while structural rebuilds fold in the background. An agitator
+//! thread keeps forcing schema-structure refusals (a dangling
+//! `qb4o:hasLevel` triple per round) so the catalog is rebuilding almost
+//! permanently; the `*_during_rebuild` numbers against the `*_idle` ones
+//! are the headline of EXPERIMENTS.md §E18.
+//!
+//! The default scale is the paper's 80,000 observations; set
+//! `QB2OLAP_BENCH_OBSERVATIONS` to run smaller.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qb2olap::cubestore::{execute_snapshot, CubeQuery};
+use qb2olap::{Endpoint, Qb2Olap};
+use qb2olap_bench::demo_cube_with;
+use rdf::vocab::{demo_schema, qb4o};
+use rdf::{Term, Triple};
+
+fn bench_serve_during_rebuild(c: &mut Criterion) {
+    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80_000usize);
+    let cube = demo_cube_with(&datagen::EurostatConfig {
+        observations,
+        time_ordered: true,
+        ..Default::default()
+    });
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let query = CubeQuery {
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+    let first = querying.snapshot().expect("warm build");
+    let schema = first.cube().schema().clone();
+
+    let mut group = c.benchmark_group("serve_during_rebuild");
+    group.sample_size(10);
+    group.bench_function("pin_idle", |b| {
+        b.iter(|| querying.snapshot().expect("pin"));
+    });
+    group.bench_function("read_idle", |b| {
+        b.iter(|| {
+            let snapshot = querying.snapshot().expect("pin");
+            execute_snapshot(&snapshot, &query).expect("execute")
+        });
+    });
+
+    // The agitator: one forced structural refusal per round, kicked off
+    // through the snapshot path so the fold runs on a background thread,
+    // then fenced — the serving thread below almost always finds a rebuild
+    // in flight.
+    let stop = Arc::new(AtomicBool::new(false));
+    let agitator = {
+        let stop = stop.clone();
+        let endpoint = cube.endpoint.clone();
+        let catalog = tool.catalog().clone();
+        let dataset = cube.dataset.clone();
+        let schema = schema.clone();
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                round += 1;
+                endpoint
+                    .insert_triples(&[Triple::new(
+                        Term::iri(format!("http://example.org/bench/dsd/{round}")),
+                        qb4o::has_level(),
+                        Term::iri(format!("http://example.org/bench/level/{round}")),
+                    )])
+                    .expect("trigger insert");
+                let _ = catalog.serve_snapshot(&endpoint, &schema);
+                catalog.wait_for_maintenance(&dataset);
+            }
+        })
+    };
+
+    group.bench_function("pin_during_rebuild", |b| {
+        b.iter(|| querying.snapshot().expect("pin"));
+    });
+    group.bench_function("read_during_rebuild", |b| {
+        b.iter(|| {
+            let snapshot = querying.snapshot().expect("pin");
+            execute_snapshot(&snapshot, &query).expect("execute")
+        });
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    agitator.join().expect("agitator exits cleanly");
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_during_rebuild);
+criterion_main!(benches);

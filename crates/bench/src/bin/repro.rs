@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e17] [--observations N] [--json]
+//! cargo run --release -p qb2olap_bench --bin repro -- [all|e1|e2|...|e18] [--observations N] [--json]
 //! ```
 
 use std::collections::BTreeSet;
@@ -121,6 +121,9 @@ fn main() {
     }
     if run("e17", &experiment) {
         rows.extend(e17_zone_map_pruning(observations));
+    }
+    if run("e18", &experiment) {
+        rows.extend(e18_serving_under_rebuild(observations));
     }
 
     if as_json {
@@ -1498,4 +1501,129 @@ fn e17_zone_map_pruning(observations: usize) -> Vec<Measurement> {
         ));
     }
     rows
+}
+
+/// E18: read latency while a forced structural rebuild folds in the
+/// background — the non-blocking serving gate. A dangling `qb4o:hasLevel`
+/// triple makes the delta classifier refuse (without changing any result
+/// cell), the rebuild runs on a background thread over a frozen store
+/// handle, and snapshot reads (pin + roll-up query) keep flowing the whole
+/// time: their p99 during the fold must stay within 10× the idle p99,
+/// every in-flight read must return the stale-but-consistent cells, and
+/// the settled pin must land the new epoch.
+fn e18_serving_under_rebuild(observations: usize) -> Vec<Measurement> {
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    use qb2olap::cubestore::{
+        execute_snapshot, CubeQuery, MaintenanceStrategy, RebuildReason,
+    };
+    use rdf::vocab::{demo_schema, qb4o};
+    use rdf::{Term, Triple};
+
+    const IDLE_READS: usize = 300;
+    fn p99(mut samples: Vec<Duration>) -> Duration {
+        samples.sort();
+        samples[(samples.len() * 99 / 100).min(samples.len() - 1)]
+    }
+
+    let parameters = format!("observations={observations}");
+    let config = datagen::EurostatConfig {
+        observations,
+        time_ordered: true,
+        ..Default::default()
+    };
+    let cube = demo_cube_with(&config);
+    let tool = Qb2Olap::new(cube.endpoint.clone());
+    let querying = tool.querying(&cube.dataset).expect("cube is enriched");
+    let query = CubeQuery {
+        rollups: BTreeMap::from([(demo_schema::citizenship_dim(), demo_schema::continent())]),
+        ..CubeQuery::default()
+    };
+
+    // One "read" = pin a snapshot (never waits) + run the roll-up on it.
+    let read = || {
+        let started = Instant::now();
+        let snapshot = querying.snapshot().expect("snapshot serve");
+        let output = execute_snapshot(&snapshot, &query).expect("snapshot execute");
+        (started.elapsed(), output, snapshot.epoch())
+    };
+
+    // Warm build, reference cells, idle latency distribution.
+    let (_, reference, _) = read();
+    let idle: Vec<Duration> = (0..IDLE_READS).map(|_| read().0).collect();
+    let p99_idle = p99(idle);
+
+    // The forced structural change: a schema-structure triple no query
+    // touches, so the rebuild is pure overhead and the cells are stable.
+    let stale_epoch = cube.endpoint.epoch();
+    cube.endpoint
+        .insert_triples(&[Triple::new(
+            Term::iri("http://example.org/e18/dsd"),
+            qb4o::has_level(),
+            Term::iri("http://example.org/e18/level"),
+        )])
+        .expect("trigger insert");
+
+    // The first read hands the refused delta off to a background fold and
+    // returns the stale pin; every read after that stays at pin cost until
+    // the fold publishes.
+    let mut during: Vec<Duration> = Vec::new();
+    let (first_latency, first_output, first_epoch) = read();
+    assert_eq!(first_output, reference, "E18: the stale pin changed cells");
+    assert_eq!(first_epoch, stale_epoch, "E18: the refusing read must serve stale");
+    during.push(first_latency);
+    while tool.catalog().maintenance_in_flight(&cube.dataset) && during.len() < 5_000 {
+        let (latency, output, _) = read();
+        assert_eq!(output, reference, "E18: a read during the fold changed cells");
+        during.push(latency);
+    }
+    tool.wait_for_maintenance(&cube.dataset);
+
+    let report = querying
+        .maintenance_reports()
+        .last()
+        .cloned()
+        .expect("E18: the fold must record a report");
+    assert_eq!(report.strategy, MaintenanceStrategy::Rebuild, "E18: {report:?}");
+    assert!(
+        matches!(report.reason, Some(RebuildReason::DeltaRefused(_))),
+        "E18: the fold must carry the refusal: {report:?}"
+    );
+    let overlap = report
+        .overlap
+        .expect("E18: background folds record their stale-serving window");
+
+    let p99_fold = p99(during.clone());
+    // 10× is the gate; the small absolute floor keeps sub-millisecond
+    // timer jitter from failing runs at tiny scales.
+    let limit = (p99_idle * 10).max(Duration::from_millis(5));
+    assert!(
+        p99_fold <= limit,
+        "E18: read p99 {p99_fold:?} during the fold breaches 10x idle p99 {p99_idle:?}"
+    );
+
+    // The fold landed: a settled read pins the new epoch, same cells.
+    let (_, settled_output, settled_epoch) = read();
+    assert_eq!(settled_epoch, cube.endpoint.epoch(), "E18: the fold must land");
+    assert_eq!(settled_output, reference, "E18: cells changed across the fold");
+
+    vec![
+        Measurement::new("E18", &parameters, "idle_reads", IDLE_READS as f64),
+        Measurement::new("E18", &parameters, "read_p99_idle_ms", millis(p99_idle)),
+        Measurement::new("E18", &parameters, "reads_during_fold", during.len() as f64),
+        Measurement::new("E18", &parameters, "read_p99_during_fold_ms", millis(p99_fold)),
+        Measurement::new(
+            "E18",
+            &parameters,
+            "fold_overlap_ms",
+            millis(overlap),
+        ),
+        Measurement::new(
+            "E18",
+            &parameters,
+            "p99_ratio_fold_over_idle",
+            p99_fold.as_secs_f64() / p99_idle.as_secs_f64().max(f64::EPSILON),
+        ),
+    ]
 }

@@ -133,6 +133,22 @@ impl Qb2Olap {
         QueryingModule::for_dataset_with_catalog(&self.endpoint, dataset, self.catalog.clone())
     }
 
+    /// Pins a [`cubestore::CubeSnapshot`] of a dataset's cube without
+    /// waiting on maintenance: appliable changes are accreted into a delta
+    /// overlay inline, structural changes fold in the background while the
+    /// current pin keeps serving. See ARCHITECTURE.md §"Overlay &
+    /// background fold".
+    pub fn snapshot(&self, dataset: &Iri) -> Result<cubestore::CubeSnapshot, ql::QlError> {
+        self.querying(dataset)?.snapshot()
+    }
+
+    /// Blocks until any in-flight background fold for `dataset` has
+    /// published (or failed). A fence for tests and benchmarks; serving
+    /// never needs it.
+    pub fn wait_for_maintenance(&self, dataset: &Iri) {
+        self.catalog.wait_for_maintenance(dataset);
+    }
+
     /// Lists the cubes available on the endpoint.
     pub fn list_cubes(&self) -> Result<Vec<CubeSummary>, explorer::ExplorerError> {
         explorer::list_cubes(&self.endpoint)

@@ -9,10 +9,30 @@
 //! change log covers the gap and the delta is appliable, and falling back
 //! to a full re-materialization otherwise. Every refresh decision, reason
 //! and timing is recorded as a [`MaintenanceReport`].
+//!
+//! # Non-blocking serving
+//!
+//! [`CubeCatalog::serve_snapshot`] is the read path that never waits on
+//! maintenance: it returns a pinned [`CubeSnapshot`] — the last folded
+//! base plus a [`DeltaOverlay`] of everything accreted since — and readers
+//! execute against it without holding any catalog lock. Appliable deltas
+//! are accreted into the overlay inline in O(delta); structural changes
+//! (a refused delta or a change-log gap) and compactions are handed to a
+//! **background fold thread** that rebuilds from a frozen
+//! [`sparql::Endpoint::background_handle`] and publishes the new base
+//! with an atomic swap, while readers keep getting the stale-but-
+//! consistent snapshot. Maintenance claims are serialized by one
+//! `refreshing` flag per slot: the blocking [`CubeCatalog::serve`] (which
+//! still guarantees freshness) waits on the slot's condvar instead of
+//! holding the slot lock across the refresh, so a slow fold can never
+//! delay a concurrent serve by more than the snapshot-pin cost. The
+//! `QB2OLAP_NO_OVERLAY` kill switch ([`overlay_enabled`]) forces the
+//! snapshot path down the blocking one for differential runs.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, MutexGuard};
 use std::time::{Duration, Instant};
 
 use obs::MetricsRegistry;
@@ -23,6 +43,7 @@ use sparql::Endpoint;
 
 use crate::build::MaterializedCube;
 use crate::error::{CubeStoreError, DeltaRefusal};
+use crate::overlay::{member_total, overlay_enabled, CubeSnapshot, DeltaOverlay};
 
 /// How the catalog brought an entry up to date.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +61,11 @@ pub enum MaintenanceStrategy {
     /// live-fraction threshold ([`COMPACTION_LIVE_FRACTION`]), so the
     /// catalog re-materialized to reclaim the dead rows.
     Compaction,
+    /// Recorded deltas were accreted into a [`DeltaOverlay`] on the
+    /// snapshot read path ([`CubeCatalog::serve_snapshot`]): the base cube
+    /// was left untouched and readers merge base + overlay at scan time
+    /// until a background fold publishes a new base.
+    Overlay,
 }
 
 impl MaintenanceStrategy {
@@ -51,6 +77,7 @@ impl MaintenanceStrategy {
             MaintenanceStrategy::Delta => "delta",
             MaintenanceStrategy::Rebuild => "rebuild",
             MaintenanceStrategy::Compaction => "compaction",
+            MaintenanceStrategy::Overlay => "overlay",
         }
     }
 }
@@ -97,13 +124,14 @@ impl fmt::Display for RebuildReason {
 }
 
 /// One catalog maintenance decision: what was done, why, and how long it
-/// took. The experiment harness (E12/E13) and the differential tests read
-/// these to prove the delta path is exercised and measurably cheaper.
+/// took. The experiment harness (E12/E13/E18) and the differential tests
+/// read these to prove the delta path is exercised and measurably cheaper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaintenanceReport {
     /// The dataset that was refreshed.
     pub dataset: Iri,
-    /// Delta replay, full rebuild, compaction, or first build.
+    /// Delta replay, full rebuild, compaction, overlay accretion, or
+    /// first build.
     pub strategy: MaintenanceStrategy,
     /// For [`MaintenanceStrategy::Rebuild`] and
     /// [`MaintenanceStrategy::Compaction`]: why the columns were
@@ -115,15 +143,21 @@ pub struct MaintenanceReport {
     pub from_epoch: u64,
     /// The store epoch the entry is at after the refresh.
     pub to_epoch: u64,
-    /// Number of store deltas replayed (delta strategy only).
+    /// Number of store deltas replayed (delta/overlay strategies only).
     pub deltas_applied: usize,
     /// Fact rows appended by the refresh (net new live rows for rebuilds).
     pub rows_appended: usize,
     /// Fact rows removed by the refresh: tombstoned for
-    /// [`MaintenanceStrategy::Delta`], net lost live rows for rebuilds.
+    /// [`MaintenanceStrategy::Delta`] / [`MaintenanceStrategy::Overlay`],
+    /// net lost live rows for rebuilds.
     pub rows_removed: usize,
     /// Level members added by the refresh.
     pub members_added: usize,
+    /// For background folds: how long readers were served the stale
+    /// snapshot while this maintenance ran concurrently — the overlap
+    /// window between serving and folding. `None` for refreshes done on
+    /// the caller's thread, where no stale serving overlaps the work.
+    pub overlap: Option<Duration>,
 }
 
 /// The live-row fraction below which a delta-refreshed cube is compacted
@@ -191,8 +225,12 @@ impl ReportLog {
 }
 
 struct CatalogEntry {
-    cube: Arc<MaterializedCube>,
-    epoch: u64,
+    /// The last fully-folded cube.
+    base: Arc<MaterializedCube>,
+    /// The store epoch `base` materializes.
+    base_epoch: u64,
+    /// Changes accreted since `base` by the snapshot read path.
+    overlay: Option<Arc<DeltaOverlay>>,
     reports: ReportLog,
 }
 
@@ -200,20 +238,128 @@ impl CatalogEntry {
     fn record(&mut self, report: MaintenanceReport) {
         self.reports.push(report);
     }
+
+    /// The cube consumers should read: base + overlay when an overlay is
+    /// accreted, the base alone otherwise.
+    fn served_cube(&self) -> &Arc<MaterializedCube> {
+        match &self.overlay {
+            Some(overlay) => overlay.merged(),
+            None => &self.base,
+        }
+    }
+
+    /// The store epoch the served cube is consistent with.
+    fn served_epoch(&self) -> u64 {
+        match &self.overlay {
+            Some(overlay) => overlay.epoch(),
+            None => self.base_epoch,
+        }
+    }
+
+    fn snapshot(&self) -> CubeSnapshot {
+        CubeSnapshot::new(self.base.clone(), self.base_epoch, self.overlay.clone())
+    }
+
+    /// Atomically replaces the base with a freshly folded cube: the
+    /// overlay (now folded in or superseded) is dropped in the same swap,
+    /// so no reader can ever pin a new base with a stale overlay.
+    fn publish_base(&mut self, cube: Arc<MaterializedCube>, epoch: u64) {
+        self.base = cube;
+        self.base_epoch = epoch;
+        self.overlay = None;
+    }
 }
 
-/// One dataset's slot: `None` while the first build is still running.
-type EntrySlot = Arc<Mutex<Option<CatalogEntry>>>;
+/// A dataset's slot: the entry plus the maintenance claim that serializes
+/// refreshes. `refreshing` is the single-writer claim — whoever sets it
+/// (a blocking serve, an inline overlay accretion, or a background fold
+/// thread) owns maintenance of the slot until it clears the flag and
+/// signals `maintenance_done`. The slot mutex itself is only ever held
+/// for pointer-swap-sized critical sections, never across endpoint I/O
+/// or column work.
+#[derive(Default)]
+struct SlotInner {
+    state: Mutex<SlotState>,
+    maintenance_done: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    entry: Option<CatalogEntry>,
+    refreshing: bool,
+}
+
+impl SlotInner {
+    /// Parks until maintenance signals (with a timeout tick so a fold
+    /// thread that died abnormally can never strand waiters forever).
+    fn wait<'a>(&self, guard: MutexGuard<'a, SlotState>) -> MutexGuard<'a, SlotState> {
+        let (guard, _timed_out) = self
+            .maintenance_done
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard
+    }
+
+    /// Clears the maintenance claim and wakes every waiter.
+    fn release_claim(&self) {
+        self.state.lock().refreshing = false;
+        self.maintenance_done.notify_all();
+    }
+}
+
+/// One dataset's slot: `None` entry while the first build is still
+/// running.
+type EntrySlot = Arc<SlotInner>;
+
+/// Records one maintenance decision into the registry: a per-strategy
+/// counter, the refusal kind when a refused delta forced a rebuild,
+/// refresh latency, per-field totals, and the live-row fraction of the
+/// cube now being served. A free function (not a method) because the
+/// background fold thread outlives any `&self` borrow of the catalog.
+fn record_report_metrics(
+    metrics: &MetricsRegistry,
+    report: &MaintenanceReport,
+    cube: &MaterializedCube,
+) {
+    metrics
+        .counter(&format!("catalog.refresh.{}", report.strategy.name()))
+        .inc();
+    if let Some(RebuildReason::DeltaRefused(refusal)) = &report.reason {
+        metrics
+            .counter(&format!("catalog.refusal.{}", refusal.kind.name()))
+            .inc();
+    }
+    metrics
+        .histogram("catalog.refresh.duration_ns")
+        .record_duration(report.duration);
+    metrics
+        .counter("catalog.refresh.deltas_applied")
+        .add(report.deltas_applied as u64);
+    metrics
+        .counter("catalog.refresh.rows_appended")
+        .add(report.rows_appended as u64);
+    metrics
+        .counter("catalog.refresh.rows_removed")
+        .add(report.rows_removed as u64);
+    let live_fraction = if cube.row_count() == 0 {
+        1.0
+    } else {
+        cube.live_row_count() as f64 / cube.row_count() as f64
+    };
+    metrics.gauge("catalog.live_fraction").set(live_fraction);
+}
 
 /// A shared catalog of live materialized cubes, keyed by dataset IRI.
 ///
 /// Cheap to share (`Arc<CubeCatalog>`); the Querying and Exploration
 /// modules of one tool instance hold the same catalog so they serve from
 /// one columnar representation. Locking is two-level: the catalog map is
-/// only held long enough to find or create a dataset's slot, and each slot
-/// has its own lock — a multi-second rebuild of one dataset serializes
-/// that dataset's consumers (they need the fresh cube anyway) without
-/// stalling serving of any other dataset.
+/// only held long enough to find or create a dataset's slot, and each
+/// slot's own lock is only held for snapshot pins and publish swaps —
+/// refresh work runs outside it under the slot's `refreshing` claim, so
+/// a multi-second rebuild of one dataset delays the blocking [`Self::serve`]
+/// (which needs the fresh cube anyway) but never a [`Self::serve_snapshot`],
+/// and never serving of any other dataset.
 #[derive(Default)]
 pub struct CubeCatalog {
     inner: Mutex<BTreeMap<Iri, EntrySlot>>,
@@ -241,39 +387,6 @@ impl CubeCatalog {
         &self.metrics
     }
 
-    /// Records one maintenance decision into the registry: a
-    /// per-strategy counter, the refusal kind when a refused delta forced
-    /// a rebuild, refresh latency, per-field totals, and the live-row
-    /// fraction of the cube now being served.
-    fn observe_report(&self, report: &MaintenanceReport, cube: &MaterializedCube) {
-        self.metrics
-            .counter(&format!("catalog.refresh.{}", report.strategy.name()))
-            .inc();
-        if let Some(RebuildReason::DeltaRefused(refusal)) = &report.reason {
-            self.metrics
-                .counter(&format!("catalog.refusal.{}", refusal.kind.name()))
-                .inc();
-        }
-        self.metrics
-            .histogram("catalog.refresh.duration_ns")
-            .record_duration(report.duration);
-        self.metrics
-            .counter("catalog.refresh.deltas_applied")
-            .add(report.deltas_applied as u64);
-        self.metrics
-            .counter("catalog.refresh.rows_appended")
-            .add(report.rows_appended as u64);
-        self.metrics
-            .counter("catalog.refresh.rows_removed")
-            .add(report.rows_removed as u64);
-        let live_fraction = if cube.row_count() == 0 {
-            1.0
-        } else {
-            cube.live_row_count() as f64 / cube.row_count() as f64
-        };
-        self.metrics.gauge("catalog.live_fraction").set(live_fraction);
-    }
-
     /// Returns the up-to-date cube for `schema`'s dataset, materializing or
     /// refreshing it as needed.
     ///
@@ -281,7 +394,11 @@ impl CubeCatalog {
     /// and builds the cube; later calls compare the endpoint's mutation
     /// epoch with the entry's and replay deltas (or rebuild) when the store
     /// moved. Stale reads are impossible by construction: the epoch is
-    /// validated on every call.
+    /// validated on every call. The refresh itself runs on the caller's
+    /// thread but **outside** the slot lock, under the slot's maintenance
+    /// claim — a concurrent [`Self::serve_snapshot`] keeps serving the
+    /// pinned snapshot meanwhile. For reads that must not wait on
+    /// maintenance at all, use [`Self::serve_snapshot`].
     pub fn serve(
         &self,
         endpoint: &dyn Endpoint,
@@ -290,78 +407,173 @@ impl CubeCatalog {
         let _serve_span = obs::span("catalog.serve");
         self.metrics.counter("catalog.serve.calls").inc();
         let slot = self.slot(&schema.dataset);
-        let mut guard = slot.lock();
-        match guard.as_mut() {
-            Some(entry) => {
-                let now = endpoint.epoch();
-                if entry.epoch == now {
-                    self.metrics.counter("catalog.serve.hits").inc();
-                    return Ok(entry.cube.clone());
-                }
-                let started = Instant::now();
-                let from_epoch = entry.epoch;
-                let old_rows = entry.cube.row_count();
-                let old_tombstoned = entry.cube.tombstoned_rows();
-                let old_live = entry.cube.live_row_count();
-                let old_members = member_total(&entry.cube);
-                let (cube, strategy, reason, deltas_applied, to_epoch) =
-                    match endpoint.deltas_since(from_epoch) {
-                        Some(deltas) => {
-                            // The epoch the replay catches the entry up to:
-                            // the last recorded delta (mutations racing in
-                            // after `now` was read are replayed next time).
-                            let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
-                            let replay = {
-                                let _replay_span = obs::span("catalog.delta-replay");
-                                entry.cube.apply_delta(&deltas)
-                            };
-                            match replay {
-                                Ok(cube) if needs_compaction(&cube) => {
-                                    // The delta applied, but the tombstones
-                                    // it (and earlier refreshes) left now
-                                    // dominate the columns: re-materialize
-                                    // while the reason is recorded.
-                                    let reason = RebuildReason::LowLiveFraction {
-                                        live_rows: cube.live_row_count(),
-                                        total_rows: cube.row_count(),
-                                    };
-                                    let rebuilt = {
-                                        let _rebuild_span = obs::span("catalog.rebuild");
-                                        MaterializedCube::from_endpoint(endpoint, schema)?
-                                    };
-                                    (
-                                        rebuilt,
-                                        MaintenanceStrategy::Compaction,
-                                        Some(reason),
-                                        deltas.len(),
-                                        now,
-                                    )
-                                }
-                                Ok(cube) => {
-                                    (cube, MaintenanceStrategy::Delta, None, deltas.len(), caught_up)
-                                }
-                                Err(error) => {
-                                    let reason = match error {
-                                        CubeStoreError::DeltaUnsupported(refusal) => {
-                                            RebuildReason::DeltaRefused(refusal)
-                                        }
-                                        other => RebuildReason::Error(other.to_string()),
-                                    };
-                                    let rebuilt = {
-                                        let _rebuild_span = obs::span("catalog.rebuild");
-                                        MaterializedCube::from_endpoint(endpoint, schema)?
-                                    };
-                                    (
-                                        rebuilt,
-                                        MaintenanceStrategy::Rebuild,
-                                        Some(reason),
-                                        deltas.len(),
-                                        now,
-                                    )
-                                }
-                            }
+        loop {
+            let mut st = slot.state.lock();
+            match st.entry.as_ref() {
+                Some(entry) => {
+                    let now = endpoint.epoch();
+                    if entry.served_epoch() == now {
+                        self.metrics.counter("catalog.serve.hits").inc();
+                        return Ok(entry.served_cube().clone());
+                    }
+                    if st.refreshing {
+                        // Maintenance in flight: freshness requires its
+                        // result, so wait for the claim and re-examine.
+                        st = slot.wait(st);
+                        continue;
+                    }
+                    let old = entry.served_cube().clone();
+                    let from_epoch = entry.served_epoch();
+                    st.refreshing = true;
+                    drop(st);
+                    // The actual refresh runs with no lock held.
+                    let outcome = self.refresh(endpoint, schema, &old, from_epoch, now);
+                    let result = match outcome {
+                        Ok((cube, report)) => {
+                            let mut st = slot.state.lock();
+                            st.refreshing = false;
+                            let entry =
+                                st.entry.as_mut().expect("entry present while claim held");
+                            entry.publish_base(cube.clone(), report.to_epoch);
+                            record_report_metrics(&self.metrics, &report, &cube);
+                            entry.record(report);
+                            Ok(cube)
                         }
-                        None => {
+                        Err(error) => {
+                            slot.state.lock().refreshing = false;
+                            Err(error)
+                        }
+                    };
+                    slot.maintenance_done.notify_all();
+                    return result;
+                }
+                None => {
+                    if st.refreshing {
+                        st = slot.wait(st);
+                        continue;
+                    }
+                    st.refreshing = true;
+                    drop(st);
+                    let outcome = self.first_build(endpoint, schema);
+                    let result = match outcome {
+                        Ok((cube, epoch, report)) => {
+                            let mut st = slot.state.lock();
+                            st.refreshing = false;
+                            record_report_metrics(&self.metrics, &report, &cube);
+                            let mut reports = ReportLog::new();
+                            reports.push(report);
+                            st.entry = Some(CatalogEntry {
+                                base: cube.clone(),
+                                base_epoch: epoch,
+                                overlay: None,
+                                reports,
+                            });
+                            Ok(cube)
+                        }
+                        Err(error) => {
+                            slot.state.lock().refreshing = false;
+                            Err(error)
+                        }
+                    };
+                    slot.maintenance_done.notify_all();
+                    return result;
+                }
+            }
+        }
+    }
+
+    /// First materialization of a dataset: enable change tracking, then
+    /// build. The epoch is read *before* the build: a mutation racing with
+    /// the build is re-examined (and, being already materialized, resolved
+    /// by a rebuild) rather than silently skipped.
+    fn first_build(
+        &self,
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+    ) -> Result<(Arc<MaterializedCube>, u64, MaintenanceReport), CubeStoreError> {
+        endpoint.enable_change_tracking();
+        let epoch = endpoint.epoch();
+        let started = Instant::now();
+        let cube = {
+            let _build_span = obs::span("catalog.fresh-build");
+            Arc::new(MaterializedCube::from_endpoint(endpoint, schema)?)
+        };
+        let report = MaintenanceReport {
+            dataset: schema.dataset.clone(),
+            strategy: MaintenanceStrategy::Fresh,
+            reason: None,
+            duration: started.elapsed(),
+            from_epoch: epoch,
+            to_epoch: epoch,
+            deltas_applied: 0,
+            rows_appended: cube.row_count(),
+            rows_removed: 0,
+            members_added: member_total(&cube),
+            overlap: None,
+        };
+        Ok((cube, epoch, report))
+    }
+
+    /// Brings `old` (the served cube at `from_epoch`) up to date on the
+    /// caller's thread: delta replay when possible, compaction or rebuild
+    /// otherwise. Runs with no catalog lock held; the caller owns the
+    /// slot's maintenance claim.
+    fn refresh(
+        &self,
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+        old: &Arc<MaterializedCube>,
+        from_epoch: u64,
+        now: u64,
+    ) -> Result<(Arc<MaterializedCube>, MaintenanceReport), CubeStoreError> {
+        let started = Instant::now();
+        let old_rows = old.row_count();
+        let old_tombstoned = old.tombstoned_rows();
+        let old_live = old.live_row_count();
+        let old_members = member_total(old);
+        let (cube, strategy, reason, deltas_applied, to_epoch) =
+            match endpoint.deltas_since(from_epoch) {
+                Some(deltas) => {
+                    // The epoch the replay catches the entry up to:
+                    // the last recorded delta (mutations racing in
+                    // after `now` was read are replayed next time).
+                    let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
+                    let replay = {
+                        let _replay_span = obs::span("catalog.delta-replay");
+                        old.apply_delta(&deltas)
+                    };
+                    match replay {
+                        Ok(cube) if needs_compaction(&cube) => {
+                            // The delta applied, but the tombstones
+                            // it (and earlier refreshes) left now
+                            // dominate the columns: re-materialize
+                            // while the reason is recorded.
+                            let reason = RebuildReason::LowLiveFraction {
+                                live_rows: cube.live_row_count(),
+                                total_rows: cube.row_count(),
+                            };
+                            let rebuilt = {
+                                let _rebuild_span = obs::span("catalog.rebuild");
+                                MaterializedCube::from_endpoint(endpoint, schema)?
+                            };
+                            (
+                                rebuilt,
+                                MaintenanceStrategy::Compaction,
+                                Some(reason),
+                                deltas.len(),
+                                now,
+                            )
+                        }
+                        Ok(cube) => {
+                            (cube, MaintenanceStrategy::Delta, None, deltas.len(), caught_up)
+                        }
+                        Err(error) => {
+                            let reason = match error {
+                                CubeStoreError::DeltaUnsupported(refusal) => {
+                                    RebuildReason::DeltaRefused(refusal)
+                                }
+                                other => RebuildReason::Error(other.to_string()),
+                            };
                             let rebuilt = {
                                 let _rebuild_span = obs::span("catalog.rebuild");
                                 MaterializedCube::from_endpoint(endpoint, schema)?
@@ -369,79 +581,349 @@ impl CubeCatalog {
                             (
                                 rebuilt,
                                 MaintenanceStrategy::Rebuild,
-                                Some(RebuildReason::ChangeLogGap),
-                                0,
+                                Some(reason),
+                                deltas.len(),
                                 now,
                             )
                         }
+                    }
+                }
+                None => {
+                    let rebuilt = {
+                        let _rebuild_span = obs::span("catalog.rebuild");
+                        MaterializedCube::from_endpoint(endpoint, schema)?
                     };
-                let cube = Arc::new(cube);
-                // Appends grow the physical rows; removals grow the
-                // tombstone count. Rebuilds reset both, so they report the
-                // net live-row movement instead.
-                let (rows_appended, rows_removed) = match strategy {
-                    MaintenanceStrategy::Delta => (
-                        cube.row_count().saturating_sub(old_rows),
-                        cube.tombstoned_rows().saturating_sub(old_tombstoned),
-                    ),
-                    _ => (
-                        cube.live_row_count().saturating_sub(old_live),
-                        old_live.saturating_sub(cube.live_row_count()),
-                    ),
-                };
-                entry.cube = cube.clone();
-                entry.epoch = to_epoch;
-                let report = MaintenanceReport {
-                    dataset: schema.dataset.clone(),
-                    strategy,
-                    reason,
-                    duration: started.elapsed(),
-                    from_epoch,
-                    to_epoch,
-                    deltas_applied,
-                    rows_appended,
-                    rows_removed,
-                    members_added: member_total(&cube).saturating_sub(old_members),
-                };
-                self.observe_report(&report, &cube);
-                entry.record(report);
-                Ok(cube)
+                    (
+                        rebuilt,
+                        MaintenanceStrategy::Rebuild,
+                        Some(RebuildReason::ChangeLogGap),
+                        0,
+                        now,
+                    )
+                }
+            };
+        let cube = Arc::new(cube);
+        // Appends grow the physical rows; removals grow the
+        // tombstone count. Rebuilds reset both, so they report the
+        // net live-row movement instead.
+        let (rows_appended, rows_removed) = match strategy {
+            MaintenanceStrategy::Delta => (
+                cube.row_count().saturating_sub(old_rows),
+                cube.tombstoned_rows().saturating_sub(old_tombstoned),
+            ),
+            _ => (
+                cube.live_row_count().saturating_sub(old_live),
+                old_live.saturating_sub(cube.live_row_count()),
+            ),
+        };
+        let report = MaintenanceReport {
+            dataset: schema.dataset.clone(),
+            strategy,
+            reason,
+            duration: started.elapsed(),
+            from_epoch,
+            to_epoch,
+            deltas_applied,
+            rows_appended,
+            rows_removed,
+            members_added: member_total(&cube).saturating_sub(old_members),
+            overlap: None,
+        };
+        Ok((cube, report))
+    }
+
+    /// Returns a pinned [`CubeSnapshot`] for `schema`'s dataset **without
+    /// ever waiting on maintenance**: the caller gets the current base +
+    /// overlay immediately and executes against it lock-free.
+    ///
+    /// When the store moved, the catalog catches up in the cheapest way
+    /// that does not block the reader:
+    ///
+    /// * appliable deltas are **accreted inline** into a new overlay in
+    ///   O(delta) — this serve returns the caught-up snapshot, and the
+    ///   refresh is recorded as [`MaintenanceStrategy::Overlay`];
+    /// * structural changes (refused delta, change-log gap) hand the
+    ///   rebuild to a **background fold thread** working from the frozen
+    ///   [`sparql::Endpoint::background_handle`]; this serve — and every
+    ///   one until the fold publishes — returns the stale-but-consistent
+    ///   pinned snapshot (`catalog.overlay.stale_serves` counts them, the
+    ///   `catalog.overlay.lag` gauge tracks how far behind they are);
+    /// * tombstones past [`COMPACTION_LIVE_FRACTION`] likewise compact in
+    ///   the background while the overlay keeps serving.
+    ///
+    /// Endpoints without a background handle (e.g. the conservative
+    /// wrappers) degrade structural maintenance to the blocking path, and
+    /// the `QB2OLAP_NO_OVERLAY` kill switch degrades every call to
+    /// [`Self::serve`] — results are bit-identical either way, which the
+    /// overlay differential campaigns pin.
+    pub fn serve_snapshot(
+        &self,
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+    ) -> Result<CubeSnapshot, CubeStoreError> {
+        let _snapshot_span = obs::span("catalog.serve-snapshot");
+        self.metrics.counter("catalog.overlay.serve_calls").inc();
+        if !overlay_enabled() {
+            self.serve(endpoint, schema)?;
+            return Ok(self
+                .current_snapshot(&schema.dataset)
+                .expect("entry exists after a successful serve"));
+        }
+        let slot = self.slot(&schema.dataset);
+        {
+            let mut st = slot.state.lock();
+            if let Some(entry) = st.entry.as_ref() {
+                let now = endpoint.epoch();
+                let pinned = entry.snapshot();
+                let lag = now.saturating_sub(pinned.epoch());
+                self.metrics.gauge("catalog.overlay.lag").set(lag as f64);
+                if lag == 0 {
+                    self.metrics.counter("catalog.overlay.hits").inc();
+                    return Ok(pinned);
+                }
+                if st.refreshing {
+                    // Maintenance already in flight: serve the stale pin
+                    // rather than wait for it.
+                    self.metrics.counter("catalog.overlay.stale_serves").inc();
+                    return Ok(pinned);
+                }
+                st.refreshing = true;
+                drop(st);
+                return self.accrete_or_fold(endpoint, schema, &slot, pinned, now);
             }
-            None => {
-                // Track changes from here on, so the next refresh can take
-                // the delta path. The epoch is read *before* the build: a
-                // mutation racing with the build is re-examined (and, being
-                // already materialized, resolved by a rebuild) rather than
-                // silently skipped.
-                endpoint.enable_change_tracking();
-                let epoch = endpoint.epoch();
-                let started = Instant::now();
-                let cube = {
-                    let _build_span = obs::span("catalog.fresh-build");
-                    Arc::new(MaterializedCube::from_endpoint(endpoint, schema)?)
+        }
+        // First build: there is no stale snapshot to serve meanwhile, so
+        // this one call is blocking by necessity.
+        self.serve(endpoint, schema)?;
+        Ok(self
+            .current_snapshot(&schema.dataset)
+            .expect("entry exists after a successful serve"))
+    }
+
+    /// The catch-up half of [`Self::serve_snapshot`]. Runs with the slot's
+    /// maintenance claim held and no lock: accretes appliable deltas into
+    /// the overlay inline, or hands structural work to a background fold.
+    fn accrete_or_fold(
+        &self,
+        endpoint: &dyn Endpoint,
+        schema: &CubeSchema,
+        slot: &EntrySlot,
+        pinned: CubeSnapshot,
+        now: u64,
+    ) -> Result<CubeSnapshot, CubeStoreError> {
+        let from_epoch = pinned.epoch();
+        let started = Instant::now();
+        let accreted = match endpoint.deltas_since(from_epoch) {
+            Some(deltas) => {
+                let caught_up = deltas.last().map(|d| d.epoch).unwrap_or(now);
+                let merged = {
+                    let _accrete_span = obs::span("catalog.overlay-accrete");
+                    pinned.cube().apply_delta(&deltas)
                 };
+                match merged {
+                    Ok(merged) => Ok((Arc::new(merged), caught_up, deltas.len())),
+                    Err(CubeStoreError::DeltaUnsupported(refusal)) => {
+                        Err(RebuildReason::DeltaRefused(refusal))
+                    }
+                    Err(other) => {
+                        // Non-refusal failure: release the claim and
+                        // surface the error (the blocking path does the
+                        // same after its rebuild attempt fails).
+                        slot.release_claim();
+                        return Err(other);
+                    }
+                }
+            }
+            None => Err(RebuildReason::ChangeLogGap),
+        };
+        match accreted {
+            Ok((merged, caught_up, deltas_applied)) => {
+                let prior_deltas =
+                    pinned.overlay().map(|o| o.deltas_applied()).unwrap_or(0);
+                let overlay = Arc::new(DeltaOverlay::new(
+                    pinned.base(),
+                    pinned.base_epoch(),
+                    merged.clone(),
+                    caught_up,
+                    prior_deltas,
+                    deltas_applied,
+                ));
                 let report = MaintenanceReport {
                     dataset: schema.dataset.clone(),
-                    strategy: MaintenanceStrategy::Fresh,
+                    strategy: MaintenanceStrategy::Overlay,
                     reason: None,
                     duration: started.elapsed(),
-                    from_epoch: epoch,
-                    to_epoch: epoch,
-                    deltas_applied: 0,
-                    rows_appended: cube.row_count(),
-                    rows_removed: 0,
-                    members_added: member_total(&cube),
+                    from_epoch,
+                    to_epoch: caught_up,
+                    deltas_applied,
+                    rows_appended: merged.row_count().saturating_sub(pinned.cube().row_count()),
+                    rows_removed: merged
+                        .tombstoned_rows()
+                        .saturating_sub(pinned.cube().tombstoned_rows()),
+                    members_added: member_total(&merged)
+                        .saturating_sub(member_total(pinned.cube())),
+                    overlap: None,
                 };
-                self.observe_report(&report, &cube);
-                let mut reports = ReportLog::new();
-                reports.push(report);
-                *guard = Some(CatalogEntry {
-                    cube: cube.clone(),
-                    epoch,
-                    reports,
-                });
-                Ok(cube)
+                let wants_compaction = needs_compaction(&merged);
+                let mut st = slot.state.lock();
+                st.refreshing = false;
+                let entry = st.entry.as_mut().expect("entry present while claim held");
+                entry.overlay = Some(overlay.clone());
+                record_report_metrics(&self.metrics, &report, &merged);
+                self.metrics.counter("catalog.overlay.accretions").inc();
+                self.metrics
+                    .gauge("catalog.overlay.rows")
+                    .set(overlay.rows_appended() as f64);
+                entry.record(report);
+                let snapshot = entry.snapshot();
+                if wants_compaction {
+                    if let Some(handle) = endpoint.background_handle() {
+                        // Tombstones dominate: fold in the background.
+                        // Readers keep the overlay until the compacted
+                        // base lands.
+                        let reason = RebuildReason::LowLiveFraction {
+                            live_rows: merged.live_row_count(),
+                            total_rows: merged.row_count(),
+                        };
+                        st.refreshing = true;
+                        drop(st);
+                        self.spawn_fold(
+                            slot.clone(),
+                            schema.clone(),
+                            handle,
+                            MaintenanceStrategy::Compaction,
+                            reason,
+                        );
+                        return Ok(snapshot);
+                    }
+                }
+                drop(st);
+                slot.maintenance_done.notify_all();
+                Ok(snapshot)
             }
+            Err(reason) => {
+                // Structural change: the overlay cannot absorb it. Rebuild
+                // in the background from a frozen store handle and keep
+                // serving the stale pin meanwhile.
+                match endpoint.background_handle() {
+                    Some(handle) => {
+                        self.metrics.counter("catalog.overlay.stale_serves").inc();
+                        self.spawn_fold(
+                            slot.clone(),
+                            schema.clone(),
+                            handle,
+                            MaintenanceStrategy::Rebuild,
+                            reason,
+                        );
+                        Ok(pinned)
+                    }
+                    None => {
+                        // No epoch-consistent handle (conservative
+                        // endpoints): degrade to the blocking path.
+                        slot.release_claim();
+                        self.serve(endpoint, schema)?;
+                        Ok(self
+                            .current_snapshot(&schema.dataset)
+                            .expect("entry exists after a successful serve"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns the background fold thread. The caller must hold the slot's
+    /// maintenance claim; the thread inherits it and releases it when the
+    /// fold publishes (or fails). The fold reads from `handle` — a frozen,
+    /// epoch-consistent store copy — so a rebuild racing live writers
+    /// still materializes one well-defined state.
+    fn spawn_fold(
+        &self,
+        slot: EntrySlot,
+        schema: CubeSchema,
+        handle: Arc<dyn Endpoint + Send + Sync>,
+        strategy: MaintenanceStrategy,
+        reason: RebuildReason,
+    ) {
+        self.metrics.counter("catalog.overlay.folds_started").inc();
+        let metrics = self.metrics.clone();
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            // catch_unwind so a panicking build can never strand the
+            // maintenance claim (waiters also tick on a timeout, but the
+            // claim must still be released).
+            let built = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _fold_span = obs::span("catalog.fold");
+                let target_epoch = handle.epoch();
+                let _rebuild_span = obs::span("catalog.rebuild");
+                MaterializedCube::from_endpoint(handle.as_ref(), &schema)
+                    .map(|cube| (Arc::new(cube), target_epoch))
+            }));
+            let mut st = slot.state.lock();
+            st.refreshing = false;
+            match built {
+                Ok(Ok((cube, target_epoch))) => {
+                    if let Some(entry) = st.entry.as_mut() {
+                        let old_live = entry.served_cube().live_row_count();
+                        let old_members = member_total(entry.served_cube());
+                        let window = started.elapsed();
+                        let report = MaintenanceReport {
+                            dataset: schema.dataset.clone(),
+                            strategy,
+                            reason: Some(reason),
+                            duration: window,
+                            from_epoch: entry.served_epoch(),
+                            to_epoch: target_epoch,
+                            deltas_applied: 0,
+                            rows_appended: cube.live_row_count().saturating_sub(old_live),
+                            rows_removed: old_live.saturating_sub(cube.live_row_count()),
+                            members_added: member_total(&cube).saturating_sub(old_members),
+                            overlap: Some(window),
+                        };
+                        entry.publish_base(cube.clone(), target_epoch);
+                        record_report_metrics(&metrics, &report, &cube);
+                        entry.record(report);
+                        metrics.counter("catalog.overlay.folds").inc();
+                        metrics.gauge("catalog.overlay.rows").set(0.0);
+                    }
+                }
+                Ok(Err(_)) | Err(_) => {
+                    // The entry stays as it was: stale but consistent.
+                    // The next blocking serve retries the rebuild inline
+                    // and surfaces the error to its caller.
+                    metrics.counter("catalog.overlay.fold_failures").inc();
+                }
+            }
+            drop(st);
+            slot.maintenance_done.notify_all();
+        });
+    }
+
+    /// The currently pinned snapshot of a dataset (base + overlay),
+    /// without refreshing or waiting — exactly what a concurrent
+    /// [`Self::serve_snapshot`] would be handed if the store had not
+    /// moved. `None` until the first build completes.
+    pub fn current_snapshot(&self, dataset: &Iri) -> Option<CubeSnapshot> {
+        self.existing_slot(dataset)
+            .and_then(|slot| slot.state.lock().entry.as_ref().map(|entry| entry.snapshot()))
+    }
+
+    /// True while a maintenance claim (refresh, accretion, or background
+    /// fold) is in flight for the dataset.
+    pub fn maintenance_in_flight(&self, dataset: &Iri) -> bool {
+        self.existing_slot(dataset)
+            .is_some_and(|slot| slot.state.lock().refreshing)
+    }
+
+    /// Blocks until no maintenance is in flight for the dataset. Tests,
+    /// benches and oracles use this to fence "fold-then-serve" against the
+    /// background fold; serving paths never need it.
+    pub fn wait_for_maintenance(&self, dataset: &Iri) {
+        let Some(slot) = self.existing_slot(dataset) else {
+            return;
+        };
+        let mut st = slot.state.lock();
+        while st.refreshing {
+            st = slot.wait(st);
         }
     }
 
@@ -460,14 +942,25 @@ impl CubeCatalog {
     /// [`ReportLog::CAPACITY`]).
     pub fn reports(&self, dataset: &Iri) -> Vec<MaintenanceReport> {
         self.existing_slot(dataset)
-            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.reports.to_vec()))
+            .and_then(|slot| {
+                slot.state
+                    .lock()
+                    .entry
+                    .as_ref()
+                    .map(|entry| entry.reports.to_vec())
+            })
             .unwrap_or_default()
     }
 
     /// The most recent maintenance report of a dataset.
     pub fn last_report(&self, dataset: &Iri) -> Option<MaintenanceReport> {
-        self.existing_slot(dataset)
-            .and_then(|slot| slot.lock().as_ref().and_then(|entry| entry.reports.last().cloned()))
+        self.existing_slot(dataset).and_then(|slot| {
+            slot.state
+                .lock()
+                .entry
+                .as_ref()
+                .and_then(|entry| entry.reports.last().cloned())
+        })
     }
 
     /// The datasets currently materialized.
@@ -475,11 +968,17 @@ impl CubeCatalog {
         self.inner.lock().keys().cloned().collect()
     }
 
-    /// The cube currently cached for a dataset, without refreshing it.
-    /// Useful for inspection; consumers should go through [`Self::serve`].
+    /// The cube currently served for a dataset (base + overlay when one is
+    /// accreted), without refreshing it. Useful for inspection; consumers
+    /// should go through [`Self::serve`] or [`Self::serve_snapshot`].
     pub fn peek(&self, dataset: &Iri) -> Option<Arc<MaterializedCube>> {
-        self.existing_slot(dataset)
-            .and_then(|slot| slot.lock().as_ref().map(|entry| entry.cube.clone()))
+        self.existing_slot(dataset).and_then(|slot| {
+            slot.state
+                .lock()
+                .entry
+                .as_ref()
+                .map(|entry| entry.served_cube().clone())
+        })
     }
 
     /// Drops a dataset's entry; the next [`Self::serve`] rebuilds it.
@@ -494,13 +993,6 @@ impl std::fmt::Debug for CubeCatalog {
             .field("datasets", &self.datasets())
             .finish()
     }
-}
-
-fn member_total(cube: &MaterializedCube) -> usize {
-    cube.levels()
-        .values()
-        .map(|index| index.member_count())
-        .sum()
 }
 
 #[cfg(test)]
@@ -531,6 +1023,7 @@ mod tests {
         let report = catalog.last_report(&schema.dataset).unwrap();
         assert_eq!(report.strategy, MaintenanceStrategy::Fresh);
         assert_eq!(report.rows_appended, 5);
+        assert!(report.overlap.is_none(), "caller-thread build: no overlap window");
         assert_eq!(catalog.datasets(), vec![schema.dataset.clone()]);
         assert!(catalog.peek(&schema.dataset).is_some());
     }
@@ -740,6 +1233,7 @@ mod tests {
             rows_appended: 1,
             rows_removed: 0,
             members_added: 0,
+            overlap: None,
         }
     }
 
@@ -941,5 +1435,196 @@ mod tests {
                 .all(|r| r.strategy != MaintenanceStrategy::Delta),
             "the delta path must be unreachable through a conservative endpoint"
         );
+    }
+
+    // ---- snapshot / overlay serving -----------------------------------
+
+    #[test]
+    fn serve_snapshot_accretes_appends_into_an_overlay() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+
+        let snapshot = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        snapshot.verify_consistent().unwrap();
+        assert!(snapshot.is_overlaid(), "the append lives in the overlay");
+        assert_eq!(snapshot.base().row_count(), 5, "the base is untouched");
+        assert_eq!(snapshot.cube().row_count(), 6);
+        assert_eq!(snapshot.epoch(), endpoint.epoch());
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Overlay);
+        assert_eq!(report.rows_appended, 1);
+        assert!(report.overlap.is_none());
+
+        // Overlay-served results are bit-identical to fold-then-serve
+        // (a scratch materialization of the same store state).
+        let scratch = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(
+            execute(snapshot.cube(), &CubeQuery::default()).unwrap(),
+            execute(&scratch, &CubeQuery::default()).unwrap()
+        );
+        // A blocking serve sees the caught-up overlay as fresh state: it
+        // serves the merged cube as a hit rather than folding eagerly.
+        let served = catalog.serve(&endpoint, &schema).unwrap();
+        assert!(Arc::ptr_eq(&served, snapshot.cube()));
+    }
+
+    #[test]
+    fn overlay_accretion_is_cumulative_until_a_fold() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+        let first = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        endpoint.insert_triples(&observation_triples("o7", "c2", "m2", 2, 2)).unwrap();
+        let second = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+
+        // The first pin is immutable: still 6 rows at its epoch.
+        first.verify_consistent().unwrap();
+        assert_eq!(first.cube().row_count(), 6);
+        // The second accreted on top: same base, deeper overlay.
+        second.verify_consistent().unwrap();
+        assert!(Arc::ptr_eq(first.base(), second.base()), "one shared base");
+        assert_eq!(second.cube().row_count(), 7);
+        let overlay = second.overlay().unwrap();
+        assert_eq!(overlay.rows_appended(), 2, "cumulative vs the base");
+        assert_eq!(overlay.deltas_applied(), 2);
+        assert!(second.epoch() > first.epoch());
+    }
+
+    #[test]
+    fn unchanged_store_pins_the_same_snapshot_without_maintenance() {
+        let (endpoint, schema, catalog) = setup();
+        let first = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        let report_count = catalog.reports(&schema.dataset).len();
+        let second = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        assert!(Arc::ptr_eq(first.cube(), second.cube()));
+        assert_eq!(catalog.reports(&schema.dataset).len(), report_count);
+        let metrics = catalog.metrics().snapshot();
+        assert_eq!(metrics.counter("catalog.overlay.hits"), 1);
+        assert_eq!(metrics.gauge("catalog.overlay.lag"), Some(0.0));
+    }
+
+    #[test]
+    fn structural_change_folds_in_the_background_and_serves_stale() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        let before_epoch = endpoint.epoch();
+        // Cut a roll-up link: structural, refused by the delta classifier.
+        assert!(endpoint
+            .store()
+            .remove(&qb4olap::rollup_triple(&member("c1"), &member("K1"))));
+
+        let stale = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        // The reader was never blocked: it got the pre-mutation pin.
+        stale.verify_consistent().unwrap();
+        assert_eq!(stale.epoch(), before_epoch);
+        assert_eq!(stale.cube().row_count(), 5);
+
+        catalog.wait_for_maintenance(&schema.dataset);
+        let fresh = catalog.current_snapshot(&schema.dataset).unwrap();
+        assert!(!fresh.is_overlaid());
+        assert_eq!(fresh.base_epoch(), endpoint.epoch());
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+        assert!(
+            matches!(&report.reason, Some(RebuildReason::DeltaRefused(_))),
+            "{:?}",
+            report.reason
+        );
+        assert!(report.overlap.is_some(), "background fold records its window");
+        // The folded base matches a scratch materialization.
+        let scratch = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(
+            execute(fresh.cube(), &CubeQuery::default()).unwrap(),
+            execute(&scratch, &CubeQuery::default()).unwrap()
+        );
+        let metrics = catalog.metrics().snapshot();
+        assert_eq!(metrics.counter("catalog.overlay.folds_started"), 1);
+        assert_eq!(metrics.counter("catalog.overlay.folds"), 1);
+        assert_eq!(metrics.counter("catalog.overlay.fold_failures"), 0);
+    }
+
+    #[test]
+    fn overlay_past_the_compaction_threshold_compacts_in_the_background() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve(&endpoint, &schema).unwrap();
+        for (name, city, month, value, score) in
+            [("o1", "c1", "m1", 10, 4), ("o3", "c2", "m1", 5, 1), ("o4", "c3", "m1", 100, 9)]
+        {
+            endpoint
+                .store()
+                .remove_all(&observation_triples(name, city, month, value, score));
+        }
+        // The snapshot path accretes the tombstones inline and returns
+        // immediately — compaction happens behind it.
+        let snapshot = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        snapshot.verify_consistent().unwrap();
+        assert!(snapshot.is_overlaid());
+        assert_eq!(snapshot.cube().live_row_count(), 2);
+        assert_eq!(snapshot.cube().tombstoned_rows(), 3);
+
+        catalog.wait_for_maintenance(&schema.dataset);
+        // Both decisions were recorded: the inline accretion first, the
+        // background compaction after (read only after the fence — the
+        // fold thread may finish arbitrarily fast).
+        assert!(catalog
+            .reports(&schema.dataset)
+            .iter()
+            .any(|r| r.strategy == MaintenanceStrategy::Overlay));
+        let compacted = catalog.current_snapshot(&schema.dataset).unwrap();
+        assert!(!compacted.is_overlaid());
+        assert_eq!(compacted.cube().row_count(), 2, "dead rows reclaimed");
+        assert_eq!(compacted.cube().tombstoned_rows(), 0);
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Compaction);
+        assert!(matches!(
+            report.reason,
+            Some(RebuildReason::LowLiveFraction { live_rows: 2, total_rows: 5 })
+        ));
+        assert!(report.overlap.is_some());
+        // Identical results before and after the background compaction.
+        assert_eq!(
+            execute(snapshot.cube(), &CubeQuery::default()).unwrap(),
+            execute(compacted.cube(), &CubeQuery::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn conservative_endpoint_degrades_snapshot_serving_to_blocking() {
+        use sparql::ConservativeEndpoint;
+
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let conservative = ConservativeEndpoint::with_epochs(endpoint);
+        let catalog = CubeCatalog::new();
+        catalog.serve_snapshot(&conservative, &schema).unwrap();
+        conservative
+            .insert_triples(&observation_triples("o6", "c2", "m2", 2, 2))
+            .unwrap();
+        // No background handle: the epoch change degrades to an inline
+        // blocking rebuild — fresh, not stale.
+        let snapshot = catalog.serve_snapshot(&conservative, &schema).unwrap();
+        assert!(!snapshot.is_overlaid());
+        assert_eq!(snapshot.cube().row_count(), 6);
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(report.strategy, MaintenanceStrategy::Rebuild);
+        assert!(report.overlap.is_none(), "inline fallback, no stale window");
+        assert!(!catalog.maintenance_in_flight(&schema.dataset));
+    }
+
+    #[test]
+    fn snapshot_refreshes_feed_the_overlay_metrics() {
+        let (endpoint, schema, catalog) = setup();
+        catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        endpoint.insert_triples(&observation_triples("o6", "c1", "m1", 3, 3)).unwrap();
+        catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        catalog.serve_snapshot(&endpoint, &schema).unwrap();
+
+        let metrics = catalog.metrics().snapshot();
+        assert_eq!(metrics.counter("catalog.overlay.serve_calls"), 3);
+        assert_eq!(metrics.counter("catalog.overlay.accretions"), 1);
+        assert_eq!(metrics.counter("catalog.refresh.overlay"), 1);
+        assert_eq!(metrics.counter("catalog.overlay.hits"), 1);
+        assert_eq!(metrics.gauge("catalog.overlay.rows"), Some(1.0));
+        assert_eq!(metrics.counter("catalog.overlay.folds_started"), 0);
     }
 }

@@ -295,6 +295,30 @@ pub fn execute(cube: &MaterializedCube, query: &CubeQuery) -> Result<QueryOutput
     execute_with_threads(cube, query, auto_scan_threads(cube))
 }
 
+/// [`execute`] against a pinned [`crate::overlay::CubeSnapshot`]: runs over
+/// the snapshot's merged cube (base + overlay), which shares every sealed
+/// segment with the base, so overlay rows go through exactly the same
+/// compiled filters, roll-up maps, zone-map pruning and compensated-sum
+/// partials as folded rows — results are bit-identical to executing a
+/// fully-folded cube at the snapshot's epoch. The caller holds the
+/// snapshot by value; no catalog lock is touched during execution.
+pub fn execute_snapshot(
+    snapshot: &crate::overlay::CubeSnapshot,
+    query: &CubeQuery,
+) -> Result<QueryOutput, CubeStoreError> {
+    execute(snapshot.cube(), query)
+}
+
+/// [`execute_snapshot`] with per-phase timings — the snapshot analogue of
+/// [`execute_traced`]. The QL layer appends the snapshot's `OVERLAY` plan
+/// line to the returned profile so overlay serving shows up in `explain`.
+pub fn execute_snapshot_traced(
+    snapshot: &crate::overlay::CubeSnapshot,
+    query: &CubeQuery,
+) -> Result<(QueryOutput, ExecutionProfile, ScanStats), CubeStoreError> {
+    execute_traced(snapshot.cube(), query)
+}
+
 /// The scan thread count [`execute`] picks for a cube: all available
 /// cores once the cube is large enough to amortize spawning workers,
 /// one below that. "Large enough" counts **live** rows: a

@@ -59,9 +59,19 @@
 //!   [`catalog::MaintenanceReport`] (the full decision table is in the
 //!   [`delta`] module docs).
 //!
+//! * reads never have to wait on any of that:
+//!   [`catalog::CubeCatalog::serve_snapshot`] pins an immutable
+//!   [`overlay::CubeSnapshot`] — the last folded base plus a
+//!   [`overlay::DeltaOverlay`] of changes accreted since — while
+//!   structural rebuilds and compactions run on a **background fold
+//!   thread** and publish the new base with an atomic swap (the
+//!   [`overlay`] module documents why merged results stay bit-identical
+//!   to a full fold).
+//!
 //! The repo-level `ARCHITECTURE.md` places this crate in the overall
 //! system and spells out the COW/tombstone invariants; EXPERIMENTS.md
-//! §E12–§E13 quantify the refresh costs.
+//! §E12–§E13 quantify the refresh costs and §E18 the read latency held
+//! during a forced background rebuild.
 
 #![deny(missing_docs)]
 
@@ -75,6 +85,7 @@ pub mod error;
 pub mod executor;
 pub mod hierarchy;
 pub mod observations;
+pub mod overlay;
 #[cfg(test)]
 mod refusal_suite;
 pub mod tombstone;
@@ -90,13 +101,14 @@ pub use cowvec::CowVec;
 pub use dictionary::{Dictionary, MemberId, AMBIGUOUS_MEMBER, NO_MEMBER};
 pub use error::{CubeStoreError, DeltaRefusal, RefusalKind};
 pub use executor::{
-    auto_scan_threads, execute, execute_traced, execute_traced_with_options,
-    execute_traced_with_threads, execute_with_options, execute_with_stats, execute_with_threads,
-    pruning_enabled, AxisSpec, CubeQuery, ExecOptions, MeasureFilter, MemberFilter,
-    MemberPredicate, OutputCell, QueryOutput, ScanStats,
+    auto_scan_threads, execute, execute_snapshot, execute_snapshot_traced, execute_traced,
+    execute_traced_with_options, execute_traced_with_threads, execute_with_options,
+    execute_with_stats, execute_with_threads, pruning_enabled, AxisSpec, CubeQuery, ExecOptions,
+    MeasureFilter, MemberFilter, MemberPredicate, OutputCell, QueryOutput, ScanStats,
 };
 pub use hierarchy::{LevelIndex, RollupMap};
 pub use observations::ObservationIndex;
+pub use overlay::{overlay_enabled, CubeSnapshot, DeltaOverlay};
 pub use tombstone::Tombstones;
 pub use zonemap::ZoneMaps;
 

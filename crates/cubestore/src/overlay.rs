@@ -1,0 +1,347 @@
+//! The delta overlay: non-blocking serving of a base cube plus pending
+//! changes.
+//!
+//! A [`CubeSnapshot`] is what the catalog hands a reader: an immutable
+//! `Arc` pair of the last fully-folded **base** cube and an optional
+//! [`DeltaOverlay`] holding every change accreted since — appended rows,
+//! tombstoned rows and new members, already merged into a copy-on-write
+//! cube that shares all sealed segments with the base. Readers execute
+//! against [`CubeSnapshot::cube`] without ever holding a catalog lock, so
+//! a background fold or rebuild can run concurrently and publish its
+//! result with an atomic swap.
+//!
+//! ## Why the merged overlay is bit-identical to a fold
+//!
+//! Overlay rows enter through [`MaterializedCube::apply_delta`] — the same
+//! code path a blocking delta refresh uses. That means:
+//!
+//! * overlay rows are dictionary-encoded against the **same** (extended)
+//!   dictionaries and run through the same compiled roll-up maps, so a
+//!   scan cannot tell an overlay row from a folded one;
+//! * aggregation order does not matter: integer sums are exact `i128`
+//!   partials and float sums are compensated (see `sparql::numeric`), so
+//!   `base rows ⊕ overlay rows` equals any re-folded row order bit for
+//!   bit;
+//! * tombstone masks only ever *remove* rows from consideration and
+//!   `apply_delta` maintains the per-segment zone maps exactly (appends
+//!   extend only the tail entry, tombstones never loosen bounds), so
+//!   segment pruning commutes with the overlay: a segment pruned on the
+//!   merged cube contains no row a folded cube would have scanned.
+//!
+//! The `QB2OLAP_NO_OVERLAY` environment variable (mirroring
+//! `QB2OLAP_NO_PRUNE`) forces every snapshot serve down the blocking
+//! fold-then-serve path, as a differential kill switch.
+
+use std::sync::Arc;
+
+use crate::build::MaterializedCube;
+
+/// True unless the `QB2OLAP_NO_OVERLAY` kill switch is set (non-empty,
+/// not `"0"`). With the switch thrown, [`crate::CubeCatalog::serve_snapshot`]
+/// degrades to the blocking fold-then-serve path — results must be
+/// bit-identical either way, which is exactly what the differential
+/// campaigns check.
+pub fn overlay_enabled() -> bool {
+    !std::env::var("QB2OLAP_NO_OVERLAY").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Total number of level members a cube serves (all levels summed).
+pub(crate) fn member_total(cube: &MaterializedCube) -> usize {
+    cube.levels().values().map(|index| index.member_count()).sum()
+}
+
+/// The changes accreted on top of a base cube since its last fold:
+/// appended rows, tombstoned base rows and new members, held as an
+/// immutable merged cube that shares every sealed segment with the base.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay {
+    /// Base + overlay, merged through `apply_delta` (COW: sealed segments
+    /// are `Arc`-shared with the base cube).
+    merged: Arc<MaterializedCube>,
+    /// Physical row count of the base the overlay was accreted on — the
+    /// consistency anchor a torn snapshot would violate.
+    base_rows: usize,
+    /// Epoch of the base the overlay was accreted on.
+    base_epoch: u64,
+    /// The store epoch the overlay catches the snapshot up to.
+    epoch: u64,
+    /// Store deltas accreted into the overlay (cumulative since the base).
+    deltas_applied: usize,
+    /// Rows appended on top of the base.
+    rows_appended: usize,
+    /// Base (or earlier-overlay) rows tombstoned by the overlay.
+    rows_tombstoned: usize,
+    /// Level members added by the overlay.
+    members_added: usize,
+}
+
+impl DeltaOverlay {
+    /// Builds the overlay bookkeeping for `merged`, accreted on `base` at
+    /// `base_epoch`, catching up to `epoch`. `prior_deltas` carries the
+    /// delta count of the overlay this one replaces (accretion is
+    /// cumulative until a fold resets the base).
+    pub(crate) fn new(
+        base: &MaterializedCube,
+        base_epoch: u64,
+        merged: Arc<MaterializedCube>,
+        epoch: u64,
+        prior_deltas: usize,
+        newly_applied: usize,
+    ) -> Self {
+        DeltaOverlay {
+            base_rows: base.row_count(),
+            base_epoch,
+            epoch,
+            deltas_applied: prior_deltas + newly_applied,
+            rows_appended: merged.row_count().saturating_sub(base.row_count()),
+            rows_tombstoned: merged.tombstoned_rows().saturating_sub(base.tombstoned_rows()),
+            members_added: member_total(&merged).saturating_sub(member_total(base)),
+            merged,
+        }
+    }
+
+    /// The merged cube (base + overlay) readers scan.
+    pub fn merged(&self) -> &Arc<MaterializedCube> {
+        &self.merged
+    }
+
+    /// The store epoch the overlay catches the snapshot up to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of the base cube the overlay was accreted on.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// Physical row count of the base cube the overlay was accreted on.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Store deltas accreted since the base was last folded.
+    pub fn deltas_applied(&self) -> usize {
+        self.deltas_applied
+    }
+
+    /// Rows the overlay appended on top of the base.
+    pub fn rows_appended(&self) -> usize {
+        self.rows_appended
+    }
+
+    /// Base rows the overlay tombstoned.
+    pub fn rows_tombstoned(&self) -> usize {
+        self.rows_tombstoned
+    }
+
+    /// Level members the overlay added.
+    pub fn members_added(&self) -> usize {
+        self.members_added
+    }
+}
+
+/// One pinned, immutable view of a dataset: the last folded base cube
+/// plus the overlay accreted since (if any). Cheap to clone; readers hold
+/// it across an entire execution without any catalog lock, so maintenance
+/// can never stall them and they can never observe a half-published swap.
+#[derive(Debug, Clone)]
+pub struct CubeSnapshot {
+    base: Arc<MaterializedCube>,
+    base_epoch: u64,
+    overlay: Option<Arc<DeltaOverlay>>,
+}
+
+impl CubeSnapshot {
+    /// A snapshot of a base cube with an optional overlay.
+    pub(crate) fn new(
+        base: Arc<MaterializedCube>,
+        base_epoch: u64,
+        overlay: Option<Arc<DeltaOverlay>>,
+    ) -> Self {
+        CubeSnapshot {
+            base,
+            base_epoch,
+            overlay,
+        }
+    }
+
+    /// The cube a reader should execute against: the merged overlay cube
+    /// when an overlay is pinned, the base otherwise.
+    pub fn cube(&self) -> &Arc<MaterializedCube> {
+        match &self.overlay {
+            Some(overlay) => overlay.merged(),
+            None => &self.base,
+        }
+    }
+
+    /// The last fully-folded base cube.
+    pub fn base(&self) -> &Arc<MaterializedCube> {
+        &self.base
+    }
+
+    /// The store epoch of the base cube.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// The store epoch the snapshot is consistent with: the overlay's
+    /// caught-up epoch when present, the base epoch otherwise.
+    pub fn epoch(&self) -> u64 {
+        match &self.overlay {
+            Some(overlay) => overlay.epoch(),
+            None => self.base_epoch,
+        }
+    }
+
+    /// The pinned overlay, when one is accreted.
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay>> {
+        self.overlay.as_ref()
+    }
+
+    /// True when the snapshot serves base + overlay rather than a folded
+    /// base alone.
+    pub fn is_overlaid(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Checks the snapshot is not torn: the overlay (when present) must
+    /// have been accreted on exactly this base, at this base epoch, and
+    /// its bookkeeping must be consistent with the merged cube. The stress
+    /// suite calls this on every pinned snapshot.
+    pub fn verify_consistent(&self) -> Result<(), String> {
+        let Some(overlay) = &self.overlay else {
+            return Ok(());
+        };
+        if overlay.base_epoch() != self.base_epoch {
+            return Err(format!(
+                "torn snapshot: overlay accreted at base epoch {} but base is at {}",
+                overlay.base_epoch(),
+                self.base_epoch
+            ));
+        }
+        if overlay.base_rows() != self.base.row_count() {
+            return Err(format!(
+                "torn snapshot: overlay accreted on a {}-row base but base has {} rows",
+                overlay.base_rows(),
+                self.base.row_count()
+            ));
+        }
+        if overlay.epoch() < self.base_epoch {
+            return Err(format!(
+                "torn snapshot: overlay epoch {} behind base epoch {}",
+                overlay.epoch(),
+                self.base_epoch
+            ));
+        }
+        let merged = overlay.merged();
+        if merged.row_count() != overlay.base_rows() + overlay.rows_appended() {
+            return Err(format!(
+                "torn snapshot: merged cube has {} rows, expected {} base + {} appended",
+                merged.row_count(),
+                overlay.base_rows(),
+                overlay.rows_appended()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The `OVERLAY` line a query profile carries so overlay serving is
+    /// visible in `EXPLAIN ANALYZE` output: what the overlay added, how
+    /// many deltas it absorbed, and the epoch window it covers.
+    pub fn plan_line(&self) -> String {
+        match &self.overlay {
+            Some(overlay) => format!(
+                "OVERLAY rows={} tombstones={} members={} deltas={} epochs={}..{}",
+                overlay.rows_appended(),
+                overlay.rows_tombstoned(),
+                overlay.members_added(),
+                overlay.deltas_applied(),
+                overlay.base_epoch(),
+                overlay.epoch()
+            ),
+            None => "OVERLAY none".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use qb4olap::AggregateFunction;
+    use sparql::Endpoint;
+
+    use crate::testutil::{fixture, observation_triples};
+
+    use super::*;
+
+    fn overlaid_snapshot() -> CubeSnapshot {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        endpoint.store().enable_change_log();
+        let base = Arc::new(MaterializedCube::from_endpoint(&endpoint, &schema).unwrap());
+        let base_epoch = endpoint.epoch();
+        endpoint
+            .insert_triples(&observation_triples("o6", "c1", "m1", 3, 3))
+            .unwrap();
+        let deltas = endpoint.deltas_since(base_epoch).unwrap();
+        let merged = Arc::new(base.apply_delta(&deltas).unwrap());
+        let overlay = DeltaOverlay::new(
+            &base,
+            base_epoch,
+            merged,
+            endpoint.epoch(),
+            0,
+            deltas.len(),
+        );
+        CubeSnapshot::new(base, base_epoch, Some(Arc::new(overlay)))
+    }
+
+    #[test]
+    fn snapshot_bookkeeping_tracks_the_accreted_delta() {
+        let snapshot = overlaid_snapshot();
+        assert!(snapshot.is_overlaid());
+        snapshot.verify_consistent().unwrap();
+        let overlay = snapshot.overlay().unwrap();
+        assert_eq!(overlay.rows_appended(), 1);
+        assert_eq!(overlay.rows_tombstoned(), 0);
+        assert_eq!(overlay.deltas_applied(), 1);
+        assert_eq!(snapshot.cube().row_count(), 6);
+        assert_eq!(snapshot.base().row_count(), 5);
+        assert!(snapshot.epoch() > snapshot.base_epoch());
+        let line = snapshot.plan_line();
+        assert!(line.starts_with("OVERLAY rows=1 "), "{line}");
+    }
+
+    #[test]
+    fn verify_consistent_rejects_a_torn_pairing() {
+        let snapshot = overlaid_snapshot();
+        let overlay = snapshot.overlay().unwrap().clone();
+        // Pair the overlay with a base from a different epoch: torn.
+        let torn = CubeSnapshot::new(
+            snapshot.base().clone(),
+            snapshot.base_epoch() + 1,
+            Some(overlay),
+        );
+        let err = torn.verify_consistent().unwrap_err();
+        assert!(err.contains("torn snapshot"), "{err}");
+    }
+
+    #[test]
+    fn base_only_snapshots_are_trivially_consistent() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        let base = Arc::new(MaterializedCube::from_endpoint(&endpoint, &schema).unwrap());
+        let snapshot = CubeSnapshot::new(base, endpoint.epoch(), None);
+        assert!(!snapshot.is_overlaid());
+        snapshot.verify_consistent().unwrap();
+        assert_eq!(snapshot.plan_line(), "OVERLAY none");
+        assert_eq!(snapshot.epoch(), snapshot.base_epoch());
+    }
+
+    #[test]
+    fn the_kill_switch_reads_the_environment() {
+        // The variable is unset in the test environment; the switch must
+        // default to enabled. (ci.sh reruns whole campaigns with it set.)
+        if std::env::var("QB2OLAP_NO_OVERLAY").is_err() {
+            assert!(overlay_enabled());
+        }
+    }
+}

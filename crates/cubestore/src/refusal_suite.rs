@@ -298,6 +298,68 @@ fn every_refusal_kind_has_a_minimal_trigger_and_a_clean_rebuild() {
 }
 
 #[test]
+fn every_refusal_kind_degrades_to_a_background_rebuild_on_the_snapshot_path() {
+    for kind in RefusalKind::ALL {
+        let trigger = trigger_for(kind);
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        (trigger.setup)(&endpoint);
+        let catalog = CubeCatalog::new();
+        let initial = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        let pinned_epoch = initial.epoch();
+
+        (trigger.mutate)(&endpoint);
+        // The reader is never blocked on the structural change: it gets
+        // the stale-but-consistent pre-mutation pin back immediately
+        // while the rebuild runs behind it.
+        let stale = catalog.serve_snapshot(&endpoint, &schema).unwrap();
+        stale.verify_consistent().unwrap();
+        assert_eq!(
+            stale.epoch(),
+            pinned_epoch,
+            "{kind}: the stale pin stays at the pre-mutation epoch"
+        );
+        assert_eq!(
+            execute(stale.cube(), &CubeQuery::default()).unwrap(),
+            execute(initial.cube(), &CubeQuery::default()).unwrap(),
+            "{kind}: the stale snapshot serves the pinned state unchanged"
+        );
+
+        catalog.wait_for_maintenance(&schema.dataset);
+        let fresh = catalog.current_snapshot(&schema.dataset).unwrap();
+        assert!(!fresh.is_overlaid(), "{kind}: the fold published a clean base");
+        assert_eq!(fresh.base_epoch(), endpoint.epoch());
+        let report = catalog.last_report(&schema.dataset).unwrap();
+        assert_eq!(
+            report.strategy,
+            MaintenanceStrategy::Rebuild,
+            "{kind}: the background fold is a rebuild"
+        );
+        let Some(RebuildReason::DeltaRefused(refusal)) = &report.reason else {
+            panic!("{kind}: expected a delta refusal, got {:?}", report.reason);
+        };
+        assert_eq!(refusal.kind, kind, "the classifier reports the exact kind");
+        assert!(
+            report.overlap.is_some(),
+            "{kind}: the fold records the stale-serving overlap window"
+        );
+
+        // Parity after the fold: the published base is bit-identical to a
+        // from-scratch materialization and agrees with SPARQL row counts.
+        let scratch = MaterializedCube::from_endpoint(&endpoint, &schema).unwrap();
+        assert_eq!(
+            execute(fresh.cube(), &CubeQuery::default()).unwrap(),
+            execute(&scratch, &CubeQuery::default()).unwrap(),
+            "{kind}: folded base must equal a fresh materialization"
+        );
+        assert_eq!(
+            fresh.cube().live_row_count(),
+            sparql_complete_observations(&endpoint),
+            "{kind}: folded base must serve exactly the rows SPARQL sees"
+        );
+    }
+}
+
+#[test]
 fn refused_serves_leave_no_delta_strategy_in_the_reports() {
     for kind in RefusalKind::ALL {
         let trigger = trigger_for(kind);

@@ -208,6 +208,16 @@ impl<'e> CubeExplorer<'e> {
         self.catalog.is_some()
     }
 
+    /// A pinned, never-waiting snapshot of the cube (base plus delta
+    /// overlay), when catalog-backed. Navigation built on a snapshot keeps
+    /// serving while structural maintenance folds in the background.
+    pub fn snapshot(&self) -> Result<Option<cubestore::CubeSnapshot>, ExplorerError> {
+        match &self.catalog {
+            Some(catalog) => Ok(Some(catalog.serve_snapshot(self.endpoint, &self.schema)?)),
+            None => Ok(None),
+        }
+    }
+
     /// The up-to-date columnar cube, when catalog-backed.
     fn cube(&self) -> Result<Option<Arc<MaterializedCube>>, ExplorerError> {
         match &self.catalog {

@@ -7,7 +7,9 @@ use sparql::ast::{Query, SelectQuery};
 use sparql::pretty::query_to_string;
 use sparql::{Endpoint, SparqlError};
 
-/// The three execution backends the oracle compares, with display labels.
+/// The execution backends the oracle compares, with display labels. The
+/// real [`ModuleOracle`] additionally evaluates a fourth `columnar-overlay`
+/// leg — the non-blocking snapshot read path — ahead of these.
 pub const BACKENDS: [(&str, ExecutionBackend); 3] = [
     ("sparql-direct", ExecutionBackend::Sparql(SparqlVariant::Direct)),
     (
@@ -42,7 +44,15 @@ impl<'e> ModuleOracle<'e> {
 impl QlOracle for ModuleOracle<'_> {
     fn evaluate(&self, ql_text: &str) -> Result<Vec<(&'static str, ResultCube)>, QlError> {
         let prepared = self.module.prepare(ql_text)?;
-        let mut results = Vec::with_capacity(BACKENDS.len());
+        let mut results = Vec::with_capacity(BACKENDS.len() + 1);
+        // The overlay read path goes first so any disagreement is pinned
+        // on it: a settled snapshot (background folds drained) must be
+        // bit-identical to the fold-then-serve results below. With
+        // QB2OLAP_NO_OVERLAY set this degenerates to the blocking serve.
+        let snapshot = self.module.snapshot_settled()?;
+        let mut cube = self.module.execute_on_snapshot(&prepared, &snapshot)?;
+        cube.sort_cells();
+        results.push(("columnar-overlay", cube));
         for (label, backend) in BACKENDS {
             let mut cube = self.module.execute(&prepared, backend)?;
             cube.sort_cells();

@@ -172,6 +172,62 @@ impl<'e> QueryingModule<'e> {
             .map_err(|e| QlError::Columnar(e.to_string()))
     }
 
+    /// Pins a [`cubestore::CubeSnapshot`] of the dataset **without waiting
+    /// on maintenance**: appliable deltas are accreted into the snapshot's
+    /// overlay inline, structural changes trigger a background rebuild
+    /// while this call returns the stale-but-consistent pin immediately.
+    /// Execute against it with [`Self::execute_on_snapshot`]; results are
+    /// bit-identical to the blocking [`Self::materialize`] path at the
+    /// snapshot's epoch.
+    pub fn snapshot(&self) -> Result<cubestore::CubeSnapshot, QlError> {
+        self.catalog
+            .serve_snapshot(self.endpoint, &self.schema)
+            .map_err(|e| QlError::Columnar(e.to_string()))
+    }
+
+    /// Like [`Self::snapshot`], but waits for any background fold to
+    /// publish first and retries until the pin is current — the
+    /// "fold-then-serve" side of the overlay differential oracle. Falls
+    /// back to the blocking serve if the store keeps mutating underneath.
+    pub fn snapshot_settled(&self) -> Result<cubestore::CubeSnapshot, QlError> {
+        for _ in 0..8 {
+            let snapshot = self.snapshot()?;
+            if snapshot.epoch() == self.endpoint.epoch()
+                && !self.catalog.maintenance_in_flight(&self.schema.dataset)
+            {
+                return Ok(snapshot);
+            }
+            self.catalog.wait_for_maintenance(&self.schema.dataset);
+        }
+        // A store mutating faster than folds can land never settles; the
+        // blocking serve is fresh by construction at its epoch check.
+        self.materialize()?;
+        self.catalog
+            .current_snapshot(&self.schema.dataset)
+            .ok_or_else(|| QlError::Columnar("catalog lost the served entry".to_string()))
+    }
+
+    /// Runs a prepared query's columnar pipeline against an explicitly
+    /// pinned snapshot (base + overlay merged at scan time). The snapshot
+    /// is immutable: concurrent mutations and background folds cannot
+    /// change what this execution sees.
+    pub fn execute_on_snapshot(
+        &self,
+        prepared: &PreparedQuery,
+        snapshot: &cubestore::CubeSnapshot,
+    ) -> Result<ResultCube, QlError> {
+        let _span = obs::span("ql.execute");
+        let metrics = self.catalog.metrics();
+        metrics.counter("ql.execute.columnar_snapshot").inc();
+        let started = Instant::now();
+        let (cube, stats) = columnar::execute_columnar(snapshot.cube(), prepared)?;
+        stats.record_into(metrics);
+        metrics
+            .histogram("ql.execute.duration_ns")
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(cube)
+    }
+
     /// Runs the Query Simplification and Query Translation phases. The
     /// prepared query carries the default backend; override it with
     /// [`PreparedQuery::with_backend`] or pick one per [`Self::execute`].
@@ -286,6 +342,9 @@ impl<'e> QueryingModule<'e> {
                 }
                 for line in &inner.plan {
                     profile.push_plan(line);
+                }
+                if let Some(snapshot) = self.catalog.current_snapshot(&self.schema.dataset) {
+                    profile.push_plan(snapshot.plan_line());
                 }
                 profile.push_step(
                     "materialize",

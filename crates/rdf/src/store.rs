@@ -199,6 +199,24 @@ impl Store {
         self.inner.write().log = None;
     }
 
+    /// A frozen, epoch-consistent copy of the store: the graphs and the
+    /// epoch are captured atomically under one read lock, the change log is
+    /// not carried over, and later mutations of the original are invisible
+    /// to the copy (and vice versa). Background maintenance reads from such
+    /// a snapshot so a rebuild racing live writers still materializes one
+    /// well-defined store state instead of a torn mix of epochs.
+    pub fn snapshot(&self) -> Store {
+        let inner = self.inner.read();
+        Store {
+            inner: Arc::new(RwLock::new(StoreInner {
+                default_graph: inner.default_graph.clone(),
+                named_graphs: inner.named_graphs.clone(),
+                epoch: inner.epoch,
+                log: None,
+            })),
+        }
+    }
+
     /// True if the change log is currently recording.
     pub fn change_log_enabled(&self) -> bool {
         self.inner.read().log.is_some()

@@ -99,6 +99,20 @@ pub trait Endpoint {
     /// [`Self::deltas_since`] can answer. A no-op by default (and for
     /// backends that cannot track changes).
     fn enable_change_tracking(&self) {}
+
+    /// An owned, thread-safe, **epoch-consistent** handle for background
+    /// maintenance, or `None` when the endpoint cannot provide one.
+    ///
+    /// The handle must answer queries for one frozen store state whose
+    /// [`Self::epoch`] matches that state — later mutations of the live
+    /// endpoint must be invisible through it, so a rebuild running on
+    /// another thread materializes a single well-defined epoch instead of
+    /// a torn mix. Endpoints answering `None` (the default, and the
+    /// conservative wrapper) degrade background maintenance to the inline
+    /// blocking path.
+    fn background_handle(&self) -> Option<Arc<dyn Endpoint + Send + Sync>> {
+        None
+    }
 }
 
 /// An in-process endpoint backed by an [`rdf::Store`].
@@ -175,6 +189,13 @@ impl Endpoint for LocalEndpoint {
 
     fn enable_change_tracking(&self) {
         self.store.enable_change_log();
+    }
+
+    fn background_handle(&self) -> Option<Arc<dyn Endpoint + Send + Sync>> {
+        // A frozen copy of the store (see `Store::snapshot`): the handle's
+        // epoch and data are captured atomically, so a background rebuild
+        // racing live writers still sees one consistent state.
+        Some(Arc::new(LocalEndpoint::with_store(self.store.snapshot())))
     }
 }
 

@@ -90,8 +90,10 @@ fn ql_campaign_is_bit_identical_across_backends_and_mutations() {
     let reports = module.maintenance_reports();
     let strategies: Vec<MaintenanceStrategy> = reports.iter().map(|r| r.strategy).collect();
     assert!(
-        strategies.contains(&MaintenanceStrategy::Delta),
-        "appends/removals must refresh via the delta path: {strategies:?}"
+        strategies.contains(&MaintenanceStrategy::Delta)
+            || strategies.contains(&MaintenanceStrategy::Overlay),
+        "appends/removals must refresh incrementally (delta fold or overlay \
+         accretion): {strategies:?}"
     );
     assert!(
         strategies.contains(&MaintenanceStrategy::Rebuild),
