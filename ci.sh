@@ -122,6 +122,19 @@ cargo run --release -p qb2olap_bench --bin repro -- e17 --observations 12000 > /
 # consistent, and the settled pin landing the new epoch.
 cargo run --release -p qb2olap_bench --bin repro -- e18 --observations 12000 > /dev/null
 
+# The HTTP serving gates. First the server test suite, pinned by name so
+# the protocol-hardening and wire-fidelity coverage (400/404/405/408/413/
+# 429, keep-alive, graceful shutdown, wire bodies bit-identical to library
+# results over the E7 workload) cannot be quarantined away.
+cargo test --release -q -p qb2olap-suite --test integration_server
+# Then E19: loadgen drives 32 keep-alive connections of /ql traffic twice
+# — idle and under forced background rebuilds — checking every response
+# body against the library-computed canonical JSON, and --gate fails the
+# run if the mid-rebuild p99 exceeds 10x the idle p99 or any body
+# diverges (the wire-level restatement of E18's non-blocking guarantee).
+cargo run --release -p qb2olap_bench --bin loadgen -- \
+    --observations 4000 --connections 32 --requests 8 --gate
+
 # Documentation cross-references resolve: every local *.md file mentioned
 # in the top-level docs exists, and the architecture map is linked from
 # the README (so it cannot silently rot).
@@ -137,6 +150,7 @@ grep -q 'E15' EXPERIMENTS.md
 grep -q 'E16' EXPERIMENTS.md
 grep -q 'E17' EXPERIMENTS.md
 grep -q 'E18' EXPERIMENTS.md
+grep -q 'E19' EXPERIMENTS.md
 
 # Documentation builds for all crates with zero warnings.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -18,10 +18,7 @@ use qb2olap_bench::demo_cube;
 use rdf::vocab::demo_schema;
 
 fn bench_obs_overhead(c: &mut Criterion) {
-    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(80_000usize);
+    let observations = obs::env::usize_knob("QB2OLAP_BENCH_OBSERVATIONS", 80_000);
     let cube = demo_cube(observations);
     let tool = Qb2Olap::new(cube.endpoint.clone());
     let querying = tool.querying(&cube.dataset).expect("cube is enriched");

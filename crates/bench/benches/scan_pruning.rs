@@ -31,10 +31,7 @@ fn dice(dimension: rdf::Iri, level: rdf::Iri, attribute: rdf::Iri, value: &str) 
 }
 
 fn bench_scan_pruning(c: &mut Criterion) {
-    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(80_000usize);
+    let observations = obs::env::usize_knob("QB2OLAP_BENCH_OBSERVATIONS", 80_000);
     let cube = demo_cube_with(&datagen::EurostatConfig {
         observations,
         time_ordered: true,

@@ -20,10 +20,7 @@ use rdf::vocab::{demo_schema, qb4o};
 use rdf::{Term, Triple};
 
 fn bench_serve_during_rebuild(c: &mut Criterion) {
-    let observations = std::env::var("QB2OLAP_BENCH_OBSERVATIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(80_000usize);
+    let observations = obs::env::usize_knob("QB2OLAP_BENCH_OBSERVATIONS", 80_000);
     let cube = demo_cube_with(&datagen::EurostatConfig {
         observations,
         time_ordered: true,

@@ -339,7 +339,7 @@ pub fn auto_scan_threads(cube: &MaterializedCube) -> usize {
 /// produce bit-identical outputs, and CI pins that by running the same
 /// workloads both ways.
 pub fn pruning_enabled() -> bool {
-    !std::env::var("QB2OLAP_NO_PRUNE").is_ok_and(|v| !v.is_empty() && v != "0")
+    !obs::env::kill_switch("QB2OLAP_NO_PRUNE")
 }
 
 /// Per-execution knobs: the scan worker count and whether zone-map

@@ -42,7 +42,7 @@ use crate::build::MaterializedCube;
 /// bit-identical either way, which is exactly what the differential
 /// campaigns check.
 pub fn overlay_enabled() -> bool {
-    !std::env::var("QB2OLAP_NO_OVERLAY").is_ok_and(|v| !v.is_empty() && v != "0")
+    !obs::env::kill_switch("QB2OLAP_NO_OVERLAY")
 }
 
 /// Total number of level members a cube serves (all levels summed).
@@ -73,6 +73,11 @@ pub struct DeltaOverlay {
     rows_tombstoned: usize,
     /// Level members added by the overlay.
     members_added: usize,
+    /// The first bookkeeping underflow observed while accreting, if any —
+    /// a merged cube with *fewer* rows/tombstones/members than its base
+    /// means the fold mis-merged. Recorded instead of saturated away, and
+    /// surfaced as an error by [`CubeSnapshot::verify_consistent`].
+    underflow: Option<String>,
 }
 
 impl DeltaOverlay {
@@ -88,14 +93,36 @@ impl DeltaOverlay {
         prior_deltas: usize,
         newly_applied: usize,
     ) -> Self {
+        // Checked, not saturating: `apply_delta` only ever *adds* rows,
+        // tombstones and members on top of the base, so any of these
+        // differences coming out negative means a mis-merged fold paired
+        // the wrong base with this overlay. Saturation used to mask that
+        // as a plausible-looking zero; now the underflow is recorded and
+        // `verify_consistent` refuses the snapshot.
+        let mut underflow = None;
+        let mut checked = |what: &str, merged_count: usize, base_count: usize| {
+            merged_count.checked_sub(base_count).unwrap_or_else(|| {
+                if underflow.is_none() {
+                    underflow = Some(format!(
+                        "{what} underflow: merged cube has {merged_count} but its base has {base_count}"
+                    ));
+                }
+                0
+            })
+        };
+        let rows_appended = checked("row-count", merged.row_count(), base.row_count());
+        let rows_tombstoned =
+            checked("tombstone-count", merged.tombstoned_rows(), base.tombstoned_rows());
+        let members_added = checked("member-count", member_total(&merged), member_total(base));
         DeltaOverlay {
             base_rows: base.row_count(),
             base_epoch,
             epoch,
             deltas_applied: prior_deltas + newly_applied,
-            rows_appended: merged.row_count().saturating_sub(base.row_count()),
-            rows_tombstoned: merged.tombstoned_rows().saturating_sub(base.tombstoned_rows()),
-            members_added: member_total(&merged).saturating_sub(member_total(base)),
+            rows_appended,
+            rows_tombstoned,
+            members_added,
+            underflow,
             merged,
         }
     }
@@ -138,6 +165,13 @@ impl DeltaOverlay {
     /// Level members the overlay added.
     pub fn members_added(&self) -> usize {
         self.members_added
+    }
+
+    /// The bookkeeping underflow recorded while accreting, if any — a
+    /// merged cube smaller than its base along any counted axis. `None`
+    /// on every healthy overlay.
+    pub fn bookkeeping_underflow(&self) -> Option<&str> {
+        self.underflow.as_deref()
     }
 }
 
@@ -213,6 +247,9 @@ impl CubeSnapshot {
         let Some(overlay) = &self.overlay else {
             return Ok(());
         };
+        if let Some(detail) = overlay.bookkeeping_underflow() {
+            return Err(format!("torn snapshot: {detail}"));
+        }
         if overlay.base_epoch() != self.base_epoch {
             return Err(format!(
                 "torn snapshot: overlay accreted at base epoch {} but base is at {}",
@@ -309,6 +346,47 @@ mod tests {
         assert!(snapshot.epoch() > snapshot.base_epoch());
         let line = snapshot.plan_line();
         assert!(line.starts_with("OVERLAY rows=1 "), "{line}");
+    }
+
+    /// The mis-merged-fold regression: pairing an overlay with a base
+    /// *larger* than its merged cube used to saturate the row delta to a
+    /// plausible-looking 0; it must now be recorded as an underflow and
+    /// refused by `verify_consistent`.
+    #[test]
+    fn verify_consistent_rejects_a_mis_merged_fold() {
+        let (endpoint, schema) = fixture(AggregateFunction::Sum);
+        endpoint.store().enable_change_log();
+        let base = Arc::new(MaterializedCube::from_endpoint(&endpoint, &schema).unwrap());
+        let base_epoch = endpoint.epoch();
+        endpoint
+            .insert_triples(&observation_triples("o7", "c1", "m1", 4, 4))
+            .unwrap();
+        let deltas = endpoint.deltas_since(base_epoch).unwrap();
+        let merged = Arc::new(base.apply_delta(&deltas).unwrap());
+        // Swap the roles: accrete the *smaller* cube "on top of" the
+        // larger one, the shape a mis-merged fold would produce.
+        let overlay = DeltaOverlay::new(
+            &merged,
+            base_epoch,
+            base.clone(),
+            endpoint.epoch(),
+            0,
+            deltas.len(),
+        );
+        assert!(
+            overlay.bookkeeping_underflow().is_some(),
+            "the underflow must be recorded, not saturated away"
+        );
+        assert_eq!(overlay.rows_appended(), 0, "the count itself stays safe");
+        let snapshot = CubeSnapshot::new(merged, base_epoch, Some(Arc::new(overlay)));
+        let err = snapshot.verify_consistent().unwrap_err();
+        assert!(err.contains("underflow"), "{err}");
+        // A healthy overlay records nothing.
+        assert!(overlaid_snapshot()
+            .overlay()
+            .unwrap()
+            .bookkeeping_underflow()
+            .is_none());
     }
 
     #[test]

@@ -187,6 +187,24 @@ impl<'e> CubeExplorer<'e> {
         }
     }
 
+    /// Opens a cube from an already materialised schema on a shared
+    /// catalog — no per-open SPARQL introspection, columnar navigation
+    /// from the shared live columns. The HTTP server opens one of these
+    /// per exploration request against its schema cache.
+    pub fn with_schema_and_catalog(
+        endpoint: &'e dyn Endpoint,
+        schema: CubeSchema,
+        catalog: Arc<CubeCatalog>,
+    ) -> Self {
+        let metrics = catalog.metrics().clone();
+        CubeExplorer {
+            endpoint,
+            schema,
+            catalog: Some(catalog),
+            metrics,
+        }
+    }
+
     /// The cube schema.
     pub fn schema(&self) -> &CubeSchema {
         &self.schema

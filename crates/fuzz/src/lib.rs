@@ -43,20 +43,12 @@ pub mod sparql_gen;
 pub mod universe;
 
 /// Reads a `u64` campaign knob from the environment (decimal, or hex with a
-/// `0x` prefix), falling back to `default` when unset or unparsable.
+/// `0x` prefix), falling back to `default` when unset — and, with a stderr
+/// warning, when set to an unparsable value. A thin alias for the
+/// workspace-wide parser in [`obs::env`], kept so existing campaign
+/// harnesses don't have to change their imports.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(text) => {
-            let text = text.trim();
-            let parsed = if let Some(hex) = text.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16)
-            } else {
-                text.parse()
-            };
-            parsed.unwrap_or(default)
-        }
-        Err(_) => default,
-    }
+    obs::env::u64_knob(name, default)
 }
 
 /// The campaign seed: `QB2OLAP_FUZZ_SEED` or `0xE155EED`.

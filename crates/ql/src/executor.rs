@@ -146,6 +146,23 @@ impl<'e> QueryingModule<'e> {
         }
     }
 
+    /// Creates the module from an already materialised schema **and** a
+    /// shared catalog — the HTTP server's per-request path: the schema is
+    /// read from the endpoint once and cached, so opening the module costs
+    /// no SPARQL round-trips, while columnar serving still flows through
+    /// the one shared live catalog.
+    pub fn with_schema_and_catalog(
+        endpoint: &'e dyn Endpoint,
+        schema: CubeSchema,
+        catalog: Arc<CubeCatalog>,
+    ) -> Self {
+        QueryingModule {
+            endpoint,
+            schema,
+            catalog,
+        }
+    }
+
     /// The cube schema the module works against.
     pub fn schema(&self) -> &CubeSchema {
         &self.schema

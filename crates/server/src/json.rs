@@ -1,0 +1,167 @@
+//! Canonical JSON serialization of query results.
+//!
+//! The vendored `serde_json` shim has no derive support and no parser, so
+//! the wire format is rendered by hand — which is a feature here, not a
+//! workaround: these functions are the *definition* of the server's wire
+//! format, and the integration tests + `loadgen` call the very same
+//! functions on library-side results to assert that a response body is
+//! **bit-identical** to a local call. Terms are rendered in their
+//! N-Triples form (the `Display` impl of [`rdf::Term`]), which keeps IRIs,
+//! blank nodes and typed literals unambiguous inside JSON strings.
+
+use crate::http::json_string;
+use ql::ResultCube;
+use sparql::Solutions;
+
+/// Renders a [`ResultCube`] as the canonical `/ql` response body.
+///
+/// Shape:
+/// ```json
+/// {"axes":[{"dimension":"...","level":"...","variable":"..."}],
+///  "measures":[{"measure":"...","variable":"..."}],
+///  "cells":[{"coordinates":["<iri>"],"values":["\"4\"^^<...>",null]}]}
+/// ```
+/// Cells arrive already in the cube's canonical coordinate order
+/// ([`ResultCube::sort_cells`]), so two identical cubes always serialize
+/// to identical bytes.
+pub fn cube_to_json(cube: &ResultCube) -> String {
+    let mut out = String::with_capacity(256 + cube.cells.len() * 64);
+    out.push_str("{\"axes\":[");
+    for (i, axis) in cube.axes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"dimension\":{},\"level\":{},\"variable\":{}}}",
+            json_string(axis.dimension.as_str()),
+            json_string(axis.level.as_str()),
+            json_string(&axis.variable),
+        ));
+    }
+    out.push_str("],\"measures\":[");
+    for (i, (measure, variable)) in cube.measures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"measure\":{},\"variable\":{}}}",
+            json_string(measure.as_str()),
+            json_string(variable),
+        ));
+    }
+    out.push_str("],\"cells\":[");
+    for (i, cell) in cube.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"coordinates\":[");
+        for (j, term) in cell.coordinates.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(&term.to_string()));
+        }
+        out.push_str("],\"values\":[");
+        for (j, value) in cell.values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match value {
+                Some(term) => out.push_str(&json_string(&term.to_string())),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+/// Renders SPARQL SELECT [`Solutions`] as the canonical `/sparql` response
+/// body: `{"variables":[...],"rows":[["<term>",null,...],...]}` with terms
+/// in N-Triples form and unbound variables as `null`.
+pub fn solutions_to_json(solutions: &Solutions) -> String {
+    let mut out = String::with_capacity(64 + solutions.rows.len() * 48);
+    out.push_str("{\"variables\":[");
+    for (i, variable) in solutions.variables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(variable.name()));
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in solutions.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, binding) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match binding {
+                Some(term) => out.push_str(&json_string(&term.to_string())),
+                None => out.push_str("null"),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf::{Iri, Term};
+    use sparql::Variable;
+
+    #[test]
+    fn solutions_serialize_with_nulls_and_escapes() {
+        let solutions = Solutions {
+            variables: vec![Variable::new("s"), Variable::new("v")],
+            rows: vec![
+                vec![Some(Term::iri("http://x/a")), Some(Term::string("say \"hi\""))],
+                vec![Some(Term::iri("http://x/b")), None],
+            ],
+        };
+        let json = solutions_to_json(&solutions);
+        assert!(json.starts_with("{\"variables\":[\"s\",\"v\"]"));
+        assert!(json.contains("\"<http://x/a>\""));
+        // N-Triples escapes the inner quotes (`\"`), JSON escapes that
+        // again (`\\\"`) — the wire form is doubly escaped.
+        assert!(json.contains(r#"\\\"hi\\\""#), "literal quoting is escaped: {json}");
+        assert!(json.contains(",null]"), "unbound binding is null: {json}");
+    }
+
+    #[test]
+    fn cube_serialization_is_deterministic() {
+        let solutions = Solutions {
+            variables: vec![Variable::new("year"), Variable::new("total")],
+            rows: vec![
+                vec![Some(Term::iri("http://t/2014")), Some(Term::integer(7))],
+                vec![Some(Term::iri("http://t/2013")), None],
+            ],
+        };
+        let cube = ResultCube::from_solutions(
+            vec![ql::CubeAxis {
+                dimension: Iri::new("http://s/timeDim"),
+                level: Iri::new("http://s/year"),
+                variable: "year".into(),
+            }],
+            vec![(Iri::new("http://m/obsValue"), "total".into())],
+            &solutions,
+        );
+        let first = cube_to_json(&cube);
+        assert_eq!(first, cube_to_json(&cube), "same cube, same bytes");
+        assert!(first.contains("\"dimension\":\"http://s/timeDim\""));
+        // from_solutions sorts cells canonically: 2013 precedes 2014.
+        let i2013 = first.find("2013").unwrap();
+        let i2014 = first.find("2014").unwrap();
+        assert!(i2013 < i2014, "cells arrive in canonical order");
+        assert!(first.contains("\"values\":[null]"));
+        assert!(first.ends_with("\n"));
+    }
+}

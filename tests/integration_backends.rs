@@ -596,14 +596,11 @@ mod mutation_fuzzer {
 
     #[test]
     fn mutation_sequence_fuzzer_keeps_catalog_and_sparql_in_lockstep() {
-        let steps: usize = std::env::var("QB2OLAP_FUZZ_STEPS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200);
-        let seed: u64 = std::env::var("QB2OLAP_FUZZ_SEED")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0xE14_5EED);
+        // Centralized knob parsing (obs::env): this site used to accept
+        // only decimal, silently ignoring the hex seeds ci.sh pins for the
+        // qlsmith campaigns.
+        let steps = obs::env::usize_knob("QB2OLAP_FUZZ_STEPS", 200);
+        let seed = obs::env::u64_knob("QB2OLAP_FUZZ_SEED", 0xE14_5EED);
         let mut rng = StdRng::seed_from_u64(seed);
 
         let (tool, dataset) = demo_tool(250);

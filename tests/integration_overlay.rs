@@ -141,6 +141,15 @@ fn concurrent_readers_match_the_scratch_oracle_at_every_pinned_epoch() {
                         .serve_snapshot(&endpoint, schema)
                         .expect("serve_snapshot");
                     snapshot.verify_consistent().expect("pinned snapshot");
+                    // Overlay bookkeeping is now checked (not saturating)
+                    // subtraction: a mis-merged fold records an underflow
+                    // that no live pin may ever carry.
+                    if let Some(overlay) = snapshot.overlay() {
+                        assert!(
+                            overlay.bookkeeping_underflow().is_none(),
+                            "live pin carries a bookkeeping underflow"
+                        );
+                    }
                     pins.fetch_add(1, Ordering::Relaxed);
                     if snapshot.is_overlaid() {
                         overlaid_pins.fetch_add(1, Ordering::Relaxed);
